@@ -1,0 +1,22 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench regenerates one table, figure or claim from the paper,
+prints it (run with ``-s`` to see the output), asserts its shape
+against the paper, and times the regeneration with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(2003)  # the paper's year
+
+
+def random_blocks(rng: random.Random, count: int):
+    return [bytes(rng.randrange(256) for _ in range(16))
+            for _ in range(count)]

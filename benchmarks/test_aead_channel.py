@@ -1,0 +1,79 @@
+"""Bench: an authenticated channel on the cheapest device.
+
+GCM (SP 800-38D) only ever uses the AES *encrypt* direction — for the
+CTR keystream and for the tag's final masking — so a full AEAD channel
+runs on the paper's smallest device (the encrypt-only variant, 2114
+LCs).  This bench counts the block-cipher invocations a GCM packet
+needs, maps them onto the modeled device, and verifies the channel
+end-to-end against the NIST vector."""
+
+from repro.aes.cipher import AES128
+from repro.aes.gcm import gcm_decrypt, gcm_encrypt
+from repro.arch.spec import paper_spec
+from repro.fpga.synthesis import compile_spec
+from repro.ip.control import Variant
+
+
+def aes_calls_for_gcm(plaintext_len: int, iv_len: int = 12) -> int:
+    """Block-cipher invocations per GCM packet.
+
+    1 for H = E(0), 1 for the tag mask E(J0), plus one per CTR block.
+    (H is per-key in practice; counted per-packet here as the
+    conservative bound.)
+    """
+    ctr_blocks = -(-plaintext_len // 16)
+    return 2 + ctr_blocks
+
+
+def test_gcm_channel_on_encrypt_only_device(benchmark):
+    key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+    iv = bytes.fromhex("cafebabefacedbaddecaf888")
+    payload = bytes(range(256)) * 4  # a 1024-byte packet
+    aad = b"seq=7;src=A;dst=B"
+
+    def round_trip():
+        ct, tag = gcm_encrypt(key, iv, payload, aad)
+        return gcm_decrypt(key, iv, ct, tag, aad)
+
+    recovered = benchmark(round_trip)
+    assert recovered == payload
+
+    fit = compile_spec(paper_spec(Variant.ENCRYPT), "Acex1K")
+    calls = aes_calls_for_gcm(len(payload))
+    device_ns = calls * fit.latency_cycles * fit.clock_ns
+    goodput = len(payload) * 8 * 1000 / device_ns  # Mbit/s
+    print(f"\nGCM packet: {len(payload)} B payload -> {calls} AES "
+          f"calls on the encrypt-only device")
+    print(f"device time {device_ns / 1000:.1f} us @ "
+          f"{fit.clock_ns:.0f} ns -> {goodput:.0f} Mbps AEAD goodput "
+          f"(raw block rate {fit.throughput_mbps:.0f} Mbps)")
+    # AEAD overhead is two extra blocks per packet: goodput stays
+    # within ~5 % of the raw rate for KB-sized packets.
+    assert goodput > 0.94 * fit.throughput_mbps
+
+
+def test_gcm_matches_nist_through_channel(benchmark):
+    """The channel construction reproduces the published tag."""
+    key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+    iv = bytes.fromhex("cafebabefacedbaddecaf888")
+    plaintext = bytes.fromhex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39"
+    )
+    aad = bytes.fromhex(
+        "feedfacedeadbeeffeedfacedeadbeefabaddad2"
+    )
+
+    def encrypt():
+        return gcm_encrypt(key, iv, plaintext, aad)
+
+    ct, tag = benchmark(encrypt)
+    assert tag.hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+    # The CTR layer is the same AES the device runs: cross-check the
+    # first keystream block against the golden model.
+    j1 = iv + (2).to_bytes(4, "big")
+    stream0 = AES128(key).encrypt_block(j1)
+    assert bytes(c ^ s for c, s in zip(ct[:16], stream0)) == \
+        plaintext[:16]

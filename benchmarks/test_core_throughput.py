@@ -1,0 +1,51 @@
+"""Bench: raw model performance (simulator speed + modeled device
+throughput).
+
+Times the Python cycle-accurate simulation itself (blocks/second of
+*simulation*) and cross-checks the modeled device throughput
+(Mbit/s at the Table 2 clock) — keeping the two clearly separate.
+"""
+
+from repro.aes.cipher import AES128
+from repro.arch.spec import paper_spec
+from repro.fpga.synthesis import compile_spec
+from repro.ip.control import Variant
+from repro.ip.testbench import Testbench
+from benchmarks.conftest import random_blocks
+
+
+def test_cycle_accurate_streaming(benchmark, rng):
+    key = bytes(range(16))
+    blocks = random_blocks(rng, 8)
+
+    def stream():
+        bench = Testbench(Variant.ENCRYPT)
+        bench.load_key(key)
+        return bench.stream_blocks(blocks)
+
+    results, stamps = benchmark(stream)
+    golden = AES128(key)
+    assert results == [golden.encrypt_block(b) for b in blocks]
+    # Modeled device throughput at the Acex clock.
+    fit = compile_spec(paper_spec(Variant.ENCRYPT), "Acex1K")
+    cycles = stamps[-1] - stamps[0]
+    blocks_done = len(blocks) - 1
+    mbps = blocks_done * 128 * 1000 / (cycles * fit.clock_ns)
+    print(f"\nmodeled device rate: {mbps:.1f} Mbps at "
+          f"{fit.clock_ns:.0f} ns (paper: 182)")
+    assert abs(mbps - 182.9) < 1.0
+
+
+def test_behavioral_model_throughput(benchmark, rng):
+    """The golden model's software speed (for context only — the
+    paper's numbers are hardware)."""
+    key = bytes(range(16))
+    aes = AES128(key)
+    blocks = random_blocks(rng, 16)
+
+    def encrypt_all():
+        return [aes.encrypt_block(b) for b in blocks]
+
+    out = benchmark(encrypt_all)
+    assert len(out) == 16
+    assert out[0] == aes.encrypt_block(blocks[0])

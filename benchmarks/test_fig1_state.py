@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 1 — the state_t variable."""
+
+from repro.analysis.figures import fig1_state
+from repro.aes.state import State
+
+
+def test_fig1_state_matrix(benchmark):
+    text = benchmark(fig1_state)
+    print("\n" + text)
+    # Column-major layout: matrix row 0 carries bytes 0,4,8,12.
+    assert "00 04 08 0c" in text
+    state = State(bytes(range(16)))
+    assert [state.get(0, c) for c in range(4)] == [0, 4, 8, 12]
+    assert [state.get(r, 0) for r in range(4)] == [0, 1, 2, 3]

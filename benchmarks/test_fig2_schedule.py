@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 2 — the encryption schedule diagram."""
+
+from repro.analysis.figures import fig2_schedule
+
+
+def test_fig2_encryption_schedule(benchmark):
+    text = benchmark(fig2_schedule)
+    print("\n" + text)
+    lines = [ln for ln in text.splitlines() if ln.startswith("round")]
+    # 1 initial Add Key + 9 x 4 + 3 (final round skips Mix Column).
+    assert len(lines) == 40
+    assert lines[0].endswith("add_key")
+    assert lines[1].endswith("byte_sub")
+    assert text.count("mix_column") == 9
+    # Function order inside a full round (paper §3).
+    round1 = [ln.split(": ")[1] for ln in lines
+              if ln.startswith("round  1")]
+    assert round1 == ["byte_sub", "shift_row", "mix_column", "add_key"]

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 3 — the KStran sub-function."""
+
+from repro.analysis.figures import fig3_kstran
+from repro.aes.key_schedule import expand_key, kstran
+
+
+def test_fig3_kstran_steps(benchmark):
+    text = benchmark(fig3_kstran, 0x09CF4F3C, 1)
+    print("\n" + text)
+    # The FIPS-197 Appendix A walkthrough values.
+    assert "cf4f3c09" in text  # after the left byte-shift
+    assert "8a84eb01" in text  # after Byte Sub
+    assert "8b84eb01" in text  # after the Rcon XOR
+    # KStran is exactly the w[i-1] transform of the expansion.
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    words = expand_key(key, 10)
+    assert words[4] == words[0] ^ kstran(words[3], 1)

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 4 — the Byte Sub table lookup."""
+
+from repro.analysis.figures import fig4_byte_sub
+from repro.aes.constants import SBOX
+from repro.aes.state import State
+from repro.aes.transforms import sub_bytes
+
+
+def test_fig4_byte_sub_lookup(benchmark):
+    text = benchmark(fig4_byte_sub)
+    print("\n" + text)
+    assert "S[00]=63" in text
+    # Byte Sub really is a per-byte memory lookup.
+    state = State(bytes(range(16)))
+    out = sub_bytes(state)
+    assert out.to_bytes() == bytes(SBOX[b] for b in range(16))

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 5 — the S-box table (2048-bit ROM)."""
+
+from repro.analysis.figures import fig5_sbox
+from repro.aes.constants import SBOX, SBOX_ROM_BITS
+from repro.ip.sbox_unit import SubWordUnit
+
+
+def test_fig5_sbox_table(benchmark):
+    text = benchmark(fig5_sbox)
+    print("\n" + text)
+    # The table the figure prints is derived from GF(2^8) algebra, yet
+    # matches the FIPS-197 published corners.
+    assert SBOX[0x00] == 0x63 and SBOX[0xFF] == 0x16
+    assert "63 7c 77 7b" in text
+    # The paper's memory arithmetic built on this figure:
+    assert SBOX_ROM_BITS == 2048
+    assert SubWordUnit("u").rom_bits == 4 * 2048  # 32-bit unit
+    assert 16 * SBOX_ROM_BITS == 32768  # a 128-bit ByteSub would need

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 6 — the (I)Shift Row transformation."""
+
+from repro.analysis.figures import fig6_shift_row
+from repro.aes.state import State
+from repro.aes.transforms import inv_shift_rows, shift_offsets, shift_rows
+
+
+def test_fig6_shift_row(benchmark):
+    text = benchmark(fig6_shift_row)
+    print("\n" + text)
+    # "once in the second row, twice in the third and so on".
+    assert shift_offsets(4) == (0, 1, 2, 3)
+    state = State(bytes(range(16)))
+    out = shift_rows(state)
+    assert out.row(0) == state.row(0)
+    assert out.row(1) == (5, 9, 13, 1)
+    assert out.row(2) == (10, 14, 2, 6)
+    assert out.row(3) == (15, 3, 7, 11)
+    assert inv_shift_rows(out) == state

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 7 — the Mix Column polynomial multiply."""
+
+from repro.analysis.figures import fig7_mix_column
+from repro.gf.polyring import INV_MIX_POLY, MIX_POLY, ColumnPolynomial, \
+    ring_mul
+
+
+def test_fig7_mix_column(benchmark):
+    text = benchmark(fig7_mix_column)
+    print("\n" + text)
+    # The figure's fixed polynomial and its inverse.
+    assert MIX_POLY.coeffs == (0x02, 0x01, 0x01, 0x03)
+    assert MIX_POLY * INV_MIX_POLY == ColumnPolynomial((1, 0, 0, 0))
+    # FIPS-197 worked column.
+    assert ring_mul((0xDB, 0x13, 0x53, 0x45), MIX_POLY.coeffs) == \
+        (0x8E, 0x4D, 0xA1, 0xBC)
+    assert "0x8e" in text

@@ -1,0 +1,60 @@
+"""Ablation bench: shared-correction InvMixColumn vs a flat network.
+
+The decrypt device's InvMixColumn can be built two ways:
+
+- **flat**: direct XOR trees from the 0E/0B/0D/09 coefficients —
+  688 LUTs per 128 bits (term counts 11..19 per output bit);
+- **shared**: InvMC = correction o MC, reusing the forward network —
+  the forward 304 LUTs + a 64-LUT xtime^2 correction layer.
+
+The paper's Table 2 decrypt-vs-encrypt delta (103 LCs) is only
+consistent with the shared form; this bench shows what the flat form
+would have cost.
+"""
+
+from repro.fpga.calibration import LOGIC_FIT
+from repro.fpga.primitives import (
+    inv_mix_column_terms,
+    inv_mix_network_luts,
+    mix_column_terms,
+    mix_network_luts,
+)
+
+
+def both_forms():
+    return (inv_mix_network_luts(shared=True),
+            inv_mix_network_luts(shared=False))
+
+
+def test_invmc_sharing_saves_half(benchmark):
+    shared, flat = benchmark(both_forms)
+    forward = mix_network_luts()
+    print(f"\nMixColumn forward network : {forward} LUTs")
+    print(f"InvMixColumn shared form  : {shared} LUTs "
+          f"(+{shared - forward} over forward)")
+    print(f"InvMixColumn flat form    : {flat} LUTs "
+          f"(+{flat - forward} over forward)")
+    print(f"flat-form decrypt device would cost "
+          f"~{(flat - shared) * LOGIC_FIT:.0f} extra LEs")
+    assert shared == forward + 64
+    assert flat > 2 * forward
+    # The paper's observed enc->dec delta (103 LEs) brackets the
+    # shared form and excludes the flat one.
+    shared_delta_les = (shared - forward) * LOGIC_FIT
+    flat_delta_les = (flat - forward) * LOGIC_FIT
+    assert 60 <= shared_delta_les <= 130
+    assert flat_delta_les > 300
+
+
+def test_term_structure_behind_the_depths(benchmark):
+    fwd, inv = benchmark(
+        lambda: (mix_column_terms(), inv_mix_column_terms())
+    )
+    print(f"\nforward terms/bit: min {min(fwd)} max {max(fwd)} "
+          f"avg {sum(fwd) / 32:.2f}")
+    print(f"inverse terms/bit: min {min(inv)} max {max(inv)} "
+          f"avg {sum(inv) / 32:.2f}")
+    # The inverse coefficients (09/0B/0D/0E) more than double the XOR
+    # term density — the physics behind both the flat form's area and
+    # the decrypt clock period.
+    assert sum(inv) > 2 * sum(fwd)

@@ -1,0 +1,55 @@
+"""Bench: key agility — what the on-the-fly schedule's setup pass
+costs as a function of blocks-per-key.
+
+The area win of not storing round keys is paid back on every key
+change of a decrypt-capable device (the 40-cycle setup pass).  For
+bulk transport (thousands of blocks per key) the tax vanishes; for
+key-agile workloads (e.g. per-packet keying) it bites.  This bench
+measures the effective decryption rate over the blocks-per-key axis
+on the cycle-accurate model."""
+
+import random
+
+from repro.aes.cipher import AES128
+from repro.ip.control import Variant, key_setup_cycles
+from repro.ip.testbench import Testbench
+
+
+def effective_cycles_per_block(blocks_per_key: int,
+                               sessions: int = 3,
+                               seed: int = 21) -> float:
+    rng = random.Random(seed)
+    bench = Testbench(Variant.DECRYPT)
+    start = bench.simulator.cycle
+    blocks_done = 0
+    for _ in range(sessions):
+        key = bytes(rng.randrange(256) for _ in range(16))
+        bench.load_key(key)
+        golden = AES128(key)
+        blocks = [bytes(rng.randrange(256) for _ in range(16))
+                  for _ in range(blocks_per_key)]
+        results, _ = bench.stream_blocks(blocks)
+        assert results == [golden.decrypt_block(b) for b in blocks]
+        blocks_done += blocks_per_key
+    return (bench.simulator.cycle - start) / blocks_done
+
+
+def test_key_agility_curve(benchmark):
+    def sweep():
+        return {n: effective_cycles_per_block(n)
+                for n in (1, 2, 8, 32)}
+
+    curve = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print("\neffective decrypt cost vs blocks-per-key "
+          "(50-cycle blocks + 41-cycle key change):")
+    for n, cycles in curve.items():
+        overhead = cycles / 50 - 1
+        print(f"  {n:>3} blocks/key: {cycles:6.1f} cycles/block "
+              f"(+{overhead:.0%} key-change tax)")
+    # One block per key: the full setup pass amortizes over one block.
+    assert curve[1] >= 50 + key_setup_cycles()
+    # Bulk traffic: the tax falls under 5 %.
+    assert curve[32] < 50 * 1.05
+    # Monotone amortization.
+    values = list(curve.values())
+    assert values == sorted(values, reverse=True)

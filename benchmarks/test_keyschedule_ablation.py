@@ -1,0 +1,104 @@
+"""Ablation bench: on-the-fly round keys vs precomputed storage.
+
+DESIGN.md calls out the on-the-fly key schedule as the paper's second
+area lever (no round-key storage).  This bench quantifies both sides:
+
+- storage cost avoided: 11 round keys x 128 bits, plus the write
+  machinery;
+- time cost incurred: the 40-cycle setup pass per key change on
+  decrypt-capable devices, and the 4-cycle/round key-generation floor
+  that caps wide datapaths (§6).
+"""
+
+from repro.arch.spec import ArchitectureSpec
+from repro.fpga.synthesis import compile_spec
+from repro.ip.control import Variant, key_setup_cycles
+from repro.ip.testbench import Testbench
+
+
+def compile_key_pair():
+    otf = ArchitectureSpec("otf", Variant.ENCRYPT, sub_width=32,
+                           wide_width=128, key_schedule="on_the_fly")
+    pre = ArchitectureSpec("pre", Variant.ENCRYPT, sub_width=32,
+                           wide_width=128, key_schedule="precomputed")
+    return (compile_spec(otf, "Acex1K", strict=False),
+            compile_spec(pre, "Acex1K", strict=False))
+
+
+def test_key_storage_tradeoff(benchmark):
+    otf, pre = benchmark(compile_key_pair)
+    print(f"\non-the-fly : {otf.logic_elements} LEs, "
+          f"{otf.memory_bits} mem bits")
+    print(f"precomputed: {pre.logic_elements} LEs, "
+          f"{pre.memory_bits} mem bits")
+    # On-the-fly spends KStran S-boxes (8 Kbit); precomputed spends a
+    # round-key RAM block instead.
+    assert otf.memory_bits == 16384
+    assert pre.memory_bits == 8192 + 2048  # data S-boxes + key RAM
+    # At the paper's 32-bit design point the schedules tie on speed —
+    # the key unit exactly keeps up (4 words per 4 ByteSub cycles).
+    assert otf.spec.cycles_per_round == 5
+    assert pre.spec.cycles_per_round == 5
+
+
+def test_key_change_latency_cost(benchmark):
+    """The price of on-the-fly decryption: a 40-cycle pass per key."""
+
+    def key_churn():
+        bench = Testbench(Variant.DECRYPT)
+        total = 0
+        for seed in range(3):
+            total += bench.load_key(bytes([seed] * 16))
+        return total
+
+    total = benchmark(key_churn)
+    per_key = total / 3
+    print(f"\nkey-change cost: {per_key:.0f} cycles "
+          f"(1 wr_key edge + {key_setup_cycles()} setup)")
+    assert per_key == 1 + key_setup_cycles() == 41
+
+
+def test_key_schedule_caps_wide_datapath(benchmark):
+    """§6: the 128-bit datapath runs at the key unit's pace unless
+    keys are precomputed."""
+
+    def sweep():
+        wide_otf = ArchitectureSpec("w1", Variant.ENCRYPT,
+                                    sub_width=128, wide_width=128)
+        wide_pre = ArchitectureSpec("w2", Variant.ENCRYPT,
+                                    sub_width=128, wide_width=128,
+                                    key_schedule="precomputed")
+        return wide_otf, wide_pre
+
+    wide_otf, wide_pre = benchmark(sweep)
+    print(f"\n128-bit datapath: on-the-fly "
+          f"{wide_otf.cycles_per_round} cycles/round vs precomputed "
+          f"{wide_pre.cycles_per_round}")
+    assert wide_otf.cycles_per_round == 4  # key-schedule bound
+    assert wide_pre.cycles_per_round == 2  # datapath bound
+
+
+def test_key_storage_in_hardware(benchmark):
+    """Both strategies exist as cycle-accurate cores; measure the
+    trade directly: the on-the-fly encrypt device re-keys for free,
+    the precomputed one pays the expansion pass — but stores the
+    schedule and decrypts every key size."""
+    from repro.ip.precomputed import PrecomputedTestbench
+
+    def run_both():
+        otf = Testbench(Variant.ENCRYPT)
+        otf_cost = otf.load_key(bytes(range(16)))
+        pre = PrecomputedTestbench(128, Variant.ENCRYPT)
+        pre_cost = pre.load_key(bytes(range(16)))
+        a, la = otf.encrypt(bytes(16))
+        b, lb = pre.encrypt(bytes(16))
+        assert a == b and la == lb == 50
+        return otf_cost, pre_cost, pre.core.key_store_bits
+
+    otf_cost, pre_cost, store_bits = benchmark(run_both)
+    print(f"\nencrypt-device key change: on-the-fly {otf_cost} "
+          f"cycle(s), precomputed {pre_cost} cycles")
+    print(f"precomputed round-key store: {store_bits} bits")
+    assert otf_cost == 1          # just the wr_key edge
+    assert pre_cost == 41         # edge + 40-cycle expansion
+    assert store_bits == 44 * 32  # 11 round keys

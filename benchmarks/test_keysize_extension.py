@@ -1,0 +1,57 @@
+"""Extension bench: AES-192/256 variants of the paper's architecture.
+
+The paper implements AES-128 and notes the standard's other key
+sizes; this bench prices the extension through the same model:
+latency grows with the round count (60/70 cycles), the clock is
+untouched, and the area delta is confined to the key unit."""
+
+from repro.arch.keysize import AES_VARIANTS, key_size_table
+from repro.ip.control import Variant
+from repro.ip.multikey import MultiKeyTestbench
+
+
+def test_key_size_extension(benchmark):
+    def build():
+        return {opt.key_bits: opt.performance(Variant.ENCRYPT,
+                                              "Acex1K")
+                for opt in AES_VARIANTS}
+
+    perf = benchmark(build)
+    print("\n" + key_size_table())
+    print("\n" + key_size_table(Variant.ENCRYPT, "Cyclone"))
+
+    assert perf[128]["latency_cycles"] == 50
+    assert perf[192]["latency_cycles"] == 60
+    assert perf[256]["latency_cycles"] == 70
+    # Clock constant, throughput inversely proportional to rounds.
+    assert perf[128]["clock_ns"] == perf[256]["clock_ns"]
+    assert perf[256]["throughput_mbps"] < perf[128]["throughput_mbps"]
+    # Area grows by the key unit only: under 20 % even for AES-256.
+    growth = (perf[256]["logic_elements"]
+              / perf[128]["logic_elements"])
+    assert growth < 1.20
+
+
+def test_key_size_hardware_measured(benchmark):
+    """The extension is not just arithmetic: the cycle-accurate
+    multi-key-size core hits the modeled latency, FIPS-verified."""
+    from repro.aes.vectors import (
+        FIPS197_APPENDIX_C1, FIPS197_APPENDIX_C2, FIPS197_APPENDIX_C3,
+    )
+
+    vectors = {128: FIPS197_APPENDIX_C1, 192: FIPS197_APPENDIX_C2,
+               256: FIPS197_APPENDIX_C3}
+
+    def run_all():
+        measured = {}
+        for bits, vector in vectors.items():
+            bench = MultiKeyTestbench(bits)
+            bench.load_key(vector.key)
+            ct, latency = bench.encrypt(vector.plaintext)
+            assert ct == vector.ciphertext
+            measured[bits] = latency
+        return measured
+
+    measured = benchmark(run_all)
+    print("\nmeasured latency on the multi-key-size core:", measured)
+    assert measured == {128: 50, 192: 60, 256: 70}

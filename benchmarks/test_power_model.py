@@ -1,0 +1,67 @@
+"""Bench: the paper's future work — power analysis of the architecture.
+
+Integrates register toggles, S-box reads and clock-tree load over real
+cycle-accurate runs and reports mW / nJ-per-block for both families.
+Absolute values are model-grade; the asserted relations (family
+scaling, workload scaling) are structural.
+"""
+
+from repro.analysis.power import measure_power
+from repro.ip.control import Variant
+from benchmarks.conftest import random_blocks
+
+
+def test_power_per_family(benchmark, rng):
+    key = bytes(range(16))
+    blocks = random_blocks(rng, 4)
+
+    def measure_both_families():
+        acex = measure_power(blocks, key, variant=Variant.ENCRYPT,
+                             family="Acex1K")
+        cyclone = measure_power(blocks, key, variant=Variant.ENCRYPT,
+                                family="Cyclone")
+        return acex, cyclone
+
+    acex, cyclone = benchmark(measure_both_families)
+    print("\n" + acex.render())
+    print(cyclone.render())
+    # The 2.5 V -> 1.5 V, 0.22 um -> 0.13 um move cuts energy hard —
+    # the paper's motivation for eyeing mobile systems.
+    assert cyclone.energy_per_block_nj < 0.5 * acex.energy_per_block_nj
+    assert acex.dynamic_mw > 0
+
+
+def test_power_scales_with_traffic(benchmark, rng):
+    key = bytes(range(16))
+
+    def measure_pair():
+        light = measure_power(random_blocks(rng, 2), key)
+        heavy = measure_power(random_blocks(rng, 8), key)
+        return light, heavy
+
+    light, heavy = benchmark(measure_pair)
+    print(f"\n2 blocks: {light.energy_pj:.0f} pJ; "
+          f"8 blocks: {heavy.energy_pj:.0f} pJ")
+    assert heavy.energy_pj > 3 * light.energy_pj
+    # Streaming amortizes nothing per block (no pipeline): per-block
+    # energy stays within a band.
+    ratio = heavy.energy_per_block_nj / light.energy_per_block_nj
+    assert 0.6 < ratio < 1.4
+
+
+def test_decrypt_vs_encrypt_power(benchmark, rng):
+    key = bytes(range(16))
+    blocks = random_blocks(rng, 4)
+
+    def measure_directions():
+        enc = measure_power(blocks, key, variant=Variant.BOTH,
+                            direction="encrypt")
+        dec = measure_power(blocks, key, variant=Variant.BOTH,
+                            direction="decrypt")
+        return enc, dec
+
+    enc, dec = benchmark(measure_directions)
+    print(f"\nencrypt: {enc.energy_per_block_nj:.1f} nJ/block; "
+          f"decrypt: {dec.energy_per_block_nj:.1f} nJ/block")
+    ratio = dec.energy_per_block_nj / enc.energy_per_block_nj
+    assert 0.6 < ratio < 1.6

@@ -1,0 +1,88 @@
+"""Ablation bench: the synchronous-ROM variant (the paper's future
+work).
+
+The paper could not use Cyclone's M4K blocks because they only read
+synchronously; it spent 1943 extra LEs per 8 S-boxes instead and left
+the registered-ROM redesign to future work.  This bench builds that
+redesign and quantifies the trade on the EP1C20:
+
+- LEs drop back to roughly the Acex level (S-boxes return to RAM);
+- the round stretches to 6 cycles (60-cycle latency);
+- net: a much smaller device at ~85 % of the async-in-LUTs speed.
+"""
+
+from repro.arch.spec import paper_spec
+from repro.fpga.synthesis import compile_spec
+from repro.ip.control import Variant
+from repro.ip.testbench import Testbench
+
+
+def compile_pair():
+    spec_async = paper_spec(Variant.ENCRYPT)
+    spec_sync = paper_spec(Variant.ENCRYPT, sync_rom=True)
+    return (compile_spec(spec_async, "Cyclone"),
+            compile_spec(spec_sync, "Cyclone"))
+
+
+def test_sync_rom_tradeoff_on_cyclone(benchmark):
+    lut_rom, m4k_rom = benchmark(compile_pair)
+    print(f"\nCyclone encrypt device:")
+    print(f"  async (paper, S-boxes in LCs): "
+          f"{lut_rom.logic_elements} LEs, {lut_rom.memory_bits} mem "
+          f"bits, {lut_rom.latency_ns:.0f} ns, "
+          f"{lut_rom.throughput_mbps:.0f} Mbps")
+    print(f"  sync (future work, M4K ROMs) : "
+          f"{m4k_rom.logic_elements} LEs, {m4k_rom.memory_bits} mem "
+          f"bits, {m4k_rom.latency_ns:.0f} ns, "
+          f"{m4k_rom.throughput_mbps:.0f} Mbps")
+    # The M4K build moves 16384 bits back into embedded memory...
+    assert m4k_rom.memory_bits == 16384
+    assert lut_rom.memory_bits == 0
+    # ...and sheds the ~8 x 243 LE ROM penalty.
+    assert lut_rom.logic_elements - m4k_rom.logic_elements > 1500
+    # The cost: 60-cycle blocks.
+    assert m4k_rom.latency_cycles == 60
+    assert lut_rom.latency_cycles == 50
+    # Net throughput gives up less than 25 %.
+    assert m4k_rom.throughput_mbps > 0.75 * lut_rom.throughput_mbps
+
+
+def run_sync_core():
+    bench = Testbench(Variant.ENCRYPT, sync_rom=True)
+    bench.load_key(bytes(16))
+    return bench.encrypt(bytes(16))
+
+
+def test_sync_rom_core_is_functional(benchmark):
+    from repro.aes.cipher import AES128
+
+    result, latency = benchmark(run_sync_core)
+    assert result == AES128(bytes(16)).encrypt_block(bytes(16))
+    assert latency == 60
+
+
+def test_sync_rom_full_table2(benchmark):
+    """The future-work build, run through the whole Table 2 flow: all
+    three variants on both families with registered-ROM S-boxes."""
+    from repro.fpga.report import render_table2
+    from repro.fpga.synthesis import compile_table2
+
+    reports = benchmark(compile_table2, sync_rom=True)
+    print("\nTable 2 as it would look for the sync-ROM redesign:")
+    print(render_table2(reports))
+    by_key = {(r.spec.variant.value, r.device.family): r
+              for r in reports}
+    # Cyclone gets its memory back in every variant...
+    assert by_key[("encrypt", "Cyclone")].memory_bits == 16384
+    assert by_key[("both", "Cyclone")].memory_bits == 32768
+    # ...and every variant pays the 6-cycle round.
+    assert all(r.latency_cycles == 60 for r in reports)
+    # On Acex the redesign is strictly worse (EABs already read
+    # asynchronously): same memory, longer blocks.
+    paper_acex = compile_table2(families=("Acex1K",))
+    for sync, asynch in zip(
+        [by_key[(v, "Acex1K")] for v in ("encrypt", "decrypt", "both")],
+        paper_acex,
+    ):
+        assert sync.memory_bits == asynch.memory_bits
+        assert sync.latency_ns > asynch.latency_ns

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 1 (device signals)."""
+
+from repro.analysis.tables import table1_text
+from repro.ip.control import Variant
+from repro.ip.interface import pin_count
+
+
+def test_table1_device_signals(benchmark):
+    text = benchmark(table1_text, Variant.BOTH)
+    print("\n" + text)
+    # Paper Table 1 rows and the resulting pin totals.
+    for signal in ("clk", "setup", "wr_data", "wr_key", "din",
+                   "enc/dec", "data_ok", "dout"):
+        assert signal in text
+    assert pin_count(Variant.ENCRYPT) == 261
+    assert pin_count(Variant.BOTH) == 262

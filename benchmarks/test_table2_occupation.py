@@ -1,0 +1,51 @@
+"""Bench: regenerate Table 2 — performance and occupation.
+
+Runs the full synthesis-estimation flow (netlist -> map -> time) for
+all six (variant, family) pairs and compares every cell with the
+paper.  This is the paper's headline result.
+"""
+
+from repro.analysis.metrics import combined_slowdown
+from repro.analysis.tables import PAPER_TABLE2, table2_fits
+from repro.fpga.calibration import LC_TOLERANCE
+from repro.fpga.report import render_table2
+
+
+def test_table2_full_reproduction(benchmark):
+    reports = benchmark(table2_fits)
+    print("\n" + render_table2(reports))
+    print("\nmodel vs paper:")
+    by_key = {(r.spec.variant.value, r.device.family): r
+              for r in reports}
+    for key, (lcs, memory, pins, latency, clk, mbps) in \
+            sorted(PAPER_TABLE2.items()):
+        report = by_key[key]
+        err = 100.0 * (report.logic_elements - lcs) / lcs
+        print(f"  {key[0]:<8}{key[1]:<9} "
+              f"LC {report.logic_elements:>5} vs {lcs:>5} "
+              f"({err:+.1f}%)  mem {report.memory_bits:>6} "
+              f"lat {report.latency_ns:>4.0f}ns clk "
+              f"{report.clock_ns:>3.0f}ns "
+              f"{report.throughput_mbps:6.1f} Mbps (paper {mbps})")
+        assert abs(err) <= 100 * LC_TOLERANCE
+        assert report.memory_bits == memory
+        assert report.pins == pins
+        assert report.latency_ns == latency
+        assert report.clock_ns == clk
+        assert abs(report.throughput_mbps - mbps) <= 1.0
+
+
+def test_table2_combined_device_slowdown(benchmark):
+    """§5 claim: ~22 % throughput drop when both directions share a
+    device."""
+    reports = benchmark(table2_fits)
+    by_key = {(r.spec.variant.value, r.device.family): r
+              for r in reports}
+    for family in ("Acex1K", "Cyclone"):
+        drop = combined_slowdown(
+            by_key[("encrypt", family)].throughput_mbps,
+            by_key[("both", family)].throughput_mbps,
+        )
+        print(f"\n{family}: combined-device throughput drop "
+              f"{drop:.0%} (paper: ~22%)")
+        assert 0.17 <= drop <= 0.25

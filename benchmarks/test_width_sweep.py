@@ -1,0 +1,55 @@
+"""Bench: the §6 width discussion as a measured design-space sweep.
+
+Claims quantified:
+- 8/16-bit shrinks cost far more latency than they save area;
+- a 128-bit widening is capped by the one-word-per-cycle key schedule
+  (only with precomputed keys does it pay off — and then it no longer
+  fits the paper's device);
+- the paper's mixed 32/128 point is the efficiency knee among designs
+  that fit the EP1K100.
+"""
+
+from repro.arch.explorer import explore_widths, knee_design, sweep_report
+from repro.ip.control import Variant
+
+
+def test_width_sweep_on_acex(benchmark):
+    reports = benchmark(explore_widths, "Acex1K", Variant.ENCRYPT)
+    print("\n" + sweep_report(reports))
+    by_name = {r.spec.name: r for r in reports}
+    mixed = by_name["mixed-32-128-encrypt"]
+
+    # Claim 1: narrow designs lose big.
+    assert by_name["uniform-8-encrypt"].latency_ns > 4 * mixed.latency_ns
+    assert by_name["uniform-16-encrypt"].latency_ns > \
+        3 * mixed.latency_ns
+
+    # Claim 2: the wide design is key-schedule-bound...
+    full = by_name["full-128-encrypt"]
+    assert full.spec.cycles_per_round == 4  # not 2
+    assert full.throughput_mbps < 1.4 * mixed.throughput_mbps
+    # ...unless keys are precomputed, which costs fit.
+    pre = by_name["full-128-precomp-encrypt"]
+    assert pre.throughput_mbps > 2 * mixed.throughput_mbps
+    assert not pre.fits and not full.fits
+
+    # Claim 3: the paper's point is the knee among fitting designs.
+    assert knee_design(reports).spec.name == "mixed-32-128-encrypt"
+
+
+def test_width_sweep_kstran_floor(benchmark):
+    """§6: 'the 8 k used in KStran will not decrease' — narrow designs
+    keep paying the key-schedule memory."""
+    reports = benchmark(explore_widths, "Acex1K", Variant.ENCRYPT)
+    for report in reports:
+        if report.spec.key_schedule == "on_the_fly":
+            kstran_bits = 8192
+            assert report.spec.rom_bits >= kstran_bits
+    by_name = {r.spec.name: r for r in reports}
+    narrow = by_name["uniform-8-encrypt"]
+    print(f"\n8-bit design memory: {narrow.spec.rom_bits} bits "
+          f"(8192 of it KStran) vs mixed "
+          f"{by_name['mixed-32-128-encrypt'].spec.rom_bits}")
+    # The 8-bit design only sheds data S-boxes: 10240 vs 16384 bits,
+    # a 37 % memory saving for ~5x less throughput.
+    assert narrow.spec.rom_bits == 2048 + 8192

@@ -1,0 +1,46 @@
+"""Quickstart: the golden model, the cycle-accurate IP, and Table 2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AES128, Testbench, Variant, compile_spec, paper_spec
+from repro.analysis.tables import table2_text
+
+
+def main() -> None:
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    # 1. The behavioral golden model (FIPS-197).
+    aes = AES128(key)
+    ciphertext = aes.encrypt_block(plaintext)
+    print("golden model")
+    print(f"  plaintext : {plaintext.hex()}")
+    print(f"  ciphertext: {ciphertext.hex()}")
+    assert aes.decrypt_block(ciphertext) == plaintext
+
+    # 2. The paper's IP, cycle-accurate, through the bus protocol.
+    bench = Testbench(Variant.BOTH)
+    setup_cycles = bench.load_key(key)
+    hw_ct, enc_latency = bench.encrypt(plaintext)
+    hw_pt, dec_latency = bench.decrypt(hw_ct)
+    print("\ncycle-accurate IP (BOTH variant)")
+    print(f"  key setup   : {setup_cycles} cycles "
+          "(wr_key + 40-cycle pass)")
+    print(f"  encrypt     : {hw_ct.hex()}  ({enc_latency} cycles)")
+    print(f"  decrypt     : {hw_pt.hex()}  ({dec_latency} cycles)")
+    assert hw_ct == ciphertext and hw_pt == plaintext
+    assert enc_latency == dec_latency == 50  # 10 rounds x 5 cycles
+
+    # 3. Synthesis estimate for one design point...
+    fit = compile_spec(paper_spec(Variant.ENCRYPT), "Acex1K")
+    print("\nsynthesis estimate, encrypt device on EP1K100 (Acex1K)")
+    print(fit.render())
+
+    # ...and the paper's whole Table 2.
+    print("\nTable 2, regenerated:")
+    print(table2_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e .` on environments without the
+`wheel` package (legacy editable install path)."""
+from setuptools import setup
+
+setup()

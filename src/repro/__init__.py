@@ -1,0 +1,53 @@
+"""repro — reproduction of "A Low Device Occupation IP to Implement
+Rijndael Algorithm" (Panato, Barcelos, Reis; DATE 2003).
+
+The paper builds a low-area AES-128 soft IP with a mixed 32/128-bit
+datapath and on-the-fly round keys, and evaluates three device
+variants on Altera Acex1K and Cyclone FPGAs.  This library rebuilds
+the whole stack in Python:
+
+- :mod:`repro.gf` / :mod:`repro.aes` — GF(2^8) algebra and the
+  behavioral Rijndael golden model (full AES-128/192/256 + modes);
+- :mod:`repro.rtl` — a cycle-based RTL simulation kernel;
+- :mod:`repro.ip` — the paper's IP, cycle-accurate (5 cycles/round,
+  50-cycle blocks, Table 1 pin protocol, I/O overlap);
+- :mod:`repro.fpga` — device models, technology mapping and static
+  timing that regenerate Table 2;
+- :mod:`repro.arch` — the design space (§6) and Table 3 baselines;
+- :mod:`repro.analysis` — tables, figures, the power model (the
+  paper's future work) and SEU fault injection (its ref. [16]).
+
+Quick start::
+
+    from repro import AES128, Testbench, Variant
+
+    aes = AES128(bytes(16))                      # golden model
+    ct = aes.encrypt_block(bytes(16))
+
+    bench = Testbench(Variant.BOTH)              # cycle-accurate IP
+    bench.load_key(bytes(16))
+    hw_ct, latency = bench.encrypt(bytes(16))    # latency == 50
+    assert hw_ct == ct
+"""
+
+from repro.aes.cipher import AES128, Rijndael, decrypt_block, encrypt_block
+from repro.arch.spec import ArchitectureSpec, paper_spec
+from repro.fpga.synthesis import compile_spec, compile_table2
+from repro.ip.control import Variant
+from repro.ip.testbench import Testbench
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AES128",
+    "ArchitectureSpec",
+    "Rijndael",
+    "Testbench",
+    "Variant",
+    "compile_spec",
+    "compile_table2",
+    "decrypt_block",
+    "encrypt_block",
+    "paper_spec",
+    "__version__",
+]

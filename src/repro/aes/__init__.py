@@ -1,0 +1,48 @@
+"""Behavioral Rijndael / AES golden model.
+
+This subpackage is the bit-exact software reference the cycle-accurate
+IP model (:mod:`repro.ip`) is verified against.  It implements the full
+Rijndael family — block sizes Nb ∈ {4, 6, 8} words and key sizes
+Nk ∈ {4, 6, 8} words — of which AES fixes Nb = 4 (AES-128/192/256 by
+key size).  The paper's device implements the AES-128 subset.
+
+Public API highlights:
+
+- :func:`repro.aes.cipher.encrypt_block` / ``decrypt_block`` — one-block
+  Rijndael with any legal (block, key) size combination.
+- :class:`repro.aes.cipher.AES128` — the paper's fixed configuration.
+- :mod:`repro.aes.modes` — ECB/CBC/CTR/CFB/OFB block modes used by the
+  example applications.
+- :mod:`repro.aes.key_schedule` — forward *and reverse* on-the-fly
+  round-key generators matching the hardware's key unit.
+"""
+
+from repro.aes.cipher import (
+    AES128,
+    Rijndael,
+    decrypt_block,
+    encrypt_block,
+)
+from repro.aes.constants import INV_SBOX, RCON, SBOX
+from repro.aes.key_schedule import (
+    expand_key,
+    kstran,
+    next_round_key,
+    previous_round_key,
+)
+from repro.aes.state import State
+
+__all__ = [
+    "AES128",
+    "INV_SBOX",
+    "RCON",
+    "Rijndael",
+    "SBOX",
+    "State",
+    "decrypt_block",
+    "encrypt_block",
+    "expand_key",
+    "kstran",
+    "next_round_key",
+    "previous_round_key",
+]

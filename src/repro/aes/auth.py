@@ -1,0 +1,146 @@
+"""Authentication and key-management modes over AES-128.
+
+The paper's §2 motivates deployments — authentication processes,
+banking, key distribution — that need more than raw block encryption.
+This module supplies the two standard AES-based constructions those
+systems use, both runnable on an encrypt-only device (neither ever
+calls the decrypt direction except unwrap):
+
+- **CMAC** (NIST SP 800-38B / RFC 4493) — a message authentication
+  code: CBC-MAC fixed with two derived subkeys, where subkey
+  derivation is doubling in GF(2^128) (the same carry-less algebra as
+  the cipher itself, one level up).
+- **AES Key Wrap** (RFC 3394) — the standard way to transport one AES
+  key under another, with built-in integrity: exactly the "user A
+  transmits the key to user B" step of the paper's §2 story.
+
+Both are tested against their RFC-published vectors.
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+from typing import List
+
+from repro.aes.cipher import AES128
+
+BLOCK = 16
+
+#: GF(2^128) reduction constant for doubling (x^128+x^7+x^2+x+1).
+_RB = 0x87
+
+
+class IntegrityError(ValueError):
+    """Raised when an authenticated structure fails verification."""
+
+
+def _double(block: bytes) -> bytes:
+    """Multiply by x in GF(2^128) (the CMAC subkey step)."""
+    value = int.from_bytes(block, "big")
+    value <<= 1
+    if value >> 128:
+        value = (value ^ _RB) & ((1 << 128) - 1)
+    return value.to_bytes(16, "big")
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def cmac_subkeys(key: bytes) -> "tuple[bytes, bytes]":
+    """Derive (K1, K2) from L = E_K(0^128) by GF doubling."""
+    aes = AES128(key)
+    l_value = aes.encrypt_block(bytes(16))
+    k1 = _double(l_value)
+    k2 = _double(k1)
+    return k1, k2
+
+
+def cmac(key: bytes, message: bytes) -> bytes:
+    """AES-CMAC tag of a message of any length (RFC 4493)."""
+    message = bytes(message)
+    aes = AES128(key)
+    k1, k2 = cmac_subkeys(key)
+
+    if message and len(message) % BLOCK == 0:
+        complete = True
+        blocks = len(message) // BLOCK
+    else:
+        complete = False
+        blocks = len(message) // BLOCK + 1
+
+    state = bytes(16)
+    for index in range(blocks - 1):
+        chunk = message[BLOCK * index:BLOCK * (index + 1)]
+        state = aes.encrypt_block(_xor(state, chunk))
+
+    last = message[BLOCK * (blocks - 1):]
+    if complete:
+        final = _xor(last, k1)
+    else:
+        padded = last + b"\x80" + bytes(BLOCK - len(last) - 1)
+        final = _xor(padded, k2)
+    return aes.encrypt_block(_xor(state, final))
+
+
+def cmac_verify(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time-ish tag comparison (via hmac.compare_digest)."""
+    if len(tag) != BLOCK:
+        return False
+    return _hmac.compare_digest(cmac(key, message), bytes(tag))
+
+
+# ------------------------------------------------------------- key wrap
+#: RFC 3394 initial value (integrity check register).
+KEY_WRAP_IV = bytes([0xA6] * 8)
+
+
+def key_wrap(kek: bytes, plaintext_key: bytes) -> bytes:
+    """Wrap a key under a key-encryption key (RFC 3394 §2.2.1).
+
+    ``plaintext_key`` must be a multiple of 8 bytes, at least 16.
+    Returns len + 8 bytes of wrapped material.
+    """
+    plaintext_key = bytes(plaintext_key)
+    if len(plaintext_key) < 16 or len(plaintext_key) % 8:
+        raise ValueError(
+            "key material must be a multiple of 8 bytes, >= 16"
+        )
+    aes = AES128(kek)
+    n = len(plaintext_key) // 8
+    a = KEY_WRAP_IV
+    r: List[bytes] = [
+        plaintext_key[8 * i:8 * (i + 1)] for i in range(n)
+    ]
+    for j in range(6):
+        for i in range(n):
+            block = aes.encrypt_block(a + r[i])
+            t = n * j + i + 1
+            a = _xor(block[:8], t.to_bytes(8, "big"))
+            r[i] = block[8:]
+    return a + b"".join(r)
+
+
+def key_unwrap(kek: bytes, wrapped: bytes) -> bytes:
+    """Unwrap and verify (RFC 3394 §2.2.2); raises
+    :class:`IntegrityError` on a bad KEK or tampered data."""
+    wrapped = bytes(wrapped)
+    if len(wrapped) < 24 or len(wrapped) % 8:
+        raise ValueError("wrapped material must be 8k bytes, >= 24")
+    aes = AES128(kek)
+    n = len(wrapped) // 8 - 1
+    a = wrapped[:8]
+    r: List[bytes] = [
+        wrapped[8 * (i + 1):8 * (i + 2)] for i in range(n)
+    ]
+    for j in range(5, -1, -1):
+        for i in range(n - 1, -1, -1):
+            t = n * j + i + 1
+            block = aes.decrypt_block(
+                _xor(a, t.to_bytes(8, "big")) + r[i]
+            )
+            a = block[:8]
+            r[i] = block[8:]
+    if not _hmac.compare_digest(a, KEY_WRAP_IV):
+        raise IntegrityError("key unwrap integrity check failed")
+    return b"".join(r)

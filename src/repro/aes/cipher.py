@@ -1,0 +1,179 @@
+"""Behavioral Rijndael cipher (paper §3, Fig. 2).
+
+Implements the full Rijndael family: block size Nb ∈ {4, 6, 8} words
+and key size Nk ∈ {4, 6, 8} words, with Nr = max(Nb, Nk) + 6 rounds.
+AES is the Nb = 4 subset; :class:`AES128` pins the paper's exact
+configuration (Nb = Nk = 4, Nr = 10).
+
+Decryption uses the paper's structure — the inverse functions in
+inverse order (Add Key, IMix Column, IShift Row, IByte Sub), *not* the
+"equivalent inverse cipher" reordering of FIPS-197 §5.3.5 — because
+that is what the IP's decrypt datapath implements.
+
+An optional ``trace`` callback observes every transform application;
+the Fig. 2 bench uses it to print the round schedule, and the power
+model uses it to count toggles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.aes.key_schedule import expand_key, round_keys_from_words
+from repro.aes.state import State
+from repro.aes.transforms import (
+    add_round_key,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    mix_columns,
+    shift_rows,
+    sub_bytes,
+)
+
+#: Trace callback signature: (round, function name, resulting state).
+TraceFn = Callable[[int, str, State], None]
+
+_LEGAL_SIZES = (16, 24, 32)
+
+
+def num_rounds(block_bytes: int, key_bytes: int) -> int:
+    """Rijndael round count: Nr = max(Nb, Nk) + 6."""
+    if block_bytes not in _LEGAL_SIZES:
+        raise ValueError(f"block must be 16/24/32 bytes, got {block_bytes}")
+    if key_bytes not in _LEGAL_SIZES:
+        raise ValueError(f"key must be 16/24/32 bytes, got {key_bytes}")
+    return max(block_bytes, key_bytes) // 4 + 6
+
+
+class Rijndael:
+    """A fixed (block size, key) Rijndael instance.
+
+    Expands the key once at construction; ``encrypt_block`` /
+    ``decrypt_block`` then run the round function over 4·Nb-byte
+    blocks.  This mirrors how the device is used: ``wr_key`` once, then
+    stream blocks.
+    """
+
+    def __init__(self, key: bytes, block_bytes: int = 16):
+        key = bytes(key)
+        if block_bytes not in _LEGAL_SIZES:
+            raise ValueError(
+                f"block must be 16/24/32 bytes, got {block_bytes}"
+            )
+        self._block_bytes = block_bytes
+        self._nb = block_bytes // 4
+        self._nr = num_rounds(block_bytes, len(key))
+        words = expand_key(key, self._nr, self._nb)
+        self._round_keys: List[bytes] = round_keys_from_words(
+            words, self._nb
+        )
+
+    @property
+    def block_bytes(self) -> int:
+        """Block length in bytes (16 for AES)."""
+        return self._block_bytes
+
+    @property
+    def rounds(self) -> int:
+        """Number of cipher rounds Nr."""
+        return self._nr
+
+    @property
+    def round_keys(self) -> List[bytes]:
+        """All Nr + 1 round keys (index 0 is the initial Add Key)."""
+        return list(self._round_keys)
+
+    def encrypt_block(
+        self, plaintext: bytes, trace: Optional[TraceFn] = None
+    ) -> bytes:
+        """Encrypt one block (paper Fig. 2 schedule)."""
+        state = self._as_state(plaintext)
+        state = add_round_key(state, self._round_keys[0])
+        _emit(trace, 0, "add_key", state)
+        for rnd in range(1, self._nr + 1):
+            state = sub_bytes(state)
+            _emit(trace, rnd, "byte_sub", state)
+            state = shift_rows(state)
+            _emit(trace, rnd, "shift_row", state)
+            if rnd != self._nr:  # the last round skips Mix Column
+                state = mix_columns(state)
+                _emit(trace, rnd, "mix_column", state)
+            state = add_round_key(state, self._round_keys[rnd])
+            _emit(trace, rnd, "add_key", state)
+        return state.to_bytes()
+
+    def decrypt_block(
+        self, ciphertext: bytes, trace: Optional[TraceFn] = None
+    ) -> bytes:
+        """Decrypt one block — inverse functions in inverse order.
+
+        The first decryption round skips IMix Column, mirroring the
+        encryption's final round (paper §3).
+        """
+        state = self._as_state(ciphertext)
+        for rnd in range(self._nr, 0, -1):
+            state = add_round_key(state, self._round_keys[rnd])
+            _emit(trace, rnd, "add_key", state)
+            if rnd != self._nr:  # the first decrypt round skips IMix Column
+                state = inv_mix_columns(state)
+                _emit(trace, rnd, "imix_column", state)
+            state = inv_shift_rows(state)
+            _emit(trace, rnd, "ishift_row", state)
+            state = inv_sub_bytes(state)
+            _emit(trace, rnd, "ibyte_sub", state)
+        state = add_round_key(state, self._round_keys[0])
+        _emit(trace, 0, "add_key", state)
+        return state.to_bytes()
+
+    def _as_state(self, block: bytes) -> State:
+        block = bytes(block)
+        if len(block) != self._block_bytes:
+            raise ValueError(
+                f"block must be {self._block_bytes} bytes, got {len(block)}"
+            )
+        return State(block, self._nb)
+
+
+class AES128(Rijndael):
+    """The paper's configuration: 128-bit block, 128-bit key, 10 rounds."""
+
+    def __init__(self, key: bytes):
+        key = bytes(key)
+        if len(key) != 16:
+            raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        super().__init__(key, block_bytes=16)
+
+
+def encrypt_block(key: bytes, plaintext: bytes) -> bytes:
+    """One-shot Rijndael encryption; sizes inferred from arguments."""
+    return Rijndael(key, block_bytes=len(plaintext)).encrypt_block(plaintext)
+
+
+def decrypt_block(key: bytes, ciphertext: bytes) -> bytes:
+    """One-shot Rijndael decryption; sizes inferred from arguments."""
+    return Rijndael(key, block_bytes=len(ciphertext)).decrypt_block(
+        ciphertext
+    )
+
+
+def _emit(trace: Optional[TraceFn], rnd: int, name: str, state: State) -> None:
+    if trace is not None:
+        trace(rnd, name, state.copy())
+
+
+def schedule_trace(key: bytes, plaintext: bytes) -> List[str]:
+    """The encryption function-call schedule as readable lines.
+
+    Regenerates the content of the paper's Fig. 2 (the encryption
+    diagram): the ordered list of transforms with their round numbers.
+    """
+    lines: List[str] = []
+
+    def _capture(rnd: int, name: str, _state: State) -> None:
+        lines.append(f"round {rnd:2d}: {name}")
+
+    Rijndael(key, block_bytes=len(plaintext)).encrypt_block(
+        plaintext, trace=_capture
+    )
+    return lines

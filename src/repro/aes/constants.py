@@ -1,0 +1,87 @@
+"""Rijndael constant tables, derived algebraically (paper Fig. 5).
+
+Nothing here is a hardcoded magic table: the S-box is computed from the
+patched GF(2^8) inverse followed by the FIPS-197 affine transform, the
+inverse S-box is computed by inverting that map, and the round-constant
+table Rcon is the sequence of powers of x in the field.  Unit tests
+cross-check the derived tables against the FIPS-197 published ones.
+
+The paper sizes its memories from this table: one S-box ROM is
+256 entries × 8 bits = 2048 bits and serves one byte lane; the 32-bit
+ByteSub unit uses 4 of them (8192 bits), and the key schedule's KStran
+uses 4 more.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.gf.galois import gf_inv, xtime
+
+#: Constant added in the S-box affine transform (FIPS-197 §5.1.1).
+AFFINE_CONSTANT = 0x63
+
+#: Bits of one S-box ROM: 256 entries x 8 bits (paper §3: "Each S-box
+#: uses 2048 of memory and allow 8 [bit] process").
+SBOX_ROM_BITS = 256 * 8
+
+
+def _affine(value: int) -> int:
+    """The FIPS-197 affine transform b'_i = b_i ^ b_{i+4} ^ b_{i+5} ^
+    b_{i+6} ^ b_{i+7} ^ c_i over bit indices mod 8."""
+    result = 0
+    for i in range(8):
+        bit = (
+            (value >> i)
+            ^ (value >> ((i + 4) % 8))
+            ^ (value >> ((i + 5) % 8))
+            ^ (value >> ((i + 6) % 8))
+            ^ (value >> ((i + 7) % 8))
+        ) & 1
+        result |= bit << i
+    return result ^ AFFINE_CONSTANT
+
+
+def _build_sbox() -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for x in range(256):
+        y = _affine(gf_inv(x))
+        sbox[x] = y
+        inv_sbox[y] = x
+    return tuple(sbox), tuple(inv_sbox)
+
+
+def _build_rcon(count: int = 29) -> Tuple[int, ...]:
+    """Round constants Rcon[i] = x^(i-1) in GF(2^8); Rcon[0] unused.
+
+    The widest Rijndael schedule (Nb = 8, Nk = 4: 120 words from 4)
+    consumes Rcon up to index 29.
+    """
+    rcon = [0] * (count + 1)
+    value = 1
+    for i in range(1, count + 1):
+        rcon[i] = value
+        value = xtime(value)
+    return tuple(rcon)
+
+
+#: Forward S-box, SBOX[x] = affine(inv(x)).
+SBOX: Tuple[int, ...]
+#: Inverse S-box, INV_SBOX[SBOX[x]] == x.
+INV_SBOX: Tuple[int, ...]
+SBOX, INV_SBOX = _build_sbox()
+
+#: Round constants; RCON[i] is the byte XORed by KStran in round i.
+RCON: Tuple[int, ...] = _build_rcon()
+
+
+def sbox_rows() -> Tuple[Tuple[int, ...], ...]:
+    """The S-box as the 16x16 grid printed in the paper's Fig. 5.
+
+    Row = high nibble of the input, column = low nibble.
+    """
+    return tuple(
+        tuple(SBOX[(high << 4) | low] for low in range(16))
+        for high in range(16)
+    )

@@ -1,0 +1,127 @@
+"""AES-GCM: authenticated encryption (NIST SP 800-38D).
+
+The modern way the paper's "backbone communication channels" actually
+deploy AES: counter-mode confidentiality plus a GHASH authentication
+tag.  Two properties make GCM a natural fit for the paper's device:
+
+- it only ever uses the **encrypt** direction (the cheapest variant);
+- GHASH is multiplication in GF(2^128) — the same carry-less algebra
+  as the cipher's GF(2^8), 16 bytes at a time, implemented here from
+  first principles like everything else in this library.
+
+Verified against the canonical NIST GCM test cases.  As with the rest
+of :mod:`repro.aes`, this is a reference implementation: table-free
+GHASH, no constant-time claims.
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+from typing import Tuple
+
+from repro.aes.cipher import AES128
+
+BLOCK = 16
+
+#: GHASH reduction polynomial x^128 + x^7 + x^2 + x + 1, reflected:
+#: the GCM spec treats bit 0 as the x^0 coefficient of the *leftmost*
+#: bit, so reduction works on the low end of the reversed integer.
+_R = 0xE1000000000000000000000000000000
+
+
+class AuthenticationError(ValueError):
+    """Raised when a GCM tag fails verification."""
+
+
+def gf128_mul(x: int, y: int) -> int:
+    """Multiply in GF(2^128) with GCM's bit order (SP 800-38D §6.3)."""
+    if not (0 <= x < (1 << 128) and 0 <= y < (1 << 128)):
+        raise ValueError("GF(2^128) elements are 128-bit")
+    z = 0
+    v = x
+    for bit in range(128):
+        if (y >> (127 - bit)) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def _ghash(h: int, data: bytes) -> int:
+    y = 0
+    for index in range(0, len(data), BLOCK):
+        chunk = data[index:index + BLOCK]
+        chunk = chunk + bytes(BLOCK - len(chunk))
+        y = gf128_mul(y ^ int.from_bytes(chunk, "big"), h)
+    return y
+
+
+def _inc32(block: bytes) -> bytes:
+    head, counter = block[:12], int.from_bytes(block[12:], "big")
+    return head + ((counter + 1) & 0xFFFFFFFF).to_bytes(4, "big")
+
+
+def _gctr(aes: AES128, icb: bytes, data: bytes) -> bytes:
+    out = bytearray()
+    counter = icb
+    for index in range(0, len(data), BLOCK):
+        chunk = data[index:index + BLOCK]
+        stream = aes.encrypt_block(counter)
+        out.extend(c ^ s for c, s in zip(chunk, stream))
+        counter = _inc32(counter)
+    return bytes(out)
+
+
+def _derive(aes: AES128, iv: bytes, h: int) -> bytes:
+    """J0, the pre-counter block (SP 800-38D §7.1)."""
+    if len(iv) == 12:
+        return iv + b"\x00\x00\x00\x01"
+    padded = iv + bytes((-len(iv)) % BLOCK)
+    padded += bytes(8) + (8 * len(iv)).to_bytes(8, "big")
+    return _ghash(h, padded).to_bytes(16, "big")
+
+
+def _lengths_block(aad: bytes, ciphertext: bytes) -> bytes:
+    return (8 * len(aad)).to_bytes(8, "big") + \
+        (8 * len(ciphertext)).to_bytes(8, "big")
+
+
+def _tag(aes: AES128, h: int, j0: bytes, aad: bytes,
+         ciphertext: bytes) -> bytes:
+    material = (
+        aad + bytes((-len(aad)) % BLOCK)
+        + ciphertext + bytes((-len(ciphertext)) % BLOCK)
+        + _lengths_block(aad, ciphertext)
+    )
+    s = _ghash(h, material)
+    return _gctr(aes, j0, s.to_bytes(16, "big"))
+
+
+def gcm_encrypt(key: bytes, iv: bytes, plaintext: bytes,
+                aad: bytes = b"") -> Tuple[bytes, bytes]:
+    """Encrypt and authenticate; returns (ciphertext, 16-byte tag)."""
+    if not iv:
+        raise ValueError("GCM requires a non-empty IV")
+    aes = AES128(key)
+    h = int.from_bytes(aes.encrypt_block(bytes(16)), "big")
+    j0 = _derive(aes, bytes(iv), h)
+    ciphertext = _gctr(aes, _inc32(j0), bytes(plaintext))
+    tag = _tag(aes, h, j0, bytes(aad), ciphertext)
+    return ciphertext, tag
+
+
+def gcm_decrypt(key: bytes, iv: bytes, ciphertext: bytes, tag: bytes,
+                aad: bytes = b"") -> bytes:
+    """Verify and decrypt; raises :class:`AuthenticationError` on a
+    bad tag (and releases no plaintext in that case)."""
+    if not iv:
+        raise ValueError("GCM requires a non-empty IV")
+    aes = AES128(key)
+    h = int.from_bytes(aes.encrypt_block(bytes(16)), "big")
+    j0 = _derive(aes, bytes(iv), h)
+    expected = _tag(aes, h, j0, bytes(aad), bytes(ciphertext))
+    if not _hmac.compare_digest(expected, bytes(tag)):
+        raise AuthenticationError("GCM tag verification failed")
+    return _gctr(aes, _inc32(j0), bytes(ciphertext))

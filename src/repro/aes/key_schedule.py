@@ -1,0 +1,167 @@
+"""Rijndael key schedule — expansion, KStran, and on-the-fly generators.
+
+The paper's area trick is to never store the expanded key: round keys
+are regenerated every block, one 32-bit word per clock, by the key
+unit.  This module provides three views of the same schedule:
+
+- :func:`expand_key` — the full FIPS-197 expansion (any Nk, any number
+  of rounds), used as the golden reference;
+- :func:`next_round_key` — the forward on-the-fly step (encryption):
+  from round key r, compute round key r+1 (what the hardware's key unit
+  does during the 4 ByteSub cycles of a round);
+- :func:`previous_round_key` — the reverse on-the-fly step
+  (decryption): from round key r, compute round key r-1.  Decryption
+  starts from the *last* round key, which the device computes once per
+  key load during its setup pass.
+
+All words are big-endian 32-bit ints: byte 0 of the key is the most
+significant byte of word 0 (FIPS-197 convention).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.aes.constants import RCON, SBOX
+
+#: Words per round key for AES (Nb = 4).
+WORDS_PER_ROUND_KEY = 4
+
+
+def rot_word(word: int) -> int:
+    """Rotate a 32-bit word left by one byte (paper Fig. 3, first step)."""
+    _check_word(word)
+    return ((word << 8) | (word >> 24)) & 0xFFFFFFFF
+
+
+def sub_word(word: int) -> int:
+    """Apply the S-box to each byte of a 32-bit word."""
+    _check_word(word)
+    return (
+        (SBOX[(word >> 24) & 0xFF] << 24)
+        | (SBOX[(word >> 16) & 0xFF] << 16)
+        | (SBOX[(word >> 8) & 0xFF] << 8)
+        | SBOX[word & 0xFF]
+    )
+
+
+def kstran(word: int, round_index: int) -> int:
+    """The paper's KStran sub-function (Fig. 3).
+
+    "It first shifts the word left.  Next, a Byte Sub function is
+    executed.  After that, a xor operation is made with a constant
+    determined by the round of operation."  The round constant lands in
+    the most significant byte.
+    """
+    if round_index < 1 or round_index >= len(RCON):
+        raise ValueError(f"round index out of range: {round_index}")
+    return sub_word(rot_word(word)) ^ (RCON[round_index] << 24)
+
+
+def expand_key(key: bytes, num_rounds: int, nb: int = 4) -> List[int]:
+    """Full Rijndael key expansion.
+
+    Returns ``nb * (num_rounds + 1)`` 32-bit words.  ``key`` may be 16,
+    24 or 32 bytes (Nk = 4, 6, 8).  Matches FIPS-197 §5.2 including the
+    extra SubWord for Nk = 8.
+    """
+    if len(key) not in (16, 24, 32):
+        raise ValueError(f"key must be 16/24/32 bytes, got {len(key)}")
+    nk = len(key) // 4
+    total = nb * (num_rounds + 1)
+    words = [
+        int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(nk)
+    ]
+    for i in range(nk, total):
+        temp = words[i - 1]
+        if i % nk == 0:
+            temp = sub_word(rot_word(temp)) ^ (RCON[i // nk] << 24)
+        elif nk > 6 and i % nk == 4:
+            temp = sub_word(temp)
+        words.append(words[i - nk] ^ temp)
+    return words
+
+
+def round_keys_from_words(
+    words: Sequence[int], nb: int = 4
+) -> List[bytes]:
+    """Group expanded-key words into per-round key byte strings.
+
+    Each round key is ``nb`` words packed big-endian, which is exactly
+    the column-major byte order :func:`repro.aes.transforms.add_round_key`
+    expects.
+    """
+    if len(words) % nb:
+        raise ValueError("word count must be a multiple of Nb")
+    keys = []
+    for start in range(0, len(words), nb):
+        chunk = words[start : start + nb]
+        keys.append(b"".join(w.to_bytes(4, "big") for w in chunk))
+    return keys
+
+
+def next_round_key(
+    current: Sequence[int], round_index: int
+) -> Tuple[int, int, int, int]:
+    """Forward on-the-fly step for AES-128 (Nk = Nb = 4).
+
+    Given round key r-1 as 4 words, produce round key r.  Word 0 needs
+    KStran of the previous word 3; words 1..3 are chained XORs.  The
+    hardware computes one output word per ByteSub clock cycle, in this
+    exact order.
+    """
+    w0, w1, w2, w3 = _check_round_key(current)
+    n0 = w0 ^ kstran(w3, round_index)
+    n1 = w1 ^ n0
+    n2 = w2 ^ n1
+    n3 = w3 ^ n2
+    return (n0, n1, n2, n3)
+
+
+def previous_round_key(
+    current: Sequence[int], round_index: int
+) -> Tuple[int, int, int, int]:
+    """Reverse on-the-fly step for AES-128.
+
+    Given round key r (produced by forward round ``round_index``),
+    recover round key r-1.  The XOR chain inverts trivially; word 0
+    then needs KStran of the *recovered* word 3, so hardware computes
+    words 3, 2, 1 first and word 0 last — still one word per cycle.
+    """
+    w0, w1, w2, w3 = _check_round_key(current)
+    p3 = w3 ^ w2
+    p2 = w2 ^ w1
+    p1 = w1 ^ w0
+    p0 = w0 ^ kstran(p3, round_index)
+    return (p0, p1, p2, p3)
+
+
+def last_round_key(key: bytes, num_rounds: int = 10) -> Tuple[int, ...]:
+    """The final round key — the decryption starting point.
+
+    This is what the device's *setup pass* computes after ``wr_key``:
+    it runs the forward schedule ``num_rounds`` times (4 clocks per
+    round in hardware) and latches the result.
+    """
+    if len(key) != 16:
+        raise ValueError("on-the-fly schedule is defined for 16-byte keys")
+    words = tuple(
+        int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(4)
+    )
+    for r in range(1, num_rounds + 1):
+        words = next_round_key(words, r)
+    return words
+
+
+def _check_round_key(words: Sequence[int]) -> Tuple[int, int, int, int]:
+    words = tuple(words)
+    if len(words) != WORDS_PER_ROUND_KEY:
+        raise ValueError("a round key is exactly 4 words")
+    for w in words:
+        _check_word(w)
+    return words
+
+
+def _check_word(word: int) -> None:
+    if not isinstance(word, int) or not 0 <= word <= 0xFFFFFFFF:
+        raise ValueError(f"word out of range: {word!r}")

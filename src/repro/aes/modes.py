@@ -1,0 +1,170 @@
+"""Block-cipher modes of operation over the AES-128 core.
+
+The paper's IP is a raw block engine; any real deployment (the
+"Internet Banking and other telecommunications operations" of §2) wraps
+it in a mode.  These implementations exist so the example applications
+exercise realistic traffic, and so the throughput benches can model a
+streaming channel.  CBC/CFB feedback chains serialize blocks — exactly
+the scenario where the paper's 50-cycle latency is the whole story —
+while ECB/CTR allow the device's I/O overlap to hide load time.
+
+Padding: PKCS#7 helpers are provided for the byte-stream modes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.aes.cipher import AES128
+
+BLOCK = 16
+
+
+def pkcs7_pad(data: bytes, block: int = BLOCK) -> bytes:
+    """PKCS#7 pad to a multiple of ``block`` (always adds 1..block bytes)."""
+    if not 1 <= block <= 255:
+        raise ValueError("block size must be 1..255")
+    pad = block - (len(data) % block)
+    return bytes(data) + bytes([pad]) * pad
+
+
+def pkcs7_unpad(data: bytes, block: int = BLOCK) -> bytes:
+    """Strip PKCS#7 padding, validating every pad byte."""
+    data = bytes(data)
+    if not data or len(data) % block:
+        raise ValueError("padded data length must be a positive multiple "
+                         "of the block size")
+    pad = data[-1]
+    if not 1 <= pad <= block or data[-pad:] != bytes([pad]) * pad:
+        raise ValueError("invalid PKCS#7 padding")
+    return data[:-pad]
+
+
+def _blocks(data: bytes) -> Iterator[bytes]:
+    for i in range(0, len(data), BLOCK):
+        yield data[i : i + BLOCK]
+
+
+def _require_aligned(data: bytes, what: str) -> bytes:
+    data = bytes(data)
+    if len(data) % BLOCK:
+        raise ValueError(f"{what} must be a multiple of {BLOCK} bytes")
+    return data
+
+
+def _require_iv(iv: bytes) -> bytes:
+    iv = bytes(iv)
+    if len(iv) != BLOCK:
+        raise ValueError(f"IV must be {BLOCK} bytes")
+    return iv
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def ecb_encrypt(key: bytes, plaintext: bytes) -> bytes:
+    """ECB — each block independently (parallel-friendly, leaks patterns)."""
+    plaintext = _require_aligned(plaintext, "plaintext")
+    aes = AES128(key)
+    return b"".join(aes.encrypt_block(b) for b in _blocks(plaintext))
+
+
+def ecb_decrypt(key: bytes, ciphertext: bytes) -> bytes:
+    """ECB decryption."""
+    ciphertext = _require_aligned(ciphertext, "ciphertext")
+    aes = AES128(key)
+    return b"".join(aes.decrypt_block(b) for b in _blocks(ciphertext))
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC — chained: C_i = E(P_i xor C_{i-1}), C_0 = IV."""
+    plaintext = _require_aligned(plaintext, "plaintext")
+    feedback = _require_iv(iv)
+    aes = AES128(key)
+    out = bytearray()
+    for block in _blocks(plaintext):
+        feedback = aes.encrypt_block(_xor(block, feedback))
+        out.extend(feedback)
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """CBC decryption: P_i = D(C_i) xor C_{i-1}."""
+    ciphertext = _require_aligned(ciphertext, "ciphertext")
+    feedback = _require_iv(iv)
+    aes = AES128(key)
+    out = bytearray()
+    for block in _blocks(ciphertext):
+        out.extend(_xor(aes.decrypt_block(block), feedback))
+        feedback = block
+    return bytes(out)
+
+
+def ctr_keystream(key: bytes, nonce: bytes, blocks: int) -> bytes:
+    """CTR keystream: E(nonce || counter) for counter = 0..blocks-1.
+
+    ``nonce`` is 8 bytes; the counter fills the low 8 bytes big-endian.
+    """
+    nonce = bytes(nonce)
+    if len(nonce) != 8:
+        raise ValueError("CTR nonce must be 8 bytes")
+    if blocks < 0:
+        raise ValueError("block count must be non-negative")
+    aes = AES128(key)
+    out = bytearray()
+    for counter in range(blocks):
+        out.extend(aes.encrypt_block(nonce + counter.to_bytes(8, "big")))
+    return bytes(out)
+
+
+def ctr_xcrypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """CTR encrypt/decrypt (symmetric): data xor keystream.
+
+    Works on any length — CTR is a stream mode, and notably only ever
+    uses the *encrypt* direction, which is why encrypt-only devices
+    (the paper's smallest variant) suffice for CTR links.
+    """
+    data = bytes(data)
+    blocks = (len(data) + BLOCK - 1) // BLOCK
+    stream = ctr_keystream(key, nonce, blocks)
+    return _xor(data, stream[: len(data)])
+
+
+def cfb_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """Full-block CFB: C_i = P_i xor E(C_{i-1}).  Encrypt-only core."""
+    plaintext = _require_aligned(plaintext, "plaintext")
+    feedback = _require_iv(iv)
+    aes = AES128(key)
+    out = bytearray()
+    for block in _blocks(plaintext):
+        feedback = _xor(block, aes.encrypt_block(feedback))
+        out.extend(feedback)
+    return bytes(out)
+
+
+def cfb_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """Full-block CFB decryption (still uses the encrypt direction)."""
+    ciphertext = _require_aligned(ciphertext, "ciphertext")
+    feedback = _require_iv(iv)
+    aes = AES128(key)
+    out = bytearray()
+    for block in _blocks(ciphertext):
+        out.extend(_xor(block, aes.encrypt_block(feedback)))
+        feedback = block
+    return bytes(out)
+
+
+def ofb_xcrypt(key: bytes, iv: bytes, data: bytes) -> bytes:
+    """OFB encrypt/decrypt (symmetric): feedback = E(feedback)."""
+    data = bytes(data)
+    feedback = _require_iv(iv)
+    aes = AES128(key)
+    out = bytearray()
+    offset = 0
+    while offset < len(data):
+        feedback = aes.encrypt_block(feedback)
+        chunk = data[offset : offset + BLOCK]
+        out.extend(_xor(chunk, feedback[: len(chunk)]))
+        offset += BLOCK
+    return bytes(out)

@@ -1,0 +1,147 @@
+"""Power-on self test (POST): known-answer checks for deployments.
+
+Certified crypto modules run a known-answer self-test before first
+use.  :func:`run_self_test` provides that for this library: it checks
+the derived constant tables, the behavioral cipher against the FIPS
+vectors, the mode implementations against SP 800-38A, and (optionally,
+it costs a few thousand simulated cycles) the cycle-accurate IP's
+bit-exactness and latency contract.
+
+Returns a :class:`SelfTestReport`; raises nothing — failures are
+reported, not thrown, so a caller can decide policy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One named check's outcome."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class SelfTestReport:
+    """Aggregate POST outcome."""
+
+    checks: List[CheckResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        lines = [
+            f"self test: {'PASS' if self.passed else 'FAIL'} "
+            f"({len(self.checks)} checks, {self.elapsed_s:.2f} s)"
+        ]
+        for check in self.checks:
+            mark = "ok " if check.passed else "FAIL"
+            suffix = f" — {check.detail}" if check.detail else ""
+            lines.append(f"  [{mark}] {check.name}{suffix}")
+        return "\n".join(lines)
+
+
+def _checks(include_hardware: bool) -> List[Tuple[str, Callable[[], str]]]:
+    def tables() -> str:
+        from repro.aes.constants import INV_SBOX, RCON, SBOX
+
+        assert SBOX[0x53] == 0xED and SBOX[0x00] == 0x63
+        assert all(INV_SBOX[SBOX[x]] == x for x in range(256))
+        assert RCON[10] == 0x36
+        return "S-box/Rcon derivation"
+
+    def block_cipher() -> str:
+        from repro.aes.cipher import decrypt_block, encrypt_block
+        from repro.aes.vectors import ALL_VECTORS
+
+        for vector in ALL_VECTORS:
+            assert encrypt_block(vector.key, vector.plaintext) == \
+                vector.ciphertext, vector.name
+            assert decrypt_block(vector.key, vector.ciphertext) == \
+                vector.plaintext, vector.name
+        return f"{len(ALL_VECTORS)} FIPS-197 vectors"
+
+    def modes() -> str:
+        from repro.aes import modes
+        from repro.aes.vectors import (
+            SP800_38A_CBC128_CIPHERTEXT,
+            SP800_38A_CBC128_IV,
+            SP800_38A_ECB128_CIPHERTEXT,
+            SP800_38A_ECB128_KEY,
+            SP800_38A_ECB128_PLAINTEXT,
+        )
+
+        assert modes.ecb_encrypt(
+            SP800_38A_ECB128_KEY, SP800_38A_ECB128_PLAINTEXT
+        ) == SP800_38A_ECB128_CIPHERTEXT
+        assert modes.cbc_encrypt(
+            SP800_38A_ECB128_KEY, SP800_38A_CBC128_IV,
+            SP800_38A_ECB128_PLAINTEXT,
+        ) == SP800_38A_CBC128_CIPHERTEXT
+        return "SP 800-38A ECB/CBC vectors"
+
+    def schedule() -> str:
+        from repro.aes.key_schedule import (
+            expand_key, next_round_key, previous_round_key,
+        )
+        from repro.aes.vectors import FIPS197_APPENDIX_B
+
+        words = expand_key(FIPS197_APPENDIX_B.key, 10)
+        key = tuple(words[0:4])
+        for rnd in range(1, 11):
+            key = next_round_key(key, rnd)
+        assert list(key) == words[40:44]
+        for rnd in range(10, 0, -1):
+            key = previous_round_key(key, rnd)
+        assert list(key) == words[0:4]
+        return "on-the-fly schedule round trip"
+
+    checks: List[Tuple[str, Callable[[], str]]] = [
+        ("constant tables", tables),
+        ("block cipher", block_cipher),
+        ("modes of operation", modes),
+        ("key schedule", schedule),
+    ]
+
+    if include_hardware:
+        def hardware() -> str:
+            from repro.ip.control import Variant, block_latency
+            from repro.ip.testbench import Testbench
+            from repro.aes.vectors import FIPS197_APPENDIX_C1 as v
+
+            bench = Testbench(Variant.BOTH)
+            bench.load_key(v.key)
+            ct, enc_latency = bench.encrypt(v.plaintext)
+            pt, dec_latency = bench.decrypt(ct)
+            assert ct == v.ciphertext and pt == v.plaintext
+            assert enc_latency == dec_latency == block_latency()
+            return f"cycle-accurate IP, {enc_latency}-cycle latency"
+
+        checks.append(("hardware model", hardware))
+    return checks
+
+
+def run_self_test(include_hardware: bool = True) -> SelfTestReport:
+    """Run the POST; never raises."""
+    report = SelfTestReport()
+    start = time.perf_counter()
+    for name, check in _checks(include_hardware):
+        try:
+            detail = check()
+        except Exception as exc:  # POST reports, never throws
+            report.checks.append(
+                CheckResult(name, False, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            report.checks.append(CheckResult(name, True, detail))
+    report.elapsed_s = time.perf_counter() - start
+    return report

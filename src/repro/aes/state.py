@@ -1,0 +1,160 @@
+"""The Rijndael State — the paper's ``state_t`` variable (Fig. 1).
+
+Rijndael arranges the data block as a matrix of 4 rows by Nb columns of
+bytes, filled column-major from the input byte stream: input byte n
+lands at row n mod 4, column n div 4.  AES fixes Nb = 4 (a 4x4 matrix,
+the paper's Fig. 1); Rijndael also allows Nb = 6 and Nb = 8.
+
+:class:`State` is deliberately a thin, explicit wrapper: the behavioral
+cipher manipulates it through the transform functions in
+:mod:`repro.aes.transforms`, and the hardware model uses the same
+byte-ordering conventions when packing 128-bit bus words.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+#: Rijndael always has 4 rows.
+NUM_ROWS = 4
+
+#: Legal column counts (Nb): AES uses 4; Rijndael also defines 6 and 8.
+LEGAL_NB = (4, 6, 8)
+
+
+class State:
+    """A 4 x Nb byte matrix with column-major byte I/O.
+
+    The internal representation is a flat list in *input byte order*
+    (column-major), which makes bus packing trivial; row/column
+    accessors provide the matrix view the transforms need.
+    """
+
+    __slots__ = ("_bytes", "_nb")
+
+    def __init__(self, data: bytes, nb: int = 4):
+        if nb not in LEGAL_NB:
+            raise ValueError(f"Nb must be one of {LEGAL_NB}, got {nb}")
+        data = bytes(data)
+        if len(data) != NUM_ROWS * nb:
+            raise ValueError(
+                f"state for Nb={nb} needs {NUM_ROWS * nb} bytes, "
+                f"got {len(data)}"
+            )
+        self._bytes = bytearray(data)
+        self._nb = nb
+
+    @classmethod
+    def zero(cls, nb: int = 4) -> "State":
+        """An all-zero state."""
+        return cls(bytes(NUM_ROWS * nb), nb)
+
+    @property
+    def nb(self) -> int:
+        """Number of columns (words) in the block."""
+        return self._nb
+
+    def to_bytes(self) -> bytes:
+        """The block back in input byte order (column-major)."""
+        return bytes(self._bytes)
+
+    def get(self, row: int, col: int) -> int:
+        """Byte at (row, col) of the matrix view."""
+        self._check_rc(row, col)
+        return self._bytes[col * NUM_ROWS + row]
+
+    def set(self, row: int, col: int, value: int) -> None:
+        """Assign byte at (row, col)."""
+        self._check_rc(row, col)
+        if not 0 <= value <= 0xFF:
+            raise ValueError(f"byte out of range: {value!r}")
+        self._bytes[col * NUM_ROWS + row] = value
+
+    def row(self, row: int) -> Tuple[int, ...]:
+        """One row of the matrix, left to right across columns."""
+        if not 0 <= row < NUM_ROWS:
+            raise ValueError(f"row out of range: {row}")
+        return tuple(
+            self._bytes[col * NUM_ROWS + row] for col in range(self._nb)
+        )
+
+    def set_row(self, row: int, values: Iterable[int]) -> None:
+        """Replace one row of the matrix."""
+        values = tuple(values)
+        if len(values) != self._nb:
+            raise ValueError(
+                f"row for Nb={self._nb} needs {self._nb} bytes"
+            )
+        for col, value in enumerate(values):
+            self.set(row, col, value)
+
+    def column(self, col: int) -> Tuple[int, int, int, int]:
+        """One column (a 4-byte word, top to bottom)."""
+        if not 0 <= col < self._nb:
+            raise ValueError(f"column out of range: {col}")
+        base = col * NUM_ROWS
+        return tuple(self._bytes[base : base + NUM_ROWS])
+
+    def set_column(self, col: int, values: Iterable[int]) -> None:
+        """Replace one column with a 4-byte word."""
+        values = tuple(values)
+        if len(values) != NUM_ROWS:
+            raise ValueError("a column is exactly 4 bytes")
+        base = col * NUM_ROWS
+        for offset, value in enumerate(values):
+            if not 0 <= value <= 0xFF:
+                raise ValueError(f"byte out of range: {value!r}")
+            self._bytes[base + offset] = value
+
+    def columns(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Iterate columns left to right."""
+        for col in range(self._nb):
+            yield self.column(col)
+
+    def copy(self) -> "State":
+        """An independent copy."""
+        return State(bytes(self._bytes), self._nb)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, State):
+            return NotImplemented
+        return self._nb == other._nb and self._bytes == other._bytes
+
+    def __hash__(self) -> int:
+        return hash((self._nb, bytes(self._bytes)))
+
+    def __repr__(self) -> str:
+        return f"State({self.to_bytes().hex()}, nb={self._nb})"
+
+    def render(self) -> str:
+        """ASCII rendering of the matrix (used by the Fig. 1 bench)."""
+        lines = []
+        for row in range(NUM_ROWS):
+            cells = " ".join(f"{b:02x}" for b in self.row(row))
+            lines.append(f"| {cells} |")
+        return "\n".join(lines)
+
+    def _check_rc(self, row: int, col: int) -> None:
+        if not 0 <= row < NUM_ROWS:
+            raise ValueError(f"row out of range: {row}")
+        if not 0 <= col < self._nb:
+            raise ValueError(f"column out of range: {col}")
+
+
+def words_to_bytes(words: Iterable[int]) -> bytes:
+    """Pack big-endian 32-bit words into bytes (key-schedule convention)."""
+    out = bytearray()
+    for word in words:
+        if not 0 <= word <= 0xFFFFFFFF:
+            raise ValueError(f"word out of range: {word!r}")
+        out.extend(word.to_bytes(4, "big"))
+    return bytes(out)
+
+
+def bytes_to_words(data: bytes) -> List[int]:
+    """Unpack bytes into big-endian 32-bit words."""
+    if len(data) % 4:
+        raise ValueError("byte length must be a multiple of 4")
+    return [
+        int.from_bytes(data[i : i + 4], "big") for i in range(0, len(data), 4)
+    ]

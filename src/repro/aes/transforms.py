@@ -1,0 +1,106 @@
+"""The four Rijndael round transforms and their inverses (paper §3).
+
+Encryption round order (paper Fig. 2): Byte Sub, Shift Row, Mix Column,
+Add Key.  Decryption runs the inverse functions in inverse order:
+Add Key, IMix Column, IShift Row, IByte Sub.  Add Key is its own
+inverse.
+
+All functions return a *new* :class:`~repro.aes.state.State`; the
+behavioral model never mutates in place, which keeps the golden model
+trivially correct at the cost of speed (irrelevant here — the paper's
+performance story is about the hardware, which :mod:`repro.ip` models).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.aes.constants import INV_SBOX, SBOX
+from repro.aes.state import NUM_ROWS, State
+from repro.gf.polyring import INV_MIX_POLY, MIX_POLY, ring_mul
+
+
+def shift_offsets(nb: int) -> Tuple[int, int, int, int]:
+    """Per-row left-rotation amounts C0..C3 for a given block size.
+
+    Row 0 never shifts.  Rijndael specifies (1, 2, 3) for Nb in {4, 6}
+    and (1, 3, 4) for Nb = 8.  For AES (Nb = 4) this is the paper's
+    Fig. 6: "once in the second row, twice in the third and so on".
+    """
+    if nb in (4, 6):
+        return (0, 1, 2, 3)
+    if nb == 8:
+        return (0, 1, 3, 4)
+    raise ValueError(f"unsupported Nb: {nb}")
+
+
+def sub_bytes(state: State) -> State:
+    """Byte Sub — S-box lookup on every byte (paper Fig. 4)."""
+    return _map_bytes(state, SBOX)
+
+
+def inv_sub_bytes(state: State) -> State:
+    """IByte Sub — inverse S-box lookup on every byte."""
+    return _map_bytes(state, INV_SBOX)
+
+
+def _map_bytes(state: State, table: Sequence[int]) -> State:
+    data = bytes(table[b] for b in state.to_bytes())
+    return State(data, state.nb)
+
+
+def shift_rows(state: State) -> State:
+    """Shift Row — rotate row r left by its offset (paper Fig. 6)."""
+    return _rotate_rows(state, sign=+1)
+
+
+def inv_shift_rows(state: State) -> State:
+    """IShift Row — rotate row r right by its offset."""
+    return _rotate_rows(state, sign=-1)
+
+
+def _rotate_rows(state: State, sign: int) -> State:
+    offsets = shift_offsets(state.nb)
+    out = state.copy()
+    for row in range(NUM_ROWS):
+        shift = (sign * offsets[row]) % state.nb
+        values = state.row(row)
+        out.set_row(row, values[shift:] + values[:shift])
+    return out
+
+
+def mix_columns(state: State) -> State:
+    """Mix Column — multiply each column by c(x) in GF(2^8)[x]/(x^4+1).
+
+    This is the paper's Fig. 7: the column is read as a degree-3
+    polynomial (row 0 is the x^0 coefficient) and multiplied by
+    03·x^3 + 01·x^2 + 01·x + 02.
+    """
+    return _mix(state, MIX_POLY.coeffs)
+
+
+def inv_mix_columns(state: State) -> State:
+    """IMix Column — multiply each column by d(x) = c(x)^-1."""
+    return _mix(state, INV_MIX_POLY.coeffs)
+
+
+def _mix(state: State, poly: Sequence[int]) -> State:
+    out = state.copy()
+    for col in range(state.nb):
+        out.set_column(col, ring_mul(state.column(col), poly))
+    return out
+
+
+def add_round_key(state: State, round_key: bytes) -> State:
+    """Add Key — XOR the state with the round key, byte for byte.
+
+    ``round_key`` is Nb 32-bit words in input byte order (the same
+    column-major order the state uses), i.e. 4·Nb bytes.  Add Key is an
+    involution: applying it twice with the same key is the identity.
+    """
+    if len(round_key) != NUM_ROWS * state.nb:
+        raise ValueError(
+            f"round key for Nb={state.nb} needs {NUM_ROWS * state.nb} bytes"
+        )
+    data = bytes(s ^ k for s, k in zip(state.to_bytes(), round_key))
+    return State(data, state.nb)

@@ -1,0 +1,117 @@
+"""Published known-answer vectors the golden model must reproduce.
+
+Sources:
+
+- FIPS-197 Appendix B (the worked AES-128 example) and Appendix C
+  (example vectors for all three AES key sizes).
+- The Rijndael submission's ``ecb_tbl`` style vectors are covered by
+  the FIPS ones for Nb = 4.
+
+These are *inputs to tests*, not implementation tables: the library
+derives all of its constants algebraically, and these vectors pin the
+end-to-end behaviour to the standard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class KnownAnswer:
+    """One known-answer triple with provenance."""
+
+    name: str
+    key: bytes
+    plaintext: bytes
+    ciphertext: bytes
+    source: str
+
+
+FIPS197_APPENDIX_B = KnownAnswer(
+    name="fips197-appendix-b",
+    key=bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"),
+    plaintext=bytes.fromhex("3243f6a8885a308d313198a2e0370734"),
+    ciphertext=bytes.fromhex("3925841d02dc09fbdc118597196a0b32"),
+    source="FIPS-197 Appendix B",
+)
+
+FIPS197_APPENDIX_C1 = KnownAnswer(
+    name="fips197-appendix-c1-aes128",
+    key=bytes.fromhex("000102030405060708090a0b0c0d0e0f"),
+    plaintext=bytes.fromhex("00112233445566778899aabbccddeeff"),
+    ciphertext=bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a"),
+    source="FIPS-197 Appendix C.1",
+)
+
+FIPS197_APPENDIX_C2 = KnownAnswer(
+    name="fips197-appendix-c2-aes192",
+    key=bytes.fromhex(
+        "000102030405060708090a0b0c0d0e0f1011121314151617"
+    ),
+    plaintext=bytes.fromhex("00112233445566778899aabbccddeeff"),
+    ciphertext=bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191"),
+    source="FIPS-197 Appendix C.2",
+)
+
+FIPS197_APPENDIX_C3 = KnownAnswer(
+    name="fips197-appendix-c3-aes256",
+    key=bytes.fromhex(
+        "000102030405060708090a0b0c0d0e0f"
+        "101112131415161718191a1b1c1d1e1f"
+    ),
+    plaintext=bytes.fromhex("00112233445566778899aabbccddeeff"),
+    ciphertext=bytes.fromhex("8ea2b7ca516745bfeafc49904b496089"),
+    source="FIPS-197 Appendix C.3",
+)
+
+#: All block-cipher known answers.
+ALL_VECTORS: Tuple[KnownAnswer, ...] = (
+    FIPS197_APPENDIX_B,
+    FIPS197_APPENDIX_C1,
+    FIPS197_APPENDIX_C2,
+    FIPS197_APPENDIX_C3,
+)
+
+#: First expanded-key words for the Appendix A key (w4..w7 of the
+#: FIPS-197 Appendix A key-expansion walkthrough, key = Appendix B key).
+FIPS197_APPENDIX_A_W4_W7 = (0xA0FAFE17, 0x88542CB1, 0x23A33939, 0x2A6C7605)
+
+#: NIST SP 800-38A F.1.1 (ECB-AES128) multi-block vector.
+SP800_38A_ECB128_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+SP800_38A_ECB128_PLAINTEXT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+SP800_38A_ECB128_CIPHERTEXT = bytes.fromhex(
+    "3ad77bb40d7a3660a89ecaf32466ef97"
+    "f5d3d58503b9699de785895a96fdbaaf"
+    "43b1cd7f598ece23881b00e3ed030688"
+    "7b0c785e27e8ad3f8223207104725dd4"
+)
+
+#: NIST SP 800-38A F.2.1 (CBC-AES128).
+SP800_38A_CBC128_IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+SP800_38A_CBC128_CIPHERTEXT = bytes.fromhex(
+    "7649abac8119b246cee98e9b12e9197d"
+    "5086cb9b507219ee95db113a917678b2"
+    "73bed6b8e3c1743b7116e69e22229516"
+    "3ff1caa1681fac09120eca307586e1a7"
+)
+
+#: NIST SP 800-38A F.5.1 (CTR-AES128); init counter block
+#: f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff.  Our CTR uses nonce||counter with
+#: an 8-byte counter, so this vector is exercised via the raw keystream
+#: helper in tests rather than ctr_xcrypt.
+SP800_38A_CTR128_COUNTER0 = bytes.fromhex(
+    "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff"
+)
+SP800_38A_CTR128_CIPHERTEXT = bytes.fromhex(
+    "874d6191b620e3261bef6864990db6ce"
+    "9806f66b7970fdff8617187bb9fffdff"
+    "5ae4df3edbd5d35e5b4f09020db03eab"
+    "1e031dda2fbe03d1792170a0f3009cee"
+)

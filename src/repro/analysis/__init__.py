@@ -1,0 +1,30 @@
+"""Analysis layer: the paper's tables and figures, plus the two
+extensions the paper names — power analysis (its stated future work)
+and single-event-upset testing (its reference [16]).
+
+- :mod:`repro.analysis.metrics` — latency/throughput/efficiency math
+  shared by tables and benches.
+- :mod:`repro.analysis.tables` — generators for Tables 1, 2 and 3.
+- :mod:`repro.analysis.figures` — data/ASCII reproductions of
+  Figures 1–9.
+- :mod:`repro.analysis.power` — toggle-count dynamic power model over
+  RTL traces.
+- :mod:`repro.analysis.seu` — register bit-flip fault injection
+  campaigns against the cycle-accurate core.
+"""
+
+from repro.analysis.metrics import (
+    efficiency_mbps_per_kle,
+    latency_ns,
+    throughput_mbps,
+)
+from repro.analysis.tables import table1_text, table2_text, table3_text
+
+__all__ = [
+    "efficiency_mbps_per_kle",
+    "latency_ns",
+    "table1_text",
+    "table2_text",
+    "table3_text",
+    "throughput_mbps",
+]

@@ -1,0 +1,164 @@
+"""Reproductions of the paper's Figures 1–9.
+
+The paper's figures are structural diagrams and one table-as-figure
+(the S-box).  Each function regenerates the figure's *content* from
+the living model as text/data, so the benches can both display it and
+assert the structure it depicts:
+
+====  ===================================  ============================
+Fig.  Paper content                        Reproduced as
+====  ===================================  ============================
+1     state_t 4x4 byte matrix              matrix rendering + byte map
+2     encryption schedule diagram          transform trace of a block
+3     KStran (rotate, ByteSub, Rcon)       step-by-step word trace
+4     Byte Sub lookup                      before/after state + lookups
+5     the S-box table                      16x16 derived table
+6     (I)Shift Row offsets                 row-rotation picture
+7     Mix Column polynomial multiply       c(x)/d(x) + a worked column
+8     encrypt+decrypt architecture         block/port inventory
+9     top level with Data_In/Out           process + signal inventory
+====  ===================================  ============================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.aes.cipher import schedule_trace
+from repro.aes.constants import RCON, SBOX, sbox_rows
+from repro.aes.key_schedule import kstran, rot_word, sub_word
+from repro.aes.state import State
+from repro.aes.transforms import shift_offsets, shift_rows, sub_bytes
+from repro.gf.polyring import INV_MIX_POLY, MIX_POLY, ring_mul
+from repro.ip.control import Variant
+from repro.ip.interface import interface_inventory, signal_table
+
+
+def fig1_state() -> str:
+    """Fig. 1: the state_t matrix with its column-major byte numbering."""
+    state = State(bytes(range(16)))
+    lines = ["state_t: 4 rows x 4 columns, one byte per cell;",
+             "input byte n sits at row n mod 4, column n div 4:",
+             state.render()]
+    return "\n".join(lines)
+
+
+def fig2_schedule(key: bytes = bytes(16),
+                  block: bytes = bytes(16)) -> str:
+    """Fig. 2: the encryption round schedule as an ordered trace."""
+    lines = ["Encryption schedule (AES-128, 10 rounds):"]
+    lines.extend(schedule_trace(key, block))
+    return "\n".join(lines)
+
+
+def fig3_kstran(word: int = 0x09CF4F3C, round_index: int = 1) -> str:
+    """Fig. 3: KStran step by step on a real word."""
+    rotated = rot_word(word)
+    substituted = sub_word(rotated)
+    result = kstran(word, round_index)
+    rcon_word = RCON[round_index] << 24
+    return "\n".join(
+        [
+            f"KStran(round {round_index}) on {word:08x}:",
+            f"  1. shift word left : {rotated:08x}",
+            f"  2. Byte Sub        : {substituted:08x}",
+            f"  3. xor Rcon[{round_index}] ({rcon_word:08x}) "
+            f": {result:08x}",
+        ]
+    )
+
+
+def fig4_byte_sub() -> str:
+    """Fig. 4: Byte Sub as a table lookup, shown on one state."""
+    state = State(bytes(range(0, 160, 10)))
+    out = sub_bytes(state)
+    lines = ["Byte Sub: each byte addresses the S-box ROM;",
+             "input state:", state.render(),
+             "output state:", out.render(),
+             "e.g. " + ", ".join(
+                 f"S[{b:02x}]={SBOX[b]:02x}"
+                 for b in state.to_bytes()[:4])]
+    return "\n".join(lines)
+
+
+def fig5_sbox() -> str:
+    """Fig. 5: the 16x16 S-box table (2048 bits per ROM)."""
+    lines = ["S-box (row = high nibble, column = low nibble):",
+             "    " + " ".join(f"x{c:x}" for c in range(16))]
+    for high, row in enumerate(sbox_rows()):
+        lines.append(
+            f"{high:x}x  " + " ".join(f"{v:02x}" for v in row)
+        )
+    lines.append("one S-box ROM: 256 entries x 8 bits = 2048 bits")
+    return "\n".join(lines)
+
+
+def fig6_shift_row() -> str:
+    """Fig. 6: Shift Row left-rotations per row."""
+    state = State(bytes(range(16)))
+    out = shift_rows(state)
+    offsets = shift_offsets(4)
+    lines = ["Shift Row: row r rotates left by its offset "
+             f"{offsets} (AES, Nb=4):",
+             "input state:", state.render(),
+             "output state:", out.render()]
+    return "\n".join(lines)
+
+
+def fig7_mix_column(column=(0xDB, 0x13, 0x53, 0x45)) -> str:
+    """Fig. 7: Mix Column as multiplication by c(x), worked example.
+
+    The default column is the FIPS-197 worked example whose product
+    is (8e, 4d, a1, bc).
+    """
+    mixed = ring_mul(column, MIX_POLY.coeffs)
+    restored = ring_mul(mixed, INV_MIX_POLY.coeffs)
+    return "\n".join(
+        [
+            "Mix Column: column a(x) x c(x) mod x^4+1,",
+            f"  c(x) = {MIX_POLY!r}",
+            f"  d(x) = c(x)^-1 = {INV_MIX_POLY!r}",
+            f"  a = {tuple(hex(v) for v in column)}",
+            f"  c(x).a = {tuple(hex(v) for v in mixed)}",
+            f"  d(x).(c(x).a) = {tuple(hex(v) for v in restored)}",
+        ]
+    )
+
+
+def fig8_architecture() -> str:
+    """Fig. 8: the encrypt+decrypt core's internal block inventory."""
+    lines = [
+        "Encrypt/decrypt core (BOTH variant):",
+        "  state        : 4 x 32-bit word registers + source muxes",
+        "  sbox_f       : 4 x 256x8 forward S-box ROMs (8192 bits)",
+        "  sbox_i       : 4 x 256x8 inverse S-box ROMs (8192 bits)",
+        "  key unit     : key0/key_last latches, work + build "
+        "registers, KStran bank(s)",
+        "  mix stage    : 128-bit ShiftRow o MixColumn o AddKey "
+        "(+ inverse correction path)",
+        "  control      : round(4b) + step(3b) + top(2b) FSM, "
+        "5 cycles/round",
+        "  enc/dec pin  : direction sampled at block start",
+    ]
+    return "\n".join(lines)
+
+
+def fig9_top_level(variant: Variant = Variant.BOTH) -> str:
+    """Fig. 9: the top level with Data_In / Out processes and pins."""
+    lines: List[str] = list(interface_inventory(variant))
+    lines.append("")
+    lines.append(signal_table(variant))
+    return "\n".join(lines)
+
+
+ALL_FIGURES = {
+    "fig1": fig1_state,
+    "fig2": fig2_schedule,
+    "fig3": fig3_kstran,
+    "fig4": fig4_byte_sub,
+    "fig5": fig5_sbox,
+    "fig6": fig6_shift_row,
+    "fig7": fig7_mix_column,
+    "fig8": fig8_architecture,
+    "fig9": fig9_top_level,
+}

@@ -1,0 +1,52 @@
+"""Performance metric arithmetic (paper §5's evaluation parameters).
+
+The paper evaluates on six parameters: logic cells, memory, pins,
+latency, clock frequency and throughput, with throughput "defined as
+the block size (128) divided by latency".  These helpers keep that
+arithmetic in one place for the tables, benches and tests.
+"""
+
+from __future__ import annotations
+
+#: AES block size in bits.
+BLOCK_BITS = 128
+
+
+def latency_ns(cycles: int, clock_ns: float) -> float:
+    """Processing latency: cycle count times clock period."""
+    if cycles < 0 or clock_ns <= 0:
+        raise ValueError("cycles must be >= 0 and clock positive")
+    return cycles * clock_ns
+
+
+def throughput_mbps(latency_ns_value: float,
+                    block_bits: int = BLOCK_BITS) -> float:
+    """The paper's throughput: block size / latency, in Mbit/s."""
+    if latency_ns_value <= 0:
+        raise ValueError("latency must be positive")
+    return block_bits * 1000.0 / latency_ns_value
+
+
+def clock_mhz(clock_ns: float) -> float:
+    """Clock frequency from period."""
+    if clock_ns <= 0:
+        raise ValueError("clock period must be positive")
+    return 1000.0 / clock_ns
+
+
+def efficiency_mbps_per_kle(throughput: float, logic_elements: int) -> float:
+    """Area efficiency: throughput per thousand logic cells."""
+    if logic_elements <= 0:
+        raise ValueError("logic elements must be positive")
+    return throughput / (logic_elements / 1000.0)
+
+
+def combined_slowdown(single_mbps: float, combined_mbps: float) -> float:
+    """Fractional throughput drop of the combined device (paper §5).
+
+    The paper: "the performance drops around 22 % when the encrypt and
+    decrypt run at the same device" — i.e. (enc - both) / enc.
+    """
+    if single_mbps <= 0:
+        raise ValueError("single-device throughput must be positive")
+    return (single_mbps - combined_mbps) / single_mbps

@@ -1,0 +1,176 @@
+"""Toggle-count dynamic power model — the paper's stated future work.
+
+The paper closes with: "As future work, we propose a power analysis of
+the architecture.  As one of the possible applications area [is]
+mobile systems, this feature is very interesting."  This module is
+that analysis, at the fidelity a pre-layout flow offers: CMOS dynamic
+power is P = α·C·V²·f, and at the RTL the activity term α·C is
+proportional to (a) register bit toggles, (b) embedded-memory reads
+and (c) the clock tree load.  We integrate all three over real
+workloads running on the cycle-accurate core.
+
+Energy coefficients are order-of-magnitude figures for the two
+process generations (2.5 V Acex1K vs 1.5 V Cyclone cores — a 0.36x
+voltage-squared scaling), documented per constant.  Absolute mW values
+are therefore indicative; *relative* results (decrypt vs encrypt,
+Cyclone vs Acex, idle vs streaming) are structural and tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.ip.control import Variant
+from repro.ip.core import DIR_DECRYPT, DIR_ENCRYPT
+from repro.ip.testbench import Testbench
+from repro.rtl.trace import Trace
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy coefficients for one family, in picojoules."""
+
+    family: str
+    core_volts: float
+    #: Energy per register-bit toggle (flip-flop + fanout wire).
+    pj_per_ff_toggle: float
+    #: Energy per embedded-memory (or LUT-ROM) read of one S-box.
+    pj_per_rom_read: float
+    #: Clock-tree energy per flip-flop per cycle.
+    pj_per_ff_clock: float
+
+
+#: Acex1K: 2.5 V core, 0.22 um.
+ACEX_ENERGY = EnergyModel(
+    family="Acex1K",
+    core_volts=2.5,
+    pj_per_ff_toggle=0.50,
+    pj_per_rom_read=15.0,
+    pj_per_ff_clock=0.08,
+)
+
+#: Cyclone: 1.5 V core, 0.13 um — coefficients scale with V^2 (0.36x)
+#: and a smaller-geometry capacitance credit.
+CYCLONE_ENERGY = EnergyModel(
+    family="Cyclone",
+    core_volts=1.5,
+    pj_per_ff_toggle=0.50 * 0.36 * 0.8,
+    pj_per_rom_read=15.0 * 0.36 * 0.8,
+    pj_per_ff_clock=0.08 * 0.36 * 0.8,
+)
+
+ENERGY_MODELS: Dict[str, EnergyModel] = {
+    "Acex1K": ACEX_ENERGY,
+    "Cyclone": CYCLONE_ENERGY,
+}
+
+#: S-box reads per processed block: 4 data words x 10 rounds + 10
+#: KStran reads (one per round key).
+ROM_READS_PER_BLOCK = 4 * 10 + 10
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Measured activity + modeled power for one workload run."""
+
+    family: str
+    variant: str
+    direction: str
+    blocks: int
+    cycles: int
+    clock_ns: float
+    register_toggles: int
+    rom_reads: int
+    flipflops: int
+    energy_pj: float
+    breakdown_pj: Dict[str, float]
+
+    @property
+    def dynamic_mw(self) -> float:
+        """Average dynamic power over the run."""
+        run_ns = self.cycles * self.clock_ns
+        if run_ns == 0:
+            return 0.0
+        return self.energy_pj / run_ns  # pJ/ns == mW
+
+    @property
+    def energy_per_block_nj(self) -> float:
+        """Energy per processed block (the mobile-systems figure)."""
+        if self.blocks == 0:
+            return 0.0
+        return self.energy_pj / self.blocks / 1000.0
+
+    def render(self) -> str:
+        lines = [
+            f"power [{self.family}] {self.variant}/{self.direction}: "
+            f"{self.blocks} blocks in {self.cycles} cycles "
+            f"@ {self.clock_ns:.0f} ns",
+            f"  register toggles : {self.register_toggles}",
+            f"  S-box reads      : {self.rom_reads}",
+            f"  dynamic power    : {self.dynamic_mw:.2f} mW",
+            f"  energy per block : {self.energy_per_block_nj:.2f} nJ",
+        ]
+        for source, pj in self.breakdown_pj.items():
+            lines.append(f"    {source:<14}: {pj:.0f} pJ")
+        return "\n".join(lines)
+
+
+def measure_power(
+    blocks: Sequence[bytes],
+    key: bytes,
+    variant: Variant = Variant.ENCRYPT,
+    direction: str = "encrypt",
+    family: str = "Acex1K",
+    clock_ns: Optional[float] = None,
+) -> PowerReport:
+    """Run a workload on the cycle-accurate core and model its power.
+
+    ``clock_ns`` defaults to the paper's Table 2 clock for the
+    (variant, family) pair via the synthesis flow.
+    """
+    if direction not in ("encrypt", "decrypt"):
+        raise ValueError("direction must be 'encrypt' or 'decrypt'")
+    model = ENERGY_MODELS.get(family)
+    if model is None:
+        raise KeyError(f"no energy model for family {family!r}; "
+                       f"known: {sorted(ENERGY_MODELS)}")
+    bench = Testbench(variant)
+    trace = Trace(bench.simulator, bench.simulator.registers)
+    bench.load_key(key)
+    start_cycle = bench.simulator.cycle
+    dir_code = DIR_ENCRYPT if direction == "encrypt" else DIR_DECRYPT
+    bench.stream_blocks(list(blocks), direction=dir_code)
+    cycles = bench.simulator.cycle - start_cycle
+
+    if clock_ns is None:
+        clock_ns = _table2_clock(variant, family)
+
+    toggles = trace.total_toggles()
+    flipflops = sum(r.width for r in bench.simulator.registers)
+    rom_reads = len(blocks) * ROM_READS_PER_BLOCK
+    breakdown = {
+        "registers": toggles * model.pj_per_ff_toggle,
+        "rom_reads": rom_reads * model.pj_per_rom_read,
+        "clock_tree": flipflops * cycles * model.pj_per_ff_clock,
+    }
+    return PowerReport(
+        family=family,
+        variant=variant.value,
+        direction=direction,
+        blocks=len(blocks),
+        cycles=cycles,
+        clock_ns=clock_ns,
+        register_toggles=toggles,
+        rom_reads=rom_reads,
+        flipflops=flipflops,
+        energy_pj=sum(breakdown.values()),
+        breakdown_pj=breakdown,
+    )
+
+
+def _table2_clock(variant: Variant, family: str) -> float:
+    from repro.arch.spec import paper_spec
+    from repro.fpga.synthesis import compile_spec
+
+    return compile_spec(paper_spec(variant), family).clock_ns

@@ -1,0 +1,169 @@
+"""Keystream randomness sanity tests (NIST SP 800-22 style).
+
+A CTR/OFB deployment of the device (the examples' backbone scenario)
+turns AES into a keystream generator; a sane reproduction should
+demonstrate the keystream passes the basic statistical batteries.
+Implemented here are three of the classic SP 800-22 tests with their
+standard normal/chi-square approximations:
+
+- **monobit (frequency)** — ones and zeros balance;
+- **runs** — the number of bit runs matches expectation;
+- **block frequency** — per-block ones proportions are uniform.
+
+These are *sanity* tests: pass thresholds use the conventional
+significance level alpha = 0.01.  A failure indicates a broken
+implementation, not a cryptanalytic result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class TestOutcome:
+    """One statistical test's result."""
+
+    name: str
+    p_value: float
+    passed: bool
+    detail: str = ""
+
+
+def _bits(data: bytes) -> List[int]:
+    out: List[int] = []
+    for byte in data:
+        out.extend((byte >> (7 - i)) & 1 for i in range(8))
+    return out
+
+
+def _erfc(x: float) -> float:
+    return math.erfc(x)
+
+
+def monobit_test(data: bytes, alpha: float = 0.01) -> TestOutcome:
+    """SP 800-22 §2.1: frequency test."""
+    bits = _bits(data)
+    n = len(bits)
+    if n < 100:
+        raise ValueError("monobit test needs at least 100 bits")
+    s = sum(1 if bit else -1 for bit in bits)
+    statistic = abs(s) / math.sqrt(n)
+    p_value = _erfc(statistic / math.sqrt(2))
+    return TestOutcome(
+        "monobit", p_value, p_value >= alpha,
+        f"ones={sum(bits)}/{n}",
+    )
+
+
+def runs_test(data: bytes, alpha: float = 0.01) -> TestOutcome:
+    """SP 800-22 §2.3: runs test (requires monobit to be sane)."""
+    bits = _bits(data)
+    n = len(bits)
+    if n < 100:
+        raise ValueError("runs test needs at least 100 bits")
+    pi = sum(bits) / n
+    if abs(pi - 0.5) >= 2 / math.sqrt(n):
+        return TestOutcome("runs", 0.0, False,
+                           "prerequisite frequency check failed")
+    runs = 1 + sum(
+        1 for a, b in zip(bits, bits[1:]) if a != b
+    )
+    expected = 2 * n * pi * (1 - pi)
+    p_value = _erfc(
+        abs(runs - expected)
+        / (2 * math.sqrt(2 * n) * pi * (1 - pi))
+    )
+    return TestOutcome("runs", p_value, p_value >= alpha,
+                       f"runs={runs}, expected~{expected:.0f}")
+
+
+def block_frequency_test(data: bytes, block_bits: int = 128,
+                         alpha: float = 0.01) -> TestOutcome:
+    """SP 800-22 §2.2: frequency within blocks (chi-square)."""
+    bits = _bits(data)
+    blocks = len(bits) // block_bits
+    if blocks < 4:
+        raise ValueError("block frequency test needs >= 4 blocks")
+    chi2 = 0.0
+    for index in range(blocks):
+        chunk = bits[block_bits * index:block_bits * (index + 1)]
+        pi = sum(chunk) / block_bits
+        chi2 += (pi - 0.5) ** 2
+    chi2 *= 4 * block_bits
+    p_value = _upper_incomplete_gamma_ratio(blocks / 2, chi2 / 2)
+    return TestOutcome("block_frequency", p_value, p_value >= alpha,
+                       f"chi2={chi2:.1f} over {blocks} blocks")
+
+
+def _upper_incomplete_gamma_ratio(a: float, x: float) -> float:
+    """igamc(a, x) = Gamma(a, x)/Gamma(a) via series/continued fraction.
+
+    Standard Numerical-Recipes style implementation, adequate for the
+    p-value ranges these tests produce.
+    """
+    if x < 0 or a <= 0:
+        raise ValueError("invalid igamc arguments")
+    if x == 0:
+        return 1.0
+    if x < a + 1:
+        # Complement of the lower series.
+        return 1.0 - _lower_gamma_series(a, x)
+    return _upper_gamma_cf(a, x)
+
+
+def _lower_gamma_series(a: float, x: float) -> float:
+    term = 1.0 / a
+    total = term
+    for n in range(1, 500):
+        term *= x / (a + n)
+        total += term
+        if abs(term) < abs(total) * 1e-14:
+            break
+    return total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def _upper_gamma_cf(a: float, x: float) -> float:
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    return h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def keystream_battery(data: bytes,
+                      alpha: float = 0.01) -> List[TestOutcome]:
+    """Run all three tests on a keystream."""
+    return [
+        monobit_test(data, alpha),
+        runs_test(data, alpha),
+        block_frequency_test(data, alpha=alpha),
+    ]
+
+
+def render_battery(outcomes: List[TestOutcome]) -> str:
+    lines = ["keystream randomness battery (alpha = 0.01):"]
+    for outcome in outcomes:
+        mark = "pass" if outcome.passed else "FAIL"
+        lines.append(
+            f"  [{mark}] {outcome.name:<16} p={outcome.p_value:.4f}  "
+            f"{outcome.detail}"
+        )
+    return "\n".join(lines)

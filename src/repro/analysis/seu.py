@@ -1,0 +1,194 @@
+"""Single-event-upset fault injection — the paper's reference [16].
+
+The authors' companion work ("Testing a Rijndael VHDL Description to
+Single Event Upsets", SIM 2002) bombards the design with register bit
+flips and classifies the outcomes.  We reproduce that campaign on the
+cycle-accurate model: flip one randomly chosen register bit at a
+randomly chosen cycle while a block is in flight, let the run finish,
+and compare the output against the golden model.
+
+Outcome classes:
+
+- **corrupted** — the block's output differs from the golden value
+  (the common case: AES's diffusion turns one flipped state bit into
+  a ~50 % avalanche within a couple of rounds);
+- **masked** — the output is still correct (the flipped bit was dead
+  for the remainder of the computation: an already-consumed buffer
+  bit, an idle direction register, a stale build word, ...);
+- **hung** — the control FSM lost its way and ``data_ok`` never rose
+  (flips landing in the round/step/top registers can do this).
+
+The campaign reports per-register sensitivity, the data a hardening
+effort (TMR, parity) would be prioritized by.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.aes.cipher import AES128
+from repro.ip.control import Variant
+from repro.ip.core import DIR_ENCRYPT
+from repro.ip.testbench import Testbench
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One fault: which register, which bit, how many cycles in."""
+
+    register: str
+    bit: int
+    cycle_offset: int
+    outcome: str  # "corrupted" | "masked" | "hung"
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate statistics of an SEU campaign."""
+
+    injections: List[Injection] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.injections)
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for i in self.injections if i.outcome == outcome)
+
+    @property
+    def corruption_rate(self) -> float:
+        return self.count("corrupted") / self.total if self.total else 0.0
+
+    def by_register(self) -> Dict[str, Tuple[int, int]]:
+        """register -> (injections, corruptions+hangs)."""
+        table: Dict[str, Tuple[int, int]] = {}
+        for inj in self.injections:
+            hits, bad = table.get(inj.register, (0, 0))
+            table[inj.register] = (
+                hits + 1,
+                bad + (1 if inj.outcome != "masked" else 0),
+            )
+        return table
+
+    def render(self, top: int = 12) -> str:
+        detected = self.count("detected")
+        detected_note = f"{detected} detected, " if detected else ""
+        lines = [
+            f"SEU campaign: {self.total} injections — "
+            f"{self.count('corrupted')} corrupted, "
+            f"{detected_note}"
+            f"{self.count('masked')} masked, "
+            f"{self.count('hung')} hung "
+            f"(undetected corruption rate {self.corruption_rate:.0%})",
+            f"{'register':<24}{'hits':>6}{'upsets':>8}{'sensitivity':>12}",
+        ]
+        ranked = sorted(
+            self.by_register().items(),
+            key=lambda item: (-item[1][1] / item[1][0], item[0]),
+        )
+        for name, (hits, bad) in ranked[:top]:
+            lines.append(
+                f"{name:<24}{hits:>6}{bad:>8}{bad / hits:>11.0%}"
+            )
+        return "\n".join(lines)
+
+
+def inject_once(
+    key: bytes,
+    block: bytes,
+    register: str,
+    bit: int,
+    cycle_offset: int,
+    variant: Variant = Variant.ENCRYPT,
+    hardened: bool = False,
+) -> Injection:
+    """Run one block with a single bit flip ``cycle_offset`` cycles
+    after capture; classify the outcome against the golden model.
+
+    On the hardened core (``hardened=True``) a wrong output that the
+    parity plane flagged is classified ``detected`` — the host can
+    discard and retry the block, which is the mitigation's value.
+    """
+    golden = AES128(key).encrypt_block(block)
+    bench = Testbench(variant, hardened=hardened)
+    bench.load_key(key)
+    if hardened:
+        bench.core.clear_error()  # drop any setup-phase latch
+    bench.write_block(block, direction=DIR_ENCRYPT)
+    latency = bench.core.latency_cycles
+    if not 0 <= cycle_offset < latency:
+        raise ValueError(
+            f"cycle_offset must be in [0, {latency}), got {cycle_offset}"
+        )
+    bench.simulator.step(cycle_offset)
+    target = _find_register(bench, register)
+    target.deposit(target.value ^ (1 << bit))
+    try:
+        result = bench.wait_result(max_cycles=4 * latency)
+    except TimeoutError:
+        outcome = "hung"
+    except ValueError:
+        # A corrupted control register (e.g. a round counter outside
+        # 1..10) drives the model into an illegal micro-state; the
+        # silicon equivalent is an FSM lock-up, so classify as hung.
+        outcome = "hung"
+    else:
+        if result == golden:
+            outcome = "masked"
+        elif hardened and bench.core.error_detected.value:
+            outcome = "detected"
+        else:
+            outcome = "corrupted"
+    return Injection(register, bit, cycle_offset, outcome)
+
+
+def run_campaign(
+    injections: int,
+    seed: int = 2003,
+    key: Optional[bytes] = None,
+    variant: Variant = Variant.ENCRYPT,
+    targets: Optional[List[str]] = None,
+    hardened: bool = False,
+) -> CampaignResult:
+    """Random fault-injection campaign against encryption runs.
+
+    With ``hardened=True`` the campaign targets the TMR/parity core of
+    :mod:`repro.ip.hardened`; flips land on individual physical
+    flip-flops (including single TMR copies, which the majority vote
+    masks) and wrong-but-flagged outputs classify as ``detected``.
+    """
+    if injections < 1:
+        raise ValueError("need at least one injection")
+    rng = random.Random(seed)
+    key = key if key is not None else bytes(rng.randrange(256)
+                                            for _ in range(16))
+    probe = Testbench(variant, hardened=hardened)
+    registers = {
+        r.name: r.width
+        for r in probe.simulator.registers
+        if targets is None or r.name in targets
+    }
+    if not registers:
+        raise ValueError("no matching target registers")
+    result = CampaignResult()
+    names = sorted(registers)
+    latency = probe.core.latency_cycles
+    for _ in range(injections):
+        block = bytes(rng.randrange(256) for _ in range(16))
+        name = rng.choice(names)
+        bit = rng.randrange(registers[name])
+        offset = rng.randrange(latency)
+        result.injections.append(
+            inject_once(key, block, name, bit, offset, variant,
+                        hardened=hardened)
+        )
+    return result
+
+
+def _find_register(bench: Testbench, name: str):
+    for reg in bench.simulator.registers:
+        if reg.name == name:
+            return reg
+    raise KeyError(f"no register named {name!r}")

@@ -1,0 +1,41 @@
+"""Architecture design space: the paper's design point, its siblings,
+and the literature baselines of Table 3.
+
+:class:`~repro.arch.spec.ArchitectureSpec` captures the axes the paper
+discusses: device variant (encrypt/decrypt/both), ByteSub datapath
+width (the 8/16/32/128 spectrum of §6), the width of the ShiftRow/
+MixColumn/AddKey stage, key-schedule strategy (on-the-fly vs
+precomputed), ROM discipline, and round unrolling/pipelining (used by
+the high-performance baselines).  :mod:`repro.arch.explorer` sweeps
+the space; :mod:`repro.arch.baselines` pins the published designs.
+"""
+
+from repro.arch.spec import ArchitectureSpec, PAPER_SPECS, paper_spec
+
+__all__ = [
+    "ArchitectureSpec",
+    "BASELINES",
+    "BaselineDesign",
+    "PAPER_SPECS",
+    "explore_widths",
+    "paper_spec",
+    "sweep_report",
+]
+
+_LAZY = {
+    "BASELINES": ("repro.arch.baselines", "BASELINES"),
+    "BaselineDesign": ("repro.arch.baselines", "BaselineDesign"),
+    "explore_widths": ("repro.arch.explorer", "explore_widths"),
+    "sweep_report": ("repro.arch.explorer", "sweep_report"),
+}
+
+
+def __getattr__(name):
+    # baselines/explorer depend on repro.fpga, which itself imports
+    # repro.arch.spec; resolving them lazily breaks the import cycle.
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

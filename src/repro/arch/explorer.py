@@ -1,0 +1,71 @@
+"""Design-space exploration: the paper's §6 width discussion, measured.
+
+The conclusions argue three things the sweep quantifies:
+
+1. "A smaller architecture, as 16 or 8 [bits], will use many clock
+   cycles and the clock speed will not reverse this problem" — the
+   8-bit design takes 48 cycles/round, nearly 10x the mixed design's
+   latency, while saving only the data-S-box bits (KStran's 8 Kbit
+   stays, §6).
+2. "Larger architectures do not provide a large increase of
+   performance, as the key generation is slower than the cipher part"
+   — a 128-bit datapath is held at 4 cycles/round by the one-word-
+   per-cycle key schedule, so it buys only 20 % latency for ~3x the
+   S-box memory (unless round keys are precomputed, the ablation
+   point).
+3. The mixed 32/128 point is the area-performance knee — "a 32[-bit]
+   solution could has a interesting area x performance aspect".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from repro.arch.spec import ArchitectureSpec, width_sweep_specs
+from repro.fpga.devices import Device
+from repro.fpga.report import FitReport
+from repro.fpga.synthesis import compile_spec
+from repro.ip.control import Variant
+
+
+def explore_widths(target: Union[Device, str] = "Acex1K",
+                   variant: Variant = Variant.ENCRYPT,
+                   specs: Iterable[ArchitectureSpec] = (),
+                   ) -> List[FitReport]:
+    """Fit the width spectrum on one device (non-strict: oversize
+    points are still reported so the sweep shows *why* they lose)."""
+    points = list(specs) or list(width_sweep_specs(variant))
+    return [compile_spec(spec, target, strict=False) for spec in points]
+
+
+def sweep_report(reports: List[FitReport]) -> str:
+    """Render a sweep as an area-vs-performance table."""
+    header = (
+        f"{'design':<28}{'cyc/rnd':>8}{'latency':>10}{'clk':>6}"
+        f"{'Mbps':>8}{'LEs':>7}{'ROM bits':>10}{'Mbps/kLE':>10}{'fits':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in reports:
+        lines.append(
+            f"{r.spec.name:<28}{r.spec.cycles_per_round:>8}"
+            f"{r.latency_ns:>8.0f}ns{r.clock_ns:>5.0f}n"
+            f"{r.throughput_mbps:>8.0f}{r.logic_elements:>7}"
+            f"{r.spec.rom_bits:>10}{r.efficiency_mbps_per_kle:>10.1f}"
+            f"{'yes' if r.fits else 'NO':>6}"
+        )
+    return "\n".join(lines)
+
+
+def knee_design(reports: List[FitReport]) -> FitReport:
+    """The efficiency knee among designs that *fit* the device: best
+    throughput per logic cell.
+
+    The paper's mixed 32/128 design should win this metric on its own
+    device — asserted by the width-sweep bench.  Oversized points
+    (e.g. a 128-bit datapath wanting 20 EABs of the EP1K100's 12) are
+    excluded: a design that does not fit delivers 0 Mbps.
+    """
+    fitting = [r for r in reports if r.fits]
+    if not fitting:
+        raise ValueError("no fitting reports to choose from")
+    return max(fitting, key=lambda r: r.efficiency_mbps_per_kle)

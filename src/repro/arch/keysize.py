@@ -1,0 +1,149 @@
+"""AES-192/256 device variants — extending the paper's AES-128 design.
+
+The paper notes (§3/§4) that AES defines three versions by key size
+but implements only AES-128.  The mixed 32/128 architecture extends
+naturally, and this module models the extension at the same level the
+Table 2 flow works at:
+
+- the **round count** grows (10/12/14), and each round still costs 5
+  cycles (the key unit's one-word-per-cycle rate keeps pace with the
+  4 ByteSub cycles regardless of Nk — KStran just fires every Nk
+  words instead of every 4);
+- the **setup pass** for decrypt-capable devices covers the full
+  expansion minus the raw key words: 4·(Nr+1) − Nk cycles
+  (40 / 46 / 52);
+- **key loading** needs ⌈Nk·32 / 128⌉ ``wr_key`` beats on the 128-bit
+  bus (1 / 2 / 2);
+- the **area delta** is confined to the key unit: Nk-word key latch
+  and schedule window instead of 4-word ones (the datapath, S-boxes
+  and control are unchanged except one more round-counter state).
+
+The behavioral model (:class:`repro.aes.cipher.Rijndael`) already
+implements all three sizes bit-exactly against FIPS-197 Appendix C,
+so the cycle/area model here is grounded functionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.arch.spec import paper_spec
+from repro.fpga.calibration import LOGIC_FIT
+from repro.fpga.synthesis import compile_spec
+from repro.ip.control import Variant
+
+#: Cycles per round of the mixed 32/128 architecture.
+_CYCLES_PER_ROUND = 5
+
+
+@dataclass(frozen=True)
+class KeySizeVariant:
+    """One AES key-size option of the extended device."""
+
+    key_bits: int
+
+    def __post_init__(self) -> None:
+        if self.key_bits not in (128, 192, 256):
+            raise ValueError("AES key size is 128, 192 or 256 bits")
+
+    @property
+    def nk(self) -> int:
+        """Key length in 32-bit words."""
+        return self.key_bits // 32
+
+    @property
+    def rounds(self) -> int:
+        """Nr = Nk + 6 for AES (Nb = 4)."""
+        return self.nk + 6
+
+    @property
+    def block_latency_cycles(self) -> int:
+        """Still 5 cycles per round — the key unit keeps pace."""
+        return self.rounds * _CYCLES_PER_ROUND
+
+    @property
+    def key_setup_cycles(self) -> int:
+        """Forward-expansion pass length for decrypt-capable devices.
+
+        One word per cycle over the words not given by the raw key:
+        4·(Nr + 1) − Nk.
+        """
+        return 4 * (self.rounds + 1) - self.nk
+
+    @property
+    def key_load_beats(self) -> int:
+        """``wr_key`` beats on the 128-bit din bus."""
+        return -(-self.key_bits // 128)
+
+    @property
+    def extra_key_register_bits(self) -> int:
+        """Key-unit register growth over the AES-128 device.
+
+        The key latch and the schedule window each widen from 4 to Nk
+        words.
+        """
+        return 2 * (self.nk - 4) * 32
+
+    def extra_les(self) -> int:
+        """Estimated LE cost over the AES-128 device.
+
+        The widened registers are unpacked latches plus packed window
+        words with their XOR LUTs; plus a few round-decode terms.
+        """
+        if self.key_bits == 128:
+            return 0
+        widened_words = self.nk - 4
+        unpacked_ff = widened_words * 32  # key latch growth
+        window_luts = widened_words * 32  # schedule window XOR/mux
+        decode_luts = 6  # wider round compare + KStran cadence
+        return round(unpacked_ff + LOGIC_FIT * (window_luts
+                                                + decode_luts))
+
+    def performance(self, variant: Variant = Variant.ENCRYPT,
+                    family: str = "Acex1K") -> Dict[str, float]:
+        """Latency/throughput at the family's Table 2 clock.
+
+        The clock period is unchanged: the critical paths (S-box read,
+        mix stage) do not involve Nk.
+        """
+        base = compile_spec(paper_spec(variant), family)
+        latency_ns = self.block_latency_cycles * base.clock_ns
+        return {
+            "clock_ns": base.clock_ns,
+            "latency_cycles": self.block_latency_cycles,
+            "latency_ns": latency_ns,
+            "throughput_mbps": 128 * 1000.0 / latency_ns,
+            "logic_elements": base.logic_elements + self.extra_les(),
+        }
+
+
+#: The three AES versions (paper §3: "AES-128, AES-192 and AES-256").
+AES_VARIANTS: Tuple[KeySizeVariant, ...] = (
+    KeySizeVariant(128),
+    KeySizeVariant(192),
+    KeySizeVariant(256),
+)
+
+
+def key_size_table(variant: Variant = Variant.ENCRYPT,
+                   family: str = "Acex1K") -> str:
+    """Render the key-size extension comparison."""
+    header = (
+        f"{'version':<9}{'rounds':>7}{'latency':>9}{'setup':>7}"
+        f"{'ns':>7}{'Mbps':>8}{'LEs':>7}"
+    )
+    lines = [f"AES key-size extension on {family} "
+             f"({variant.value} device):", header,
+             "-" * len(header)]
+    for option in AES_VARIANTS:
+        perf = option.performance(variant, family)
+        lines.append(
+            f"AES-{option.key_bits:<5}{option.rounds:>7}"
+            f"{option.block_latency_cycles:>9}"
+            f"{option.key_setup_cycles:>7}"
+            f"{perf['latency_ns']:>7.0f}"
+            f"{perf['throughput_mbps']:>8.1f}"
+            f"{perf['logic_elements']:>7.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Architecture specification — one point in the design space.
+
+The paper's design is ``sub_width=32, wide_width=128`` with on-the-fly
+keys: 5 cycles/round.  §4 names the all-32-bit alternative (12
+cycles/round) and §6 discusses 8/16-bit shrinks and a 128-bit widening
+whose benefit is capped by the key schedule.  This module encodes the
+cycle arithmetic for the whole family so the explorer and the Table 2
+flow share one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.ip.control import NUM_ROUNDS, Variant
+
+#: Block size in bits (AES).
+BLOCK_BITS = 128
+
+#: Legal ByteSub datapath widths.
+LEGAL_SUB_WIDTHS = (8, 16, 32, 128)
+
+#: Legal widths for the ShiftRow/MixColumn/AddKey stage.  Narrower
+#: than 32 makes no sense (MixColumn consumes whole columns).
+LEGAL_WIDE_WIDTHS = (32, 128)
+
+#: Key-schedule word rate: one 32-bit word per cycle through KStran,
+#: hence 4 cycles to produce a round key — the paper's §6 bottleneck.
+KEY_CYCLES_PER_ROUND = 4
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A synthesizable design point."""
+
+    name: str
+    variant: Variant
+    sub_width: int = 32
+    wide_width: int = 128
+    key_schedule: str = "on_the_fly"  # or "precomputed"
+    sync_rom: bool = False
+    unrolled_rounds: int = 1
+    pipelined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sub_width not in LEGAL_SUB_WIDTHS:
+            raise ValueError(
+                f"sub_width must be one of {LEGAL_SUB_WIDTHS}"
+            )
+        if self.wide_width not in LEGAL_WIDE_WIDTHS:
+            raise ValueError(
+                f"wide_width must be one of {LEGAL_WIDE_WIDTHS}"
+            )
+        if self.wide_width < self.sub_width:
+            raise ValueError("wide_width must be >= sub_width")
+        if self.key_schedule not in ("on_the_fly", "precomputed"):
+            raise ValueError("key_schedule: on_the_fly or precomputed")
+        if not 1 <= self.unrolled_rounds <= NUM_ROUNDS:
+            raise ValueError("unrolled_rounds must be 1..10")
+        if self.pipelined and self.unrolled_rounds == 1:
+            raise ValueError("pipelining requires unrolled rounds")
+
+    # ------------------------------------------------------ cycle model
+    @property
+    def sub_passes(self) -> int:
+        """Clock cycles of the (I)Byte Sub stage per round."""
+        passes = BLOCK_BITS // self.sub_width
+        if self.sync_rom:
+            passes += 1  # pipeline fill for the registered ROM read
+        return passes
+
+    @property
+    def wide_passes(self) -> int:
+        """Clock cycles of the ShiftRow/MixColumn/AddKey work per round.
+
+        At 128 bits the two functions fuse into one cycle; narrower
+        stages pay one pass per chunk for MixColumn and another for
+        the ShiftRow/AddKey transfer (the paper's 12-cycle all-32-bit
+        count: 4 + 4 + 4).
+        """
+        if self.wide_width == BLOCK_BITS:
+            return 1
+        return 2 * (BLOCK_BITS // self.wide_width)
+
+    @property
+    def cipher_cycles_per_round(self) -> int:
+        """Round cycles from the cipher datapath alone."""
+        if self.unrolled_rounds == NUM_ROUNDS:
+            return 1  # a full combinational/pipelined round per clock
+        return self.sub_passes + self.wide_passes
+
+    @property
+    def key_cycles_per_round(self) -> int:
+        """Round cycles demanded by the key schedule."""
+        if self.key_schedule == "precomputed":
+            return 0
+        return KEY_CYCLES_PER_ROUND + (1 if self.sync_rom else 0)
+
+    @property
+    def cycles_per_round(self) -> int:
+        """Effective round time: the slower of cipher and key schedule.
+
+        This is the paper's §6 observation made computable: "larger
+        architectures do not provide a large increase of performance,
+        as the key generation is slower than the cipher part".
+        """
+        return max(self.cipher_cycles_per_round, self.key_cycles_per_round)
+
+    @property
+    def block_latency_cycles(self) -> int:
+        """Capture-to-result latency in clock cycles."""
+        return NUM_ROUNDS * self.cycles_per_round
+
+    @property
+    def cycles_per_block_throughput(self) -> int:
+        """Cycles between results in steady-state streaming.
+
+        A pipelined unrolled design retires one block per round-slot;
+        iterative designs retire one per full latency (the Data_In/Out
+        registers hide the bus, so there is no extra gap).
+        """
+        if self.pipelined:
+            return self.cycles_per_round
+        return self.block_latency_cycles
+
+    # --------------------------------------------------------- memories
+    @property
+    def data_sbox_count(self) -> int:
+        """S-boxes in the (I)Byte Sub unit(s)."""
+        per_direction = self.sub_width // 8
+        directions = 2 if self.variant is Variant.BOTH else 1
+        return per_direction * directions * self.unrolled_rounds
+
+    @property
+    def kstran_sbox_count(self) -> int:
+        """S-boxes dedicated to KStran.
+
+        Fixed at 4 per direction regardless of datapath width — the
+        paper's §6: "the 8 k[bit] used in KStran will not decrease".
+        The BOTH device keeps each direction's bank (Table 2: 32768
+        bits total).
+        """
+        directions = 2 if self.variant is Variant.BOTH else 1
+        return 4 * directions
+
+    @property
+    def rom_bits(self) -> int:
+        """Total S-box ROM bits of the design."""
+        return 2048 * (self.data_sbox_count + self.kstran_sbox_count)
+
+    def renamed(self, name: str) -> "ArchitectureSpec":
+        """A copy with a different display name."""
+        return replace(self, name=name)
+
+
+def paper_spec(variant: Variant, sync_rom: bool = False) -> ArchitectureSpec:
+    """The paper's design point for a given device variant."""
+    suffix = "-syncrom" if sync_rom else ""
+    return ArchitectureSpec(
+        name=f"paper-{variant.value}{suffix}",
+        variant=variant,
+        sub_width=32,
+        wide_width=128,
+        key_schedule="on_the_fly",
+        sync_rom=sync_rom,
+    )
+
+
+#: The three devices of Table 2.
+PAPER_SPECS: Dict[str, ArchitectureSpec] = {
+    variant.value: paper_spec(variant)
+    for variant in (Variant.ENCRYPT, Variant.DECRYPT, Variant.BOTH)
+}
+
+
+def width_sweep_specs(variant: Variant = Variant.ENCRYPT,
+                      ) -> Tuple[ArchitectureSpec, ...]:
+    """The §6 spectrum: 8/16/32-bit uniform, the paper's mixed 32/128,
+    and a full 128-bit design point."""
+    return (
+        ArchitectureSpec(f"uniform-8-{variant.value}", variant,
+                         sub_width=8, wide_width=32),
+        ArchitectureSpec(f"uniform-16-{variant.value}", variant,
+                         sub_width=16, wide_width=32),
+        ArchitectureSpec(f"uniform-32-{variant.value}", variant,
+                         sub_width=32, wide_width=32),
+        ArchitectureSpec(f"mixed-32-128-{variant.value}", variant,
+                         sub_width=32, wide_width=128),
+        ArchitectureSpec(f"full-128-{variant.value}", variant,
+                         sub_width=128, wide_width=128),
+        ArchitectureSpec(f"full-128-precomp-{variant.value}", variant,
+                         sub_width=128, wide_width=128,
+                         key_schedule="precomputed"),
+    )

@@ -1,0 +1,307 @@
+"""Command-line interface: ``repro-aes <command>``.
+
+Exposes the reproduction's main flows without writing Python:
+
+.. code-block:: text
+
+    repro-aes tables 2              # regenerate the paper's Table 2
+    repro-aes figure 5              # print the S-box figure
+    repro-aes encrypt --key 00..0f --data 00..ff
+    repro-aes fit --variant both --device Cyclone
+    repro-aes sweep --device Acex1K
+    repro-aes seu --injections 40 --hardened
+    repro-aes power --blocks 8 --family Cyclone
+    repro-aes hdl --variant encrypt --outdir build/
+    repro-aes vcd --blocks 1 --out wave.vcd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.ip.control import Variant
+
+
+def _hex_bytes(text: str, length: int, what: str) -> bytes:
+    try:
+        data = bytes.fromhex(text)
+    except ValueError as exc:
+        raise SystemExit(f"error: {what} is not valid hex: {exc}")
+    if len(data) != length:
+        raise SystemExit(
+            f"error: {what} must be {length} bytes "
+            f"({2 * length} hex digits), got {len(data)}"
+        )
+    return data
+
+
+def _variant(name: str) -> Variant:
+    try:
+        return Variant(name)
+    except ValueError:
+        raise SystemExit(
+            f"error: unknown variant {name!r}; "
+            f"choose from encrypt/decrypt/both"
+        )
+
+
+# ---------------------------------------------------------------- commands
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import table1_text, table2_text, \
+        table3_text
+
+    which = args.number
+    if which in (None, 1):
+        print(table1_text())
+    if which in (None, 2):
+        print(table2_text())
+    if which in (None, 3):
+        print(table3_text())
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import ALL_FIGURES
+
+    key = f"fig{args.number}"
+    if key not in ALL_FIGURES:
+        raise SystemExit(f"error: figures are 1..9, got {args.number}")
+    print(ALL_FIGURES[key]())
+    return 0
+
+
+def cmd_encrypt(args: argparse.Namespace) -> int:
+    try:
+        key = bytes.fromhex(args.key)
+    except ValueError as exc:
+        raise SystemExit(f"error: --key is not valid hex: {exc}")
+    if len(key) not in (16, 24, 32):
+        raise SystemExit("error: --key must be 16, 24 or 32 bytes")
+    data = _hex_bytes(args.data, 16, "--data")
+
+    if len(key) == 16:
+        from repro.ip.testbench import Testbench
+
+        variant = Variant.DECRYPT if args.decrypt else Variant.ENCRYPT
+        bench = Testbench(variant)
+        setup = bench.load_key(key)
+        if args.decrypt:
+            result, latency = bench.decrypt(data)
+        else:
+            result, latency = bench.encrypt(data)
+        core = "on-the-fly AES-128 core"
+    else:
+        # Wider keys run on the precomputed-schedule core (the
+        # on-the-fly reverse walk is AES-128-only).
+        from repro.ip.core import DIR_DECRYPT, DIR_ENCRYPT
+        from repro.ip.precomputed import PrecomputedTestbench
+
+        bench = PrecomputedTestbench(len(key) * 8)
+        setup = bench.load_key(key)
+        direction = DIR_DECRYPT if args.decrypt else DIR_ENCRYPT
+        result, latency = bench.process_block(data, direction)
+        core = f"precomputed-schedule AES-{len(key) * 8} core"
+    print(f"device   : {core}")
+    print(f"key setup: {setup} cycle(s)")
+    print(f"result   : {result.hex()}")
+    print(f"latency  : {latency} cycles")
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    from repro.arch.spec import paper_spec
+    from repro.fpga.synthesis import compile_spec
+
+    spec = paper_spec(_variant(args.variant), sync_rom=args.sync_rom)
+    report = compile_spec(spec, args.device, strict=False)
+    print(report.render())
+    if not report.fits:
+        print("  WARNING: design does not fit this device")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.arch.explorer import explore_widths, knee_design, \
+        sweep_report
+
+    reports = explore_widths(args.device, _variant(args.variant))
+    print(sweep_report(reports))
+    knee = knee_design(reports)
+    print(f"\nefficiency knee (fitting designs): {knee.spec.name}")
+    return 0
+
+
+def cmd_seu(args: argparse.Namespace) -> int:
+    from repro.analysis.seu import run_campaign
+
+    result = run_campaign(args.injections, seed=args.seed,
+                          hardened=args.hardened)
+    print(result.render())
+    return 0
+
+
+def cmd_power(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.analysis.power import measure_power
+
+    rng = random.Random(args.seed)
+    blocks = [bytes(rng.randrange(256) for _ in range(16))
+              for _ in range(args.blocks)]
+    key = bytes(rng.randrange(256) for _ in range(16))
+    report = measure_power(blocks, key, family=args.family)
+    print(report.render())
+    return 0
+
+
+def cmd_hdl(args: argparse.Namespace) -> int:
+    from repro.hdl import generate_core_vhdl, lint_vhdl
+
+    files = generate_core_vhdl(_variant(args.variant))
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, text in sorted(files.items()):
+        if name.endswith(".vhd"):
+            lint_vhdl(text, name)  # refuse to emit broken HDL
+        (outdir / name).write_text(text)
+        print(f"wrote {outdir / name} ({len(text)} bytes)")
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.aes.selftest import run_self_test
+
+    report = run_self_test(include_hardware=not args.fast)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report_gen import generate_report
+
+    text = generate_report(seu_injections=args.injections)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({len(text)} bytes)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_vcd(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.ip.testbench import Testbench
+    from repro.rtl.trace import Trace
+    from repro.rtl.vcd import trace_to_vcd
+
+    rng = random.Random(args.seed)
+    key = bytes(rng.randrange(256) for _ in range(16))
+    bench = Testbench(Variant.ENCRYPT)
+    signals = [bench.core.data_ok, *bench.core.state, *bench.core.out,
+               bench.core.top, bench.core.round, bench.core.step]
+    trace = Trace(bench.simulator, signals)
+    bench.load_key(key)
+    for _ in range(args.blocks):
+        bench.encrypt(bytes(rng.randrange(256) for _ in range(16)))
+    text = trace_to_vcd(trace, clock_ns=14)  # the Acex1K clock
+    Path(args.out).write_text(text)
+    print(f"wrote {args.out}: {bench.simulator.cycle} cycles, "
+          f"{len(signals)} signals")
+    return 0
+
+
+# ------------------------------------------------------------------ parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-aes",
+        description="Reproduction of the DATE 2003 low-area Rijndael "
+                    "IP paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tables", help="regenerate paper tables")
+    p.add_argument("number", nargs="?", type=int, default=None,
+                   choices=(1, 2, 3))
+    p.set_defaults(fn=cmd_tables)
+
+    p = sub.add_parser("figure", help="regenerate one paper figure")
+    p.add_argument("number", type=int)
+    p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser("encrypt",
+                       help="run a block through the cycle-accurate IP")
+    p.add_argument("--key", required=True, help="16-byte key, hex")
+    p.add_argument("--data", required=True, help="16-byte block, hex")
+    p.add_argument("--decrypt", action="store_true")
+    p.set_defaults(fn=cmd_encrypt)
+
+    p = sub.add_parser("fit", help="synthesis estimate for one design")
+    p.add_argument("--variant", default="encrypt")
+    p.add_argument("--device", default="Acex1K")
+    p.add_argument("--sync-rom", action="store_true")
+    p.set_defaults(fn=cmd_fit)
+
+    p = sub.add_parser("sweep", help="datapath width design sweep")
+    p.add_argument("--device", default="Acex1K")
+    p.add_argument("--variant", default="encrypt")
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("seu", help="fault injection campaign")
+    p.add_argument("--injections", type=int, default=40)
+    p.add_argument("--seed", type=int, default=2003)
+    p.add_argument("--hardened", action="store_true")
+    p.set_defaults(fn=cmd_seu)
+
+    p = sub.add_parser("power", help="toggle-based power estimate")
+    p.add_argument("--blocks", type=int, default=4)
+    p.add_argument("--family", default="Acex1K")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_power)
+
+    p = sub.add_parser("hdl", help="emit the VHDL soft-IP deliverable")
+    p.add_argument("--variant", default="both")
+    p.add_argument("--outdir", default="hdl_out")
+    p.set_defaults(fn=cmd_hdl)
+
+    p = sub.add_parser("selftest",
+                       help="power-on self test (known answers)")
+    p.add_argument("--fast", action="store_true",
+                   help="skip the cycle-accurate hardware check")
+    p.set_defaults(fn=cmd_selftest)
+
+    p = sub.add_parser("report",
+                       help="re-measure everything; emit a markdown "
+                            "reproduction report")
+    p.add_argument("--out", default=None)
+    p.add_argument("--injections", type=int, default=30)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("vcd", help="dump a waveform of a real run")
+    p.add_argument("--blocks", type=int, default=1)
+    p.add_argument("--out", default="rijndael.vcd")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_vcd)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: exit
+        # quietly like a well-behaved Unix tool.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

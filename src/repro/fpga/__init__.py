@@ -1,0 +1,40 @@
+"""FPGA synthesis-estimation substrate (the Quartus/Leonardo substitute).
+
+The paper's evaluation is a table of fitter reports: logic cells,
+embedded memory bits, pins, and achievable clock period for each device
+variant on two Altera families.  We reproduce that flow:
+
+1. :mod:`repro.fpga.aes_netlists` expands an
+   :class:`~repro.arch.spec.ArchitectureSpec` into a structural
+   :class:`~repro.fpga.netlist.Netlist` — named groups of flip-flops,
+   LUT functions, ROM blocks and pins, with sizes derived from the
+   datapath algebra (e.g. Mix Column LUT counts come from the xtime
+   network structure, ROM bits from 256x8 S-boxes).
+2. :mod:`repro.fpga.mapper` performs technology mapping onto a
+   :class:`~repro.fpga.devices.Device`: register packing into logic
+   elements, ROMs into asynchronous EABs where the family supports
+   them (Acex1K) or decomposed into LUT mux-trees where it does not
+   (Cyclone — the effect that doubles the Cyclone LC counts in
+   Table 2).
+3. :mod:`repro.fpga.timing` runs a named-critical-path static timing
+   model to produce the clock period, and
+4. :mod:`repro.fpga.report` assembles the fitter-style report row.
+
+Per-device calibration constants (the stand-in for 2002-era vendor
+tool quality) live in :mod:`repro.fpga.calibration` with provenance
+notes; everything else is structure.
+"""
+
+from repro.fpga.devices import DEVICES, Device, device
+from repro.fpga.netlist import Netlist
+from repro.fpga.report import FitReport
+from repro.fpga.synthesis import compile_spec
+
+__all__ = [
+    "DEVICES",
+    "Device",
+    "FitReport",
+    "Netlist",
+    "compile_spec",
+    "device",
+]

@@ -1,0 +1,181 @@
+"""Structural netlists for the paper's devices and their design-space
+siblings.
+
+The inventory mirrors the RTL model in :mod:`repro.ip` block for
+block.  For the paper's exact design points
+(``sub_width=32, wide_width=128``) the group sizes are:
+
+====================  ======  ==========  =================================
+group                 LUTs    flip-flops  notes
+====================  ======  ==========  =================================
+data_in               4       128 (u)     Data_In register + write control
+out                   12      130 (u)     Out register, data_ok strobe
+state                 256     128 (p)     state words + 3-way source mux
+key_regs              256     384 (p/u)   key0 latch (u), work + mux, build
+key_last              0       128 (u)     last-round-key latch (setup pass)
+kstran                24      8 (p)       Rcon generator + Rcon XOR
+sbox_addr             64      0           ByteSub word-select (4:1 x 32)
+control               42      26 (p)      round/step/setup FSM
+mix_enc / mix_dec     432/496 0           fused SR-MC-AK net + bypass mux
+both_select           657     0           direction muxes (BOTH only)
+pins                  —       —           261 (+1 enc/dec on BOTH)
+====================  ======  ==========  =================================
+
+(u) = unpacked register (fed from pins/wires, costs a whole LE);
+(p) = packed with its driving LUT.  The mix-network counts are not
+hand-written — they derive from the GF(2) term structure via
+:mod:`repro.fpga.primitives`; InvMixColumn uses the shared
+correction-form (see :func:`primitives.inv_mix_network_luts`).
+
+The BOTH device follows the paper's "combine the two devices"
+construction: one interface/state/key-register set, duplicated
+direction networks, duplicated KStran S-box banks (hence 32768 memory
+bits in Table 2), plus the ``both_select`` direction-mux layer.
+"""
+
+from __future__ import annotations
+
+from repro.arch.spec import ArchitectureSpec
+from repro.fpga.netlist import Netlist
+from repro.fpga.primitives import (
+    inv_mix_network_luts,
+    mix_network_luts,
+    mux_luts,
+)
+from repro.ip.control import Variant
+from repro.ip.interface import pin_count
+
+#: Bits in one state/key register bank.
+_BANK = 128
+
+
+def build_netlist(spec: ArchitectureSpec) -> Netlist:
+    """Expand an architecture spec into a structural netlist."""
+    nl = Netlist(spec.name)
+    _interface(nl, spec)
+    _state(nl, spec)
+    _key_unit(nl, spec)
+    _sbox_unit(nl, spec)
+    _mix_networks(nl, spec)
+    _control(nl, spec)
+    if spec.variant is Variant.BOTH:
+        _both_select(nl, spec)
+    nl.add_pins("pins", pin_count(spec.variant))
+    return nl
+
+
+def _interface(nl: Netlist, spec: ArchitectureSpec) -> None:
+    # Data_In register: fed straight from din pins with a write enable.
+    nl.add_ff("data_in", _BANK, packed=False)
+    nl.add_luts("data_in", 4)  # buffer-valid / capture control
+    # Out register + data_ok strobe.
+    nl.add_ff("out", _BANK, packed=False)
+    nl.add_ff("out", 2, packed=False)
+    nl.add_luts("out", 12)
+
+
+def _state(nl: Netlist, spec: ArchitectureSpec) -> None:
+    # State words with a 3-way source mux (sbox write-back / mix stage /
+    # block load); the paper's mixed design keeps the full 128-bit bank
+    # regardless of datapath width.
+    nl.add_ff("state", _BANK, packed=True)
+    nl.add_luts("state", mux_luts(_BANK, 3))
+
+
+def _key_unit(nl: Netlist, spec: ArchitectureSpec) -> None:
+    if spec.key_schedule == "precomputed":
+        # Round keys held in a RAM (11 x 128 bits) written once per
+        # key load; address counter + write port glue.
+        nl.add_rom("key_ram", 16, 128)  # 2048-bit block, 11 words used
+        nl.add_luts("key_regs", 96)
+        nl.add_ff("key_regs", 8, packed=True)
+        nl.add_ff("key_regs", _BANK, packed=False)  # key0 latch
+        return
+    # On-the-fly unit: key0 latch (unpacked), working register with its
+    # source mux, build register packed with the schedule XORs.
+    nl.add_ff("key_regs", _BANK, packed=False)
+    nl.add_ff("key_regs", _BANK, packed=True)
+    nl.add_luts("key_regs", mux_luts(_BANK, 2))
+    nl.add_ff("key_regs", _BANK, packed=True)
+    nl.add_luts("key_regs", _BANK)  # schedule XOR per build bit
+    # Last-round-key latch: every variant carries the same key unit
+    # (the paper's "very similar structure"); the setup pass fills it.
+    nl.add_ff("key_last", _BANK, packed=False)
+    # Rcon generator (xtime register) + Rcon XOR into the top byte.
+    nl.add_ff("kstran", 8, packed=True)
+    nl.add_luts("kstran", 24)
+
+
+def _sbox_unit(nl: Netlist, spec: ArchitectureSpec) -> None:
+    # Data S-boxes: spec.data_sbox_count ROMs of 256x8; the address
+    # word-select mux picks which state chunk feeds the unit.  The
+    # BOTH device keeps separate forward/inverse banks; the direction
+    # suffix tells the memory allocator which tables are never read in
+    # the same cycle (so an EAB can hold one of each).
+    if spec.variant is Variant.BOTH:
+        per_direction = spec.data_sbox_count // 2
+        nl.add_rom("sbox_data_enc", 256, 8, per_direction)
+        nl.add_rom("sbox_data_dec", 256, 8, per_direction)
+    else:
+        nl.add_rom("sbox_data", 256, 8, spec.data_sbox_count)
+    ways = 128 // spec.sub_width
+    nl.add_luts("sbox_addr", mux_luts(spec.sub_width, ways))
+    if spec.key_schedule == "on_the_fly":
+        if spec.variant is Variant.BOTH:
+            per_direction = spec.kstran_sbox_count // 2
+            nl.add_rom("sbox_kstran_enc", 256, 8, per_direction)
+            nl.add_rom("sbox_kstran_dec", 256, 8, per_direction)
+        else:
+            nl.add_rom("sbox_kstran", 256, 8, spec.kstran_sbox_count)
+    if spec.sync_rom:
+        # Registered ROM outputs (pipeline registers).
+        nl.add_ff("sbox_pipeline", spec.sub_width, packed=False)
+
+
+def _mix_networks(nl: Netlist, spec: ArchitectureSpec) -> None:
+    columns = spec.wide_width // 32
+    rounds = spec.unrolled_rounds
+    narrow_mux = (
+        mux_luts(spec.wide_width, 128 // spec.wide_width)
+        if spec.wide_width != 128 else 0
+    )
+    if spec.variant.can_encrypt:
+        luts = mix_network_luts(columns) + spec.wide_width  # bypass mux
+        nl.add_luts("mix_enc", (luts + narrow_mux) * rounds)
+    if spec.variant is Variant.DECRYPT:
+        luts = inv_mix_network_luts(columns) + spec.wide_width
+        nl.add_luts("mix_dec", (luts + narrow_mux) * rounds)
+    elif spec.variant is Variant.BOTH:
+        # The combined device routes the decrypt path through the
+        # *shared* forward MixColumn network (InvMC = correction o MC),
+        # so it only adds the correction layer; the first-round skip
+        # and input-steering muxes live in the both_select group.
+        correction = inv_mix_network_luts(columns) - mix_network_luts(
+            columns
+        )
+        nl.add_luts("mix_dec", correction * rounds)
+
+
+def _control(nl: Netlist, spec: ArchitectureSpec) -> None:
+    # Round counter (4) + step counter (3) + top FSM (2) + setup-pass
+    # counters (7) + decode terms.
+    nl.add_ff("control", 26, packed=True)
+    nl.add_luts("control", 42)
+
+
+def _both_select(nl: Netlist, spec: ArchitectureSpec) -> None:
+    """Direction-mux layer of the combined device.
+
+    One 2:1 mux layer per shared resource that both direction networks
+    drive or consume: state source, mix-stage input, key-build source,
+    S-box bank output, KStran address, Out source — plus the extra
+    FSM terms and the enc/dec sampling register.
+    """
+    nl.add_luts("both_select", mux_luts(_BANK, 2))  # state source
+    nl.add_luts("both_select", mux_luts(_BANK, 2))  # mix-stage input
+    nl.add_luts("both_select", mux_luts(_BANK, 2))  # key build source
+    nl.add_luts("both_select", mux_luts(spec.sub_width, 2) * 4)  # sbox bank
+    nl.add_luts("both_select", mux_luts(32, 2))  # KStran address
+    nl.add_luts("both_select", mux_luts(64, 2))  # Out source
+    nl.add_luts("both_select", 49)  # direction FSM terms + enc/dec glue
+    nl.add_ff("both_select", 1, packed=True)

@@ -1,0 +1,74 @@
+"""Calibration constants for the synthesis-estimation flow.
+
+An analytic netlist model cannot reproduce the *absolute* output of a
+2002 Leonardo Spectrum + Quartus II flow — logic duplication, failed
+packing and routing-driven replication inflate real LE counts above
+the structural minimum.  Standard practice (then and now) is to
+calibrate an area model against a small number of vendor-tool anchor
+results and validate on the rest.  We do exactly that, with the
+paper's own Table 2 as the anchor set:
+
+- :data:`LOGIC_FIT` — ratio of synthesized LEs to structural LUT
+  count, fitted so the **Acex1K encrypt** cell matches the paper
+  exactly (one scalar).  Its fitted value (~1.43) is a typical
+  2002-era inflation factor for XOR-heavy datapaths.
+- :data:`ROM_LUT_FIT` — ratio of synthesized LEs to the Shannon-
+  decomposition LUT count for a ROM forced into logic, fitted so the
+  **Cyclone encrypt** cell matches exactly.  Fitted ~0.98: Quartus'
+  mux-tree mapping is essentially the analytic decomposition.
+
+Every other Table 2 cell (decrypt and both on each family, all memory
+bit counts, pins, clocks, latencies, throughputs) is a *prediction* of
+the structural model — the reproduction tests hold them to the paper
+within ±3 % for LEs and exactly for the rest.
+"""
+
+from __future__ import annotations
+
+from repro.fpga.primitives import mix_network_luts, rom_as_luts
+
+# ----------------------------------------------------------- anchor data
+#: Paper Table 2, Acex1K encrypt row: logic cells.
+ANCHOR_ACEX_ENCRYPT_LCS = 2114
+#: Paper Table 2, Cyclone encrypt row: logic cells.
+ANCHOR_CYCLONE_ENCRYPT_LCS = 4057
+#: S-boxes in the encrypt device (4 ByteSub + 4 KStran).
+_ENCRYPT_SBOXES = 8
+
+# -------------------------------------------- structural encrypt inventory
+# (mirrors repro.fpga.aes_netlists._paper_base/_mix_groups; kept in sync
+# by a unit test so the anchor cannot silently drift from the builder)
+#: Unpacked flip-flops of the paper's device: Data_In (128), Out
+#: (128 + 2 strobe), cipher-key latch (128), last-round-key latch (128).
+BASE_UNPACKED_FF = 514
+#: Structural LUTs shared by every variant: state source mux (256),
+#: round-key working mux (128), key build XORs (128), KStran Rcon logic
+#: (24), S-box address word-select (96), round/step/setup FSM (42),
+#: bus-control glue (16).
+BASE_LUTS = 256 + 128 + 128 + 24 + 96 + 42 + 16
+#: The forward mix stage: MixColumn with AddKey merged (304) plus the
+#: last-round bypass mux (128).
+ENCRYPT_MIX_LUTS = mix_network_luts() + 128
+
+
+def _logic_fit() -> float:
+    structural = BASE_LUTS + ENCRYPT_MIX_LUTS
+    return (ANCHOR_ACEX_ENCRYPT_LCS - BASE_UNPACKED_FF) / structural
+
+
+def _rom_lut_fit() -> float:
+    per_sbox_observed = (
+        ANCHOR_CYCLONE_ENCRYPT_LCS - ANCHOR_ACEX_ENCRYPT_LCS
+    ) / _ENCRYPT_SBOXES
+    return per_sbox_observed / rom_as_luts(256, 8)
+
+
+#: LEs per structural LUT (fitted on the Acex encrypt anchor).
+LOGIC_FIT: float = _logic_fit()
+
+#: LEs per Shannon-decomposition LUT for logic-mapped ROMs (fitted on
+#: the Cyclone encrypt anchor).
+ROM_LUT_FIT: float = _rom_lut_fit()
+
+#: Tolerance the reproduction tests allow on predicted LE counts.
+LC_TOLERANCE = 0.03

@@ -1,0 +1,168 @@
+"""Altera device database for the families the paper (and its Table 3
+baselines) target.
+
+Capacities are the published datasheet numbers:
+
+- **EP1K100FC484-1** (Acex 1K): 4992 LEs, 12 EABs of 4096 bits each
+  (49152 bits, asynchronous-read capable), 333 user I/O.  The paper's
+  16384-bit encrypt design occupies 33 % of EAB bits and 261 of 333
+  pins = 78 % — both matching Table 2 exactly.
+- **EP1C20F400C6** (Cyclone): 20060 LEs, 64 M4K blocks of 4608 bits
+  (294912 bits, *synchronous-only* — the reason Table 2 shows 0
+  memory bits and roughly doubled LE counts on Cyclone), 301 user I/O.
+- Flex 10KA / Apex 20K / Apex 20KE parts for the Table 3 literature
+  baselines.
+
+Timing parameters (``t_level``, ``t_overhead``, ``t_rom_access``) are
+calibrated per family in :mod:`repro.fpga.calibration` and injected
+here; see that module for the fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class MemoryBlockKind:
+    """One kind of embedded memory block on a device."""
+
+    name: str
+    bits_per_block: int
+    blocks: int
+    supports_async_read: bool
+
+    @property
+    def total_bits(self) -> int:
+        return self.bits_per_block * self.blocks
+
+
+@dataclass(frozen=True)
+class Device:
+    """One FPGA part: capacities plus family timing parameters."""
+
+    name: str
+    family: str
+    logic_elements: int
+    memory: Optional[MemoryBlockKind]
+    user_ios: int
+    #: Effective delay of one logic level (LUT + local routing), ns.
+    t_level: float
+    #: Fixed per-path overhead (clock-to-out + setup + skew), ns.
+    t_overhead: float
+    #: Embedded-memory access time (async read, or sync clock-to-data), ns.
+    t_rom_access: float
+
+    @property
+    def memory_bits(self) -> int:
+        """Total embedded memory bits."""
+        return self.memory.total_bits if self.memory else 0
+
+    @property
+    def supports_async_rom(self) -> bool:
+        """Whether S-box ROMs can live in embedded memory combinationally."""
+        return bool(self.memory and self.memory.supports_async_read)
+
+    def occupancy(self, les: int, mem_bits: int, pins: int) -> Dict[str, float]:
+        """Utilization fractions for a fit (the Table 2 percentages)."""
+        return {
+            "logic": les / self.logic_elements,
+            "memory": (mem_bits / self.memory_bits) if self.memory_bits
+            else 0.0,
+            "pins": pins / self.user_ios,
+        }
+
+
+#: All parts the reproduction knows about, keyed by part number.
+DEVICES: Dict[str, Device] = {}
+
+
+def _add(dev: Device) -> Device:
+    DEVICES[dev.name] = dev
+    return dev
+
+
+# The paper's two implementation targets -------------------------------
+EP1K100 = _add(
+    Device(
+        name="EP1K100FC484-1",
+        family="Acex1K",
+        logic_elements=4992,
+        memory=MemoryBlockKind("EAB", 4096, 12, supports_async_read=True),
+        user_ios=333,
+        t_level=2.0,
+        t_overhead=3.0,
+        t_rom_access=7.0,
+    )
+)
+
+EP1C20 = _add(
+    Device(
+        name="EP1C20F400C6",
+        family="Cyclone",
+        logic_elements=20060,
+        memory=MemoryBlockKind("M4K", 4608, 64, supports_async_read=False),
+        user_ios=301,
+        t_level=1.5,
+        t_overhead=2.0,
+        t_rom_access=4.5,
+    )
+)
+
+# Table 3 baseline targets ---------------------------------------------
+EPF10K250A = _add(
+    Device(
+        name="EPF10K250ARC240-1",
+        family="Flex10KA",
+        logic_elements=12160,
+        memory=MemoryBlockKind("EAB", 2048, 20, supports_async_read=True),
+        user_ios=189,
+        t_level=2.6,
+        t_overhead=2.2,
+        t_rom_access=8.0,
+    )
+)
+
+EP20K400 = _add(
+    Device(
+        name="EP20K400BC652-1",
+        family="Apex20K",
+        logic_elements=16640,
+        memory=MemoryBlockKind("ESB", 2048, 104, supports_async_read=True),
+        user_ios=502,
+        t_level=2.0,
+        t_overhead=1.8,
+        t_rom_access=6.5,
+    )
+)
+
+EP20K400E = _add(
+    Device(
+        name="EP20K400EBC652-1X",
+        family="Apex20KE",
+        logic_elements=16640,
+        memory=MemoryBlockKind("ESB", 2048, 104, supports_async_read=True),
+        user_ios=488,
+        t_level=1.8,
+        t_overhead=1.6,
+        t_rom_access=5.5,
+    )
+)
+
+
+def device(name: str) -> Device:
+    """Look a part up by exact part number or by family alias.
+
+    Family aliases ("Acex1K", "Cyclone", ...) resolve to the part the
+    paper used from that family.
+    """
+    if name in DEVICES:
+        return DEVICES[name]
+    by_family = {dev.family.lower(): dev for dev in DEVICES.values()}
+    try:
+        return by_family[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known: {sorted(DEVICES)}"
+        ) from None

@@ -1,0 +1,158 @@
+"""Technology mapping: structural netlist → device resources.
+
+Rules (matching how Quartus/Leonardo treat these families):
+
+- Every LUT consumes a logic element; flip-flops packed with their
+  driving LUT are free, unpacked flip-flops consume an LE of their
+  own (no unrelated packing on these families).
+- The :data:`~repro.fpga.calibration.LOGIC_FIT` factor scales the
+  structural LUT count to synthesized LEs (calibrated once; see that
+  module).
+- ROMs go to embedded memory blocks when the family can read them the
+  way the design needs (asynchronously for the paper's design,
+  synchronously for the sync-ROM variant); otherwise they are
+  decomposed into LUT mux-trees — the Cyclone effect in Table 2.
+- Memory *bits* are counted as utilized table bits (the paper's and
+  Quartus' convention); block allocation packs mutually-exclusive
+  tables two-per-block where the block is larger than one S-box.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.fpga.calibration import LOGIC_FIT, ROM_LUT_FIT
+from repro.fpga.devices import Device
+from repro.fpga.netlist import Netlist
+from repro.fpga.primitives import rom_as_luts
+
+
+class MappingError(ValueError):
+    """Raised when a design cannot fit the target device."""
+
+
+@dataclass(frozen=True)
+class MapResult:
+    """Post-mapping resource usage."""
+
+    logic_elements: int
+    memory_bits: int
+    memory_blocks: int
+    pins: int
+    roms_in_logic: bool
+
+
+def roms_fit_memory(netlist: Netlist, device: Device,
+                    sync_design: bool) -> bool:
+    """Whether this design's ROMs can use the device's memory blocks.
+
+    Asynchronous designs need asynchronous-read blocks; synchronous
+    (registered-read) designs work on either kind.
+    """
+    if device.memory is None:
+        return False
+    if not sync_design and not device.memory.supports_async_read:
+        return False
+    return True
+
+
+def map_netlist(netlist: Netlist, device: Device,
+                sync_design: bool = False,
+                strict: bool = True) -> MapResult:
+    """Map a netlist onto a device; raises :class:`MappingError` when
+    over capacity (unless ``strict=False``, for exploration sweeps)."""
+    use_memory = roms_fit_memory(netlist, device, sync_design)
+
+    rom_luts = 0.0
+    memory_bits = 0
+    memory_blocks = 0
+    if use_memory:
+        memory_bits = netlist.total_rom_bits
+        memory_blocks = _allocate_blocks(netlist, device)
+        if memory_blocks > device.memory.blocks:
+            message = (
+                f"{netlist.name}: needs {memory_blocks} "
+                f"{device.memory.name} blocks, {device.name} has "
+                f"{device.memory.blocks}"
+            )
+            if strict:
+                raise MappingError(message)
+    else:
+        for _, rom in netlist.rom_blocks():
+            rom_luts += rom_as_luts(rom.words, rom.width) * rom.count
+
+    les = math.ceil(
+        netlist.total_ff_unpacked
+        + LOGIC_FIT * netlist.total_luts
+        + ROM_LUT_FIT * rom_luts
+    )
+    if strict and les > device.logic_elements:
+        raise MappingError(
+            f"{netlist.name}: needs {les} LEs, {device.name} has "
+            f"{device.logic_elements}"
+        )
+    if strict and netlist.total_pins > device.user_ios:
+        raise MappingError(
+            f"{netlist.name}: needs {netlist.total_pins} pins, "
+            f"{device.name} has {device.user_ios}"
+        )
+    return MapResult(
+        logic_elements=les,
+        memory_bits=memory_bits,
+        memory_blocks=memory_blocks,
+        pins=netlist.total_pins,
+        roms_in_logic=not use_memory and bool(netlist.rom_blocks()),
+    )
+
+
+def _allocate_blocks(netlist: Netlist, device: Device) -> int:
+    """Memory blocks consumed, packing direction-exclusive table pairs.
+
+    Tables read in the same cycle each need their own single-port
+    block.  The exception is the combined device's forward/inverse
+    banks: a ``<name>_enc`` table and its ``<name>_dec`` partner are
+    never read in the same cycle, so a 4096-bit EAB carries one of
+    each as a 512x8 ROM with a bank-select address bit — which is how
+    the paper's BOTH device fits 16 S-boxes into 12 EABs.
+    """
+    assert device.memory is not None
+    block_bits = device.memory.bits_per_block
+    by_group: Dict[str, List[int]] = {}
+    for group, rom in netlist.rom_blocks():
+        by_group.setdefault(group, []).extend(
+            [rom.words * rom.width] * rom.count
+        )
+    if not by_group:
+        return 0
+    blocks = 0
+    paired = set()
+    for group, sizes in by_group.items():
+        if group in paired:
+            continue
+        partner = _direction_partner(group)
+        if partner and partner in by_group:
+            partner_sizes = by_group[partner]
+            paired.add(partner)
+            pairs = min(len(sizes), len(partner_sizes))
+            for a, b in zip(sizes, partner_sizes):
+                if a + b <= block_bits:
+                    blocks += 1
+                else:
+                    blocks += math.ceil(a / block_bits)
+                    blocks += math.ceil(b / block_bits)
+            leftovers = sizes[pairs:] + partner_sizes[pairs:]
+            blocks += sum(math.ceil(s / block_bits) for s in leftovers)
+        else:
+            blocks += sum(math.ceil(s / block_bits) for s in sizes)
+    return blocks
+
+
+def _direction_partner(group: str) -> "str | None":
+    """The mutually-exclusive partner group name, if any."""
+    if group.endswith("_enc"):
+        return group[:-4] + "_dec"
+    if group.endswith("_dec"):
+        return group[:-4] + "_enc"
+    return None

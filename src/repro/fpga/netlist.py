@@ -1,0 +1,168 @@
+"""Structural netlist: what a synthesizer sees before technology mapping.
+
+A :class:`Netlist` is a bag of primitive entries organized into named
+groups (``"state"``, ``"mix_network"``, ``"kstran"``, ...).  The
+primitives match the granularity a 2002-era FPGA flow worked at:
+
+- ``luts`` — 4-input-or-fewer logic functions (one LE each after
+  mapping; a function wider than 4 inputs must be entered pre-
+  decomposed by the netlist builder, which knows the logic structure);
+- ``ff_packed`` — flip-flops whose D input is one of the group's LUTs
+  (register packing makes them free in LE terms);
+- ``ff_unpacked`` — flip-flops fed directly by a wire/pin (consume a
+  whole LE on these families, which cannot merge unrelated logic into
+  a register-only LE);
+- ``rom`` — an asynchronous-read ROM block (words x width), the
+  S-boxes;
+- ``pins`` — device I/O.
+
+Groups keep the report interpretable and let the BOTH variant express
+structural sharing ("these groups appear once, those per direction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class RomBlock:
+    """One ROM instance (e.g. a 256x8 S-box)."""
+
+    words: int
+    width: int
+    count: int = 1
+
+    @property
+    def bits(self) -> int:
+        return self.words * self.width * self.count
+
+    @property
+    def address_bits(self) -> int:
+        bits = 0
+        while (1 << bits) < self.words:
+            bits += 1
+        return bits
+
+
+@dataclass
+class Group:
+    """One named cluster of primitives."""
+
+    name: str
+    luts: int = 0
+    ff_packed: int = 0
+    ff_unpacked: int = 0
+    pins: int = 0
+    roms: List[RomBlock] = field(default_factory=list)
+
+    @property
+    def flipflops(self) -> int:
+        return self.ff_packed + self.ff_unpacked
+
+    @property
+    def rom_bits(self) -> int:
+        return sum(rom.bits for rom in self.roms)
+
+
+class Netlist:
+    """A named design as a collection of groups."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._groups: Dict[str, Group] = {}
+
+    def group(self, name: str) -> Group:
+        """Get-or-create a group."""
+        if name not in self._groups:
+            self._groups[name] = Group(name)
+        return self._groups[name]
+
+    def add_luts(self, group: str, count: int) -> None:
+        """Add combinational 4-LUT functions to a group."""
+        self._check_count(count)
+        self.group(group).luts += count
+
+    def add_ff(self, group: str, count: int, packed: bool) -> None:
+        """Add flip-flops; ``packed`` means fed by one of the group's LUTs."""
+        self._check_count(count)
+        if packed:
+            self.group(group).ff_packed += count
+        else:
+            self.group(group).ff_unpacked += count
+
+    def add_rom(self, group: str, words: int, width: int,
+                count: int = 1) -> None:
+        """Add ROM blocks (S-boxes and friends)."""
+        self._check_count(count)
+        if words < 2 or width < 1:
+            raise ValueError("ROM must have >=2 words and >=1 bit width")
+        self.group(group).roms.append(RomBlock(words, width, count))
+
+    def add_pins(self, group: str, count: int) -> None:
+        """Add device pins."""
+        self._check_count(count)
+        self.group(group).pins += count
+
+    def merge(self, other: "Netlist", prefix: str = "") -> None:
+        """Absorb another netlist's groups (optionally prefixed)."""
+        for group in other.groups():
+            target = self.group(prefix + group.name)
+            target.luts += group.luts
+            target.ff_packed += group.ff_packed
+            target.ff_unpacked += group.ff_unpacked
+            target.pins += group.pins
+            target.roms.extend(group.roms)
+
+    # -------------------------------------------------------------- queries
+    def groups(self) -> Iterator[Group]:
+        """All groups in insertion order."""
+        return iter(self._groups.values())
+
+    @property
+    def total_luts(self) -> int:
+        return sum(g.luts for g in self._groups.values())
+
+    @property
+    def total_ff(self) -> int:
+        return sum(g.flipflops for g in self._groups.values())
+
+    @property
+    def total_ff_unpacked(self) -> int:
+        return sum(g.ff_unpacked for g in self._groups.values())
+
+    @property
+    def total_rom_bits(self) -> int:
+        return sum(g.rom_bits for g in self._groups.values())
+
+    @property
+    def total_pins(self) -> int:
+        return sum(g.pins for g in self._groups.values())
+
+    def rom_blocks(self) -> List[Tuple[str, RomBlock]]:
+        """Every ROM instance with its owning group name."""
+        out: List[Tuple[str, RomBlock]] = []
+        for group in self._groups.values():
+            out.extend((group.name, rom) for rom in group.roms)
+        return out
+
+    def summary(self) -> str:
+        """Human-readable per-group breakdown."""
+        lines = [
+            f"netlist {self.name}: {self.total_luts} LUTs, "
+            f"{self.total_ff} FFs ({self.total_ff_unpacked} unpacked), "
+            f"{self.total_rom_bits} ROM bits, {self.total_pins} pins"
+        ]
+        for group in self._groups.values():
+            lines.append(
+                f"  {group.name:<18} luts={group.luts:<5} "
+                f"ff={group.flipflops:<5} rom={group.rom_bits:<6} "
+                f"pins={group.pins}"
+            )
+        return "\n".join(lines)
+
+    @staticmethod
+    def _check_count(count: int) -> None:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")

@@ -1,0 +1,157 @@
+"""Netlist building blocks with structurally-derived LUT counts.
+
+Everything here is computed from logic structure, not fitted:
+
+- XOR trees from the exact GF(2) term counts of the (Inv)MixColumn
+  linear maps (extracted from :mod:`repro.ip.datapath` by linearity);
+- multiplexers from fan-in arithmetic on 4-input LUTs;
+- ROM-to-LUT decomposition from Shannon expansion (the Cyclone case).
+
+The only fitted quantities live in :mod:`repro.fpga.calibration`.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Callable, List, Tuple
+
+from repro.ip.datapath import inv_mix_column_word, mix_column_word
+
+#: LUT fan-in on every family modeled here (Acex/Flex/Apex/Cyclone LEs).
+LUT_INPUTS = 4
+
+
+def xor_tree_luts(terms: int) -> int:
+    """4-LUTs needed for an XOR of ``terms`` inputs (balanced tree).
+
+    Each 4-LUT absorbs 4 leaves at the first level and 3 more per
+    additional LUT (one input chains the partial result):
+    ceil((n - 1) / 3).
+    """
+    if terms < 0:
+        raise ValueError("term count must be non-negative")
+    if terms <= 1:
+        return 0
+    return math.ceil((terms - 1) / 3)
+
+
+def mux_luts(bits: int, ways: int) -> int:
+    """4-LUTs for a ``ways``:1 mux on a ``bits``-wide word.
+
+    A 2:1 mux fits one LUT per bit (3 inputs); wider selects build a
+    mux2 tree: ways-1 mux2 nodes per bit.
+    """
+    if bits < 0 or ways < 1:
+        raise ValueError("bits >= 0 and ways >= 1 required")
+    if ways == 1:
+        return 0
+    return bits * (ways - 1)
+
+
+@lru_cache(maxsize=None)
+def _linear_map_terms(which: str) -> Tuple[int, ...]:
+    """Per-output-bit XOR term counts of a 32->32 GF(2)-linear map.
+
+    Extracted by probing the actual datapath function with unit
+    vectors, so the area model can never drift from the functional
+    model.
+    """
+    fn: Callable[[int], int] = {
+        "mix": mix_column_word,
+        "inv_mix": inv_mix_column_word,
+    }[which]
+    basis: List[int] = [fn(1 << j) for j in range(32)]
+    return tuple(
+        sum((column >> i) & 1 for column in basis) for i in range(32)
+    )
+
+
+def mix_column_terms() -> Tuple[int, ...]:
+    """XOR terms per output bit of MixColumn (min 5, max 7)."""
+    return _linear_map_terms("mix")
+
+
+def inv_mix_column_terms() -> Tuple[int, ...]:
+    """XOR terms per output bit of InvMixColumn (11..19) — the depth
+    behind the decrypt datapath's longer clock period."""
+    return _linear_map_terms("inv_mix")
+
+
+def mix_network_luts(columns: int = 4, add_key: bool = True) -> int:
+    """LUTs of the MixColumn network over ``columns`` columns.
+
+    The AddKey XOR merges into each output bit's tree root (+1 term),
+    which is how synthesis implements the fused
+    ShiftRow->MixColumn->AddKey stage.  ShiftRow itself is wiring.
+    """
+    extra = 1 if add_key else 0
+    per_column = sum(
+        xor_tree_luts(t + extra) for t in mix_column_terms()
+    )
+    return per_column * columns
+
+
+def inv_mix_network_luts(columns: int = 4, add_key: bool = True,
+                         shared: bool = True) -> int:
+    """LUTs of the InvMixColumn network.
+
+    ``shared=True`` models the classic decomposition
+    InvMixColumns = MixColumns o correction, where the correction adds
+    xtime^2 terms pairwise (b0^=xt2(b0^b2), b1^=xt2(b1^b3)); it costs
+    ~0.5 LUT/bit on top of the forward network and is the only
+    structure consistent with the paper's tiny encrypt->decrypt LC
+    delta (2217 - 2114 = 103 LCs).  ``shared=False`` gives the flat
+    network (688 LUTs per 128 bits) for the ablation bench.
+    """
+    if shared:
+        correction = 16 * columns  # 2 byte-pairs x 8 bits per column
+        return mix_network_luts(columns, add_key) + correction
+    extra = 1 if add_key else 0
+    per_column = sum(
+        xor_tree_luts(t + extra) for t in inv_mix_column_terms()
+    )
+    return per_column * columns
+
+
+def rom_as_luts(words: int, width: int) -> int:
+    """4-LUTs for a ROM decomposed into logic (Shannon expansion).
+
+    Per output bit: ``words / 16`` leaf LUTs covering 4 address bits,
+    plus a mux2 tree over the remaining address bits
+    (``words/16 - 1`` nodes).  A 256x8 S-box comes to 31 LUTs/bit =
+    248 — within 2 % of the per-S-box cost observed between the
+    paper's Acex and Cyclone columns ((4057-2114)/8 = 243).
+    """
+    if words < 16 or words & (words - 1):
+        raise ValueError("ROM words must be a power of two >= 16")
+    leaves = words // 16
+    mux_nodes = leaves - 1
+    return (leaves + mux_nodes) * width
+
+
+def xor_network_depth(terms: int) -> int:
+    """Logic levels of a balanced 4-LUT XOR tree over ``terms`` inputs."""
+    if terms <= 1:
+        return 0
+    depth = 0
+    while terms > 1:
+        terms = math.ceil(terms / LUT_INPUTS)
+        depth += 1
+    return depth
+
+
+def mix_stage_depth(inverse: bool, shared: bool = True) -> int:
+    """Logic levels of the 128-bit mix stage (excluding muxes).
+
+    Forward: worst output bit has 7 terms + key = 8 -> 2 LUT levels,
+    plus the xtime conditional level = 3.  Inverse (shared form): +1
+    correction level = 4.  These depths drive the timing model and
+    are the structural reason decrypt clocks slower in Table 2.
+    """
+    base = 1 + xor_network_depth(max(mix_column_terms()) + 1)
+    if not inverse:
+        return base
+    if shared:
+        return base + 1
+    return 1 + xor_network_depth(max(inv_mix_column_terms()) + 1)

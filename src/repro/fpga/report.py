@@ -1,0 +1,130 @@
+"""Fitter-style reports — the rows of the paper's Table 2.
+
+A :class:`FitReport` bundles the mapped resources, the timing result
+and the derived performance figures for one (architecture, device)
+pair, with the same fields and units the paper reports: logic cells
+with occupancy %, memory bits with occupancy %, pins with occupancy %,
+latency in ns, clock period in ns, and throughput in Mbps
+(block size / latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.arch.spec import ArchitectureSpec, BLOCK_BITS
+from repro.fpga.devices import Device
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """One synthesis/fit result."""
+
+    spec: ArchitectureSpec
+    device: Device
+    logic_elements: int
+    memory_bits: int
+    memory_blocks: int
+    pins: int
+    clock_ns: float
+    critical_path: str
+    path_delays: Dict[str, float]
+    #: Whether the design fits the device (LEs, memory blocks, pins).
+    fits: bool = True
+
+    # ------------------------------------------------------- derived
+    @property
+    def latency_cycles(self) -> int:
+        return self.spec.block_latency_cycles
+
+    @property
+    def latency_ns(self) -> float:
+        """Capture-to-result latency (the paper's 700/750/850 ns)."""
+        return self.latency_cycles * self.clock_ns
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Throughput as the paper defines it: block size / latency.
+
+        (1 Mbps = 1e6 bit/s; with ns latencies this is bits*1000/ns.)
+        For pipelined designs the steady-state rate uses the block
+        period instead of the latency.
+        """
+        period_cycles = self.spec.cycles_per_block_throughput
+        return BLOCK_BITS * 1000.0 / (period_cycles * self.clock_ns)
+
+    @property
+    def logic_pct(self) -> float:
+        return 100.0 * self.logic_elements / self.device.logic_elements
+
+    @property
+    def memory_pct(self) -> float:
+        total = self.device.memory_bits
+        return 100.0 * self.memory_bits / total if total else 0.0
+
+    @property
+    def pin_pct(self) -> float:
+        return 100.0 * self.pins / self.device.user_ios
+
+    @property
+    def efficiency_mbps_per_kle(self) -> float:
+        """Throughput per 1000 logic cells (area-efficiency metric)."""
+        return self.throughput_mbps / (self.logic_elements / 1000.0)
+
+    # ------------------------------------------------------ rendering
+    def row(self) -> Dict[str, str]:
+        """The Table 2 cell strings for this fit."""
+        return {
+            "LC's": f"{self.logic_elements}/{self.logic_pct:.0f}%",
+            "Memory": f"{self.memory_bits}/{self.memory_pct:.0f}%",
+            "Pins": f"{self.pins}/{self.pin_pct:.0f}%",
+            "Latency": f"{self.latency_ns:.0f} ns",
+            "Clk": f"{self.clock_ns:.0f} ns",
+            "Throughput": f"{self.throughput_mbps:.0f} Mbps",
+        }
+
+    def render(self) -> str:
+        """A one-fit report block."""
+        lines = [
+            f"== {self.spec.name} on {self.device.name} "
+            f"({self.device.family}) =="
+        ]
+        for key, value in self.row().items():
+            lines.append(f"  {key:<11}: {value}")
+        lines.append(
+            f"  critical   : {self.critical_path} "
+            f"({self.path_delays[self.critical_path]:.1f} ns raw)"
+        )
+        return "\n".join(lines)
+
+
+def render_table2(reports: Sequence[FitReport],
+                  families: Sequence[str] = ("Acex1K", "Cyclone")) -> str:
+    """Render a set of fits in the paper's Table 2 layout.
+
+    Rows are grouped by design (Encrypt / Decrypt / Both), columns by
+    device family, exactly like the paper.
+    """
+    by_key = {
+        (r.spec.variant.value, r.device.family): r for r in reports
+    }
+    metrics = ("LC's", "Memory", "Pins", "Latency", "Clk", "Throughput")
+    lines = [
+        f"{'Design':<9}{'Metric':<12}"
+        + "".join(f"{fam:<16}" for fam in families)
+    ]
+    lines.append("-" * (21 + 16 * len(families)))
+    for variant in ("encrypt", "decrypt", "both"):
+        for i, metric in enumerate(metrics):
+            label = variant.capitalize() if i == 0 else ""
+            cells = []
+            for family in families:
+                report = by_key.get((variant, family))
+                cells.append(report.row()[metric] if report else "-")
+            lines.append(
+                f"{label:<9}{metric:<12}"
+                + "".join(f"{cell:<16}" for cell in cells)
+            )
+        lines.append("-" * (21 + 16 * len(families)))
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""One-call synthesis flow: spec + device → :class:`FitReport`.
+
+This is the reproduction's equivalent of "compile the VHDL with
+Leonardo Spectrum, fit and time with Quartus II" (paper §5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from repro.arch.spec import ArchitectureSpec, PAPER_SPECS
+from repro.fpga.aes_netlists import build_netlist
+from repro.fpga.devices import Device, device as lookup_device
+from repro.fpga.mapper import map_netlist
+from repro.fpga.report import FitReport
+from repro.fpga.timing import analyze
+
+
+def compile_spec(spec: ArchitectureSpec,
+                 target: Union[Device, str],
+                 strict: bool = True) -> FitReport:
+    """Synthesize, map and time one architecture on one device."""
+    dev = target if isinstance(target, Device) else lookup_device(target)
+    netlist = build_netlist(spec)
+    mapped = map_netlist(netlist, dev, sync_design=spec.sync_rom,
+                         strict=strict)
+    clock, critical, paths = analyze(spec, dev)
+    fits = (
+        mapped.logic_elements <= dev.logic_elements
+        and mapped.pins <= dev.user_ios
+        and (dev.memory is None
+             or mapped.memory_blocks <= dev.memory.blocks)
+    )
+    return FitReport(
+        spec=spec,
+        device=dev,
+        logic_elements=mapped.logic_elements,
+        memory_bits=mapped.memory_bits,
+        memory_blocks=mapped.memory_blocks,
+        pins=mapped.pins,
+        clock_ns=clock,
+        critical_path=critical,
+        path_delays=paths,
+        fits=fits,
+    )
+
+
+def compile_table2(families: Iterable[str] = ("Acex1K", "Cyclone"),
+                   sync_rom: bool = False) -> List[FitReport]:
+    """All six fits of the paper's Table 2 (3 variants x 2 families)."""
+    from repro.arch.spec import paper_spec
+
+    reports = []
+    for family in families:
+        dev = lookup_device(family)
+        for spec in PAPER_SPECS.values():
+            run = spec
+            if sync_rom:
+                run = paper_spec(spec.variant, sync_rom=True)
+            reports.append(compile_spec(run, dev))
+    return reports

@@ -1,0 +1,145 @@
+"""Named-critical-path static timing: design + device → clock period.
+
+Three candidate path classes cover the design (paper §4/§5):
+
+1. **mix stage** — state register → (I)ShiftRow wiring → (Inv)Mix
+   Column XOR network (depth from the GF(2) term structure, see
+   :func:`repro.fpga.primitives.mix_stage_depth`) → merged Add Key →
+   bypass mux → state source mux → state register.  The inverse
+   network is one correction level deeper — the structural reason the
+   decrypt device clocks slower (15 ns vs 14 ns on Acex1K).
+2. **S-box read** — state register → address word-select mux → S-box
+   ROM (asynchronous EAB access on Acex, a LUT mux-tree on Cyclone,
+   a registered M4K read on the sync-ROM variant) → state source mux
+   → state register.  On Acex this asynchronous EAB access is the
+   encrypt device's critical path — the paper's remark that "the
+   speed restriction is in the 32 bit parts".
+3. **key schedule** — working key register → rotate (wiring) → KStran
+   S-boxes → Rcon XOR → build XOR → build register.
+
+The BOTH device inserts one direction-select mux level into each
+class.  The clock period is the slowest path, rounded to the
+nanosecond grid the paper reports on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.arch.spec import ArchitectureSpec
+from repro.fpga.devices import Device
+from repro.fpga.primitives import mix_stage_depth
+from repro.ip.control import Variant
+
+#: Logic depth of a 256x8 ROM mapped into LUTs (optimized mux tree).
+ROM_IN_LUTS_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class PathTiming:
+    """One analyzed path."""
+
+    name: str
+    delay_ns: float
+
+
+def _extra_mux_levels(spec: ArchitectureSpec) -> int:
+    """Direction-select levels added by the combined device."""
+    return 1 if spec.variant is Variant.BOTH else 0
+
+
+def _narrow_mux_levels(spec: ArchitectureSpec) -> int:
+    """Word-select levels when the wide stage is narrower than 128."""
+    return 1 if spec.wide_width != 128 else 0
+
+
+def mix_path(spec: ArchitectureSpec, device: Device,
+             inverse: bool) -> PathTiming:
+    """Path class 1 for one direction."""
+    levels = (
+        mix_stage_depth(inverse)
+        + 1  # last-round bypass / first-round IMixColumn skip mux
+        + 1  # state source mux
+        + _extra_mux_levels(spec)
+        + _narrow_mux_levels(spec)
+    )
+    delay = device.t_overhead + levels * device.t_level
+    name = "inv_mix_stage" if inverse else "mix_stage"
+    return PathTiming(name, delay)
+
+
+def sbox_path(spec: ArchitectureSpec, device: Device) -> PathTiming:
+    """Path class 2: the (I)Byte Sub read."""
+    mux_levels = 2 + _extra_mux_levels(spec)  # addr select + state source
+    if device.supports_async_rom and not spec.sync_rom:
+        delay = (
+            device.t_overhead
+            + device.t_rom_access
+            + mux_levels * device.t_level
+        )
+        return PathTiming("sbox_eab_async", delay)
+    if spec.sync_rom and device.memory is not None:
+        # Registered read: the ROM splits the path; the worse half is
+        # clock-to-data plus the source mux into the state register.
+        delay = (
+            device.t_overhead
+            + device.t_rom_access
+            + (1 + _extra_mux_levels(spec)) * device.t_level
+        )
+        return PathTiming("sbox_blockram_sync", delay)
+    levels = ROM_IN_LUTS_DEPTH + mux_levels
+    delay = device.t_overhead + levels * device.t_level
+    return PathTiming("sbox_in_luts", delay)
+
+
+def key_path(spec: ArchitectureSpec, device: Device) -> PathTiming:
+    """Path class 3: KStran + schedule XORs."""
+    if spec.key_schedule == "precomputed":
+        # Round-key RAM read into the Add Key network: short.
+        delay = device.t_overhead + device.t_rom_access
+        return PathTiming("key_ram_read", delay)
+    logic_levels = 2  # Rcon XOR + build XOR (rotate is wiring)
+    if device.supports_async_rom and not spec.sync_rom:
+        rom = device.t_rom_access
+        return PathTiming(
+            "kstran_eab",
+            device.t_overhead + rom + logic_levels * device.t_level,
+        )
+    if spec.sync_rom and device.memory is not None:
+        return PathTiming(
+            "kstran_blockram_sync",
+            device.t_overhead + device.t_rom_access
+            + logic_levels * device.t_level,
+        )
+    levels = ROM_IN_LUTS_DEPTH + logic_levels
+    return PathTiming(
+        "kstran_in_luts", device.t_overhead + levels * device.t_level
+    )
+
+
+def analyze(spec: ArchitectureSpec,
+            device: Device) -> Tuple[float, str, Dict[str, float]]:
+    """All paths for a design point.
+
+    Returns (clock period in ns, critical path name, all path delays).
+    The period lands on the integer-nanosecond grid the paper reports.
+    """
+    paths = {}
+    if spec.variant.can_encrypt:
+        p = mix_path(spec, device, inverse=False)
+        paths[p.name] = p.delay_ns
+    if spec.variant.can_decrypt:
+        p = mix_path(spec, device, inverse=True)
+        paths[p.name] = p.delay_ns
+    for p in (sbox_path(spec, device), key_path(spec, device)):
+        paths[p.name] = p.delay_ns
+    critical = max(paths, key=lambda name: paths[name])
+    clock = round_clock(paths[critical])
+    return clock, critical, paths
+
+
+def round_clock(delay_ns: float) -> float:
+    """Round a path delay to the 1 ns grid (half-up, like the paper)."""
+    return float(math.floor(delay_ns + 0.5))

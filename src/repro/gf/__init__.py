@@ -1,0 +1,45 @@
+"""Finite-field arithmetic substrate for Rijndael.
+
+Rijndael's byte-level operations live in GF(2^8) defined by the
+irreducible polynomial m(x) = x^8 + x^4 + x^3 + x + 1 (0x11B), and its
+MixColumns step lives in the quotient ring GF(2^8)[x] / (x^4 + 1).
+This package implements both from first principles so the rest of the
+library (S-box derivation, MixColumns, the hardware cost model for the
+xtime networks) never hardcodes magic tables.
+"""
+
+from repro.gf.galois import (
+    AES_MODULUS,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_mul_slow,
+    gf_pow,
+    is_irreducible,
+    xtime,
+    xtime_chain_depth,
+)
+from repro.gf.polyring import (
+    ColumnPolynomial,
+    INV_MIX_POLY,
+    MIX_POLY,
+    ring_mul,
+)
+
+__all__ = [
+    "AES_MODULUS",
+    "ColumnPolynomial",
+    "INV_MIX_POLY",
+    "MIX_POLY",
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_mul",
+    "gf_mul_slow",
+    "gf_pow",
+    "is_irreducible",
+    "ring_mul",
+    "xtime",
+    "xtime_chain_depth",
+]

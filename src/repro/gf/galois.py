@@ -1,0 +1,173 @@
+"""GF(2^8) arithmetic for Rijndael.
+
+All values are Python ints in ``range(256)`` interpreted as polynomials
+over GF(2): bit *i* is the coefficient of x^i.  The field is defined by
+the AES modulus m(x) = x^8 + x^4 + x^3 + x + 1 (``0x11B``).
+
+Two multiplication routines are provided: :func:`gf_mul_slow` is a
+direct shift-and-add reduction used as the ground truth, while
+:func:`gf_mul` uses log/antilog tables built at import time (the same
+strategy a software AES would use, and the one our tests cross-check).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: The AES field modulus x^8 + x^4 + x^3 + x + 1.
+AES_MODULUS = 0x11B
+
+#: Generator used to build the log/antilog tables.  0x03 (x + 1) is the
+#: canonical generator of GF(2^8)* under the AES modulus.
+GENERATOR = 0x03
+
+
+def _check_byte(value: int) -> None:
+    if not isinstance(value, int) or not 0 <= value <= 0xFF:
+        raise ValueError(f"field element out of range: {value!r}")
+
+
+def gf_add(a: int, b: int) -> int:
+    """Add two field elements (carry-less: XOR)."""
+    _check_byte(a)
+    _check_byte(b)
+    return a ^ b
+
+
+def xtime(a: int, modulus: int = AES_MODULUS) -> int:
+    """Multiply a field element by x (i.e. by 0x02), reducing mod ``modulus``.
+
+    This is the primitive operation AES hardware implements as a shift
+    plus a conditional XOR of the low byte of the modulus; every
+    MixColumns coefficient multiply is a small network of xtimes and
+    XORs (see :func:`xtime_chain_depth` for the cost model).
+    """
+    _check_byte(a)
+    a <<= 1
+    if a & 0x100:
+        a ^= modulus
+    return a & 0xFF
+
+
+def gf_mul_slow(a: int, b: int, modulus: int = AES_MODULUS) -> int:
+    """Multiply two field elements by shift-and-add (ground truth).
+
+    Runs in O(8) regardless of operand values; used to validate the
+    table-driven :func:`gf_mul` and to support non-AES moduli in tests.
+    """
+    _check_byte(a)
+    _check_byte(b)
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = xtime(a, modulus)
+        b >>= 1
+    return result
+
+
+def _build_tables() -> "tuple[List[int], List[int]]":
+    """Build log/antilog tables over the generator ``0x03``."""
+    alog = [0] * 256
+    log = [0] * 256
+    value = 1
+    for exponent in range(255):
+        alog[exponent] = value
+        log[value] = exponent
+        value = gf_mul_slow(value, GENERATOR)
+    alog[255] = alog[0]  # wrap for convenience: g^255 == g^0 == 1
+    return alog, log
+
+
+_ALOG, _LOG = _build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements using log/antilog tables.
+
+    Only valid for the AES modulus; for other moduli use
+    :func:`gf_mul_slow`.
+    """
+    _check_byte(a)
+    _check_byte(b)
+    if a == 0 or b == 0:
+        return 0
+    return _ALOG[(_LOG[a] + _LOG[b]) % 255]
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Raise a field element to an integer power (exponent >= 0)."""
+    _check_byte(a)
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative; invert first")
+    if a == 0:
+        if exponent == 0:
+            return 1
+        return 0
+    return _ALOG[(_LOG[a] * exponent) % 255]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8), with the AES convention inv(0)=0.
+
+    The "patched" inverse (0 maps to 0) is exactly what the Rijndael
+    S-box construction uses, so we adopt it here rather than raising.
+    """
+    _check_byte(a)
+    if a == 0:
+        return 0
+    return _ALOG[(255 - _LOG[a]) % 255]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide field elements: a * inv(b).  Division by zero raises."""
+    _check_byte(a)
+    _check_byte(b)
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    return gf_mul(a, gf_inv(b))
+
+
+def is_irreducible(poly: int) -> bool:
+    """Check whether a degree-8 polynomial over GF(2) is irreducible.
+
+    Used by tests to confirm that the AES modulus is a legitimate field
+    modulus and that slightly-off moduli are rejected.  ``poly`` must
+    have degree exactly 8 (bit 8 set).
+    """
+    if poly >> 8 != 1:
+        raise ValueError("expected a degree-8 polynomial (bit 8 set)")
+    # Trial division by all polynomials of degree 1..4.
+    for divisor in range(2, 32):
+        if _poly_mod(poly, divisor) == 0:
+            return False
+    return True
+
+
+def _poly_mod(a: int, b: int) -> int:
+    """Remainder of carry-less polynomial division a mod b."""
+    db = b.bit_length()
+    while a.bit_length() >= db:
+        a ^= b << (a.bit_length() - db)
+    return a
+
+
+def xtime_chain_depth(coefficient: int) -> int:
+    """XOR-network depth (in 2-input XOR levels) of multiplying by a constant.
+
+    The hardware cost model uses this to size the MixColumns /
+    InvMixColumns logic: multiplying by ``c`` decomposes into XORing the
+    xtime-powers of the operand selected by the set bits of ``c``.  The
+    depth is the xtime chain length (each xtime is one conditional-XOR
+    level) plus the depth of the XOR reduction tree over the selected
+    terms.
+
+    Examples: ``x02`` -> 1 level; ``x03`` -> 2; InvMixColumns ``x0E``
+    (1110) -> 3 xtimes + 2-level tree = 5.
+    """
+    if not 0 < coefficient < 256:
+        raise ValueError("coefficient must be in 1..255")
+    terms = bin(coefficient).count("1")
+    chain = coefficient.bit_length() - 1  # xtimes to reach the top term
+    tree = (terms - 1).bit_length()  # levels of a balanced XOR tree
+    return chain + tree

@@ -1,0 +1,153 @@
+"""The ring GF(2^8)[x] / (x^4 + 1) used by MixColumns (paper Fig. 7).
+
+Rijndael treats each State column as a degree-3 polynomial with
+coefficients in GF(2^8) and multiplies it by the fixed polynomial
+c(x) = 03·x^3 + 01·x^2 + 01·x + 02 modulo x^4 + 1.  The inverse step
+multiplies by d(x) = 0B·x^3 + 0D·x^2 + 09·x + 0E, with c(x)·d(x) = 01.
+
+x^4 + 1 is *not* irreducible over GF(2^8) so the ring has zero
+divisors, but c(x) was chosen coprime to it and therefore invertible —
+a fact our property tests verify directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.gf.galois import gf_mul
+
+
+class ColumnPolynomial:
+    """A degree-<4 polynomial over GF(2^8), i.e. one Rijndael column.
+
+    Coefficients are stored little-endian: ``coeffs[i]`` multiplies x^i.
+    Instances are immutable value objects.
+    """
+
+    __slots__ = ("_coeffs",)
+
+    def __init__(self, coeffs: Iterable[int]):
+        coeffs = tuple(coeffs)
+        if len(coeffs) != 4:
+            raise ValueError("a column polynomial has exactly 4 coefficients")
+        for c in coeffs:
+            if not isinstance(c, int) or not 0 <= c <= 0xFF:
+                raise ValueError(f"coefficient out of range: {c!r}")
+        self._coeffs = coeffs
+
+    @property
+    def coeffs(self) -> Tuple[int, int, int, int]:
+        """The 4 coefficients, little-endian (x^0 first)."""
+        return self._coeffs
+
+    def __mul__(self, other: "ColumnPolynomial") -> "ColumnPolynomial":
+        return ColumnPolynomial(ring_mul(self._coeffs, other._coeffs))
+
+    def __add__(self, other: "ColumnPolynomial") -> "ColumnPolynomial":
+        return ColumnPolynomial(
+            a ^ b for a, b in zip(self._coeffs, other._coeffs)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnPolynomial):
+            return NotImplemented
+        return self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return hash(self._coeffs)
+
+    def __repr__(self) -> str:
+        terms = " + ".join(
+            f"{c:02x}·x^{i}" for i, c in enumerate(self._coeffs) if c
+        )
+        return f"ColumnPolynomial({terms or '0'})"
+
+    def is_unit(self) -> bool:
+        """True if this polynomial has an inverse modulo x^4 + 1."""
+        try:
+            self.inverse()
+        except ValueError:
+            return False
+        return True
+
+    def inverse(self) -> "ColumnPolynomial":
+        """Multiplicative inverse modulo x^4 + 1, by exhaustive structure.
+
+        Multiplication by a fixed polynomial modulo x^4+1 is a circulant
+        linear map over GF(2^8)^4; we invert it by solving the 4x4
+        circulant system via Gaussian elimination in GF(2^8).  Raises
+        ``ValueError`` when the polynomial is a zero divisor.
+        """
+        matrix = _circulant(self._coeffs)
+        identity = [[1 if r == c else 0 for c in range(4)] for r in range(4)]
+        inv = _gf_matrix_solve(matrix, identity)
+        if inv is None:
+            raise ValueError(f"{self!r} is not a unit in GF(2^8)[x]/(x^4+1)")
+        # The inverse map is circulant too; its defining column gives the
+        # inverse polynomial's coefficients.
+        return ColumnPolynomial([inv[row][0] for row in range(4)])
+
+
+def ring_mul(
+    a: Sequence[int], b: Sequence[int]
+) -> Tuple[int, int, int, int]:
+    """Multiply two coefficient 4-tuples modulo x^4 + 1.
+
+    Because x^4 ≡ 1, the product's coefficient k is the "cyclic
+    convolution" XOR-sum of gf_mul(a[i], b[j]) over i + j ≡ k (mod 4) —
+    exactly the matrix form shown in FIPS-197 §5.1.3.
+    """
+    if len(a) != 4 or len(b) != 4:
+        raise ValueError("ring elements have exactly 4 coefficients")
+    out = [0, 0, 0, 0]
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            if bj == 0:
+                continue
+            out[(i + j) % 4] ^= gf_mul(ai, bj)
+    return (out[0], out[1], out[2], out[3])
+
+
+def _circulant(coeffs: Sequence[int]) -> List[List[int]]:
+    """The 4x4 circulant matrix of multiplication by ``coeffs``."""
+    return [[coeffs[(row - col) % 4] for col in range(4)] for row in range(4)]
+
+
+def _gf_matrix_solve(
+    matrix: List[List[int]], rhs: List[List[int]]
+) -> "List[List[int]] | None":
+    """Solve M·X = R over GF(2^8) by Gaussian elimination.
+
+    Returns X, or ``None`` when M is singular.
+    """
+    from repro.gf.galois import gf_div
+
+    n = len(matrix)
+    # Work on augmented copies.
+    m = [row[:] for row in matrix]
+    r = [row[:] for row in rhs]
+    for col in range(n):
+        pivot = next((i for i in range(col, n) if m[i][col]), None)
+        if pivot is None:
+            return None
+        m[col], m[pivot] = m[pivot], m[col]
+        r[col], r[pivot] = r[pivot], r[col]
+        inv_pivot = m[col][col]
+        m[col] = [gf_div(v, inv_pivot) for v in m[col]]
+        r[col] = [gf_div(v, inv_pivot) for v in r[col]]
+        for row in range(n):
+            if row == col or m[row][col] == 0:
+                continue
+            factor = m[row][col]
+            m[row] = [v ^ gf_mul(factor, p) for v, p in zip(m[row], m[col])]
+            r[row] = [v ^ gf_mul(factor, p) for v, p in zip(r[row], r[col])]
+    return r
+
+
+#: MixColumns polynomial c(x) = 03·x^3 + 01·x^2 + 01·x + 02 (paper Fig. 7).
+MIX_POLY = ColumnPolynomial((0x02, 0x01, 0x01, 0x03))
+
+#: InvMixColumns polynomial d(x) = 0B·x^3 + 0D·x^2 + 09·x + 0E.
+INV_MIX_POLY = ColumnPolynomial((0x0E, 0x09, 0x0D, 0x0B))

@@ -1,0 +1,131 @@
+"""A small structural VHDL checker for the generator's output.
+
+Without a VHDL simulator in the environment, the next best guard
+against emitting garbage is a structural lint: paired design units,
+balanced processes and case statements, every entity port referenced
+by its architecture, and no stray characters outside the VHDL subset
+the generator uses.  It is intentionally a *checker for our emitted
+subset*, not a general VHDL front end.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class LintError(ValueError):
+    """Raised when generated VHDL fails a structural check."""
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """What the linter found in one file."""
+
+    entities: Tuple[str, ...]
+    architectures: Tuple[Tuple[str, str], ...]  # (arch name, entity)
+    packages: Tuple[str, ...]
+    processes: int
+    ports: Tuple[str, ...]
+
+
+_ENTITY_RE = re.compile(r"^\s*entity\s+(\w+)\s+is", re.MULTILINE)
+_END_ENTITY_RE = re.compile(r"^\s*end\s+entity\s+(\w+)\s*;",
+                            re.MULTILINE)
+_ARCH_RE = re.compile(
+    r"^\s*architecture\s+(\w+)\s+of\s+(\w+)\s+is", re.MULTILINE
+)
+_END_ARCH_RE = re.compile(r"^\s*end\s+architecture\s+(\w+)\s*;",
+                          re.MULTILINE)
+_PACKAGE_RE = re.compile(r"^\s*package\s+(\w+)\s+is", re.MULTILINE)
+_END_PACKAGE_RE = re.compile(r"^\s*end\s+package\s+(\w+)\s*;",
+                             re.MULTILINE)
+_PROCESS_RE = re.compile(r"^\s*(\w+)\s*:\s*process\b", re.MULTILINE)
+_END_PROCESS_RE = re.compile(r"^\s*end\s+process\b", re.MULTILINE)
+_PORT_RE = re.compile(r"^\s*(\w+)\s*:\s*(?:in|out|inout)\s",
+                      re.MULTILINE)
+_CASE_RE = re.compile(r"\bcase\b")
+_END_CASE_RE = re.compile(r"\bend\s+case\b")
+_IF_RE = re.compile(r"(?<![\w.])if\b")
+_END_IF_RE = re.compile(r"\bend\s+if\b")
+_ELSIF_RE = re.compile(r"\belsif\b")
+
+
+def _strip_comments(text: str) -> str:
+    return "\n".join(line.split("--", 1)[0] for line in text.splitlines())
+
+
+def lint_vhdl(text: str, filename: str = "<vhdl>") -> LintReport:
+    """Structurally check one VHDL file; raises :class:`LintError`."""
+    code = _strip_comments(text)
+
+    entities = _ENTITY_RE.findall(code)
+    end_entities = _END_ENTITY_RE.findall(code)
+    if sorted(entities) != sorted(end_entities):
+        raise LintError(
+            f"{filename}: entity/end-entity mismatch: "
+            f"{entities} vs {end_entities}"
+        )
+
+    archs = _ARCH_RE.findall(code)
+    end_archs = _END_ARCH_RE.findall(code)
+    if len(archs) != len(end_archs):
+        raise LintError(f"{filename}: architecture/end mismatch")
+    for arch_name, entity_name in archs:
+        if entity_name not in entities and not _is_external(code,
+                                                            entity_name):
+            raise LintError(
+                f"{filename}: architecture {arch_name} targets unknown "
+                f"entity {entity_name}"
+            )
+
+    packages = _PACKAGE_RE.findall(code)
+    end_packages = _END_PACKAGE_RE.findall(code)
+    if sorted(packages) != sorted(end_packages):
+        raise LintError(f"{filename}: package/end-package mismatch")
+
+    processes = _PROCESS_RE.findall(code)
+    if len(processes) != len(_END_PROCESS_RE.findall(code)):
+        raise LintError(f"{filename}: process/end-process mismatch")
+
+    # "end case" itself contains the token "case" (likewise "end if"),
+    # so openings = total occurrences minus the closers' share.
+    case_total = len(_CASE_RE.findall(code))
+    case_ends = len(_END_CASE_RE.findall(code))
+    if case_total - case_ends != case_ends:
+        raise LintError(f"{filename}: case/end-case mismatch")
+
+    if_total = len(_IF_RE.findall(code))
+    if_ends = len(_END_IF_RE.findall(code))
+    if if_total - if_ends != if_ends:
+        raise LintError(
+            f"{filename}: if/end-if imbalance "
+            f"({if_total - if_ends} openings vs {if_ends} closers)"
+        )
+
+    ports = tuple(_PORT_RE.findall(code))
+    # Every entity port must appear somewhere in an architecture body.
+    if entities and archs:
+        body = code
+        for port in ports:
+            uses = len(re.findall(rf"\b{re.escape(port)}\b", body))
+            if uses < 2:  # declaration + at least one reference
+                raise LintError(
+                    f"{filename}: port {port!r} declared but never used"
+                )
+
+    return LintReport(
+        entities=tuple(entities),
+        architectures=tuple(archs),
+        packages=tuple(packages),
+        processes=len(processes),
+        ports=ports,
+    )
+
+
+def _is_external(code: str, entity_name: str) -> bool:
+    """Allow architectures of entities declared in another file if a
+    component/use hints at them (we only generate same-file pairs, so
+    this stays False in practice)."""
+    return bool(re.search(rf"\bcomponent\s+{entity_name}\b", code))

@@ -1,0 +1,156 @@
+"""Altera Memory Initialization File (.mif) writer and parser.
+
+Quartus initializes EAB/M4K ROM contents from MIF files; a soft IP
+that uses S-box ROMs ships them.  The format is line-oriented:
+
+.. code-block:: text
+
+    DEPTH = 256;
+    WIDTH = 8;
+    ADDRESS_RADIX = HEX;
+    DATA_RADIX = HEX;
+    CONTENT BEGIN
+        00 : 63;
+        01 : 7C;
+        ...
+    END;
+
+The writer emits exactly this; the parser accepts the writer's output
+plus the common variations (comments, ranges ``[a..b] : v``, default
+lines) so round-trip tests are meaningful.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence
+
+
+class MifError(ValueError):
+    """Raised on malformed MIF content."""
+
+
+def write_mif(words: Sequence[int], width: int,
+              comment: str = "") -> str:
+    """Render a ROM content list as MIF text.
+
+    ``words`` is the full content (index = address); every value must
+    fit ``width`` bits.
+    """
+    if width < 1:
+        raise MifError("width must be >= 1")
+    limit = 1 << width
+    for address, value in enumerate(words):
+        if not 0 <= value < limit:
+            raise MifError(
+                f"word {value:#x} at address {address} does not fit "
+                f"{width} bits"
+            )
+    digits = max(1, (width + 3) // 4)
+    addr_digits = max(1, (max(len(words) - 1, 1).bit_length() + 3) // 4)
+    lines: List[str] = []
+    if comment:
+        for line in comment.splitlines():
+            lines.append(f"-- {line}")
+    lines.extend(
+        [
+            f"DEPTH = {len(words)};",
+            f"WIDTH = {width};",
+            "ADDRESS_RADIX = HEX;",
+            "DATA_RADIX = HEX;",
+            "CONTENT BEGIN",
+        ]
+    )
+    for address, value in enumerate(words):
+        lines.append(
+            f"    {address:0{addr_digits}X} : {value:0{digits}X};"
+        )
+    lines.append("END;")
+    return "\n".join(lines) + "\n"
+
+
+_HEADER_RE = re.compile(r"^(DEPTH|WIDTH|ADDRESS_RADIX|DATA_RADIX)\s*=\s*"
+                        r"([A-Za-z0-9]+)\s*;?\s*$", re.IGNORECASE)
+_ENTRY_RE = re.compile(r"^([0-9A-Fa-f]+)\s*:\s*([0-9A-Fa-f]+)\s*;\s*$")
+_RANGE_RE = re.compile(
+    r"^\[\s*([0-9A-Fa-f]+)\s*\.\.\s*([0-9A-Fa-f]+)\s*\]\s*:\s*"
+    r"([0-9A-Fa-f]+)\s*;\s*$"
+)
+
+_RADICES = {"HEX": 16, "DEC": 10, "BIN": 2, "OCT": 8, "UNS": 10}
+
+
+def parse_mif(text: str) -> Dict[str, object]:
+    """Parse MIF text into ``{"depth", "width", "words"}``.
+
+    Raises :class:`MifError` on malformed input, wrong radix keywords,
+    out-of-range addresses/values, or missing content.
+    """
+    depth = width = None
+    addr_radix = data_radix = 16
+    words: List[int] = []
+    in_content = False
+    saw_end = False
+
+    for raw in text.splitlines():
+        line = raw.split("--", 1)[0].split("%", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if not in_content:
+            if upper.startswith("CONTENT"):
+                in_content = True
+                continue
+            match = _HEADER_RE.match(line)
+            if not match:
+                raise MifError(f"unparseable header line: {raw!r}")
+            key, value = match.group(1).upper(), match.group(2).upper()
+            if key == "DEPTH":
+                depth = int(value)
+            elif key == "WIDTH":
+                width = int(value)
+            else:
+                if value not in _RADICES:
+                    raise MifError(f"unknown radix {value!r}")
+                if key == "ADDRESS_RADIX":
+                    addr_radix = _RADICES[value]
+                else:
+                    data_radix = _RADICES[value]
+            continue
+        if upper == "END;" or upper == "END":
+            saw_end = True
+            break
+        if upper == "BEGIN":
+            continue
+        if depth is None or width is None:
+            raise MifError("CONTENT before DEPTH/WIDTH")
+        if not words:
+            words = [0] * depth
+        range_match = _RANGE_RE.match(line)
+        if range_match:
+            lo = int(range_match.group(1), addr_radix)
+            hi = int(range_match.group(2), addr_radix)
+            value = int(range_match.group(3), data_radix)
+            if not 0 <= lo <= hi < depth:
+                raise MifError(f"range out of bounds: {raw!r}")
+            for address in range(lo, hi + 1):
+                words[address] = value
+            continue
+        entry = _ENTRY_RE.match(line)
+        if not entry:
+            raise MifError(f"unparseable content line: {raw!r}")
+        address = int(entry.group(1), addr_radix)
+        value = int(entry.group(2), data_radix)
+        if not 0 <= address < depth:
+            raise MifError(f"address out of range: {raw!r}")
+        if not 0 <= value < (1 << width):
+            raise MifError(f"value does not fit width: {raw!r}")
+        words[address] = value
+
+    if depth is None or width is None:
+        raise MifError("missing DEPTH or WIDTH")
+    if not saw_end:
+        raise MifError("missing END;")
+    if not words:
+        words = [0] * depth
+    return {"depth": depth, "width": width, "words": words}

@@ -1,0 +1,40 @@
+"""Cycle-accurate model of the paper's Rijndael IP core.
+
+This package is the reproduction's primary contribution: a register-
+transfer-level model of the low-area AES-128 device of Panato et al.,
+with the exact micro-architecture the paper describes:
+
+- **Mixed 32/128-bit processing** — Byte Sub (and IByte Sub) run 32
+  bits per clock through a 4-S-box unit (8 Kbit of ROM instead of the
+  32 Kbit a 128-bit ByteSub would need); Shift Row, Mix Column and Add
+  Key run at the full 128 bits in one clock.  A round is therefore
+  **5 cycles** and a block is **50 cycles** — matching every latency
+  row of the paper's Table 2 (e.g. 700 ns at 14 ns on Acex1K).
+- **On-the-fly round keys** — no round-key storage; the key unit owns
+  its own 4 S-boxes for KStran and produces one round-key word per
+  ByteSub cycle (forward for encryption, reverse for decryption, with
+  a 40-cycle setup pass to reach the last round key after ``wr_key``).
+- **Three variants** — ENCRYPT, DECRYPT, and BOTH (run-time selected
+  by the ``enc/dec`` pin), exactly the three devices of Table 2.
+- **Registered bus interface** — ``Data_In`` and ``Out`` processes
+  decouple the bus from the cipher, so the next block can be written
+  while the current one is processed (zero-gap streaming).
+
+Every run of this model is verifiable bit-for-bit against the
+behavioral golden model in :mod:`repro.aes`.
+"""
+
+from repro.ip.control import Phase, Variant
+from repro.ip.core import RijndaelCore
+from repro.ip.interface import DEVICE_SIGNALS, SignalSpec, signal_table
+from repro.ip.testbench import Testbench
+
+__all__ = [
+    "DEVICE_SIGNALS",
+    "Phase",
+    "RijndaelCore",
+    "SignalSpec",
+    "Testbench",
+    "Variant",
+    "signal_table",
+]

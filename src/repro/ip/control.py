@@ -1,0 +1,77 @@
+"""Control definitions for the IP core: variants, FSM states, timing.
+
+The paper implements three devices (§4): encrypt-only, decrypt-only,
+and a combined device with an ``enc/dec`` select pin.
+:class:`Variant` names them; the core refuses operations a variant's
+hardware does not contain.
+
+The round schedule is the paper's headline micro-architecture number:
+with asynchronous S-box ROMs a round is **5 cycles** — 4 for the
+32-bit (I)Byte Sub passes plus 1 for the 128-bit Shift Row / Mix
+Column / Add Key stage — against 12 cycles for an all-32-bit design
+(4 ByteSub + 4 MixColumn + 4 ShiftRow/AddKey word passes).  A block is
+10 rounds, i.e. **50 cycles**.  The synchronous-ROM variant (the
+paper's future work, needed to use Cyclone block RAM) stretches the
+round to 6 cycles by pipelining the ROM reads.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: AES-128 round count.
+NUM_ROUNDS = 10
+
+
+class Variant(enum.Enum):
+    """Which directions the synthesized device contains (paper §4)."""
+
+    ENCRYPT = "encrypt"
+    DECRYPT = "decrypt"
+    BOTH = "both"
+
+    @property
+    def can_encrypt(self) -> bool:
+        return self is not Variant.DECRYPT
+
+    @property
+    def can_decrypt(self) -> bool:
+        return self is not Variant.ENCRYPT
+
+    @property
+    def needs_setup_pass(self) -> bool:
+        """Decrypt-capable devices must derive the last round key."""
+        return self.can_decrypt
+
+
+class Phase(enum.Enum):
+    """Top-level FSM state of the core."""
+
+    IDLE = "idle"
+    KEY_SETUP = "key_setup"
+    RUN = "run"
+
+
+def cycles_per_round(sync_rom: bool) -> int:
+    """Clock cycles per cipher round (5 async, 6 with sync ROM)."""
+    return 6 if sync_rom else 5
+
+
+def block_latency(sync_rom: bool = False) -> int:
+    """Cycles from data capture to result latch (50 async, 60 sync)."""
+    return NUM_ROUNDS * cycles_per_round(sync_rom)
+
+
+def key_setup_cycles(sync_rom: bool = False) -> int:
+    """Cycles of the post-``wr_key`` setup pass (one word per cycle
+    async = 40; the sync pipeline needs 5 per round = 50)."""
+    return NUM_ROUNDS * (5 if sync_rom else 4)
+
+
+def all_32bit_cycles_per_round() -> int:
+    """Round cycles if *every* function ran 32 bits wide (paper §4).
+
+    Byte Sub, Mix Column and the combined Shift Row/Add Key would each
+    take 4 word passes: 12 cycles, the paper's stated baseline.
+    """
+    return 12

@@ -1,0 +1,554 @@
+"""The cycle-accurate Rijndael IP core (paper §4, Figs. 8–9).
+
+One :class:`RijndaelCore` instantiates, on a
+:class:`~repro.rtl.Simulator`:
+
+- the pin-level interface of Table 1 (``clk`` is implicit in the
+  simulator; ``setup``, ``wr_data``, ``wr_key``, ``din``, ``enc/dec``
+  in; ``data_ok``, ``dout`` out);
+- the **Data_In process**: a 128-bit capture register plus a one-deep
+  pending buffer, so the bus can write the next block while the
+  cipher runs (the paper's stated reason for registering the input);
+- the **Out process**: a 128-bit result register — "transient results
+  in data out are avoided" and the cipher can start the next block
+  the same edge the previous result latches;
+- the **Rijndael process**: the mixed 32/128-bit round engine — 4
+  cycles of 32-bit (I)Byte Sub through a 4-S-box unit, 1 cycle of
+  128-bit ShiftRow/MixColumn/AddKey — 5 cycles per round, 50 per
+  block;
+- the **Round Key process**: on-the-fly key generation in lock-step
+  with the ByteSub cycles (forward for encryption; reverse for
+  decryption, seeded by a 40-cycle setup pass after ``wr_key``).
+
+Timing contract (asserted by tests):
+
+================  =========================================  ========
+event             measured from                              cycles
+================  =========================================  ========
+block latency     data-capture edge → result/``data_ok``     50
+key setup pass    ``wr_key`` edge → ``key_ready``            40
+streaming period  result edge → next result edge             50
+================  =========================================  ========
+
+With ``sync_rom=True`` (the future-work variant for devices whose
+block RAM cannot read asynchronously, e.g. Cyclone M4K) the ROM reads
+are pipelined and the round takes 6 cycles: latency 60, setup 50.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.ip.control import NUM_ROUNDS, Phase, Variant, block_latency
+from repro.ip.datapath import (
+    add_key_128,
+    decrypt_mix_stage,
+    encrypt_mix_stage,
+    int_to_words,
+    words_to_int,
+)
+from repro.ip.keysched_unit import KeyScheduleUnit
+from repro.ip.sbox_unit import SubWordUnit
+from repro.rtl.signal import Signal
+from repro.rtl.simulator import Simulator
+
+Word4 = Tuple[int, int, int, int]
+
+# Top-level FSM encoding (the ``top`` register).
+_IDLE = 0
+_KEY_SETUP = 1
+_RUN = 2
+
+# Direction encoding (the ``enc/dec`` pin and ``direction`` register).
+DIR_ENCRYPT = 0
+DIR_DECRYPT = 1
+
+
+class RijndaelCore:
+    """The paper's AES-128 device on the RTL simulation kernel."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        variant: Variant = Variant.BOTH,
+        sync_rom: bool = False,
+        name: str = "aes",
+    ):
+        self.simulator = simulator
+        self.variant = variant
+        self.sync_rom = sync_rom
+        self.name = name
+
+        # ------------------------------------------------------ input pins
+        self.setup = Signal(f"{name}_setup", 1)
+        self.wr_data = Signal(f"{name}_wr_data", 1)
+        self.wr_key = Signal(f"{name}_wr_key", 1)
+        self.din = Signal(f"{name}_din", 128)
+        #: Only the BOTH device has this pin (Table 1 footnote).
+        self.encdec = Signal(f"{name}_encdec", 1)
+
+        # ----------------------------------------------------- output pins
+        self.dout = Signal(f"{name}_dout", 128)
+        self.data_ok = simulator.register(f"{name}_data_ok", 1)
+
+        # ------------------------------------------------------- registers
+        reg = simulator.register
+        ctl = self._control_reg  # hardened subclasses triplicate these
+        self.state = [reg(f"{name}_state_{i}", 32) for i in range(4)]
+        self.out = [reg(f"{name}_out_{i}", 32) for i in range(4)]
+        self.buf = [reg(f"{name}_buf_{i}", 32) for i in range(4)]
+        self.buf_valid = ctl(f"{name}_buf_valid", 1)
+        self.buf_dir = ctl(f"{name}_buf_dir", 1)
+        self.top = ctl(f"{name}_top", 2, reset=_IDLE)
+        self.round = ctl(f"{name}_round", 4, reset=1)
+        self.step = ctl(f"{name}_step", 3)
+        self.direction = ctl(f"{name}_direction", 1)
+        self.key_ready = ctl(f"{name}_key_ready", 1,
+                             reset=0 if variant.needs_setup_pass else 1)
+        self.ks_round = ctl(f"{name}_ks_round", 4, reset=1)
+        self.ks_word = ctl(f"{name}_ks_word", 3)
+
+        # ----------------------------------------------------------- units
+        self.keyunit = KeyScheduleUnit(f"{name}_ksu", sync_rom=sync_rom)
+        simulator.adopt(self.keyunit.registers)
+        self.sbox_f: Optional[SubWordUnit] = None
+        self.sbox_i: Optional[SubWordUnit] = None
+        if variant.can_encrypt:
+            self.sbox_f = SubWordUnit(f"{name}_sbox_f", inverse=False,
+                                      sync_rom=sync_rom)
+            simulator.adopt(self.sbox_f.registers)
+        if variant.can_decrypt:
+            self.sbox_i = SubWordUnit(f"{name}_sbox_i", inverse=True,
+                                      sync_rom=sync_rom)
+            simulator.adopt(self.sbox_i.registers)
+
+        # ----------------------------------------------- observability only
+        #: Blocks completed since construction (not a hardware register).
+        self.blocks_processed = 0
+        #: ``wr_data`` writes dropped because the buffer was full.
+        self.bus_overruns = 0
+        #: ``wr_data``/``wr_key`` pulses ignored due to the setup pin.
+        self.protocol_errors = 0
+
+        simulator.add_clocked(self._tick)
+        simulator.add_comb(self._drive_outputs)
+
+    def _control_reg(self, name: str, width: int, reset: int = 0):
+        """Create one control register.
+
+        The base core uses plain flip-flops; the radiation-hardened
+        subclass (:class:`repro.ip.hardened.HardenedRijndaelCore`)
+        overrides this to return triple-modular-redundant registers.
+        """
+        return self.simulator.register(name, width, reset)
+
+    # ------------------------------------------------------------- queries
+    @property
+    def phase(self) -> Phase:
+        """Top-level FSM state as an enum."""
+        return {_IDLE: Phase.IDLE, _KEY_SETUP: Phase.KEY_SETUP,
+                _RUN: Phase.RUN}[self.top.value]
+
+    @property
+    def busy(self) -> bool:
+        """True while ciphering or running the key setup pass."""
+        return self.top.value != _IDLE
+
+    @property
+    def can_accept(self) -> bool:
+        """True when a ``wr_data`` this cycle will not be dropped."""
+        return not self.buf_valid.value
+
+    @property
+    def latency_cycles(self) -> int:
+        """Data-capture-to-result latency of this build (50 or 60)."""
+        return block_latency(self.sync_rom)
+
+    @property
+    def rom_bits(self) -> int:
+        """ROM bits in the *functional* model.
+
+        Note: the paper's BOTH device is the encrypt and decrypt
+        designs combined, each keeping its own KStran bank, so Table 2
+        reports 32768 bits; the functional model shares one KStran
+        bank (24576 bits here).  The area model in
+        :mod:`repro.fpga.aes_netlists` counts the paper's duplicated
+        structure.
+        """
+        bits = self.keyunit.rom_bits
+        if self.sbox_f is not None:
+            bits += self.sbox_f.rom_bits
+        if self.sbox_i is not None:
+            bits += self.sbox_i.rom_bits
+        return bits
+
+    def out_words(self) -> Word4:
+        """The Out register contents as 4 words."""
+        return tuple(reg.value for reg in self.out)
+
+    def out_block(self) -> bytes:
+        """The Out register contents as 16 bytes (bus order)."""
+        return b"".join(w.to_bytes(4, "big") for w in self.out_words())
+
+    # ------------------------------------------------------- clocked logic
+    def _tick(self) -> None:
+        self.data_ok.next = 0
+        self._service_key_port()
+        idle_after = self._service_engine()
+        self._service_data_port(idle_after)
+
+    def _service_key_port(self) -> None:
+        """The ``wr_key`` side of the bus protocol (setup period only)."""
+        if not self.wr_key.value:
+            return
+        if not self.setup.value:
+            self.protocol_errors += 1
+            return
+        words = int_to_words(self.din.value)
+        self.keyunit.load_key(words)
+        if self.variant.needs_setup_pass:
+            self.keyunit.load_work(words)
+            self.key_ready.next = 0
+            self.ks_round.next = 1
+            self.ks_word.next = 0
+            self.top.next = _KEY_SETUP
+        # Encrypt-only devices are ready the moment the key latches.
+
+    def _service_engine(self) -> bool:
+        """Advance KEY_SETUP or RUN; returns True if idle after this edge."""
+        top = self.top.value
+        if self.wr_key.value and self.setup.value:
+            # A key load (handled above) preempts whatever was running.
+            return False
+        if top == _KEY_SETUP:
+            return self._tick_key_setup()
+        if top == _RUN:
+            return self._tick_run()
+        return True
+
+    def _service_data_port(self, idle_after: bool) -> None:
+        """The Data_In process: capture, buffer, and block starts."""
+        wr = self.wr_data.value and not (
+            self.wr_key.value and self.setup.value
+        )
+        if self.wr_data.value and self.setup.value:
+            self.protocol_errors += 1
+            wr = False
+
+        direct: Optional[Tuple[Word4, int]] = None
+        if wr:
+            direct = (int_to_words(self.din.value), self._pin_direction())
+
+        if idle_after:
+            if self.buf_valid.value:
+                pending = (
+                    tuple(reg.value for reg in self.buf),
+                    self.buf_dir.value,
+                )
+                if self._can_start(pending[1]):
+                    self._start_block(*pending)
+                    self.buf_valid.next = 0
+                    if direct is not None:
+                        self._buffer(direct)
+                    return
+                # Pending block still blocked (key not ready): hold it.
+                if direct is not None:
+                    self.bus_overruns += 1
+                return
+            if direct is not None:
+                if self._can_start(direct[1]):
+                    self._start_block(*direct)
+                else:
+                    self._buffer(direct)
+            return
+
+        # Engine stays busy: writes land in the one-deep buffer.
+        if direct is not None:
+            if self.buf_valid.value:
+                self.bus_overruns += 1
+            else:
+                self._buffer(direct)
+
+    def _pin_direction(self) -> int:
+        if self.variant is Variant.ENCRYPT:
+            return DIR_ENCRYPT
+        if self.variant is Variant.DECRYPT:
+            return DIR_DECRYPT
+        return self.encdec.value
+
+    def _can_start(self, direction: int) -> bool:
+        if direction == DIR_ENCRYPT:
+            return self.variant.can_encrypt
+        return self.variant.can_decrypt and bool(self.key_ready.value)
+
+    def _buffer(self, item: Tuple[Word4, int]) -> None:
+        words, direction = item
+        for reg, word in zip(self.buf, words):
+            reg.next = word
+        self.buf_dir.next = direction
+        self.buf_valid.next = 1
+
+    def _start_block(self, words: Word4, direction: int) -> None:
+        """Load the state and point the key unit at the right end.
+
+        Encryption folds the initial Add Key into the load edge (state
+        := din xor K0); decryption loads din raw and folds the final
+        Add Key into the output edge — this is how 10 rounds x 5
+        cycles covers the 11 Add Keys without extra cycles.
+        """
+        if direction == DIR_ENCRYPT:
+            key0 = self.keyunit.key0_words()
+            for reg, word, key in zip(self.state, words, key0):
+                reg.next = word ^ key
+            self.keyunit.load_work(key0)
+            self.round.next = 1
+        else:
+            for reg, word in zip(self.state, words):
+                reg.next = word
+            self.keyunit.load_work(self.keyunit.key_last_words())
+            self.round.next = NUM_ROUNDS
+        self.direction.next = direction
+        self.step.next = 0
+        self.top.next = _RUN
+
+    # ---------------------------------------------------- key setup pass
+    def _tick_key_setup(self) -> bool:
+        """One word of the forward expansion per cycle (40 cycles async).
+
+        The sync-ROM build needs a fifth cycle per round to wait for
+        the KStran read (50 cycles): word counter value 4 is the
+        issue slot and words 0..3 shift one cycle later.
+        """
+        r = self.ks_round.value
+        w = self.ks_word.value
+        if self.sync_rom:
+            return self._tick_key_setup_sync(r, w)
+        value = self.keyunit.step_forward(w, r)
+        if w < 3:
+            self.ks_word.next = w + 1
+            return False
+        committed = self.keyunit.commit_build(value, 3)
+        self.ks_word.next = 0
+        if r < NUM_ROUNDS:
+            self.ks_round.next = r + 1
+            return False
+        self.keyunit.latch_last(committed)
+        self.key_ready.next = 1
+        self.top.next = _IDLE
+        return True
+
+    def _tick_key_setup_sync(self, r: int, w: int) -> bool:
+        if w == 0:  # issue the KStran read for this round
+            self.keyunit.kstran_issue(self.keyunit.work_words()[3])
+            self.ks_word.next = 1
+            return False
+        index = w - 1
+        kstran = self.keyunit.kstran_data(r) if index == 0 else None
+        value = self.keyunit.step_forward(index, r, kstran_value=kstran)
+        if index < 3:
+            self.ks_word.next = w + 1
+            return False
+        committed = self.keyunit.commit_build(value, 3)
+        self.ks_word.next = 0
+        if r < NUM_ROUNDS:
+            self.ks_round.next = r + 1
+            return False
+        self.keyunit.latch_last(committed)
+        self.key_ready.next = 1
+        self.top.next = _IDLE
+        return True
+
+    # -------------------------------------------------------- cipher round
+    def _active_direction(self) -> int:
+        """The direction driving the datapath muxes.
+
+        Single-direction devices have the direction hardwired — there
+        is no mux for a flipped direction bit to steer, which matters
+        for fault-injection fidelity.
+        """
+        if self.variant is Variant.ENCRYPT:
+            return DIR_ENCRYPT
+        if self.variant is Variant.DECRYPT:
+            return DIR_DECRYPT
+        return self.direction.value
+
+    def _tick_run(self) -> bool:
+        if self._active_direction() == DIR_ENCRYPT:
+            if self.sync_rom:
+                return self._tick_encrypt_sync()
+            return self._tick_encrypt_async()
+        if self.sync_rom:
+            return self._tick_decrypt_sync()
+        return self._tick_decrypt_async()
+
+    def _state_words(self) -> Word4:
+        return tuple(reg.value for reg in self.state)
+
+    def _finish(self, result: Word4) -> bool:
+        for reg, word in zip(self.out, result):
+            reg.next = word
+        self.data_ok.next = 1
+        self.top.next = _IDLE
+        self.blocks_processed += 1
+        return True
+
+    # encrypt, asynchronous ROM: steps 0..3 ByteSub words, step 4 mix stage
+    def _tick_encrypt_async(self) -> bool:
+        r = self.round.value
+        s = self.step.value
+        assert self.sbox_f is not None
+        if s <= 3:
+            self.state[s].next = self.sbox_f.lookup(self.state[s].value)
+            value = self.keyunit.step_forward(s, r)
+            if s == 3:
+                self.keyunit.commit_build(value, 3)
+            self.step.next = s + 1
+            return False
+        result = encrypt_mix_stage(
+            self._state_words(),
+            self.keyunit.work_words(),
+            last_round=(r == NUM_ROUNDS),
+        )
+        if r == NUM_ROUNDS:
+            return self._finish(result)
+        for reg, word in zip(self.state, result):
+            reg.next = word
+        self.round.next = r + 1
+        self.step.next = 0
+        return False
+
+    # decrypt, asynchronous ROM: step 0 mix stage, steps 1..4 IByteSub
+    def _tick_decrypt_async(self) -> bool:
+        r = self.round.value
+        s = self.step.value
+        assert self.sbox_i is not None
+        if s == 0:
+            result = decrypt_mix_stage(
+                self._state_words(),
+                self.keyunit.work_words(),
+                first_round=(r == NUM_ROUNDS),
+            )
+            for reg, word in zip(self.state, result):
+                reg.next = word
+            self.step.next = 1
+            return False
+        slot = s - 1
+        key_index, key_value = self.keyunit.step_reverse(slot, r)
+        substituted = self.sbox_i.lookup(self.state[slot].value)
+        if slot < 3:
+            self.state[slot].next = substituted
+            self.step.next = s + 1
+            return False
+        # Last IByteSub word of the round.
+        self.keyunit.commit_build(key_value, key_index)
+        if r > 1:
+            self.state[3].next = substituted
+            self.round.next = r - 1
+            self.step.next = 0
+            return False
+        # Final round: fold the last Add Key (K0) into the output edge.
+        full = (
+            self.state[0].value,
+            self.state[1].value,
+            self.state[2].value,
+            substituted,
+        )
+        return self._finish(add_key_128(full, self.keyunit.key0_words()))
+
+    # encrypt, synchronous ROM: 6 steps (pipelined reads)
+    def _tick_encrypt_sync(self) -> bool:
+        r = self.round.value
+        s = self.step.value
+        assert self.sbox_f is not None
+        if s == 0:
+            self.sbox_f.clock_read(self.state[0].value)
+            self.keyunit.kstran_issue(self.keyunit.work_words()[3])
+            self.step.next = 1
+            return False
+        if 1 <= s <= 3:
+            self.state[s - 1].next = self.sbox_f.registered_output
+            self.sbox_f.clock_read(self.state[s].value)
+            kstran = self.keyunit.kstran_data(r) if s == 1 else None
+            self.keyunit.step_forward(s - 1, r, kstran_value=kstran)
+            self.step.next = s + 1
+            return False
+        if s == 4:
+            self.state[3].next = self.sbox_f.registered_output
+            value = self.keyunit.step_forward(3, r)
+            self.keyunit.commit_build(value, 3)
+            self.step.next = 5
+            return False
+        result = encrypt_mix_stage(
+            self._state_words(),
+            self.keyunit.work_words(),
+            last_round=(r == NUM_ROUNDS),
+        )
+        if r == NUM_ROUNDS:
+            return self._finish(result)
+        for reg, word in zip(self.state, result):
+            reg.next = word
+        self.round.next = r + 1
+        self.step.next = 0
+        return False
+
+    # decrypt, synchronous ROM: 6 steps
+    def _tick_decrypt_sync(self) -> bool:
+        r = self.round.value
+        s = self.step.value
+        assert self.sbox_i is not None
+        if s == 0:
+            result = decrypt_mix_stage(
+                self._state_words(),
+                self.keyunit.work_words(),
+                first_round=(r == NUM_ROUNDS),
+            )
+            for reg, word in zip(self.state, result):
+                reg.next = word
+            self.step.next = 1
+            return False
+        if s == 1:
+            self.sbox_i.clock_read(self.state[0].value)
+            self.keyunit.step_reverse(0, r)  # build word 3
+            self.step.next = 2
+            return False
+        if s == 2:
+            self.state[0].next = self.sbox_i.registered_output
+            self.sbox_i.clock_read(self.state[1].value)
+            self.keyunit.step_reverse(1, r)  # build word 2
+            self.keyunit.kstran_issue(self.keyunit.build[3].value)
+            self.step.next = 3
+            return False
+        if s == 3:
+            self.state[1].next = self.sbox_i.registered_output
+            self.sbox_i.clock_read(self.state[2].value)
+            self.keyunit.step_reverse(2, r)  # build word 1
+            self.keyunit.step_reverse(
+                3, r, kstran_value=self.keyunit.kstran_data(r)
+            )  # build word 0
+            self.step.next = 4
+            return False
+        if s == 4:
+            self.state[2].next = self.sbox_i.registered_output
+            self.sbox_i.clock_read(self.state[3].value)
+            self.step.next = 5
+            return False
+        # s == 5: last word arrives; commit the recovered round key.
+        substituted = self.sbox_i.registered_output
+        previous_key = tuple(reg.value for reg in self.keyunit.build)
+        self.keyunit.load_work(previous_key)
+        if r > 1:
+            self.state[3].next = substituted
+            self.round.next = r - 1
+            self.step.next = 0
+            return False
+        full = (
+            self.state[0].value,
+            self.state[1].value,
+            self.state[2].value,
+            substituted,
+        )
+        return self._finish(add_key_128(full, self.keyunit.key0_words()))
+
+    # ------------------------------------------------------- combinational
+    def _drive_outputs(self) -> None:
+        self.dout.value = words_to_int(self.out_words())

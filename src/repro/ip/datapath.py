@@ -1,0 +1,212 @@
+"""The 128-bit combinational stage: (I)Shift Row, (I)Mix Column, Add Key.
+
+These are the paper's full-width functions — executed in a single
+clock to bring the round down from 12 cycles (an all-32-bit design) to
+5.  They are implemented here at the word/bit level, independently of
+the behavioral model in :mod:`repro.aes.transforms`, so that the
+cycle-accurate core's agreement with the golden model is a genuine
+cross-check rather than a tautology.
+
+State packing convention (shared with the bus interface): the 128-bit
+block is 4 words; word *c* is State column *c*; byte 0 of the block is
+the **most significant** byte of word 0 and sits at State row 0,
+column 0.  Round-key words use the same packing (FIPS-197 agrees).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+Word4 = Tuple[int, int, int, int]
+
+_MASK32 = 0xFFFFFFFF
+
+#: AES (Nb = 4) Shift Row offsets per row (paper Fig. 6).
+SHIFT_OFFSETS = (0, 1, 2, 3)
+
+
+def _check_words(words: Word4) -> Word4:
+    if len(words) != 4:
+        raise ValueError("the 128-bit stage takes exactly 4 words")
+    for w in words:
+        if not 0 <= w <= _MASK32:
+            raise ValueError(f"word out of range: {w!r}")
+    return tuple(words)
+
+
+def _byte(word: int, row: int) -> int:
+    """Byte at State row ``row`` of a column word (row 0 = MSB)."""
+    return (word >> (8 * (3 - row))) & 0xFF
+
+
+def _from_bytes(b0: int, b1: int, b2: int, b3: int) -> int:
+    return (b0 << 24) | (b1 << 16) | (b2 << 8) | b3
+
+
+def shift_rows_128(words: Word4) -> Word4:
+    """Shift Row over the whole state in one level of pure wiring.
+
+    new(row, col) = old(row, col + offset[row] mod 4).  Costs no logic
+    cells at all — the mapper models it as routing only.
+    """
+    words = _check_words(words)
+    out = []
+    for col in range(4):
+        out.append(
+            _from_bytes(
+                *(
+                    _byte(words[(col + SHIFT_OFFSETS[row]) % 4], row)
+                    for row in range(4)
+                )
+            )
+        )
+    return tuple(out)
+
+
+def inv_shift_rows_128(words: Word4) -> Word4:
+    """IShift Row: new(row, col) = old(row, col - offset[row] mod 4)."""
+    words = _check_words(words)
+    out = []
+    for col in range(4):
+        out.append(
+            _from_bytes(
+                *(
+                    _byte(words[(col - SHIFT_OFFSETS[row]) % 4], row)
+                    for row in range(4)
+                )
+            )
+        )
+    return tuple(out)
+
+
+def _xt(b: int) -> int:
+    """xtime: one conditional-XOR logic level in hardware."""
+    b <<= 1
+    if b & 0x100:
+        b ^= 0x11B
+    return b & 0xFF
+
+
+def mix_column_word(word: int) -> int:
+    """Mix Column on one column word: multiply by 03·x^3+01·x^2+01·x+02.
+
+    Expanded to the canonical xtime form so the logic depth is visible:
+    each output byte is 1 xtime level plus a 4-input XOR (2 levels).
+    """
+    b0, b1, b2, b3 = (_byte(word, r) for r in range(4))
+    return _from_bytes(
+        _xt(b0) ^ _xt(b1) ^ b1 ^ b2 ^ b3,
+        b0 ^ _xt(b1) ^ _xt(b2) ^ b2 ^ b3,
+        b0 ^ b1 ^ _xt(b2) ^ _xt(b3) ^ b3,
+        _xt(b0) ^ b0 ^ b1 ^ b2 ^ _xt(b3),
+    )
+
+
+def inv_mix_column_word(word: int) -> int:
+    """IMix Column on one column word: multiply by 0B,0D,09,0E.
+
+    The xtime chains run three deep (×8 = xt³), which is why the
+    decrypt datapath is the slower one — Table 2 shows 15 ns vs 14 ns
+    on Acex1K — and the timing model charges it accordingly.
+    """
+    b0, b1, b2, b3 = (_byte(word, r) for r in range(4))
+
+    def mul(b: int, c: int) -> int:
+        out = 0
+        power = b
+        while c:
+            if c & 1:
+                out ^= power
+            power = _xt(power)
+            c >>= 1
+        return out
+
+    return _from_bytes(
+        mul(b0, 0x0E) ^ mul(b1, 0x0B) ^ mul(b2, 0x0D) ^ mul(b3, 0x09),
+        mul(b0, 0x09) ^ mul(b1, 0x0E) ^ mul(b2, 0x0B) ^ mul(b3, 0x0D),
+        mul(b0, 0x0D) ^ mul(b1, 0x09) ^ mul(b2, 0x0E) ^ mul(b3, 0x0B),
+        mul(b0, 0x0B) ^ mul(b1, 0x0D) ^ mul(b2, 0x09) ^ mul(b3, 0x0E),
+    )
+
+
+def mix_columns_128(words: Word4) -> Word4:
+    """Mix Column over all four columns (columns are independent)."""
+    words = _check_words(words)
+    return tuple(mix_column_word(w) for w in words)
+
+
+def inv_mix_columns_128(words: Word4) -> Word4:
+    """IMix Column over all four columns."""
+    words = _check_words(words)
+    return tuple(inv_mix_column_word(w) for w in words)
+
+
+def add_key_128(words: Word4, key_words: Word4) -> Word4:
+    """Add Key: 128 parallel 2-input XORs (one logic level)."""
+    words = _check_words(words)
+    key_words = _check_words(key_words)
+    return tuple(w ^ k for w, k in zip(words, key_words))
+
+
+def encrypt_mix_stage(
+    words: Word4, key_words: Word4, last_round: bool
+) -> Word4:
+    """The encrypt M-cycle network: AddKey(MixColumn(ShiftRow(state))).
+
+    ``last_round`` bypasses Mix Column (paper §3: the last encryption
+    round does not execute Mix Column); in hardware this is a 2:1 mux
+    per bit, which the BOTH variant's timing pays for.
+    """
+    shifted = shift_rows_128(words)
+    mixed = shifted if last_round else mix_columns_128(shifted)
+    return add_key_128(mixed, key_words)
+
+
+def decrypt_mix_stage(
+    words: Word4, key_words: Word4, first_round: bool
+) -> Word4:
+    """The decrypt M-cycle network: IShiftRow(IMixColumn(AddKey(state))).
+
+    ``first_round`` (round Nr, the first executed when deciphering)
+    bypasses IMix Column.
+    """
+    keyed = add_key_128(words, key_words)
+    mixed = keyed if first_round else inv_mix_columns_128(keyed)
+    return inv_shift_rows_128(mixed)
+
+
+def block_to_words(block: bytes) -> Word4:
+    """Split a 16-byte bus block into 4 column words (byte 0 = MSB w0)."""
+    block = bytes(block)
+    if len(block) != 16:
+        raise ValueError(f"block must be 16 bytes, got {len(block)}")
+    return tuple(
+        int.from_bytes(block[4 * i : 4 * i + 4], "big") for i in range(4)
+    )
+
+
+def words_to_block(words: Word4) -> bytes:
+    """Pack 4 column words back into the 16-byte bus block."""
+    words = _check_words(words)
+    return b"".join(w.to_bytes(4, "big") for w in words)
+
+
+def words_to_int(words: Word4) -> int:
+    """Pack 4 words into one 128-bit integer (word 0 most significant).
+
+    This is the value carried by the 128-bit ``din``/``dout`` signals.
+    """
+    words = _check_words(words)
+    return (words[0] << 96) | (words[1] << 64) | (words[2] << 32) | words[3]
+
+
+def int_to_words(value: int) -> Word4:
+    """Split a 128-bit bus integer into 4 column words."""
+    if not 0 <= value < (1 << 128):
+        raise ValueError(f"bus value out of range: {value!r}")
+    return (
+        (value >> 96) & _MASK32,
+        (value >> 64) & _MASK32,
+        (value >> 32) & _MASK32,
+        value & _MASK32,
+    )

@@ -1,0 +1,402 @@
+"""Precomputed-key-schedule core: the paper's design choice, inverted.
+
+The paper's IP generates round keys on the fly to avoid storing them.
+This module builds the alternative the ablation study needs: a core
+that expands the key **once per key load** into a round-key store and
+reads it back during rounds.  Consequences, all measurable here:
+
+- encryption pays a key-change cost it didn't have (the expansion
+  pass), decryption pays the same cost it already paid;
+- the store itself costs memory: 4·(Nr+1) words held in four 32-bit
+  banks (word j lives in bank j mod 4, so a round's four words read
+  in parallel from distinct banks — one read port each);
+- in exchange, **decryption works for any key size** (the on-the-fly
+  reverse walk is AES-128-only; see :mod:`repro.ip.multikey`), and a
+  wider datapath would no longer be key-schedule-bound (§6).
+
+The round engine is the same mixed 32/128 structure: 4 (I)ByteSub
+cycles + 1 wide cycle, Nr × 5 cycles per block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.aes.constants import RCON
+from repro.ip.control import Variant
+from repro.ip.core import DIR_DECRYPT, DIR_ENCRYPT
+from repro.ip.datapath import (
+    add_key_128,
+    decrypt_mix_stage,
+    encrypt_mix_stage,
+    int_to_words,
+    words_to_int,
+)
+from repro.ip.keysched_unit import rot_word_hw
+from repro.ip.sbox_unit import SubWordUnit
+from repro.rtl.signal import Signal
+from repro.rtl.simulator import Simulator
+
+_IDLE = 0
+_EXPAND = 1
+_RUN = 2
+
+
+class PrecomputedKeyCore:
+    """AES-128/192/256 encrypt/decrypt core with a round-key store."""
+
+    def __init__(self, simulator: Simulator, key_bits: int = 128,
+                 variant: Variant = Variant.BOTH, name: str = "pk"):
+        if key_bits not in (128, 192, 256):
+            raise ValueError("key_bits must be 128, 192 or 256")
+        self.simulator = simulator
+        self.key_bits = key_bits
+        self.variant = variant
+        self.nk = key_bits // 32
+        self.rounds = self.nk + 6
+        self.total_words = 4 * (self.rounds + 1)
+        self.name = name
+
+        # Pins.
+        self.setup = Signal(f"{name}_setup", 1)
+        self.wr_data = Signal(f"{name}_wr_data", 1)
+        self.wr_key = Signal(f"{name}_wr_key", 1)
+        self.din = Signal(f"{name}_din", 128)
+        self.encdec = Signal(f"{name}_encdec", 1)
+        self.dout = Signal(f"{name}_dout", 128)
+        self.data_ok = simulator.register(f"{name}_data_ok", 1)
+
+        reg = simulator.register
+        self.state = [reg(f"{name}_state_{i}", 32) for i in range(4)]
+        self.out = [reg(f"{name}_out_{i}", 32) for i in range(4)]
+        self.buf = [reg(f"{name}_buf_{i}", 32) for i in range(4)]
+        self.buf_valid = reg(f"{name}_buf_valid", 1)
+        self.buf_dir = reg(f"{name}_buf_dir", 1)
+        self.key_beat = reg(f"{name}_key_beat", 1)
+        # The round-key store: total_words registers standing in for
+        # four RAM banks (word j in bank j mod 4).
+        self.keyram = [
+            reg(f"{name}_keyram_{i}", 32)
+            for i in range(self.total_words)
+        ]
+        self.expand_pos = reg(f"{name}_expand_pos", 6)
+        self.key_ready = reg(f"{name}_key_ready", 1)
+        self.top = reg(f"{name}_top", 2, reset=_IDLE)
+        self.round = reg(f"{name}_round", 4, reset=1)
+        self.step = reg(f"{name}_step", 3)
+        self.direction = reg(f"{name}_direction", 1)
+
+        self.sbox_f: Optional[SubWordUnit] = (
+            SubWordUnit(f"{name}_sbox_f")
+            if variant.can_encrypt else None
+        )
+        self.sbox_i: Optional[SubWordUnit] = (
+            SubWordUnit(f"{name}_sbox_i", inverse=True)
+            if variant.can_decrypt else None
+        )
+        # The expansion shares KStran-style S-boxes.
+        self.kstran_sbox = SubWordUnit(f"{name}_kstran")
+
+        self.blocks_processed = 0
+        self.bus_overruns = 0
+
+        simulator.add_clocked(self._tick)
+        simulator.add_comb(self._drive_outputs)
+
+    # ------------------------------------------------------------- queries
+    @property
+    def busy(self) -> bool:
+        return self.top.value != _IDLE
+
+    @property
+    def can_accept(self) -> bool:
+        return not self.buf_valid.value
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.rounds * 5
+
+    @property
+    def expansion_cycles(self) -> int:
+        """Cycles of the per-key expansion pass."""
+        return self.total_words - self.nk
+
+    @property
+    def key_store_bits(self) -> int:
+        """Round-key storage this design pays for."""
+        return self.total_words * 32
+
+    def out_block(self) -> bytes:
+        return b"".join(r.value.to_bytes(4, "big") for r in self.out)
+
+    # ------------------------------------------------------- clocked logic
+    def _tick(self) -> None:
+        self.data_ok.next = 0
+        self._service_key_port()
+        idle_after = self._service_engine()
+        self._service_data_port(idle_after)
+
+    def _service_key_port(self) -> None:
+        if not (self.wr_key.value and self.setup.value):
+            return
+        words = int_to_words(self.din.value)
+        if self.nk == 4 or self.key_beat.value == 0:
+            for index, word in enumerate(words[:min(4, self.nk)]):
+                self.keyram[index].next = word
+            if self.nk == 4:
+                self._begin_expansion()
+            else:
+                self.key_beat.next = 1
+            return
+        for offset, word in enumerate(words[: self.nk - 4]):
+            self.keyram[4 + offset].next = word
+        self.key_beat.next = 0
+        self._begin_expansion()
+
+    def _begin_expansion(self) -> None:
+        self.expand_pos.next = self.nk
+        self.key_ready.next = 0
+        self.top.next = _EXPAND
+
+    def _service_engine(self) -> bool:
+        if self.wr_key.value and self.setup.value:
+            return False
+        top = self.top.value
+        if top == _EXPAND:
+            return self._tick_expand()
+        if top == _RUN:
+            return self._tick_round()
+        return True
+
+    def _tick_expand(self) -> bool:
+        i = self.expand_pos.value
+        previous = self.keyram[i - 1].value
+        if i % self.nk == 0:
+            temp = self.kstran_sbox.lookup(rot_word_hw(previous)) ^ (
+                RCON[i // self.nk] << 24
+            )
+        elif self.nk == 8 and i % self.nk == 4:
+            temp = self.kstran_sbox.lookup(previous)
+        else:
+            temp = previous
+        self.keyram[i].next = self.keyram[i - self.nk].value ^ temp
+        if i + 1 < self.total_words:
+            self.expand_pos.next = i + 1
+            return False
+        self.key_ready.next = 1
+        self.top.next = _IDLE
+        return True
+
+    # --------------------------------------------------------- data port
+    def _pin_direction(self) -> int:
+        if self.variant is Variant.ENCRYPT:
+            return DIR_ENCRYPT
+        if self.variant is Variant.DECRYPT:
+            return DIR_DECRYPT
+        return self.encdec.value
+
+    def _service_data_port(self, idle_after: bool) -> None:
+        wr = self.wr_data.value and not self.setup.value
+        direct = None
+        if wr:
+            direct = (int_to_words(self.din.value),
+                      self._pin_direction())
+        if idle_after:
+            if self.buf_valid.value:
+                if self.key_ready.value:
+                    self._start_block(
+                        tuple(r.value for r in self.buf),
+                        self.buf_dir.value,
+                    )
+                    self.buf_valid.next = 0
+                    if direct is not None:
+                        self._buffer(*direct)
+                    return
+                if direct is not None:
+                    self.bus_overruns += 1
+                return
+            if direct is not None:
+                if self.key_ready.value:
+                    self._start_block(*direct)
+                else:
+                    self._buffer(*direct)
+            return
+        if direct is not None:
+            if self.buf_valid.value:
+                self.bus_overruns += 1
+            else:
+                self._buffer(*direct)
+
+    def _buffer(self, words, direction: int) -> None:
+        for regi, word in zip(self.buf, words):
+            regi.next = word
+        self.buf_dir.next = direction
+        self.buf_valid.next = 1
+
+    def _round_key(self, rnd: int) -> Tuple[int, int, int, int]:
+        base = 4 * rnd
+        return tuple(self.keyram[base + j].value for j in range(4))
+
+    def _start_block(self, words, direction: int) -> None:
+        if direction == DIR_ENCRYPT:
+            key0 = self._round_key(0)
+            for regi, word, kw in zip(self.state, words, key0):
+                regi.next = word ^ kw
+            self.round.next = 1
+        else:
+            for regi, word in zip(self.state, words):
+                regi.next = word
+            self.round.next = self.rounds
+        self.direction.next = direction
+        self.step.next = 0
+        self.top.next = _RUN
+
+    # -------------------------------------------------------- round engine
+    def _active_direction(self) -> int:
+        if self.variant is Variant.ENCRYPT:
+            return DIR_ENCRYPT
+        if self.variant is Variant.DECRYPT:
+            return DIR_DECRYPT
+        return self.direction.value
+
+    def _tick_round(self) -> bool:
+        if self._active_direction() == DIR_ENCRYPT:
+            return self._tick_encrypt()
+        return self._tick_decrypt()
+
+    def _finish(self, result) -> bool:
+        for regi, word in zip(self.out, result):
+            regi.next = word
+        self.data_ok.next = 1
+        self.top.next = _IDLE
+        self.blocks_processed += 1
+        return True
+
+    def _tick_encrypt(self) -> bool:
+        s, r = self.step.value, self.round.value
+        assert self.sbox_f is not None
+        if s <= 3:
+            self.state[s].next = self.sbox_f.lookup(
+                self.state[s].value
+            )
+            self.step.next = s + 1
+            return False
+        result = encrypt_mix_stage(
+            tuple(st.value for st in self.state),
+            self._round_key(r),
+            last_round=(r == self.rounds),
+        )
+        if r == self.rounds:
+            return self._finish(result)
+        for regi, word in zip(self.state, result):
+            regi.next = word
+        self.round.next = r + 1
+        self.step.next = 0
+        return False
+
+    def _tick_decrypt(self) -> bool:
+        s, r = self.step.value, self.round.value
+        assert self.sbox_i is not None
+        if s == 0:
+            result = decrypt_mix_stage(
+                tuple(st.value for st in self.state),
+                self._round_key(r),
+                first_round=(r == self.rounds),
+            )
+            for regi, word in zip(self.state, result):
+                regi.next = word
+            self.step.next = 1
+            return False
+        slot = s - 1
+        substituted = self.sbox_i.lookup(self.state[slot].value)
+        if slot < 3:
+            self.state[slot].next = substituted
+            self.step.next = s + 1
+            return False
+        if r > 1:
+            self.state[3].next = substituted
+            self.round.next = r - 1
+            self.step.next = 0
+            return False
+        full = (
+            self.state[0].value,
+            self.state[1].value,
+            self.state[2].value,
+            substituted,
+        )
+        return self._finish(add_key_128(full, self._round_key(0)))
+
+    def _drive_outputs(self) -> None:
+        self.dout.value = words_to_int(
+            tuple(r.value for r in self.out)
+        )
+
+
+class PrecomputedTestbench:
+    """Protocol driver for the precomputed-key core."""
+
+    __test__ = False
+
+    def __init__(self, key_bits: int = 128,
+                 variant: Variant = Variant.BOTH):
+        self.simulator = Simulator()
+        self.core = PrecomputedKeyCore(self.simulator, key_bits,
+                                       variant)
+        self._idle()
+
+    def _idle(self) -> None:
+        core = self.core
+        core.setup.value = 0
+        core.wr_data.value = 0
+        core.wr_key.value = 0
+        core.din.value = 0
+        core.encdec.value = 0
+
+    def load_key(self, key: bytes, wait: bool = True) -> int:
+        key = bytes(key)
+        if len(key) * 8 != self.core.key_bits:
+            raise ValueError(
+                f"expected a {self.core.key_bits}-bit key"
+            )
+        consumed = 0
+        beats = -(-len(key) // 16)
+        for beat in range(beats):
+            chunk = key[16 * beat:16 * (beat + 1)]
+            chunk = chunk + bytes(16 - len(chunk))
+            self.core.setup.value = 1
+            self.core.wr_key.value = 1
+            self.core.din.value = int.from_bytes(chunk, "big")
+            self.simulator.step()
+            self._idle()
+            consumed += 1
+        if wait:
+            consumed += self.simulator.run_until(
+                lambda: not self.core.busy,
+                max_cycles=self.core.expansion_cycles + 4,
+            )
+        return consumed
+
+    def process_block(self, block: bytes,
+                      direction: int = DIR_ENCRYPT
+                      ) -> Tuple[bytes, int]:
+        block = bytes(block)
+        if len(block) != 16:
+            raise ValueError("blocks are 16 bytes")
+        core = self.core
+        core.wr_data.value = 1
+        core.din.value = int.from_bytes(block, "big")
+        core.encdec.value = direction
+        self.simulator.step()
+        self._idle()
+        start = self.simulator.cycle
+        self.simulator.run_until(
+            lambda: core.data_ok.value == 1,
+            max_cycles=4 * core.latency_cycles,
+        )
+        return core.out_block(), self.simulator.cycle - start
+
+    def encrypt(self, block: bytes) -> Tuple[bytes, int]:
+        return self.process_block(block, DIR_ENCRYPT)
+
+    def decrypt(self, block: bytes) -> Tuple[bytes, int]:
+        return self.process_block(block, DIR_DECRYPT)

@@ -1,0 +1,152 @@
+"""Width-checked signals and two-phase registers.
+
+A :class:`Signal` models a combinational wire: it has a current value
+that anything may read and (typically one) driver may write.  A
+:class:`Register` models a D flip-flop bank: clocked processes assign
+``reg.next``; the value only becomes visible at ``reg.commit()``, which
+the simulator calls once per rising edge.  This two-phase discipline is
+what makes the Python model race-free in the same way synchronous HDL
+is: every clocked process observes the *pre-edge* state regardless of
+evaluation order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SignalError(ValueError):
+    """Raised on width violations or illegal signal usage."""
+
+
+class Signal:
+    """A named wire carrying an unsigned integer of fixed bit width."""
+
+    __slots__ = ("name", "width", "_value", "_mask")
+
+    def __init__(self, name: str, width: int, reset: int = 0):
+        if width < 1:
+            raise SignalError(f"signal {name!r}: width must be >= 1")
+        self.name = name
+        self.width = width
+        self._mask = (1 << width) - 1
+        self._value = self._check(reset)
+
+    @property
+    def value(self) -> int:
+        """Current value of the wire."""
+        return self._value
+
+    @value.setter
+    def value(self, new: int) -> None:
+        self._value = self._check(new)
+
+    def bit(self, index: int) -> int:
+        """Read a single bit (LSB = 0)."""
+        if not 0 <= index < self.width:
+            raise SignalError(
+                f"signal {self.name!r}: bit {index} out of range"
+            )
+        return (self._value >> index) & 1
+
+    def bits(self, high: int, low: int) -> int:
+        """Read a bit slice [high:low], both inclusive (LSB = 0)."""
+        if not 0 <= low <= high < self.width:
+            raise SignalError(
+                f"signal {self.name!r}: slice [{high}:{low}] out of range"
+            )
+        return (self._value >> low) & ((1 << (high - low + 1)) - 1)
+
+    def _check(self, value: int) -> int:
+        if not isinstance(value, int):
+            raise SignalError(
+                f"signal {self.name!r}: value must be int, "
+                f"got {type(value).__name__}"
+            )
+        if value & ~self._mask or value < 0:
+            raise SignalError(
+                f"signal {self.name!r}: value {value:#x} does not fit in "
+                f"{self.width} bits"
+            )
+        return value
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, width={self.width}, " \
+               f"value={self._value:#x})"
+
+
+class Register(Signal):
+    """A bank of D flip-flops with two-phase next/commit semantics.
+
+    Reading ``reg.value`` always yields the pre-edge (Q) value; clocked
+    processes write ``reg.next`` (D).  The simulator commits all
+    registers simultaneously after every clocked process has run, so
+    register-to-register transfers behave like real hardware.
+
+    A register also remembers its reset value for :meth:`reset`, and
+    tracks whether it was written this cycle so "hold" semantics (no
+    assignment keeps the old value) come for free.
+    """
+
+    __slots__ = ("_next", "_reset", "_pending")
+
+    def __init__(self, name: str, width: int, reset: int = 0):
+        super().__init__(name, width, reset)
+        self._reset = reset
+        self._next: Optional[int] = None
+        self._pending = False
+
+    @property
+    def next(self) -> int:
+        """The value scheduled for the coming edge (D input)."""
+        if not self._pending:
+            return self._value
+        assert self._next is not None
+        return self._next
+
+    @next.setter
+    def next(self, value: int) -> None:
+        self._next = self._check(value)
+        self._pending = True
+
+    @Signal.value.setter
+    def value(self, new: int) -> None:  # type: ignore[misc]
+        raise SignalError(
+            f"register {self.name!r}: assign .next, not .value "
+            "(values change only at commit)"
+        )
+
+    def commit(self) -> bool:
+        """Latch the scheduled value; returns True if the value changed.
+
+        Called by the simulator at the rising edge.  If no ``next`` was
+        assigned this cycle the register holds.
+        """
+        if not self._pending:
+            return False
+        assert self._next is not None
+        changed = self._next != self._value
+        self._value = self._next
+        self._next = None
+        self._pending = False
+        return changed
+
+    def reset(self) -> None:
+        """Return to the reset value immediately (async reset)."""
+        self._value = self._reset
+        self._next = None
+        self._pending = False
+
+    def deposit(self, value: int) -> None:
+        """Force the stored value immediately, bypassing the clock.
+
+        This is the fault-injection / debug backdoor (the simulator
+        equivalent of ModelSim's ``deposit``): the SEU campaign in
+        :mod:`repro.analysis.seu` uses it to flip state bits mid-run.
+        Normal design code must never call it.
+        """
+        self._value = self._check(value)
+
+    def __repr__(self) -> str:
+        return f"Register({self.name!r}, width={self.width}, " \
+               f"value={self._value:#x})"

@@ -1,0 +1,119 @@
+"""Tests for CMAC (RFC 4493) and AES Key Wrap (RFC 3394)."""
+
+import pytest
+
+from repro.aes.auth import (
+    IntegrityError,
+    KEY_WRAP_IV,
+    cmac,
+    cmac_subkeys,
+    cmac_verify,
+    key_unwrap,
+    key_wrap,
+)
+
+# RFC 4493 test key and messages.
+K = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+M64 = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+
+
+class TestCmacVectors:
+    def test_subkeys(self):
+        k1, k2 = cmac_subkeys(K)
+        assert k1.hex() == "fbeed618357133667c85e08f7236a8de"
+        assert k2.hex() == "f7ddac306ae266ccf90bc11ee46d513b"
+
+    def test_example_1_empty(self):
+        assert cmac(K, b"").hex() == \
+            "bb1d6929e95937287fa37d129b756746"
+
+    def test_example_2_one_block(self):
+        assert cmac(K, M64[:16]).hex() == \
+            "070a16b46b4d4144f79bdd9dd04a287c"
+
+    def test_example_3_forty_bytes(self):
+        assert cmac(K, M64[:40]).hex() == \
+            "dfa66747de9ae63030ca32611497c827"
+
+    def test_example_4_four_blocks(self):
+        assert cmac(K, M64).hex() == \
+            "51f0bebf7e3b9d92fc49741779363cfe"
+
+
+class TestCmacProperties:
+    def test_verify_accepts_genuine(self):
+        tag = cmac(K, M64[:40])
+        assert cmac_verify(K, M64[:40], tag)
+
+    def test_verify_rejects_tampered_message(self):
+        tag = cmac(K, M64[:40])
+        tampered = bytes([M64[0] ^ 1]) + M64[1:40]
+        assert not cmac_verify(K, tampered, tag)
+
+    def test_verify_rejects_tampered_tag(self):
+        tag = bytearray(cmac(K, M64[:16]))
+        tag[15] ^= 0x01
+        assert not cmac_verify(K, M64[:16], bytes(tag))
+
+    def test_verify_rejects_wrong_length_tag(self):
+        assert not cmac_verify(K, b"x", b"short")
+
+    def test_length_extension_resistant_shape(self):
+        # Padding discipline: "ab" and "ab\x80" must not collide.
+        assert cmac(K, b"ab") != cmac(K, b"ab\x80")
+
+    def test_different_keys_differ(self):
+        assert cmac(K, b"hello") != cmac(bytes(16), b"hello")
+
+    def test_every_length_mod_block(self):
+        tags = {cmac(K, M64[:n]) for n in range(33)}
+        assert len(tags) == 33  # no collisions across lengths
+
+
+class TestKeyWrapVectors:
+    KEK = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    CEK = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    def test_rfc3394_wrap_128_with_128(self):
+        wrapped = key_wrap(self.KEK, self.CEK)
+        assert wrapped.hex() == (
+            "1fa68b0a8112b447aef34bd8fb5a7b82"
+            "9d3e862371d2cfe5"
+        )
+
+    def test_unwrap_round_trip(self):
+        assert key_unwrap(self.KEK, key_wrap(self.KEK, self.CEK)) == \
+            self.CEK
+
+    def test_longer_key_material(self):
+        material = bytes(range(32))
+        wrapped = key_wrap(self.KEK, material)
+        assert len(wrapped) == 40
+        assert key_unwrap(self.KEK, wrapped) == material
+
+    def test_wrong_kek_detected(self):
+        wrapped = key_wrap(self.KEK, self.CEK)
+        with pytest.raises(IntegrityError):
+            key_unwrap(bytes(16), wrapped)
+
+    def test_tamper_detected(self):
+        wrapped = bytearray(key_wrap(self.KEK, self.CEK))
+        wrapped[10] ^= 0x40
+        with pytest.raises(IntegrityError):
+            key_unwrap(self.KEK, bytes(wrapped))
+
+    def test_iv_constant(self):
+        assert KEY_WRAP_IV == bytes([0xA6] * 8)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            key_wrap(self.KEK, bytes(12))  # too short
+        with pytest.raises(ValueError):
+            key_wrap(self.KEK, bytes(20))  # not 8-aligned
+        with pytest.raises(ValueError):
+            key_unwrap(self.KEK, bytes(16))  # too short to unwrap

@@ -1,0 +1,168 @@
+"""Tests for the behavioral Rijndael cipher against published vectors."""
+
+import pytest
+
+from repro.aes.cipher import (
+    AES128,
+    Rijndael,
+    decrypt_block,
+    encrypt_block,
+    num_rounds,
+    schedule_trace,
+)
+from repro.aes.vectors import ALL_VECTORS, FIPS197_APPENDIX_B
+
+
+class TestKnownAnswers:
+    @pytest.mark.parametrize("vector", ALL_VECTORS,
+                             ids=[v.name for v in ALL_VECTORS])
+    def test_encrypt(self, vector):
+        assert encrypt_block(vector.key, vector.plaintext) == \
+            vector.ciphertext
+
+    @pytest.mark.parametrize("vector", ALL_VECTORS,
+                             ids=[v.name for v in ALL_VECTORS])
+    def test_decrypt(self, vector):
+        assert decrypt_block(vector.key, vector.ciphertext) == \
+            vector.plaintext
+
+
+class TestRoundCounts:
+    def test_aes_round_counts(self):
+        assert num_rounds(16, 16) == 10
+        assert num_rounds(16, 24) == 12
+        assert num_rounds(16, 32) == 14
+
+    def test_rijndael_wide_blocks(self):
+        assert num_rounds(24, 16) == 12
+        assert num_rounds(32, 16) == 14
+        assert num_rounds(32, 32) == 14
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            num_rounds(20, 16)
+        with pytest.raises(ValueError):
+            num_rounds(16, 20)
+
+
+class TestRijndaelWideBlock:
+    """The full Rijndael family (Nb = 6, 8) round-trips."""
+
+    @pytest.mark.parametrize("block_bytes", [24, 32])
+    @pytest.mark.parametrize("key_bytes", [16, 24, 32])
+    def test_round_trip(self, block_bytes, key_bytes, rng):
+        key = bytes(rng.randrange(256) for _ in range(key_bytes))
+        block = bytes(rng.randrange(256) for _ in range(block_bytes))
+        cipher = Rijndael(key, block_bytes=block_bytes)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_block_size_enforced(self):
+        cipher = Rijndael(bytes(16), block_bytes=24)
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(bytes(16))
+
+    def test_rounds_property(self):
+        assert Rijndael(bytes(32), block_bytes=24).rounds == 14
+
+
+class TestAES128Class:
+    def test_rejects_non_128_key(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(24))
+
+    def test_round_keys_exposed(self, fips_key):
+        keys = AES128(fips_key).round_keys
+        assert len(keys) == 11
+        assert keys[0] == fips_key
+
+    def test_round_keys_list_is_a_copy(self, fips_key):
+        aes = AES128(fips_key)
+        aes.round_keys.clear()
+        assert len(aes.round_keys) == 11
+
+    def test_encryption_is_deterministic(self, fips_key, fips_plaintext):
+        aes = AES128(fips_key)
+        first = aes.encrypt_block(fips_plaintext)
+        assert aes.encrypt_block(fips_plaintext) == first
+
+    def test_different_keys_differ(self, fips_plaintext):
+        a = AES128(bytes(16)).encrypt_block(fips_plaintext)
+        b = AES128(bytes([1] * 16)).encrypt_block(fips_plaintext)
+        assert a != b
+
+
+class TestTraceHooks:
+    def test_schedule_has_expected_shape(self):
+        lines = schedule_trace(bytes(16), bytes(16))
+        # 1 initial add_key + 9 full rounds x 4 + last round x 3.
+        assert len(lines) == 1 + 9 * 4 + 3
+
+    def test_last_round_skips_mix_column(self):
+        lines = schedule_trace(bytes(16), bytes(16))
+        round10 = [ln for ln in lines if ln.startswith("round 10")]
+        assert [ln.split(": ")[1] for ln in round10] == [
+            "byte_sub", "shift_row", "add_key",
+        ]
+
+    def test_function_order_within_round(self):
+        lines = schedule_trace(bytes(16), bytes(16))
+        round1 = [ln.split(": ")[1] for ln in lines
+                  if ln.startswith("round  1")]
+        assert round1 == ["byte_sub", "shift_row", "mix_column", "add_key"]
+
+    def test_decrypt_trace_order(self, fips_key, fips_ciphertext):
+        calls = []
+        AES128(fips_key).decrypt_block(
+            fips_ciphertext, trace=lambda r, n, s: calls.append((r, n))
+        )
+        # Paper §3: decryption order is Add Key, IMix Column,
+        # IShift Row, IByte Sub; the first decrypt round (10) skips
+        # IMix Column.
+        assert calls[0] == (10, "add_key")
+        assert calls[1] == (10, "ishift_row")
+        assert calls[2] == (10, "ibyte_sub")
+        assert calls[3] == (9, "add_key")
+        assert calls[4] == (9, "imix_column")
+        assert calls[-1] == (0, "add_key")
+
+    def test_intermediate_state_matches_fips(self, fips_key,
+                                             fips_plaintext):
+        # FIPS-197 Appendix B: state after round 1's MixColumns.
+        seen = {}
+        AES128(fips_key).encrypt_block(
+            fips_plaintext,
+            trace=lambda r, n, s: seen.setdefault((r, n), s),
+        )
+        assert seen[(1, "mix_column")].to_bytes().hex() == \
+            "046681e5e0cb199a48f8d37a2806264c"
+        assert seen[(1, "add_key")].to_bytes().hex() == \
+            "a49c7ff2689f352b6b5bea43026a5049"
+
+
+class TestRandomRoundTrips:
+    def test_many_random_round_trips(self, rng):
+        for _ in range(25):
+            key = bytes(rng.randrange(256) for _ in range(16))
+            block = bytes(rng.randrange(256) for _ in range(16))
+            assert decrypt_block(key, encrypt_block(key, block)) == block
+
+    def test_avalanche_on_plaintext_bit(self, fips_key, fips_plaintext):
+        base = encrypt_block(fips_key, fips_plaintext)
+        flipped = bytearray(fips_plaintext)
+        flipped[0] ^= 0x01
+        other = encrypt_block(fips_key, bytes(flipped))
+        differing = sum(
+            bin(a ^ b).count("1") for a, b in zip(base, other)
+        )
+        # A healthy block cipher flips ~half the 128 output bits.
+        assert 40 <= differing <= 90
+
+    def test_avalanche_on_key_bit(self, fips_key, fips_plaintext):
+        base = encrypt_block(fips_key, fips_plaintext)
+        key2 = bytearray(fips_key)
+        key2[15] ^= 0x80
+        other = encrypt_block(bytes(key2), fips_plaintext)
+        differing = sum(
+            bin(a ^ b).count("1") for a, b in zip(base, other)
+        )
+        assert 40 <= differing <= 90

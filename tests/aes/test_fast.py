@@ -1,0 +1,78 @@
+"""Tests for the T-table software implementation."""
+
+import pytest
+
+from repro.aes.cipher import AES128
+from repro.aes.fast import FastAES128, T0, T1, T2, T3, \
+    t_table_memory_bits
+from repro.aes.vectors import ALL_VECTORS
+from tests.conftest import random_block, random_key
+
+
+class TestTables:
+    def test_t0_structure(self):
+        # T0[x] packs (2*S, S, S, 3*S).
+        from repro.aes.constants import SBOX
+        from repro.gf.galois import gf_mul
+
+        for x in (0, 0x53, 0xFF):
+            s = SBOX[x]
+            expected = ((gf_mul(s, 2) << 24) | (s << 16) | (s << 8)
+                        | gf_mul(s, 3))
+            assert T0[x] == expected
+
+    def test_rotation_relationship(self):
+        def rot8(w):
+            return ((w >> 8) | (w << 24)) & 0xFFFFFFFF
+
+        for x in (1, 0x7E, 0xC4):
+            assert T1[x] == rot8(T0[x])
+            assert T2[x] == rot8(T1[x])
+            assert T3[x] == rot8(T2[x])
+
+    def test_memory_footprint(self):
+        assert t_table_memory_bits() == 32768
+
+
+class TestKnownAnswers:
+    @pytest.mark.parametrize(
+        "vector", [v for v in ALL_VECTORS if len(v.key) == 16],
+        ids=lambda v: v.name,
+    )
+    def test_fips_vectors(self, vector):
+        assert FastAES128(vector.key).encrypt_block(vector.plaintext) \
+            == vector.ciphertext
+
+
+class TestEquivalence:
+    def test_matches_straightforward_model(self, rng):
+        for _ in range(20):
+            key = random_key(rng)
+            block = random_block(rng)
+            assert FastAES128(key).encrypt_block(block) == \
+                AES128(key).encrypt_block(block)
+
+    def test_ecb_helper(self, rng):
+        key = random_key(rng)
+        data = bytes(rng.randrange(256) for _ in range(64))
+        fast = FastAES128(key)
+        slow = AES128(key)
+        expected = b"".join(
+            slow.encrypt_block(data[i:i + 16])
+            for i in range(0, 64, 16)
+        )
+        assert fast.encrypt_ecb(data) == expected
+
+
+class TestValidation:
+    def test_key_length(self):
+        with pytest.raises(ValueError):
+            FastAES128(bytes(24))
+
+    def test_block_length(self):
+        with pytest.raises(ValueError):
+            FastAES128(bytes(16)).encrypt_block(bytes(15))
+
+    def test_ecb_alignment(self):
+        with pytest.raises(ValueError):
+            FastAES128(bytes(16)).encrypt_ecb(bytes(20))

@@ -1,0 +1,126 @@
+"""Tests for AES-GCM against the NIST SP 800-38D test cases."""
+
+import pytest
+
+from repro.aes.gcm import (
+    AuthenticationError,
+    gcm_decrypt,
+    gcm_encrypt,
+    gf128_mul,
+)
+
+# The canonical GCM validation vectors (McGrew-Viega / NIST).
+K96 = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+IV96 = bytes.fromhex("cafebabefacedbaddecaf888")
+P60 = bytes.fromhex(
+    "d9313225f88406e5a55909c5aff5269a"
+    "86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525"
+    "b16aedf5aa0de657ba637b39"
+)
+AAD = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+
+
+class TestNistVectors:
+    def test_case_1_empty(self):
+        ct, tag = gcm_encrypt(bytes(16), bytes(12), b"")
+        assert ct == b""
+        assert tag.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+    def test_case_2_zero_block(self):
+        ct, tag = gcm_encrypt(bytes(16), bytes(12), bytes(16))
+        assert ct.hex() == "0388dace60b6a392f328c2b971b2fe78"
+        assert tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+    def test_case_4_with_aad(self):
+        ct, tag = gcm_encrypt(K96, IV96, P60, AAD)
+        assert tag.hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+        assert len(ct) == len(P60)
+
+    def test_case_4_decrypts(self):
+        ct, tag = gcm_encrypt(K96, IV96, P60, AAD)
+        assert gcm_decrypt(K96, IV96, ct, tag, AAD) == P60
+
+
+class TestAuthentication:
+    def test_tampered_ciphertext_rejected(self):
+        ct, tag = gcm_encrypt(K96, IV96, P60, AAD)
+        bad = bytes([ct[0] ^ 1]) + ct[1:]
+        with pytest.raises(AuthenticationError):
+            gcm_decrypt(K96, IV96, bad, tag, AAD)
+
+    def test_tampered_tag_rejected(self):
+        ct, tag = gcm_encrypt(K96, IV96, P60, AAD)
+        bad = bytes([tag[15] ^ 0x80]) + tag[1:]
+        with pytest.raises(AuthenticationError):
+            gcm_decrypt(K96, IV96, ct, bytes([tag[0] ^ 1]) + tag[1:],
+                        AAD)
+
+    def test_tampered_aad_rejected(self):
+        ct, tag = gcm_encrypt(K96, IV96, P60, AAD)
+        with pytest.raises(AuthenticationError):
+            gcm_decrypt(K96, IV96, ct, tag, AAD + b"x")
+
+    def test_wrong_key_rejected(self):
+        ct, tag = gcm_encrypt(K96, IV96, P60, AAD)
+        with pytest.raises(AuthenticationError):
+            gcm_decrypt(bytes(16), IV96, ct, tag, AAD)
+
+    def test_empty_iv_rejected(self):
+        with pytest.raises(ValueError):
+            gcm_encrypt(K96, b"", P60)
+
+
+class TestNon96BitIv:
+    def test_long_iv_round_trip(self):
+        iv = bytes(range(60))
+        ct, tag = gcm_encrypt(K96, iv, P60, AAD)
+        assert gcm_decrypt(K96, iv, ct, tag, AAD) == P60
+
+    def test_short_iv_round_trip(self):
+        iv = b"\x01\x02\x03"
+        ct, tag = gcm_encrypt(K96, iv, b"hello world")
+        assert gcm_decrypt(K96, iv, ct, tag) == b"hello world"
+
+    def test_iv_length_matters(self):
+        a = gcm_encrypt(K96, bytes(12), P60)[0]
+        b = gcm_encrypt(K96, bytes(13), P60)[0]
+        assert a != b
+
+
+class TestGf128:
+    def test_identity_element(self):
+        # GCM bit order: the identity is x^0 = MSB-first 1000...0.
+        one = 1 << 127
+        for value in (1, 0xDEADBEEF, (1 << 128) - 1):
+            assert gf128_mul(value, one) == value
+
+    def test_commutative(self):
+        a, b = 0x123456789ABCDEF0 << 60, 0x0FEDCBA987654321
+        assert gf128_mul(a, b) == gf128_mul(b, a)
+
+    def test_zero_annihilates(self):
+        assert gf128_mul(0, 0xABC) == 0
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            gf128_mul(1 << 128, 1)
+
+
+class TestRoundTrips:
+    def test_various_lengths(self, rng):
+        key = bytes(rng.randrange(256) for _ in range(16))
+        iv = bytes(rng.randrange(256) for _ in range(12))
+        for length in (0, 1, 15, 16, 17, 33, 64):
+            plaintext = bytes(rng.randrange(256)
+                              for _ in range(length))
+            ct, tag = gcm_encrypt(key, iv, plaintext)
+            assert len(ct) == length
+            assert gcm_decrypt(key, iv, ct, tag) == plaintext
+
+    def test_aad_only_message(self, rng):
+        key = bytes(rng.randrange(256) for _ in range(16))
+        iv = bytes(rng.randrange(256) for _ in range(12))
+        ct, tag = gcm_encrypt(key, iv, b"", aad=b"header only")
+        assert ct == b""
+        assert gcm_decrypt(key, iv, b"", tag, aad=b"header only") == b""

@@ -1,0 +1,140 @@
+"""Tests for the key schedule: expansion, KStran, on-the-fly stepping."""
+
+import pytest
+
+from repro.aes.key_schedule import (
+    expand_key,
+    kstran,
+    last_round_key,
+    next_round_key,
+    previous_round_key,
+    rot_word,
+    round_keys_from_words,
+    sub_word,
+)
+from repro.aes.vectors import (
+    FIPS197_APPENDIX_A_W4_W7,
+    FIPS197_APPENDIX_B,
+    FIPS197_APPENDIX_C2,
+    FIPS197_APPENDIX_C3,
+)
+
+
+class TestWordOps:
+    def test_rot_word(self):
+        assert rot_word(0x09CF4F3C) == 0xCF4F3C09
+
+    def test_rot_word_identity_on_repeats(self):
+        assert rot_word(0xAAAAAAAA) == 0xAAAAAAAA
+
+    def test_sub_word(self):
+        # FIPS-197 Appendix A: SubWord(cf4f3c09) = 8a84eb01.
+        assert sub_word(0xCF4F3C09) == 0x8A84EB01
+
+    def test_word_range_checked(self):
+        with pytest.raises(ValueError):
+            rot_word(1 << 32)
+        with pytest.raises(ValueError):
+            sub_word(-1)
+
+
+class TestKStran:
+    def test_fips_appendix_a_step(self):
+        # Appendix A, i=4: after XOR with Rcon -> 8b84eb01.
+        assert kstran(0x09CF4F3C, 1) == 0x8B84EB01
+
+    def test_round_constant_lands_in_top_byte(self):
+        base = kstran(0x00000000, 1)
+        again = kstran(0x00000000, 2)
+        # Only the Rcon byte differs between rounds.
+        assert (base ^ again) == ((0x01 ^ 0x02) << 24)
+
+    def test_round_index_bounds(self):
+        with pytest.raises(ValueError):
+            kstran(0, 0)
+        with pytest.raises(ValueError):
+            kstran(0, 99)
+
+
+class TestExpansion:
+    def test_appendix_a_first_round(self):
+        words = expand_key(FIPS197_APPENDIX_B.key, 10)
+        assert tuple(words[4:8]) == FIPS197_APPENDIX_A_W4_W7
+
+    def test_word_count_aes128(self):
+        assert len(expand_key(bytes(16), 10)) == 44
+
+    def test_word_count_aes192(self):
+        assert len(expand_key(bytes(24), 12)) == 52
+
+    def test_word_count_aes256(self):
+        assert len(expand_key(bytes(32), 14)) == 60
+
+    def test_aes192_expansion_pinned_by_appendix_c(self):
+        # The 192-bit schedule is pinned end-to-end by the Appendix
+        # C.2 known answer (tests/aes/test_cipher.py); here assert its
+        # shape and that the schedule diffuses: every round key after
+        # the raw key words depends on the key.
+        words = expand_key(FIPS197_APPENDIX_C2.key, 12)
+        zero_words = expand_key(bytes(24), 12)
+        assert len(words) == len(zero_words) == 52
+        assert all(a != b for a, b in zip(words[6:], zero_words[6:]))
+
+    def test_aes256_extra_subword_matters(self):
+        # Nk=8 applies SubWord at i % 8 == 4; removing that step (as a
+        # naive Nk<=6-style schedule would) must change the expansion.
+        words = expand_key(FIPS197_APPENDIX_C3.key, 14)
+        assert len(words) == 60
+        # The first affected word is w12 (i=12, 12%8==4).
+        naive_w12 = words[4] ^ words[11]
+        assert words[12] != naive_w12
+
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(ValueError):
+            expand_key(bytes(15), 10)
+
+    def test_round_keys_grouping(self):
+        words = expand_key(FIPS197_APPENDIX_B.key, 10)
+        keys = round_keys_from_words(words)
+        assert len(keys) == 11
+        assert keys[0] == FIPS197_APPENDIX_B.key
+        assert all(len(k) == 16 for k in keys)
+
+    def test_grouping_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            round_keys_from_words([1, 2, 3])
+
+
+class TestOnTheFly:
+    def test_forward_matches_expansion(self, fips_key):
+        words = expand_key(fips_key, 10)
+        current = tuple(words[0:4])
+        for rnd in range(1, 11):
+            current = next_round_key(current, rnd)
+            assert list(current) == words[4 * rnd : 4 * rnd + 4]
+
+    def test_reverse_matches_expansion(self, fips_key):
+        words = expand_key(fips_key, 10)
+        current = tuple(words[40:44])
+        for rnd in range(10, 0, -1):
+            current = previous_round_key(current, rnd)
+            assert list(current) == words[4 * (rnd - 1) : 4 * rnd]
+
+    def test_forward_reverse_inverse(self, fips_key):
+        words = expand_key(fips_key, 10)
+        k = tuple(words[16:20])  # K4
+        assert previous_round_key(next_round_key(k, 5), 5) == k
+
+    def test_last_round_key_matches_expansion(self, fips_key):
+        words = expand_key(fips_key, 10)
+        assert list(last_round_key(fips_key)) == words[40:44]
+
+    def test_last_round_key_needs_16_bytes(self):
+        with pytest.raises(ValueError):
+            last_round_key(bytes(24))
+
+    def test_round_key_shape_checked(self):
+        with pytest.raises(ValueError):
+            next_round_key((1, 2, 3), 1)
+        with pytest.raises(ValueError):
+            previous_round_key((1, 2, 3, 1 << 32), 1)

@@ -1,0 +1,59 @@
+"""Tests for the power-on self test."""
+
+import pytest
+
+from repro.aes.selftest import CheckResult, SelfTestReport, run_self_test
+
+
+class TestSelfTest:
+    REPORT = run_self_test()
+
+    def test_all_pass(self):
+        assert self.REPORT.passed, self.REPORT.render()
+
+    def test_check_inventory(self):
+        names = [check.name for check in self.REPORT.checks]
+        assert names == [
+            "constant tables", "block cipher", "modes of operation",
+            "key schedule", "hardware model",
+        ]
+
+    def test_fast_mode_skips_hardware(self):
+        fast = run_self_test(include_hardware=False)
+        names = [check.name for check in fast.checks]
+        assert "hardware model" not in names
+        assert fast.passed
+
+    def test_render(self):
+        text = self.REPORT.render()
+        assert text.startswith("self test: PASS")
+        assert "[ok ]" in text
+        assert "50-cycle latency" in text
+
+    def test_elapsed_recorded(self):
+        assert self.REPORT.elapsed_s > 0
+
+
+class TestFailureReporting:
+    def test_failures_reported_not_raised(self, monkeypatch):
+        # Sabotage one vector; the POST must report the failure
+        # gracefully rather than raising.
+        import repro.aes.vectors as vectors
+
+        broken = vectors.KnownAnswer(
+            name="broken", key=bytes(16), plaintext=bytes(16),
+            ciphertext=bytes(16), source="sabotage",
+        )
+        monkeypatch.setattr(vectors, "ALL_VECTORS",
+                            vectors.ALL_VECTORS + (broken,))
+        report = run_self_test(include_hardware=False)
+        assert not report.passed
+        failed = [c for c in report.checks if not c.passed]
+        assert [c.name for c in failed] == ["block cipher"]
+        assert "FAIL" in report.render()
+
+    def test_report_object_semantics(self):
+        report = SelfTestReport(
+            checks=[CheckResult("a", True), CheckResult("b", False)]
+        )
+        assert not report.passed

@@ -1,0 +1,138 @@
+"""Tests for the state_t matrix (paper Fig. 1)."""
+
+import pytest
+
+from repro.aes.state import State, bytes_to_words, words_to_bytes
+
+
+class TestConstruction:
+    def test_needs_sixteen_bytes_for_nb4(self):
+        with pytest.raises(ValueError):
+            State(bytes(15))
+        with pytest.raises(ValueError):
+            State(bytes(17))
+
+    def test_nb6_needs_24_bytes(self):
+        assert State(bytes(24), nb=6).nb == 6
+
+    def test_nb8_needs_32_bytes(self):
+        assert State(bytes(32), nb=8).nb == 8
+
+    def test_illegal_nb_rejected(self):
+        with pytest.raises(ValueError):
+            State(bytes(20), nb=5)
+
+    def test_zero_factory(self):
+        assert State.zero().to_bytes() == bytes(16)
+        assert State.zero(nb=6).to_bytes() == bytes(24)
+
+
+class TestByteOrdering:
+    """Input byte n sits at row n mod 4, column n div 4."""
+
+    def test_column_major_fill(self):
+        state = State(bytes(range(16)))
+        assert state.get(0, 0) == 0
+        assert state.get(1, 0) == 1
+        assert state.get(3, 0) == 3
+        assert state.get(0, 1) == 4
+        assert state.get(3, 3) == 15
+
+    def test_round_trip(self):
+        data = bytes(range(16))
+        assert State(data).to_bytes() == data
+
+    def test_row_view(self):
+        state = State(bytes(range(16)))
+        assert state.row(0) == (0, 4, 8, 12)
+        assert state.row(3) == (3, 7, 11, 15)
+
+    def test_column_view(self):
+        state = State(bytes(range(16)))
+        assert state.column(0) == (0, 1, 2, 3)
+        assert state.column(3) == (12, 13, 14, 15)
+
+    def test_columns_iterator(self):
+        state = State(bytes(range(16)))
+        assert list(state.columns()) == [state.column(c) for c in range(4)]
+
+
+class TestAccessors:
+    def test_set_get(self):
+        state = State.zero()
+        state.set(2, 1, 0xAB)
+        assert state.get(2, 1) == 0xAB
+        assert state.to_bytes()[1 * 4 + 2] == 0xAB
+
+    def test_set_rejects_bad_byte(self):
+        with pytest.raises(ValueError):
+            State.zero().set(0, 0, 256)
+
+    def test_out_of_range_row(self):
+        with pytest.raises(ValueError):
+            State.zero().get(4, 0)
+
+    def test_out_of_range_column(self):
+        with pytest.raises(ValueError):
+            State.zero().get(0, 4)
+
+    def test_set_row(self):
+        state = State.zero()
+        state.set_row(1, (9, 8, 7, 6))
+        assert state.row(1) == (9, 8, 7, 6)
+
+    def test_set_row_wrong_width(self):
+        with pytest.raises(ValueError):
+            State.zero().set_row(0, (1, 2, 3))
+
+    def test_set_column(self):
+        state = State.zero()
+        state.set_column(2, (1, 2, 3, 4))
+        assert state.column(2) == (1, 2, 3, 4)
+
+    def test_set_column_validates_bytes(self):
+        with pytest.raises(ValueError):
+            State.zero().set_column(0, (0, 0, 0, 300))
+
+
+class TestValueSemantics:
+    def test_copy_is_independent(self):
+        a = State(bytes(range(16)))
+        b = a.copy()
+        b.set(0, 0, 0xFF)
+        assert a.get(0, 0) == 0
+
+    def test_equality(self):
+        assert State(bytes(16)) == State(bytes(16))
+        assert State(bytes(16)) != State(bytes([1] + [0] * 15))
+
+    def test_nb_matters_for_equality(self):
+        assert State(bytes(16)) != State(bytes(24), nb=6)
+
+    def test_hashable(self):
+        assert len({State(bytes(16)), State(bytes(16))}) == 1
+
+    def test_render_has_four_rows(self):
+        assert State.zero().render().count("\n") == 3
+
+
+class TestWordPacking:
+    def test_words_to_bytes(self):
+        assert words_to_bytes([0x01020304]) == b"\x01\x02\x03\x04"
+
+    def test_bytes_to_words(self):
+        assert bytes_to_words(b"\x01\x02\x03\x04\xaa\xbb\xcc\xdd") == [
+            0x01020304, 0xAABBCCDD,
+        ]
+
+    def test_round_trip(self):
+        words = [0xDEADBEEF, 0x00C0FFEE, 0x12345678, 0x9ABCDEF0]
+        assert bytes_to_words(words_to_bytes(words)) == words
+
+    def test_bad_word_rejected(self):
+        with pytest.raises(ValueError):
+            words_to_bytes([1 << 32])
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_words(b"\x01\x02\x03")

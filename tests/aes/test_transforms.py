@@ -1,0 +1,147 @@
+"""Tests for the four round transforms and their inverses (paper §3)."""
+
+import pytest
+
+from repro.aes.constants import SBOX
+from repro.aes.state import State
+from repro.aes.transforms import (
+    add_round_key,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    mix_columns,
+    shift_offsets,
+    shift_rows,
+    sub_bytes,
+)
+
+
+def state_of(hexstr: str) -> State:
+    return State(bytes.fromhex(hexstr))
+
+
+class TestSubBytes:
+    def test_applies_sbox_per_byte(self):
+        state = State(bytes(range(16)))
+        out = sub_bytes(state)
+        assert out.to_bytes() == bytes(SBOX[b] for b in range(16))
+
+    def test_fips_round1_sub_bytes(self):
+        # FIPS-197 Appendix B round 1: start_of_round -> after SubBytes.
+        start = state_of("193de3bea0f4e22b9ac68d2ae9f84808")
+        expected = state_of("d42711aee0bf98f1b8b45de51e415230")
+        assert sub_bytes(start) == expected
+
+    def test_inverse_round_trip(self):
+        state = State(bytes(range(16)))
+        assert inv_sub_bytes(sub_bytes(state)) == state
+
+    def test_does_not_mutate_input(self):
+        state = State(bytes(range(16)))
+        sub_bytes(state)
+        assert state.to_bytes() == bytes(range(16))
+
+
+class TestShiftRows:
+    def test_offsets_nb4(self):
+        assert shift_offsets(4) == (0, 1, 2, 3)
+
+    def test_offsets_nb6(self):
+        assert shift_offsets(6) == (0, 1, 2, 3)
+
+    def test_offsets_nb8(self):
+        assert shift_offsets(8) == (0, 1, 3, 4)
+
+    def test_offsets_reject_bad_nb(self):
+        with pytest.raises(ValueError):
+            shift_offsets(5)
+
+    def test_row_zero_untouched(self):
+        state = State(bytes(range(16)))
+        assert shift_rows(state).row(0) == state.row(0)
+
+    def test_rows_rotate_left_by_index(self):
+        state = State(bytes(range(16)))
+        out = shift_rows(state)
+        assert out.row(1) == (5, 9, 13, 1)
+        assert out.row(2) == (10, 14, 2, 6)
+        assert out.row(3) == (15, 3, 7, 11)
+
+    def test_fips_round1_shift_rows(self):
+        before = state_of("d42711aee0bf98f1b8b45de51e415230")
+        expected = state_of("d4bf5d30e0b452aeb84111f11e2798e5")
+        assert shift_rows(before) == expected
+
+    def test_inverse_round_trip(self):
+        state = State(bytes(range(16)))
+        assert inv_shift_rows(shift_rows(state)) == state
+
+    def test_four_applications_identity_nb4(self):
+        state = State(bytes(range(16)))
+        out = state
+        for _ in range(4):
+            out = shift_rows(out)
+        assert out == state
+
+    def test_nb8_uses_different_offsets(self):
+        state = State(bytes(range(32)), nb=8)
+        out = shift_rows(state)
+        # Row 2 shifts by 3 for Nb=8.
+        assert out.row(2)[0] == state.row(2)[3]
+
+
+class TestMixColumns:
+    def test_fips_round1_mix_columns(self):
+        before = state_of("d4bf5d30e0b452aeb84111f11e2798e5")
+        expected = state_of("046681e5e0cb199a48f8d37a2806264c")
+        assert mix_columns(before) == expected
+
+    def test_inverse_round_trip(self):
+        state = State(bytes(range(16)))
+        assert inv_mix_columns(mix_columns(state)) == state
+
+    def test_columns_independent(self):
+        base = State.zero()
+        base.set_column(1, (0xDB, 0x13, 0x53, 0x45))
+        out = mix_columns(base)
+        assert out.column(1) == (0x8E, 0x4D, 0xA1, 0xBC)
+        assert out.column(0) == (0, 0, 0, 0)
+        assert out.column(2) == (0, 0, 0, 0)
+
+    def test_linear_over_xor(self):
+        a = State(bytes(range(16)))
+        b = State(bytes(range(16, 32)))
+        xored = State(bytes(x ^ y for x, y in
+                            zip(a.to_bytes(), b.to_bytes())))
+        lhs = mix_columns(xored).to_bytes()
+        rhs = bytes(
+            x ^ y for x, y in zip(mix_columns(a).to_bytes(),
+                                  mix_columns(b).to_bytes())
+        )
+        assert lhs == rhs
+
+
+class TestAddRoundKey:
+    def test_xors_bytes(self):
+        state = State(bytes(range(16)))
+        key = bytes(range(16))
+        assert add_round_key(state, key) == State.zero()
+
+    def test_is_involution(self):
+        state = State(bytes(range(16)))
+        key = bytes(reversed(range(16)))
+        assert add_round_key(add_round_key(state, key), key) == state
+
+    def test_fips_initial_add_key(self):
+        plaintext = state_of("3243f6a8885a308d313198a2e0370734")
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        expected = state_of("193de3bea0f4e22b9ac68d2ae9f84808")
+        assert add_round_key(plaintext, key) == expected
+
+    def test_wrong_key_length(self):
+        with pytest.raises(ValueError):
+            add_round_key(State.zero(), bytes(15))
+
+    def test_nb6_key_length(self):
+        state = State(bytes(24), nb=6)
+        assert add_round_key(state, bytes(24)) == state

@@ -1,0 +1,96 @@
+"""Tests for the diffusion statistics."""
+
+import pytest
+
+from repro.analysis.avalanche import (
+    AvalancheReport,
+    avalanche_effect,
+    completeness_violations,
+    diffusion_by_round,
+    key_avalanche_effect,
+    sac_matrix,
+)
+
+
+class TestAvalancheEffect:
+    REPORT = avalanche_effect(samples=48, seed=10)
+
+    def test_mean_near_half(self):
+        assert 0.45 <= self.REPORT.mean_fraction <= 0.55
+
+    def test_range_sane(self):
+        assert 30 <= self.REPORT.min_flipped
+        assert self.REPORT.max_flipped <= 98
+
+    def test_render(self):
+        assert "avalanche" in self.REPORT.render()
+
+    def test_deterministic_given_seed(self):
+        again = avalanche_effect(samples=48, seed=10)
+        assert again == self.REPORT
+
+    def test_key_avalanche_near_half(self):
+        report = key_avalanche_effect(samples=32, seed=11)
+        assert 0.45 <= report.mean_fraction <= 0.55
+
+
+class TestSacMatrix:
+    MATRIX = sac_matrix(samples_per_bit=10, seed=12,
+                        input_bits=[0, 37, 127])
+
+    def test_shape(self):
+        assert len(self.MATRIX) == 3
+        assert all(len(row) == 128 for row in self.MATRIX)
+
+    def test_probabilities_in_range(self):
+        for row in self.MATRIX:
+            for p in row:
+                assert 0.0 <= p <= 1.0
+
+    def test_rows_average_near_half(self):
+        for row in self.MATRIX:
+            mean = sum(row) / len(row)
+            assert 0.40 <= mean <= 0.60
+
+    def test_no_stuck_output_bits(self):
+        # With 10 samples x 3 rows = 30 trials, an output bit that
+        # never flipped would be suspicious.
+        combined = [sum(row[j] for row in self.MATRIX)
+                    for j in range(128)]
+        assert all(total > 0 for total in combined)
+
+
+class TestDiffusionByRound:
+    PROFILE = diffusion_by_round(in_bit=5, samples=12, seed=13)
+
+    def test_round_zero_is_one_bit(self):
+        # After the initial Add Key only the flipped bit differs.
+        assert self.PROFILE[0] == 1.0
+
+    def test_round_one_confined_to_one_column(self):
+        # One S-box output difference spreads through one MixColumn:
+        # at most 32 bits can differ.
+        assert 1.0 < self.PROFILE[1] <= 32.0
+
+    def test_full_diffusion_by_round_two(self):
+        # ShiftRow scatters the column; MixColumn fills all four.
+        assert self.PROFILE[2] > 40.0
+
+    def test_steady_state_half(self):
+        for value in self.PROFILE[3:]:
+            assert 48.0 <= value <= 80.0
+
+    def test_monotone_early_growth(self):
+        assert self.PROFILE[0] < self.PROFILE[1] < self.PROFILE[2]
+
+
+class TestCompleteness:
+    def test_no_violations(self):
+        assert completeness_violations(samples_per_bit=12, seed=14) == 0
+
+
+class TestReportObject:
+    def test_fraction(self):
+        report = AvalancheReport(samples=1, mean_flipped=64.0,
+                                 min_flipped=64, max_flipped=64)
+        assert report.mean_fraction == 0.5

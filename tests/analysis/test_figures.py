@@ -1,0 +1,79 @@
+"""Tests for the Figure 1-9 reproductions."""
+
+from repro.analysis.figures import (
+    ALL_FIGURES,
+    fig1_state,
+    fig2_schedule,
+    fig3_kstran,
+    fig4_byte_sub,
+    fig5_sbox,
+    fig6_shift_row,
+    fig7_mix_column,
+    fig8_architecture,
+    fig9_top_level,
+)
+from repro.ip.control import Variant
+
+
+class TestRegistry:
+    def test_all_nine_figures(self):
+        assert set(ALL_FIGURES) == {f"fig{i}" for i in range(1, 10)}
+
+    def test_all_render_nonempty(self):
+        for name, fn in ALL_FIGURES.items():
+            text = fn()
+            assert isinstance(text, str) and len(text) > 40, name
+
+
+class TestContent:
+    def test_fig1_shows_column_major_layout(self):
+        text = fig1_state()
+        # First row of the matrix: bytes 0, 4, 8, 12.
+        assert "00 04 08 0c" in text
+
+    def test_fig2_runs_ten_rounds(self):
+        text = fig2_schedule()
+        assert "round 10: add_key" in text
+        assert text.count("mix_column") == 9  # last round skips it
+
+    def test_fig3_shows_kstran_steps(self):
+        text = fig3_kstran(0x09CF4F3C, 1)
+        assert "cf4f3c09" in text  # rotated
+        assert "8a84eb01" in text  # substituted
+        assert "8b84eb01" in text  # after Rcon
+
+    def test_fig4_uses_real_sbox_values(self):
+        text = fig4_byte_sub()
+        assert "S[00]=63" in text
+
+    def test_fig5_is_full_sbox_grid(self):
+        text = fig5_sbox()
+        assert "63 7c 77 7b" in text  # first row
+        assert "2048 bits" in text
+        assert len([ln for ln in text.splitlines()
+                    if ln and ln[1] == "x"]) >= 16
+
+    def test_fig6_shows_rotation(self):
+        text = fig6_shift_row()
+        assert "05 09 0d 01" in text  # row 1 rotated left by 1
+
+    def test_fig7_fips_worked_column(self):
+        text = fig7_mix_column()
+        assert "0x8e" in text and "0xbc" in text
+        # Round trip back to the input column.
+        assert "0xdb" in text
+
+    def test_fig8_names_the_units(self):
+        text = fig8_architecture()
+        for token in ("sbox_f", "sbox_i", "key unit", "5 cycles/round"):
+            assert token in text
+
+    def test_fig9_includes_signal_table(self):
+        text = fig9_top_level(Variant.BOTH)
+        assert "Data_In" in text
+        assert "dout" in text
+        assert "262" in text
+
+    def test_fig9_encrypt_variant(self):
+        text = fig9_top_level(Variant.ENCRYPT)
+        assert "enc/dec" not in text

@@ -1,0 +1,73 @@
+"""Tests for the performance metric arithmetic."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    clock_mhz,
+    combined_slowdown,
+    efficiency_mbps_per_kle,
+    latency_ns,
+    throughput_mbps,
+)
+
+
+class TestLatency:
+    def test_paper_rows(self):
+        assert latency_ns(50, 14) == 700
+        assert latency_ns(50, 15) == 750
+        assert latency_ns(50, 17) == 850
+        assert latency_ns(50, 10) == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latency_ns(-1, 10)
+        with pytest.raises(ValueError):
+            latency_ns(10, 0)
+
+
+class TestThroughput:
+    def test_paper_definition(self):
+        # "block size (128) divided by latency".
+        assert throughput_mbps(700) == pytest.approx(182.857, abs=0.01)
+        assert throughput_mbps(500) == 256.0
+        assert throughput_mbps(650) == pytest.approx(196.92, abs=0.01)
+
+    def test_custom_block(self):
+        assert throughput_mbps(1000, block_bits=256) == 256.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            throughput_mbps(0)
+
+
+class TestClock:
+    def test_mhz(self):
+        assert clock_mhz(14) == pytest.approx(71.43, abs=0.01)
+        assert clock_mhz(10) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clock_mhz(0)
+
+
+class TestEfficiency:
+    def test_per_kle(self):
+        assert efficiency_mbps_per_kle(200, 2000) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            efficiency_mbps_per_kle(100, 0)
+
+
+class TestCombinedSlowdown:
+    def test_paper_claim(self):
+        # Acex: enc 182.9 -> both 150.6: ~18 %; Cyclone 256 -> 197:
+        # ~23 %.  The paper summarizes this as "around 22%".
+        acex = combined_slowdown(182.9, 150.6)
+        cyclone = combined_slowdown(256.0, 196.9)
+        assert 0.15 < acex < 0.25
+        assert 0.20 < cyclone < 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            combined_slowdown(0, 1)

@@ -1,0 +1,102 @@
+"""Tests for the toggle-based power model (the paper's future work)."""
+
+import pytest
+
+from repro.analysis.power import (
+    ACEX_ENERGY,
+    CYCLONE_ENERGY,
+    ENERGY_MODELS,
+    ROM_READS_PER_BLOCK,
+    measure_power,
+)
+from repro.ip.control import Variant
+from tests.conftest import random_block, random_key
+
+
+def blocks(rng, n=3):
+    return [random_block(rng) for _ in range(n)]
+
+
+class TestEnergyModels:
+    def test_voltage_scaling(self):
+        # Cyclone runs at 1.5 V vs Acex 2.5 V: every coefficient must
+        # be strictly smaller.
+        assert CYCLONE_ENERGY.pj_per_ff_toggle < \
+            ACEX_ENERGY.pj_per_ff_toggle
+        assert CYCLONE_ENERGY.pj_per_rom_read < \
+            ACEX_ENERGY.pj_per_rom_read
+
+    def test_rom_reads_per_block(self):
+        # 4 words x 10 rounds + 10 KStran reads.
+        assert ROM_READS_PER_BLOCK == 50
+
+    def test_registry(self):
+        assert set(ENERGY_MODELS) == {"Acex1K", "Cyclone"}
+
+
+class TestMeasurement:
+    def test_basic_report(self, rng):
+        report = measure_power(blocks(rng), random_key(rng))
+        assert report.blocks == 3
+        assert report.register_toggles > 0
+        assert report.dynamic_mw > 0
+        assert report.energy_per_block_nj > 0
+        assert report.rom_reads == 3 * ROM_READS_PER_BLOCK
+
+    def test_clock_defaults_to_table2(self, rng):
+        report = measure_power(blocks(rng), random_key(rng),
+                               variant=Variant.ENCRYPT,
+                               family="Acex1K")
+        assert report.clock_ns == 14
+
+    def test_explicit_clock_honored(self, rng):
+        report = measure_power(blocks(rng), random_key(rng),
+                               clock_ns=20.0)
+        assert report.clock_ns == 20.0
+
+    def test_breakdown_sums_to_total(self, rng):
+        report = measure_power(blocks(rng), random_key(rng))
+        assert sum(report.breakdown_pj.values()) == \
+            pytest.approx(report.energy_pj)
+
+    def test_render_mentions_mw(self, rng):
+        text = measure_power(blocks(rng), random_key(rng)).render()
+        assert "mW" in text and "nJ" in text
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            measure_power(blocks(rng), random_key(rng),
+                          direction="sideways")
+        with pytest.raises(KeyError):
+            measure_power(blocks(rng), random_key(rng),
+                          family="Stratix99")
+
+
+class TestRelativeResults:
+    """Absolute mW are indicative; these relations are structural."""
+
+    def test_cyclone_lower_energy_than_acex(self, rng):
+        key = random_key(rng)
+        data = blocks(rng)
+        acex = measure_power(data, key, family="Acex1K")
+        cyc = measure_power(data, key, family="Cyclone")
+        assert cyc.energy_per_block_nj < acex.energy_per_block_nj
+
+    def test_more_blocks_more_energy(self, rng):
+        key = random_key(rng)
+        few = measure_power(blocks(rng, 2), key)
+        many = measure_power(blocks(rng, 6), key)
+        assert many.energy_pj > few.energy_pj
+        # But per-block energy is roughly flat (within 50 %).
+        ratio = many.energy_per_block_nj / few.energy_per_block_nj
+        assert 0.5 < ratio < 1.5
+
+    def test_decrypt_energy_comparable_to_encrypt(self, rng):
+        key = random_key(rng)
+        data = blocks(rng)
+        enc = measure_power(data, key, variant=Variant.BOTH,
+                            direction="encrypt")
+        dec = measure_power(data, key, variant=Variant.BOTH,
+                            direction="decrypt")
+        ratio = dec.energy_per_block_nj / enc.energy_per_block_nj
+        assert 0.6 < ratio < 1.6

@@ -1,0 +1,84 @@
+"""Tests for the keystream randomness battery."""
+
+import pytest
+
+from repro.aes.modes import ctr_keystream, ofb_xcrypt
+from repro.analysis.randomness import (
+    block_frequency_test,
+    keystream_battery,
+    monobit_test,
+    render_battery,
+    runs_test,
+)
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+STREAM = ctr_keystream(KEY, bytes(8), 64)  # 1024 bytes / 8192 bits
+
+
+class TestOnRealKeystream:
+    def test_monobit_passes(self):
+        assert monobit_test(STREAM).passed
+
+    def test_runs_passes(self):
+        assert runs_test(STREAM).passed
+
+    def test_block_frequency_passes(self):
+        assert block_frequency_test(STREAM).passed
+
+    def test_full_battery(self):
+        outcomes = keystream_battery(STREAM)
+        assert len(outcomes) == 3
+        assert all(o.passed for o in outcomes), \
+            render_battery(outcomes)
+
+    def test_ofb_keystream_passes(self):
+        stream = ofb_xcrypt(KEY, bytes(16), bytes(1024))
+        assert all(o.passed for o in keystream_battery(stream))
+
+    def test_p_values_in_range(self):
+        for outcome in keystream_battery(STREAM):
+            assert 0.0 <= outcome.p_value <= 1.0
+
+
+class TestOnPathologicalData:
+    def test_all_zeros_fails_monobit(self):
+        assert not monobit_test(bytes(256)).passed
+
+    def test_all_ones_fails_monobit(self):
+        assert not monobit_test(bytes([0xFF] * 256)).passed
+
+    def test_alternating_bits_fail_runs(self):
+        # 0101... balances perfectly but runs are maximal.
+        data = bytes([0x55] * 256)
+        assert monobit_test(data).passed
+        assert not runs_test(data).passed
+
+    def test_block_bias_detected(self):
+        # Half the stream all-ones, half all-zeros: monobit balances,
+        # block frequency catches it.
+        data = bytes([0xFF] * 128) + bytes(128)
+        assert monobit_test(data).passed
+        assert not block_frequency_test(data).passed
+
+    def test_repeated_ecb_blocks_fail(self):
+        # A constant-plaintext ECB stream repeats one block: detected
+        # by the runs structure (the classic ECB failure mode).
+        from repro.aes.modes import ecb_encrypt
+
+        stream = ecb_encrypt(KEY, bytes(1024))
+        outcomes = keystream_battery(stream)
+        assert not all(o.passed for o in outcomes)
+
+
+class TestValidation:
+    def test_minimum_lengths(self):
+        with pytest.raises(ValueError):
+            monobit_test(bytes(4))
+        with pytest.raises(ValueError):
+            runs_test(bytes(4))
+        with pytest.raises(ValueError):
+            block_frequency_test(bytes(16))
+
+    def test_render(self):
+        text = render_battery(keystream_battery(STREAM))
+        assert "monobit" in text and "pass" in text

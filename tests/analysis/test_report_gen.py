@@ -1,0 +1,49 @@
+"""Tests for the mechanical reproduction-report generator."""
+
+import pytest
+
+from repro.analysis.report_gen import generate_report
+
+REPORT = generate_report(seu_injections=8, power_blocks=2)
+
+
+class TestReportContent:
+    def test_is_markdown_with_title(self):
+        assert REPORT.startswith("# Reproduction report")
+
+    def test_all_sections_present(self):
+        for heading in ("## Table 1", "## Cycle-accurate latency",
+                        "## Table 2", "## Combined-device slowdown",
+                        "## Table 3", "## §6 width sweep",
+                        "## Extensions"):
+            assert heading in REPORT
+
+    def test_every_check_passes(self):
+        assert "FAIL" not in REPORT
+        assert REPORT.count("PASS") >= 15
+
+    def test_table2_rows_complete(self):
+        table_lines = [ln for ln in REPORT.splitlines()
+                       if ln.startswith("| ") and "|---" not in ln]
+        designs = [ln for ln in table_lines
+                   if any(d in ln for d in ("encrypt", "decrypt",
+                                            "both"))]
+        assert len(designs) >= 6
+
+    def test_anchor_cells_shown(self):
+        assert "2114/2114" in REPORT
+        assert "4057/4057" in REPORT
+
+    def test_knee_identified(self):
+        assert "mixed-32-128-encrypt" in REPORT
+
+    def test_extensions_measured(self):
+        assert "nJ/block" in REPORT
+        assert "undetected corruption" in REPORT
+        assert "avalanche" in REPORT
+
+
+class TestReportStability:
+    def test_deterministic(self):
+        again = generate_report(seu_injections=8, power_blocks=2)
+        assert again == REPORT

@@ -1,0 +1,65 @@
+"""Tests for the table generators."""
+
+from repro.analysis.tables import (
+    PAPER_TABLE2,
+    table1_text,
+    table2_comparison,
+    table2_text,
+    table3_text,
+)
+from repro.ip.control import Variant
+
+
+class TestTable1:
+    def test_contains_every_signal(self):
+        text = table1_text()
+        for name in ("clk", "setup", "wr_data", "wr_key", "din",
+                     "enc/dec", "data_ok", "dout"):
+            assert name in text
+
+    def test_variant_specific(self):
+        assert "enc/dec" not in table1_text(Variant.ENCRYPT)
+
+
+class TestTable2:
+    def test_text_has_all_designs_and_families(self):
+        text = table2_text()
+        for token in ("Encrypt", "Decrypt", "Both", "Acex1K", "Cyclone"):
+            assert token in text
+
+    def test_comparison_rows_complete(self):
+        rows = table2_comparison()
+        assert len(rows) == 6
+        keys = {(r["design"], r["family"]) for r in rows}
+        assert keys == set(PAPER_TABLE2)
+
+    def test_comparison_errors_within_tolerance(self):
+        for row in table2_comparison():
+            assert abs(row["lcs_err_pct"]) <= 3.0
+            assert row["model_memory"] == row["paper_memory"]
+            assert row["model_pins"] == row["paper_pins"]
+            assert row["model_latency_ns"] == row["paper_latency_ns"]
+            assert row["model_clk_ns"] == row["paper_clk_ns"]
+
+    def test_paper_transcription_consistency(self):
+        # Internal consistency of the transcribed table: latency =
+        # 50 x clk everywhere.
+        for lcs, mem, pins, latency, clk, mbps in PAPER_TABLE2.values():
+            assert latency == 50 * clk
+            assert pins in (261, 262)
+
+
+class TestTable3:
+    def test_rows_rendered(self):
+        text = table3_text()
+        for ref in ("[13]", "[14]", "[1]", "[15]"):
+            assert ref in text
+
+    def test_lost_cells_flagged(self):
+        text = table3_text()
+        assert "(lost)" in text
+
+    def test_reported_zigiotto_numbers_shown(self):
+        text = table3_text()
+        assert "1965" in text
+        assert "61.2" in text

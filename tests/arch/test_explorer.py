@@ -1,0 +1,72 @@
+"""Tests for the §6 design-space exploration."""
+
+import pytest
+
+from repro.arch.explorer import explore_widths, knee_design, sweep_report
+from repro.ip.control import Variant
+
+REPORTS = explore_widths("Acex1K", Variant.ENCRYPT)
+BY_NAME = {r.spec.name: r for r in REPORTS}
+
+
+class TestSweepShape:
+    def test_all_points_reported(self):
+        assert len(REPORTS) == 6
+
+    def test_narrow_designs_slow(self):
+        """§6: 8/16-bit designs 'will use many clock cycles and the
+        clock speed will not reverse this problem'."""
+        assert BY_NAME["uniform-8-encrypt"].latency_ns > \
+            4 * BY_NAME["mixed-32-128-encrypt"].latency_ns
+        assert BY_NAME["uniform-16-encrypt"].throughput_mbps < \
+            BY_NAME["mixed-32-128-encrypt"].throughput_mbps / 2
+
+    def test_wide_design_capped_by_key_schedule(self):
+        """§6: 'larger architectures do not provide a large increase
+        of performance' — the on-the-fly 128-bit point gains only
+        ~25 % over mixed despite ~2.5x the S-box memory."""
+        mixed = BY_NAME["mixed-32-128-encrypt"]
+        full = BY_NAME["full-128-encrypt"]
+        assert full.throughput_mbps < 1.4 * mixed.throughput_mbps
+        assert full.spec.rom_bits > 2 * mixed.spec.rom_bits
+
+    def test_precomputed_keys_unlock_wide_design(self):
+        otf = BY_NAME["full-128-encrypt"]
+        pre = BY_NAME["full-128-precomp-encrypt"]
+        assert pre.throughput_mbps > 1.5 * otf.throughput_mbps
+
+    def test_oversize_designs_flagged(self):
+        # 16 data S-boxes need more EABs than the EP1K100 has.
+        assert not BY_NAME["full-128-encrypt"].fits
+        assert not BY_NAME["full-128-precomp-encrypt"].fits
+        assert BY_NAME["mixed-32-128-encrypt"].fits
+
+    def test_paper_design_is_the_knee(self):
+        """The mixed 32/128 point wins throughput-per-LE among designs
+        that actually fit the paper's device."""
+        assert knee_design(REPORTS).spec.name == "mixed-32-128-encrypt"
+
+    def test_knee_requires_fitting_points(self):
+        with pytest.raises(ValueError):
+            knee_design([r for r in REPORTS if not r.fits])
+
+    def test_report_renders_all_rows(self):
+        text = sweep_report(REPORTS)
+        for name in BY_NAME:
+            assert name in text
+        assert "Mbps/kLE" in text
+
+
+class TestCustomSweeps:
+    def test_explore_accepts_explicit_specs(self):
+        from repro.arch.spec import paper_spec
+
+        reports = explore_widths(
+            "Cyclone", specs=[paper_spec(Variant.ENCRYPT)]
+        )
+        assert len(reports) == 1
+        assert reports[0].device.family == "Cyclone"
+
+    def test_decrypt_variant_sweep(self):
+        reports = explore_widths("Acex1K", Variant.DECRYPT)
+        assert all(r.spec.variant is Variant.DECRYPT for r in reports)

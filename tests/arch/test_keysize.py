@@ -1,0 +1,93 @@
+"""Tests for the AES-192/256 extension model."""
+
+import pytest
+
+from repro.arch.keysize import AES_VARIANTS, KeySizeVariant, \
+    key_size_table
+from repro.ip.control import Variant
+
+
+class TestParameters:
+    def test_only_aes_sizes(self):
+        with pytest.raises(ValueError):
+            KeySizeVariant(160)
+
+    def test_round_counts_match_fips(self):
+        assert KeySizeVariant(128).rounds == 10
+        assert KeySizeVariant(192).rounds == 12
+        assert KeySizeVariant(256).rounds == 14
+
+    def test_latency_five_cycles_per_round(self):
+        assert KeySizeVariant(128).block_latency_cycles == 50
+        assert KeySizeVariant(192).block_latency_cycles == 60
+        assert KeySizeVariant(256).block_latency_cycles == 70
+
+    def test_setup_pass_lengths(self):
+        # 4*(Nr+1) - Nk words, one per cycle.
+        assert KeySizeVariant(128).key_setup_cycles == 40
+        assert KeySizeVariant(192).key_setup_cycles == 46
+        assert KeySizeVariant(256).key_setup_cycles == 52
+
+    def test_key_load_beats(self):
+        assert KeySizeVariant(128).key_load_beats == 1
+        assert KeySizeVariant(192).key_load_beats == 2
+        assert KeySizeVariant(256).key_load_beats == 2
+
+    def test_register_growth(self):
+        assert KeySizeVariant(128).extra_key_register_bits == 0
+        assert KeySizeVariant(192).extra_key_register_bits == 128
+        assert KeySizeVariant(256).extra_key_register_bits == 256
+
+
+class TestAreaAndPerformance:
+    def test_aes128_is_the_baseline(self):
+        perf = KeySizeVariant(128).performance()
+        assert perf["latency_ns"] == 700
+        assert perf["logic_elements"] == 2114
+
+    def test_bigger_keys_cost_modest_area(self):
+        les128 = KeySizeVariant(128).performance()["logic_elements"]
+        les256 = KeySizeVariant(256).performance()["logic_elements"]
+        growth = (les256 - les128) / les128
+        assert 0.05 < growth < 0.20  # key unit only, not the datapath
+
+    def test_throughput_scales_with_rounds(self):
+        t128 = KeySizeVariant(128).performance()["throughput_mbps"]
+        t192 = KeySizeVariant(192).performance()["throughput_mbps"]
+        t256 = KeySizeVariant(256).performance()["throughput_mbps"]
+        assert t128 > t192 > t256
+        assert t192 == pytest.approx(t128 * 50 / 60, rel=1e-6)
+        assert t256 == pytest.approx(t128 * 50 / 70, rel=1e-6)
+
+    def test_clock_unchanged(self):
+        # Nk never appears on a critical path.
+        for option in AES_VARIANTS:
+            assert option.performance()["clock_ns"] == 14
+
+    def test_cyclone_numbers(self):
+        perf = KeySizeVariant(192).performance(family="Cyclone")
+        assert perf["clock_ns"] == 10
+        assert perf["latency_ns"] == 600
+
+
+class TestBehavioralGrounding:
+    """The cycle model's Nr values must match the verified cipher."""
+
+    @pytest.mark.parametrize("bits,rounds", [(128, 10), (192, 12),
+                                             (256, 14)])
+    def test_rounds_match_cipher(self, bits, rounds):
+        from repro.aes.cipher import Rijndael
+
+        cipher = Rijndael(bytes(bits // 8), block_bytes=16)
+        assert cipher.rounds == rounds
+        assert KeySizeVariant(bits).rounds == rounds
+
+
+class TestRendering:
+    def test_table_lists_all_versions(self):
+        text = key_size_table()
+        for token in ("AES-128", "AES-192", "AES-256"):
+            assert token in text
+
+    def test_table_for_decrypt_device(self):
+        assert "decrypt" in key_size_table(Variant.DECRYPT)

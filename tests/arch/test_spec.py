@@ -1,0 +1,126 @@
+"""Tests for the architecture design-space spec and cycle model."""
+
+import pytest
+
+from repro.arch.spec import (
+    ArchitectureSpec,
+    PAPER_SPECS,
+    paper_spec,
+    width_sweep_specs,
+)
+from repro.ip.control import Variant
+
+
+class TestValidation:
+    def test_legal_widths_only(self):
+        with pytest.raises(ValueError):
+            ArchitectureSpec("t", Variant.ENCRYPT, sub_width=24)
+        with pytest.raises(ValueError):
+            ArchitectureSpec("t", Variant.ENCRYPT, wide_width=64)
+
+    def test_wide_at_least_sub(self):
+        with pytest.raises(ValueError):
+            ArchitectureSpec("t", Variant.ENCRYPT, sub_width=128,
+                             wide_width=32)
+
+    def test_key_schedule_values(self):
+        with pytest.raises(ValueError):
+            ArchitectureSpec("t", Variant.ENCRYPT, key_schedule="magic")
+
+    def test_unroll_bounds(self):
+        with pytest.raises(ValueError):
+            ArchitectureSpec("t", Variant.ENCRYPT, unrolled_rounds=11)
+
+    def test_pipelining_needs_unroll(self):
+        with pytest.raises(ValueError):
+            ArchitectureSpec("t", Variant.ENCRYPT, pipelined=True)
+
+    def test_renamed_copy(self):
+        spec = paper_spec(Variant.ENCRYPT)
+        other = spec.renamed("x")
+        assert other.name == "x"
+        assert other.sub_width == spec.sub_width
+
+
+class TestPaperCycleModel:
+    def test_paper_design_five_cycles(self):
+        spec = paper_spec(Variant.ENCRYPT)
+        assert spec.sub_passes == 4
+        assert spec.wide_passes == 1
+        assert spec.cycles_per_round == 5
+        assert spec.block_latency_cycles == 50
+
+    def test_all_32bit_is_twelve_cycles(self):
+        # §4: "from 12 (in the case of all functions using 32)".
+        spec = ArchitectureSpec("t", Variant.ENCRYPT, sub_width=32,
+                                wide_width=32)
+        assert spec.cycles_per_round == 12
+
+    def test_sync_rom_six_cycles(self):
+        spec = paper_spec(Variant.ENCRYPT, sync_rom=True)
+        assert spec.cycles_per_round == 6
+        assert spec.block_latency_cycles == 60
+
+    def test_paper_specs_registry(self):
+        assert set(PAPER_SPECS) == {"encrypt", "decrypt", "both"}
+        assert all(s.sub_width == 32 for s in PAPER_SPECS.values())
+
+
+class TestKeyScheduleBottleneck:
+    """§6: 'the key generation is slower than the cipher part'."""
+
+    def test_128bit_capped_by_key_schedule(self):
+        spec = ArchitectureSpec("t", Variant.ENCRYPT, sub_width=128,
+                                wide_width=128)
+        assert spec.cipher_cycles_per_round == 2
+        assert spec.key_cycles_per_round == 4
+        assert spec.cycles_per_round == 4  # key schedule wins
+
+    def test_precomputed_keys_remove_cap(self):
+        spec = ArchitectureSpec("t", Variant.ENCRYPT, sub_width=128,
+                                wide_width=128,
+                                key_schedule="precomputed")
+        assert spec.cycles_per_round == 2
+
+    def test_paper_design_not_key_limited(self):
+        spec = paper_spec(Variant.ENCRYPT)
+        assert spec.cipher_cycles_per_round >= spec.key_cycles_per_round
+
+
+class TestWidthSpectrum:
+    def test_cycle_counts_monotone_in_width(self):
+        # The wide stage never narrows below 32 bits (MixColumn
+        # consumes whole columns), so the 8-bit point is 16 ByteSub
+        # passes + 8 column passes = 24 cycles/round.
+        specs = {s.name: s for s in width_sweep_specs()}
+        assert specs["uniform-8-encrypt"].cycles_per_round == 24
+        assert specs["uniform-16-encrypt"].cycles_per_round == 16
+        assert specs["uniform-32-encrypt"].cycles_per_round == 12
+        assert specs["mixed-32-128-encrypt"].cycles_per_round == 5
+
+    def test_sbox_memory_scales_with_width(self):
+        specs = {s.name: s for s in width_sweep_specs()}
+        assert specs["uniform-8-encrypt"].rom_bits == 2048 + 8192
+        assert specs["mixed-32-128-encrypt"].rom_bits == 16384
+        assert specs["full-128-encrypt"].rom_bits == 16 * 2048 + 8192
+
+
+class TestThroughputModel:
+    def test_iterative_throughput_period(self):
+        spec = paper_spec(Variant.ENCRYPT)
+        assert spec.cycles_per_block_throughput == 50
+
+    def test_pipelined_throughput_period(self):
+        spec = ArchitectureSpec("t", Variant.ENCRYPT, sub_width=128,
+                                wide_width=128,
+                                key_schedule="precomputed",
+                                unrolled_rounds=10, pipelined=True)
+        assert spec.block_latency_cycles == 10
+        assert spec.cycles_per_block_throughput == 1
+
+    def test_both_variant_doubles_sboxes(self):
+        enc = paper_spec(Variant.ENCRYPT)
+        both = paper_spec(Variant.BOTH)
+        assert both.data_sbox_count == 2 * enc.data_sbox_count
+        assert both.kstran_sbox_count == 2 * enc.kstran_sbox_count
+        assert both.rom_bits == 32768

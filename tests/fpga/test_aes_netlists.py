@@ -1,0 +1,115 @@
+"""Tests for the architecture -> netlist expansion."""
+
+import pytest
+
+from repro.arch.spec import ArchitectureSpec, paper_spec
+from repro.fpga.aes_netlists import build_netlist
+from repro.ip.control import Variant
+
+
+class TestPaperDesignPoints:
+    def test_encrypt_memory_inventory(self):
+        nl = build_netlist(paper_spec(Variant.ENCRYPT))
+        # 4 data + 4 KStran S-boxes = 16384 bits (Table 2).
+        assert nl.total_rom_bits == 16384
+
+    def test_decrypt_memory_inventory(self):
+        nl = build_netlist(paper_spec(Variant.DECRYPT))
+        assert nl.total_rom_bits == 16384
+
+    def test_both_memory_doubles(self):
+        # The paper combines the two designs, keeping each KStran bank
+        # (Table 2: 32768 bits).
+        nl = build_netlist(paper_spec(Variant.BOTH))
+        assert nl.total_rom_bits == 32768
+
+    def test_both_roms_are_direction_tagged(self):
+        nl = build_netlist(paper_spec(Variant.BOTH))
+        groups = {g for g, _ in nl.rom_blocks()}
+        assert groups == {
+            "sbox_data_enc", "sbox_data_dec",
+            "sbox_kstran_enc", "sbox_kstran_dec",
+        }
+
+    def test_pins(self):
+        assert build_netlist(paper_spec(Variant.ENCRYPT)).total_pins == 261
+        assert build_netlist(paper_spec(Variant.BOTH)).total_pins == 262
+
+    def test_decrypt_adds_only_correction_logic(self):
+        enc = build_netlist(paper_spec(Variant.ENCRYPT))
+        dec = build_netlist(paper_spec(Variant.DECRYPT))
+        delta = dec.total_luts - enc.total_luts
+        # InvMixColumn correction layer: 64 LUTs (shared form).
+        assert delta == 64
+
+    def test_both_adds_selection_layer(self):
+        dec = build_netlist(paper_spec(Variant.DECRYPT))
+        both = build_netlist(paper_spec(Variant.BOTH))
+        assert both.group("both_select").luts > 500
+        assert both.total_luts > dec.total_luts
+
+    def test_register_inventory_stable(self):
+        nl = build_netlist(paper_spec(Variant.ENCRYPT))
+        # Data_In + Out(+strobe) + key0 + key_last unpacked.
+        assert nl.total_ff_unpacked == 514
+        # state + work + build + rcon + control packed.
+        assert nl.total_ff - nl.total_ff_unpacked == 128 * 3 + 8 + 26
+
+
+class TestParameterizedDesigns:
+    def test_sub_width_scales_data_sboxes(self):
+        for width, sboxes in ((8, 1), (16, 2), (32, 4), (128, 16)):
+            spec = ArchitectureSpec("t", Variant.ENCRYPT,
+                                    sub_width=width, wide_width=128)
+            nl = build_netlist(spec)
+            data_bits = sum(
+                rom.bits for g, rom in nl.rom_blocks()
+                if g.startswith("sbox_data")
+            )
+            assert data_bits == sboxes * 2048
+
+    def test_kstran_bank_fixed_at_8k(self):
+        # §6: "the 8 k used in KStran will not decrease".
+        for width in (8, 16, 32, 128):
+            spec = ArchitectureSpec("t", Variant.ENCRYPT,
+                                    sub_width=width, wide_width=128)
+            nl = build_netlist(spec)
+            kstran_bits = sum(
+                rom.bits for g, rom in nl.rom_blocks()
+                if g.startswith("sbox_kstran")
+            )
+            assert kstran_bits == 8192
+
+    def test_precomputed_keys_use_ram_not_kstran(self):
+        spec = ArchitectureSpec("t", Variant.ENCRYPT, sub_width=128,
+                                wide_width=128,
+                                key_schedule="precomputed")
+        nl = build_netlist(spec)
+        groups = {g for g, _ in nl.rom_blocks()}
+        assert "key_ram" in groups
+        assert not any(g.startswith("sbox_kstran") for g in groups)
+
+    def test_narrow_wide_stage_smaller_mix(self):
+        wide = build_netlist(ArchitectureSpec(
+            "w", Variant.ENCRYPT, sub_width=32, wide_width=128))
+        narrow = build_netlist(ArchitectureSpec(
+            "n", Variant.ENCRYPT, sub_width=32, wide_width=32))
+        assert narrow.group("mix_enc").luts < \
+            wide.group("mix_enc").luts
+
+    def test_unrolled_multiplies_datapath(self):
+        spec = ArchitectureSpec("t", Variant.ENCRYPT, sub_width=128,
+                                wide_width=128,
+                                key_schedule="precomputed",
+                                unrolled_rounds=10, pipelined=True)
+        nl = build_netlist(spec)
+        single = build_netlist(ArchitectureSpec(
+            "s", Variant.ENCRYPT, sub_width=128, wide_width=128,
+            key_schedule="precomputed"))
+        assert nl.group("mix_enc").luts == \
+            10 * single.group("mix_enc").luts
+
+    def test_sync_rom_adds_pipeline_registers(self):
+        spec = paper_spec(Variant.ENCRYPT, sync_rom=True)
+        nl = build_netlist(spec)
+        assert nl.group("sbox_pipeline").ff_unpacked == 32

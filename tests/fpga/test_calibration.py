@@ -1,0 +1,55 @@
+"""Tests keeping the calibration constants honest and in sync."""
+
+import pytest
+
+from repro.arch.spec import paper_spec
+from repro.fpga import calibration
+from repro.fpga.aes_netlists import build_netlist
+from repro.fpga.primitives import mix_network_luts, rom_as_luts
+from repro.ip.control import Variant
+
+
+class TestFitValues:
+    def test_logic_fit_is_plausible_inflation(self):
+        # Synthesized LEs exceed the structural LUT minimum; 1.2-1.8x
+        # is the plausible band for a 2002 flow on XOR-heavy logic.
+        assert 1.2 <= calibration.LOGIC_FIT <= 1.8
+
+    def test_rom_lut_fit_near_unity(self):
+        # Quartus' ROM-to-LUT decomposition tracks the analytic
+        # Shannon expansion closely.
+        assert 0.9 <= calibration.ROM_LUT_FIT <= 1.1
+
+    def test_tolerance_is_tight(self):
+        assert calibration.LC_TOLERANCE <= 0.05
+
+
+class TestInventorySync:
+    """The constants mirrored in calibration.py must match what the
+    netlist builder actually emits — otherwise the anchor drifts."""
+
+    def test_encrypt_unpacked_ff_matches_builder(self):
+        nl = build_netlist(paper_spec(Variant.ENCRYPT))
+        assert nl.total_ff_unpacked == calibration.BASE_UNPACKED_FF
+
+    def test_encrypt_luts_match_builder(self):
+        nl = build_netlist(paper_spec(Variant.ENCRYPT))
+        expected = calibration.BASE_LUTS + calibration.ENCRYPT_MIX_LUTS
+        assert nl.total_luts == expected
+
+    def test_encrypt_mix_luts_formula(self):
+        assert calibration.ENCRYPT_MIX_LUTS == mix_network_luts() + 128
+
+
+class TestAnchorArithmetic:
+    def test_logic_fit_reproduces_acex_anchor(self):
+        structural = calibration.BASE_LUTS + calibration.ENCRYPT_MIX_LUTS
+        predicted = (calibration.BASE_UNPACKED_FF
+                     + calibration.LOGIC_FIT * structural)
+        assert round(predicted) == calibration.ANCHOR_ACEX_ENCRYPT_LCS
+
+    def test_rom_fit_reproduces_cyclone_anchor(self):
+        per_sbox = calibration.ROM_LUT_FIT * rom_as_luts(256, 8)
+        predicted = calibration.ANCHOR_ACEX_ENCRYPT_LCS + 8 * per_sbox
+        assert abs(predicted
+                   - calibration.ANCHOR_CYCLONE_ENCRYPT_LCS) < 1.0

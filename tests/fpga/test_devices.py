@@ -1,0 +1,82 @@
+"""Tests for the device database."""
+
+import pytest
+
+from repro.fpga.devices import DEVICES, Device, MemoryBlockKind, device
+
+
+class TestPaperDevices:
+    def test_ep1k100_capacities(self):
+        dev = device("EP1K100FC484-1")
+        assert dev.logic_elements == 4992
+        assert dev.memory_bits == 49152  # 12 EABs x 4096 bits
+        assert dev.user_ios == 333
+        assert dev.supports_async_rom
+
+    def test_ep1c20_capacities(self):
+        dev = device("EP1C20F400C6")
+        assert dev.logic_elements == 20060
+        assert dev.memory_bits == 64 * 4608
+        assert dev.user_ios == 301
+        assert not dev.supports_async_rom  # M4K is synchronous-only
+
+    def test_family_alias_lookup(self):
+        assert device("Acex1K").name == "EP1K100FC484-1"
+        assert device("cyclone").name == "EP1C20F400C6"
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            device("EP999")
+
+    def test_baseline_families_present(self):
+        for family in ("Flex10KA", "Apex20K", "Apex20KE"):
+            assert device(family).family == family
+
+
+class TestOccupancyMath:
+    """The Table 2 percentage columns fall out of the capacities."""
+
+    def test_acex_memory_percentages(self):
+        dev = device("Acex1K")
+        assert round(100 * 16384 / dev.memory_bits) == 33
+        assert round(100 * 32768 / dev.memory_bits) == 67  # paper: 66
+
+    def test_acex_le_percentages(self):
+        dev = device("Acex1K")
+        assert round(100 * 2114 / dev.logic_elements) == 42
+        assert round(100 * 2217 / dev.logic_elements) == 44
+        assert round(100 * 3222 / dev.logic_elements) == 65  # paper: 64
+
+    def test_cyclone_le_percentages(self):
+        dev = device("Cyclone")
+        assert round(100 * 4057 / dev.logic_elements) == 20
+        assert round(100 * 7034 / dev.logic_elements) == 35
+
+    def test_pin_percentages(self):
+        acex, cyc = device("Acex1K"), device("Cyclone")
+        assert round(100 * 261 / acex.user_ios) == 78
+        assert round(100 * 261 / cyc.user_ios) == 87
+
+    def test_occupancy_helper(self):
+        dev = device("Acex1K")
+        occ = dev.occupancy(2114, 16384, 261)
+        assert occ["logic"] == pytest.approx(2114 / 4992)
+        assert occ["memory"] == pytest.approx(1 / 3)
+        assert occ["pins"] == pytest.approx(261 / 333)
+
+    def test_memoryless_device_occupancy(self):
+        dev = Device(
+            name="x", family="x", logic_elements=100, memory=None,
+            user_ios=10, t_level=1.0, t_overhead=1.0, t_rom_access=1.0,
+        )
+        assert dev.occupancy(10, 0, 5)["memory"] == 0.0
+        assert not dev.supports_async_rom
+
+
+class TestMemoryBlockKind:
+    def test_total_bits(self):
+        assert MemoryBlockKind("EAB", 4096, 12, True).total_bits == 49152
+
+    def test_devices_registry_complete(self):
+        assert len(DEVICES) >= 5
+        assert all(isinstance(d, Device) for d in DEVICES.values())

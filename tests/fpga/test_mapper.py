@@ -1,0 +1,118 @@
+"""Tests for technology mapping and memory-block allocation."""
+
+import pytest
+
+from repro.fpga.devices import device
+from repro.fpga.mapper import MappingError, map_netlist, roms_fit_memory
+from repro.fpga.netlist import Netlist
+
+ACEX = device("Acex1K")
+CYCLONE = device("Cyclone")
+
+
+def sbox_netlist(count: int, group: str = "sbox") -> Netlist:
+    nl = Netlist("t")
+    nl.add_rom(group, 256, 8, count)
+    return nl
+
+
+class TestRomPlacement:
+    def test_async_design_uses_acex_eabs(self):
+        nl = sbox_netlist(8)
+        result = map_netlist(nl, ACEX)
+        assert result.memory_bits == 16384
+        assert not result.roms_in_logic
+
+    def test_async_design_cannot_use_cyclone_m4k(self):
+        assert not roms_fit_memory(sbox_netlist(1), CYCLONE,
+                                   sync_design=False)
+        result = map_netlist(sbox_netlist(8), CYCLONE)
+        assert result.memory_bits == 0
+        assert result.roms_in_logic
+        assert result.logic_elements > 8 * 200
+
+    def test_sync_design_uses_cyclone_m4k(self):
+        result = map_netlist(sbox_netlist(8), CYCLONE, sync_design=True)
+        assert result.memory_bits == 16384
+        assert not result.roms_in_logic
+
+    def test_romless_netlist(self):
+        nl = Netlist("t")
+        nl.add_luts("g", 10)
+        result = map_netlist(nl, CYCLONE)
+        assert not result.roms_in_logic
+        assert result.memory_bits == 0
+
+
+class TestBlockAllocation:
+    def test_simultaneous_tables_get_own_blocks(self):
+        # 8 same-group S-boxes: all read in the same cycle -> 8 EABs.
+        result = map_netlist(sbox_netlist(8), ACEX)
+        assert result.memory_blocks == 8
+
+    def test_direction_pairs_share_blocks(self):
+        nl = Netlist("t")
+        nl.add_rom("sbox_data_enc", 256, 8, 4)
+        nl.add_rom("sbox_data_dec", 256, 8, 4)
+        result = map_netlist(nl, ACEX)
+        # 4 pairs, each fitting one 4096-bit EAB as a 512x8 table.
+        assert result.memory_blocks == 4
+        assert result.memory_bits == 16384
+
+    def test_paper_both_device_fits_twelve_eabs(self):
+        nl = Netlist("t")
+        nl.add_rom("sbox_data_enc", 256, 8, 4)
+        nl.add_rom("sbox_data_dec", 256, 8, 4)
+        nl.add_rom("sbox_kstran_enc", 256, 8, 4)
+        nl.add_rom("sbox_kstran_dec", 256, 8, 4)
+        result = map_netlist(nl, ACEX)
+        assert result.memory_bits == 32768
+        assert result.memory_blocks == 8 <= 12
+
+    def test_unpaired_leftovers_counted(self):
+        nl = Netlist("t")
+        nl.add_rom("sbox_data_enc", 256, 8, 4)
+        nl.add_rom("sbox_data_dec", 256, 8, 2)
+        result = map_netlist(nl, ACEX)
+        assert result.memory_blocks == 2 + 2  # 2 pairs + 2 singles
+
+    def test_over_capacity_raises(self):
+        nl = sbox_netlist(20)  # 20 single-port tables > 12 EABs
+        with pytest.raises(MappingError):
+            map_netlist(nl, ACEX, strict=True)
+        # Non-strict reports anyway.
+        result = map_netlist(nl, ACEX, strict=False)
+        assert result.memory_blocks == 20
+
+
+class TestLogicMapping:
+    def test_unpacked_ffs_cost_les(self):
+        nl = Netlist("t")
+        nl.add_ff("regs", 100, packed=False)
+        assert map_netlist(nl, ACEX).logic_elements == 100
+
+    def test_packed_ffs_are_free(self):
+        nl = Netlist("t")
+        nl.add_ff("regs", 100, packed=True)
+        assert map_netlist(nl, ACEX).logic_elements == 0
+
+    def test_luts_scaled_by_calibration(self):
+        from repro.fpga.calibration import LOGIC_FIT
+
+        nl = Netlist("t")
+        nl.add_luts("g", 1000)
+        expected = -(-1000 * LOGIC_FIT // 1)  # ceil
+        assert map_netlist(nl, ACEX).logic_elements == expected
+
+    def test_le_capacity_enforced(self):
+        nl = Netlist("t")
+        nl.add_ff("regs", 5000, packed=False)
+        with pytest.raises(MappingError):
+            map_netlist(nl, ACEX)
+
+    def test_pin_capacity_enforced(self):
+        nl = Netlist("t")
+        nl.add_pins("pins", 400)
+        with pytest.raises(MappingError):
+            map_netlist(nl, ACEX)
+        assert map_netlist(nl, ACEX, strict=False).pins == 400

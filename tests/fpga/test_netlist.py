@@ -1,0 +1,93 @@
+"""Tests for the structural netlist container."""
+
+import pytest
+
+from repro.fpga.netlist import Netlist, RomBlock
+
+
+class TestRomBlock:
+    def test_bits(self):
+        assert RomBlock(256, 8).bits == 2048
+        assert RomBlock(256, 8, count=4).bits == 8192
+
+    def test_address_bits(self):
+        assert RomBlock(256, 8).address_bits == 8
+        assert RomBlock(512, 8).address_bits == 9
+        assert RomBlock(16, 128).address_bits == 4
+
+
+class TestNetlist:
+    def test_group_get_or_create(self):
+        nl = Netlist("d")
+        g1 = nl.group("state")
+        g2 = nl.group("state")
+        assert g1 is g2
+
+    def test_add_luts(self):
+        nl = Netlist("d")
+        nl.add_luts("mix", 100)
+        nl.add_luts("mix", 28)
+        assert nl.total_luts == 128
+        assert nl.group("mix").luts == 128
+
+    def test_add_ff_packed_vs_unpacked(self):
+        nl = Netlist("d")
+        nl.add_ff("state", 128, packed=True)
+        nl.add_ff("out", 128, packed=False)
+        assert nl.total_ff == 256
+        assert nl.total_ff_unpacked == 128
+
+    def test_add_rom(self):
+        nl = Netlist("d")
+        nl.add_rom("sbox", 256, 8, count=4)
+        assert nl.total_rom_bits == 8192
+        assert len(nl.rom_blocks()) == 1
+        group, rom = nl.rom_blocks()[0]
+        assert group == "sbox" and rom.count == 4
+
+    def test_add_pins(self):
+        nl = Netlist("d")
+        nl.add_pins("pins", 261)
+        assert nl.total_pins == 261
+
+    def test_negative_counts_rejected(self):
+        nl = Netlist("d")
+        with pytest.raises(ValueError):
+            nl.add_luts("g", -1)
+        with pytest.raises(ValueError):
+            nl.add_ff("g", -1, packed=True)
+        with pytest.raises(ValueError):
+            nl.add_pins("g", -2)
+
+    def test_rom_shape_validated(self):
+        nl = Netlist("d")
+        with pytest.raises(ValueError):
+            nl.add_rom("g", 1, 8)
+        with pytest.raises(ValueError):
+            nl.add_rom("g", 256, 0)
+
+    def test_merge(self):
+        a = Netlist("a")
+        a.add_luts("mix", 10)
+        a.add_rom("sbox", 256, 8)
+        b = Netlist("b")
+        b.add_luts("mix", 5)
+        b.merge(a)
+        assert b.total_luts == 15
+        assert b.total_rom_bits == 2048
+
+    def test_merge_with_prefix(self):
+        a = Netlist("a")
+        a.add_luts("mix", 10)
+        b = Netlist("b")
+        b.merge(a, prefix="enc_")
+        assert b.group("enc_mix").luts == 10
+
+    def test_summary_mentions_groups(self):
+        nl = Netlist("design")
+        nl.add_luts("control", 42)
+        nl.add_ff("state", 128, packed=True)
+        text = nl.summary()
+        assert "design" in text
+        assert "control" in text
+        assert "state" in text

@@ -1,0 +1,77 @@
+"""Tests for fit reports and the Table 2 renderer."""
+
+import pytest
+
+from repro.arch.spec import ArchitectureSpec, paper_spec
+from repro.fpga.report import render_table2
+from repro.fpga.synthesis import compile_spec
+from repro.ip.control import Variant
+
+ENC = compile_spec(paper_spec(Variant.ENCRYPT), "Acex1K")
+
+
+class TestDerivedFields:
+    def test_latency_product(self):
+        assert ENC.latency_ns == ENC.latency_cycles * ENC.clock_ns
+
+    def test_throughput_definition(self):
+        assert ENC.throughput_mbps == pytest.approx(
+            128 * 1000 / ENC.latency_ns
+        )
+
+    def test_percentages(self):
+        assert ENC.logic_pct == pytest.approx(100 * 2114 / 4992)
+        assert ENC.memory_pct == pytest.approx(100 / 3)
+        assert ENC.pin_pct == pytest.approx(100 * 261 / 333)
+
+    def test_efficiency(self):
+        assert ENC.efficiency_mbps_per_kle == pytest.approx(
+            ENC.throughput_mbps / 2.114, rel=1e-6
+        )
+
+    def test_pipelined_throughput_uses_block_period(self):
+        spec = ArchitectureSpec(
+            "p", Variant.ENCRYPT, sub_width=128, wide_width=128,
+            key_schedule="precomputed", unrolled_rounds=10,
+            pipelined=True,
+        )
+        report = compile_spec(spec, "Apex20KE", strict=False)
+        # One block per clock at the device's period.
+        assert report.throughput_mbps == pytest.approx(
+            128 * 1000 / report.clock_ns
+        )
+
+
+class TestRowStrings:
+    def test_row_cells(self):
+        row = ENC.row()
+        assert row["LC's"] == "2114/42%"
+        assert row["Memory"] == "16384/33%"
+        assert row["Pins"] == "261/78%"
+        assert row["Latency"] == "700 ns"
+        assert row["Clk"] == "14 ns"
+        assert row["Throughput"] == "183 Mbps"
+
+    def test_render_names_device_and_critical_path(self):
+        text = ENC.render()
+        assert "EP1K100FC484-1" in text
+        assert ENC.critical_path in text
+
+
+class TestTable2Renderer:
+    def test_missing_cells_render_dash(self):
+        text = render_table2([ENC])  # only one of six cells
+        assert "-" in text
+        assert "2114/42%" in text
+
+    def test_custom_family_list(self):
+        text = render_table2([ENC], families=("Acex1K",))
+        assert "Cyclone" not in text
+
+    def test_full_grid(self):
+        from repro.fpga.synthesis import compile_table2
+
+        text = render_table2(compile_table2())
+        assert text.count("Mbps") == 6
+        for label in ("Encrypt", "Decrypt", "Both"):
+            assert label in text

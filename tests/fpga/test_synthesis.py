@@ -1,0 +1,65 @@
+"""Tests for the one-call synthesis flow."""
+
+import pytest
+
+from repro.arch.spec import ArchitectureSpec, paper_spec
+from repro.fpga.devices import device
+from repro.fpga.mapper import MappingError
+from repro.fpga.synthesis import compile_spec, compile_table2
+from repro.ip.control import Variant
+
+
+class TestCompileSpec:
+    def test_accepts_device_object(self):
+        report = compile_spec(paper_spec(Variant.ENCRYPT),
+                              device("Acex1K"))
+        assert report.device.name == "EP1K100FC484-1"
+
+    def test_accepts_family_string(self):
+        report = compile_spec(paper_spec(Variant.ENCRYPT), "Cyclone")
+        assert report.device.family == "Cyclone"
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            compile_spec(paper_spec(Variant.ENCRYPT), "Virtex")
+
+    def test_strict_raises_on_oversize(self):
+        oversized = ArchitectureSpec(
+            "big", Variant.ENCRYPT, sub_width=128, wide_width=128,
+        )
+        with pytest.raises(MappingError):
+            compile_spec(oversized, "Acex1K", strict=True)
+        report = compile_spec(oversized, "Acex1K", strict=False)
+        assert not report.fits
+
+    def test_sync_rom_spec_uses_memory_on_cyclone(self):
+        report = compile_spec(
+            paper_spec(Variant.ENCRYPT, sync_rom=True), "Cyclone"
+        )
+        assert report.memory_bits == 16384
+        assert report.latency_cycles == 60
+
+
+class TestCompileTable2:
+    def test_six_reports(self):
+        reports = compile_table2()
+        assert len(reports) == 6
+        keys = {(r.spec.variant.value, r.device.family)
+                for r in reports}
+        assert len(keys) == 6
+
+    def test_custom_family_subset(self):
+        reports = compile_table2(families=("Acex1K",))
+        assert len(reports) == 3
+        assert all(r.device.family == "Acex1K" for r in reports)
+
+    def test_sync_rom_flag_propagates(self):
+        reports = compile_table2(families=("Cyclone",), sync_rom=True)
+        assert all(r.spec.sync_rom for r in reports)
+        assert all(r.memory_bits > 0 for r in reports)
+
+    def test_all_reports_deterministic(self):
+        a = compile_table2()
+        b = compile_table2()
+        assert [r.logic_elements for r in a] == \
+            [r.logic_elements for r in b]

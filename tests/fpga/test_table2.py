@@ -1,0 +1,112 @@
+"""THE reproduction test: every cell of the paper's Table 2.
+
+LC counts are held to ±3 % (two cells are calibration anchors and
+exact); memory bits, pins, latency and clock are exact; throughput to
+within 1 Mbps of the paper's block-size/latency definition.
+"""
+
+import pytest
+
+from repro.analysis.tables import PAPER_TABLE2, PAPER_TABLE2_PERCENT
+from repro.fpga.calibration import LC_TOLERANCE
+from repro.fpga.report import render_table2
+from repro.fpga.synthesis import compile_table2
+
+REPORTS = {
+    (r.spec.variant.value, r.device.family): r for r in compile_table2()
+}
+CELLS = sorted(PAPER_TABLE2)
+
+
+@pytest.mark.parametrize("key", CELLS, ids=["-".join(k) for k in CELLS])
+class TestTable2Cells:
+    def test_logic_cells(self, key):
+        paper = PAPER_TABLE2[key][0]
+        model = REPORTS[key].logic_elements
+        assert abs(model - paper) / paper <= LC_TOLERANCE, \
+            f"{key}: {model} vs paper {paper}"
+
+    def test_memory_bits_exact(self, key):
+        assert REPORTS[key].memory_bits == PAPER_TABLE2[key][1]
+
+    def test_pins_exact(self, key):
+        assert REPORTS[key].pins == PAPER_TABLE2[key][2]
+
+    def test_latency_exact(self, key):
+        assert REPORTS[key].latency_ns == PAPER_TABLE2[key][3]
+
+    def test_clock_exact(self, key):
+        assert REPORTS[key].clock_ns == PAPER_TABLE2[key][4]
+
+    def test_throughput_within_one_mbps(self, key):
+        paper = PAPER_TABLE2[key][5]
+        assert abs(REPORTS[key].throughput_mbps - paper) <= 1.0
+
+    def test_occupancy_percentages(self, key):
+        lc_pct, mem_pct, pin_pct = PAPER_TABLE2_PERCENT[key]
+        report = REPORTS[key]
+        assert abs(report.logic_pct - lc_pct) <= 3.5
+        assert abs(report.memory_pct - mem_pct) <= 1.5
+        assert abs(report.pin_pct - pin_pct) <= 1.5
+
+
+class TestAnchors:
+    """Two cells are calibration anchors and must be exact."""
+
+    def test_acex_encrypt_exact(self):
+        assert REPORTS[("encrypt", "Acex1K")].logic_elements == 2114
+
+    def test_cyclone_encrypt_exact(self):
+        assert REPORTS[("encrypt", "Cyclone")].logic_elements == 4057
+
+
+class TestStructuralClaims:
+    def test_combined_device_slowdown_about_22_percent(self):
+        """Paper §5: 'the performance drops around 22% when the
+        encrypt and decrypt run at the same device'."""
+        from repro.analysis.metrics import combined_slowdown
+
+        for family in ("Acex1K", "Cyclone"):
+            enc = REPORTS[("encrypt", family)].throughput_mbps
+            both = REPORTS[("both", family)].throughput_mbps
+            drop = combined_slowdown(enc, both)
+            assert 0.17 <= drop <= 0.25, (family, drop)
+
+    def test_cyclone_has_no_memory_anywhere(self):
+        for variant in ("encrypt", "decrypt", "both"):
+            assert REPORTS[(variant, "Cyclone")].memory_bits == 0
+
+    def test_cyclone_le_penalty_is_sbox_count(self):
+        """The Acex->Cyclone LE delta divides by the S-box count to
+        roughly one constant (ROMs pushed into logic)."""
+        per_sbox = []
+        for variant, sboxes in (("encrypt", 8), ("decrypt", 8),
+                                ("both", 16)):
+            delta = (REPORTS[(variant, "Cyclone")].logic_elements
+                     - REPORTS[(variant, "Acex1K")].logic_elements)
+            per_sbox.append(delta / sboxes)
+        assert max(per_sbox) - min(per_sbox) < 10
+
+    def test_decrypt_slower_and_bigger_than_encrypt(self):
+        for family in ("Acex1K", "Cyclone"):
+            enc = REPORTS[("encrypt", family)]
+            dec = REPORTS[("decrypt", family)]
+            assert dec.clock_ns > enc.clock_ns
+            assert dec.logic_elements > enc.logic_elements
+
+    def test_both_cheaper_than_two_devices(self):
+        """§4: 'the area increases with the both devices together' —
+        but the combined device is cheaper than two separate ones."""
+        for family in ("Acex1K", "Cyclone"):
+            enc = REPORTS[("encrypt", family)].logic_elements
+            dec = REPORTS[("decrypt", family)].logic_elements
+            both = REPORTS[("both", family)].logic_elements
+            assert max(enc, dec) < both < enc + dec
+
+    def test_all_designs_fit_their_devices(self):
+        assert all(r.fits for r in REPORTS.values())
+
+    def test_render_contains_every_lc_value(self):
+        text = render_table2(list(REPORTS.values()))
+        for report in REPORTS.values():
+            assert str(report.logic_elements) in text

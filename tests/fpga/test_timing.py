@@ -1,0 +1,104 @@
+"""Tests for the named-critical-path timing model."""
+
+import pytest
+
+from repro.arch.spec import paper_spec
+from repro.fpga.devices import device
+from repro.fpga.timing import analyze, key_path, mix_path, round_clock, \
+    sbox_path
+from repro.ip.control import Variant
+
+ACEX = device("Acex1K")
+CYCLONE = device("Cyclone")
+
+
+class TestRounding:
+    def test_half_up(self):
+        assert round_clock(13.5) == 14
+        assert round_clock(13.49) == 13
+        assert round_clock(17.4) == 17
+
+
+class TestPaperClocks:
+    """The six Table 2 clock periods, from structure + family fit."""
+
+    @pytest.mark.parametrize("variant,family,expected", [
+        (Variant.ENCRYPT, "Acex1K", 14),
+        (Variant.DECRYPT, "Acex1K", 15),
+        (Variant.BOTH, "Acex1K", 17),
+        (Variant.ENCRYPT, "Cyclone", 10),
+        (Variant.DECRYPT, "Cyclone", 11),
+        (Variant.BOTH, "Cyclone", 13),
+    ])
+    def test_clock_period(self, variant, family, expected):
+        clock, _, _ = analyze(paper_spec(variant), device(family))
+        assert clock == expected
+
+
+class TestCriticalPathIdentity:
+    def test_acex_encrypt_limited_by_eab(self):
+        # §5: "the speed restriction is in the 32 bit parts" — the
+        # asynchronous EAB read path dominates the encrypt device.
+        _, critical, paths = analyze(paper_spec(Variant.ENCRYPT), ACEX)
+        assert critical in ("sbox_eab_async", "kstran_eab")
+        assert paths["sbox_eab_async"] > paths["mix_stage"]
+
+    def test_acex_decrypt_limited_by_inv_mix(self):
+        _, critical, _ = analyze(paper_spec(Variant.DECRYPT), ACEX)
+        assert critical == "inv_mix_stage"
+
+    def test_cyclone_paths_balanced(self):
+        _, _, paths = analyze(paper_spec(Variant.ENCRYPT), CYCLONE)
+        # With LC-mapped S-boxes the read path and mix path are close.
+        assert abs(paths["sbox_in_luts"] - paths["mix_stage"]) < 2.0
+
+    def test_both_adds_mux_level(self):
+        enc = mix_path(paper_spec(Variant.ENCRYPT), ACEX, inverse=False)
+        both = mix_path(paper_spec(Variant.BOTH), ACEX, inverse=False)
+        assert both.delay_ns == pytest.approx(
+            enc.delay_ns + ACEX.t_level
+        )
+
+    def test_decrypt_mix_deeper_than_encrypt(self):
+        spec = paper_spec(Variant.BOTH)
+        fwd = mix_path(spec, ACEX, inverse=False).delay_ns
+        inv = mix_path(spec, ACEX, inverse=True).delay_ns
+        assert inv > fwd
+
+
+class TestPathVariants:
+    def test_sync_rom_sbox_path_short(self):
+        spec = paper_spec(Variant.ENCRYPT, sync_rom=True)
+        path = sbox_path(spec, CYCLONE)
+        assert path.name == "sbox_blockram_sync"
+        assert path.delay_ns < sbox_path(
+            paper_spec(Variant.ENCRYPT), CYCLONE
+        ).delay_ns
+
+    def test_lut_rom_path_on_cyclone(self):
+        path = sbox_path(paper_spec(Variant.ENCRYPT), CYCLONE)
+        assert path.name == "sbox_in_luts"
+
+    def test_key_path_kinds(self):
+        assert key_path(paper_spec(Variant.ENCRYPT), ACEX).name == \
+            "kstran_eab"
+        assert key_path(paper_spec(Variant.ENCRYPT), CYCLONE).name == \
+            "kstran_in_luts"
+        sync = paper_spec(Variant.ENCRYPT, sync_rom=True)
+        assert key_path(sync, CYCLONE).name == "kstran_blockram_sync"
+
+    def test_precomputed_key_path(self):
+        from repro.arch.spec import ArchitectureSpec
+
+        spec = ArchitectureSpec("t", Variant.ENCRYPT, sub_width=128,
+                                wide_width=128,
+                                key_schedule="precomputed")
+        assert key_path(spec, ACEX).name == "key_ram_read"
+
+    def test_encrypt_only_has_no_inverse_path(self):
+        _, _, paths = analyze(paper_spec(Variant.ENCRYPT), ACEX)
+        assert "inv_mix_stage" not in paths
+
+    def test_both_has_all_paths(self):
+        _, _, paths = analyze(paper_spec(Variant.BOTH), ACEX)
+        assert {"mix_stage", "inv_mix_stage"} <= set(paths)

@@ -1,0 +1,164 @@
+"""Unit tests for GF(2^8) arithmetic."""
+
+import pytest
+
+from repro.gf.galois import (
+    AES_MODULUS,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_mul_slow,
+    gf_pow,
+    is_irreducible,
+    xtime,
+    xtime_chain_depth,
+)
+
+
+class TestAddition:
+    def test_add_is_xor(self):
+        assert gf_add(0x57, 0x83) == 0xD4  # FIPS-197 §4.1 example
+
+    def test_add_identity(self):
+        assert gf_add(0xAB, 0x00) == 0xAB
+
+    def test_add_self_inverse(self):
+        assert gf_add(0xAB, 0xAB) == 0x00
+
+    def test_add_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            gf_add(256, 1)
+        with pytest.raises(ValueError):
+            gf_add(1, -1)
+
+
+class TestXtime:
+    def test_xtime_no_reduction(self):
+        assert xtime(0x57) == 0xAE  # FIPS-197 §4.2.1 chain
+
+    def test_xtime_with_reduction(self):
+        assert xtime(0xAE) == 0x47
+        assert xtime(0x47) == 0x8E
+        assert xtime(0x8E) == 0x07
+
+    def test_xtime_is_mul_by_two(self):
+        for a in range(256):
+            assert xtime(a) == gf_mul_slow(a, 0x02)
+
+    def test_xtime_zero(self):
+        assert xtime(0) == 0
+
+
+class TestMultiplication:
+    def test_fips_example(self):
+        # FIPS-197 §4.2: 57 * 83 = c1
+        assert gf_mul_slow(0x57, 0x83) == 0xC1
+        assert gf_mul(0x57, 0x83) == 0xC1
+
+    def test_fips_xtime_example(self):
+        # FIPS-197 §4.2.1: 57 * 13 = fe
+        assert gf_mul(0x57, 0x13) == 0xFE
+
+    def test_table_matches_slow_exhaustive_row(self):
+        # A full 256x256 sweep is done by the hypothesis suite on
+        # random pairs; here pin a couple of complete rows.
+        for b in range(256):
+            assert gf_mul(0x57, b) == gf_mul_slow(0x57, b)
+            assert gf_mul(0xFF, b) == gf_mul_slow(0xFF, b)
+
+    def test_multiplicative_identity(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        for a in range(0, 256, 17):
+            assert gf_mul(a, 0) == 0
+            assert gf_mul(0, a) == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            gf_mul(300, 1)
+
+
+class TestPowerAndInverse:
+    def test_pow_zero_exponent(self):
+        assert gf_pow(0x53, 0) == 1
+        assert gf_pow(0x00, 0) == 1
+
+    def test_pow_matches_repeated_mul(self):
+        value = 1
+        for exponent in range(10):
+            assert gf_pow(0x03, exponent) == value
+            value = gf_mul(value, 0x03)
+
+    def test_pow_of_zero(self):
+        assert gf_pow(0, 5) == 0
+
+    def test_pow_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gf_pow(2, -1)
+
+    def test_inverse_round_trip(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inverse_of_zero_is_zero(self):
+        # The Rijndael "patched" convention used by the S-box.
+        assert gf_inv(0) == 0
+
+    def test_known_inverse(self):
+        # FIPS-197: inverse of 0x53 is 0xCA (S-box worked example).
+        assert gf_inv(0x53) == 0xCA
+
+    def test_division(self):
+        assert gf_div(gf_mul(0x57, 0x83), 0x83) == 0x57
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(1, 0)
+
+
+class TestModulus:
+    def test_aes_modulus_is_irreducible(self):
+        assert is_irreducible(AES_MODULUS)
+
+    def test_reducible_polynomial_rejected(self):
+        # x^8 + 1 = (x+1)^8 over GF(2): reducible.
+        assert not is_irreducible(0x101)
+
+    def test_requires_degree_eight(self):
+        with pytest.raises(ValueError):
+            is_irreducible(0x0B)
+
+    def test_field_has_no_zero_divisors(self):
+        for a in range(1, 256, 7):
+            for b in range(1, 256, 11):
+                assert gf_mul(a, b) != 0
+
+
+class TestXtimeChainDepth:
+    def test_mul_by_two_is_one_level(self):
+        assert xtime_chain_depth(0x02) == 1
+
+    def test_mul_by_three(self):
+        # x03 = x ^ 1: chain 1 + tree over 2 terms (1 level) = 2.
+        assert xtime_chain_depth(0x03) == 2
+
+    def test_mul_by_one_is_free_tree(self):
+        assert xtime_chain_depth(0x01) == 0
+
+    def test_inv_mix_coefficient_depth(self):
+        # x0E (1110b): chain 3, tree over 3 terms = 2 -> 5.
+        assert xtime_chain_depth(0x0E) == 5
+
+    def test_inverse_coeffs_deeper_than_forward(self):
+        forward = max(xtime_chain_depth(c) for c in (0x01, 0x02, 0x03))
+        inverse = max(
+            xtime_chain_depth(c) for c in (0x09, 0x0B, 0x0D, 0x0E)
+        )
+        assert inverse > forward
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            xtime_chain_depth(0)

@@ -1,0 +1,122 @@
+"""Unit tests for the GF(2^8)[x]/(x^4+1) column ring."""
+
+import pytest
+
+from repro.gf.polyring import (
+    ColumnPolynomial,
+    INV_MIX_POLY,
+    MIX_POLY,
+    ring_mul,
+)
+
+ONE = ColumnPolynomial((1, 0, 0, 0))
+
+
+class TestColumnPolynomial:
+    def test_requires_four_coefficients(self):
+        with pytest.raises(ValueError):
+            ColumnPolynomial((1, 2, 3))
+        with pytest.raises(ValueError):
+            ColumnPolynomial((1, 2, 3, 4, 5))
+
+    def test_rejects_out_of_range_coefficients(self):
+        with pytest.raises(ValueError):
+            ColumnPolynomial((0x100, 0, 0, 0))
+
+    def test_equality_and_hash(self):
+        a = ColumnPolynomial((1, 2, 3, 4))
+        b = ColumnPolynomial((1, 2, 3, 4))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ColumnPolynomial((4, 3, 2, 1))
+
+    def test_addition_is_coefficientwise_xor(self):
+        a = ColumnPolynomial((0x57, 0x83, 0x1A, 0x00))
+        b = ColumnPolynomial((0x83, 0x83, 0x01, 0xFF))
+        assert (a + b).coeffs == (0xD4, 0x00, 0x1B, 0xFF)
+
+    def test_repr_mentions_nonzero_terms(self):
+        assert "x^3" in repr(ColumnPolynomial((0, 0, 0, 3)))
+        assert repr(ColumnPolynomial((0, 0, 0, 0))).count("0") >= 1
+
+
+class TestRingMultiplication:
+    def test_identity(self):
+        a = (0xDB, 0x13, 0x53, 0x45)
+        assert ring_mul(a, ONE.coeffs) == a
+
+    def test_fips_mix_column_example(self):
+        # FIPS-197 §5.1.3 worked column: db 13 53 45 -> 8e 4d a1 bc.
+        assert ring_mul((0xDB, 0x13, 0x53, 0x45), MIX_POLY.coeffs) == (
+            0x8E, 0x4D, 0xA1, 0xBC,
+        )
+
+    def test_another_fips_column(self):
+        # f2 0a 22 5c -> 9f dc 58 9d
+        assert ring_mul((0xF2, 0x0A, 0x22, 0x5C), MIX_POLY.coeffs) == (
+            0x9F, 0xDC, 0x58, 0x9D,
+        )
+
+    def test_all_equal_column_is_fixed_point(self):
+        # When all bytes equal, MixColumn is the identity (coefficients
+        # of c(x) sum to 01).
+        assert ring_mul((0xAA,) * 4, MIX_POLY.coeffs) == (0xAA,) * 4
+
+    def test_x_multiplication_rotates(self):
+        x = (0, 1, 0, 0)
+        assert ring_mul((0xDE, 0xAD, 0xBE, 0xEF), x) == (
+            0xEF, 0xDE, 0xAD, 0xBE,
+        )
+
+    def test_commutative(self):
+        a = (0x01, 0x02, 0x03, 0x04)
+        b = (0x0E, 0x09, 0x0D, 0x0B)
+        assert ring_mul(a, b) == ring_mul(b, a)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            ring_mul((1, 2, 3), (1, 2, 3, 4))
+
+
+class TestMixPolynomials:
+    def test_c_times_d_is_one(self):
+        assert MIX_POLY * INV_MIX_POLY == ONE
+
+    def test_inverse_method_recovers_d(self):
+        assert MIX_POLY.inverse() == INV_MIX_POLY
+
+    def test_inverse_method_recovers_c(self):
+        assert INV_MIX_POLY.inverse() == MIX_POLY
+
+    def test_mix_poly_is_unit(self):
+        assert MIX_POLY.is_unit()
+
+    def test_zero_divisor_detected(self):
+        # x^4 + 1 = (x + 1)^4 over GF(2), so (x + 1) is a zero
+        # divisor: 01 + 01·x has no inverse.
+        zero_divisor = ColumnPolynomial((1, 1, 0, 0))
+        assert not zero_divisor.is_unit()
+        with pytest.raises(ValueError):
+            zero_divisor.inverse()
+
+    def test_all_ones_is_zero_divisor(self):
+        assert not ColumnPolynomial((1, 1, 1, 1)).is_unit()
+
+    def test_mix_poly_coefficients(self):
+        # Paper Fig. 7 / FIPS-197: c(x) = 03x^3 + 01x^2 + 01x + 02.
+        assert MIX_POLY.coeffs == (0x02, 0x01, 0x01, 0x03)
+        assert INV_MIX_POLY.coeffs == (0x0E, 0x09, 0x0D, 0x0B)
+
+    def test_inverse_round_trip_random_units(self):
+        # Any polynomial with an invertible circulant is a unit and
+        # must round-trip.
+        candidates = [
+            (0x02, 0x01, 0x01, 0x03),
+            (0x0E, 0x09, 0x0D, 0x0B),
+            (0x01, 0x00, 0x00, 0x02),
+            (0x05, 0x00, 0x04, 0x00),
+        ]
+        for coeffs in candidates:
+            poly = ColumnPolynomial(coeffs)
+            if poly.is_unit():
+                assert poly.inverse() * poly == ONE

@@ -1,0 +1,114 @@
+"""Tests for the Altera MIF writer/parser."""
+
+import pytest
+
+from repro.aes.constants import INV_SBOX, SBOX
+from repro.hdl.mif import MifError, parse_mif, write_mif
+
+
+class TestWriter:
+    def test_basic_shape(self):
+        text = write_mif([0x63, 0x7C], 8)
+        assert "DEPTH = 2;" in text
+        assert "WIDTH = 8;" in text
+        assert "CONTENT BEGIN" in text
+        assert text.rstrip().endswith("END;")
+
+    def test_values_hex_padded(self):
+        text = write_mif([0x0, 0xAB], 8)
+        assert "0 : 00;" in text
+        assert "1 : AB;" in text
+
+    def test_comment_prefixed(self):
+        text = write_mif([1], 8, comment="hello\nworld")
+        assert text.startswith("-- hello\n-- world\n")
+
+    def test_width_validation(self):
+        with pytest.raises(MifError):
+            write_mif([1], 0)
+
+    def test_value_fits_width(self):
+        with pytest.raises(MifError):
+            write_mif([256], 8)
+        with pytest.raises(MifError):
+            write_mif([-1], 8)
+
+    def test_wide_words(self):
+        text = write_mif([0xDEADBEEF], 32)
+        assert "DEADBEEF" in text
+
+
+class TestParser:
+    def test_round_trip_sbox(self):
+        text = write_mif(SBOX, 8, comment="forward S-box")
+        parsed = parse_mif(text)
+        assert parsed["depth"] == 256
+        assert parsed["width"] == 8
+        assert parsed["words"] == list(SBOX)
+
+    def test_round_trip_inverse_sbox(self):
+        parsed = parse_mif(write_mif(INV_SBOX, 8))
+        assert parsed["words"] == list(INV_SBOX)
+
+    def test_range_syntax(self):
+        text = (
+            "DEPTH = 8;\nWIDTH = 8;\nADDRESS_RADIX = HEX;\n"
+            "DATA_RADIX = HEX;\nCONTENT BEGIN\n"
+            "[0..3] : AA;\n4 : 01;\nEND;\n"
+        )
+        parsed = parse_mif(text)
+        assert parsed["words"] == [0xAA] * 4 + [1, 0, 0, 0]
+
+    def test_dec_radix(self):
+        text = (
+            "DEPTH = 4;\nWIDTH = 8;\nADDRESS_RADIX = DEC;\n"
+            "DATA_RADIX = DEC;\nCONTENT BEGIN\n"
+            "0 : 99;\n3 : 100;\nEND;\n"
+        )
+        parsed = parse_mif(text)
+        assert parsed["words"] == [99, 0, 0, 100]
+
+    def test_comments_ignored(self):
+        text = write_mif([1, 2], 8)
+        commented = "-- top comment\n" + text.replace(
+            "WIDTH = 8;", "WIDTH = 8; -- width"
+        )
+        assert parse_mif(commented)["words"] == [1, 2]
+
+    def test_missing_end_rejected(self):
+        text = write_mif([1], 8).replace("END;", "")
+        with pytest.raises(MifError):
+            parse_mif(text)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(MifError):
+            parse_mif("CONTENT BEGIN\n0 : 1;\nEND;\n")
+
+    def test_bad_radix_rejected(self):
+        text = write_mif([1], 8).replace(
+            "DATA_RADIX = HEX;", "DATA_RADIX = ROMAN;"
+        )
+        with pytest.raises(MifError):
+            parse_mif(text)
+
+    def test_address_bounds_checked(self):
+        text = (
+            "DEPTH = 2;\nWIDTH = 8;\nADDRESS_RADIX = HEX;\n"
+            "DATA_RADIX = HEX;\nCONTENT BEGIN\n5 : 00;\nEND;\n"
+        )
+        with pytest.raises(MifError):
+            parse_mif(text)
+
+    def test_value_bounds_checked(self):
+        text = (
+            "DEPTH = 2;\nWIDTH = 8;\nADDRESS_RADIX = HEX;\n"
+            "DATA_RADIX = HEX;\nCONTENT BEGIN\n0 : 1FF;\nEND;\n"
+        )
+        with pytest.raises(MifError):
+            parse_mif(text)
+
+    def test_garbage_line_rejected(self):
+        text = write_mif([1], 8).replace("CONTENT BEGIN",
+                                         "garbage\nCONTENT BEGIN")
+        with pytest.raises(MifError):
+            parse_mif(text)

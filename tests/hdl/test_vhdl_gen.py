@@ -1,0 +1,143 @@
+"""Tests for the VHDL soft-IP generator."""
+
+import pytest
+
+from repro.hdl.lint import LintError, lint_vhdl
+from repro.hdl.mif import parse_mif
+from repro.hdl.vhdl_gen import (
+    generate_core_entity,
+    generate_core_vhdl,
+    generate_package,
+    generate_sbox_entity,
+    generate_sbox_mifs,
+)
+from repro.aes.constants import INV_SBOX, SBOX
+from repro.ip.control import Variant
+
+
+class TestPackage:
+    def test_constants_match_model(self):
+        text = generate_package()
+        assert "NUM_ROUNDS       : natural := 10" in text
+        assert "BLOCK_LATENCY    : natural := 50" in text
+        assert "KEY_SETUP_CYCLES : natural := 40" in text
+
+    def test_rcon_values_emitted(self):
+        text = generate_package()
+        assert 'x"01"' in text and 'x"36"' in text  # Rcon[1], Rcon[10]
+
+    def test_lints(self):
+        report = lint_vhdl(generate_package(), "pkg")
+        assert "rijndael_pkg" in report.packages
+
+
+class TestSboxEntities:
+    def test_forward_table_embedded(self):
+        text = generate_sbox_entity(inverse=False)
+        assert f'x"{SBOX[0]:02X}"' in text
+        assert f'x"{SBOX[255]:02X}"' in text
+        assert "sbox_forward.mif" in text
+
+    def test_inverse_table_embedded(self):
+        text = generate_sbox_entity(inverse=True)
+        assert f'x"{INV_SBOX[0]:02X}"' in text
+        assert "inv_sbox_rom" in text
+
+    def test_table_has_256_entries(self):
+        text = generate_sbox_entity()
+        assert text.count('x"') == 256
+
+    def test_lints(self):
+        for inverse in (False, True):
+            report = lint_vhdl(generate_sbox_entity(inverse), "sbox")
+            assert len(report.entities) == 1
+            assert report.ports == ("addr", "data")
+
+
+class TestCoreEntity:
+    @pytest.mark.parametrize("variant", list(Variant),
+                             ids=lambda v: v.value)
+    def test_lints(self, variant):
+        report = lint_vhdl(generate_core_entity(variant), "core")
+        assert report.entities == (f"rijndael_core_{variant.value}",)
+        # The paper's four processes: Data_In, Round Key, Rijndael, Out.
+        assert report.processes == 4
+
+    def test_table1_ports_present(self):
+        text = generate_core_entity(Variant.BOTH)
+        for port in ("clk", "setup", "wr_data", "wr_key", "din",
+                     "enc_dec", "data_ok", "dout"):
+            assert port in text
+
+    def test_encdec_only_on_both(self):
+        assert "enc_dec" not in generate_core_entity(Variant.ENCRYPT)
+        assert "enc_dec" in generate_core_entity(Variant.BOTH)
+
+    def test_timing_facts_in_header(self):
+        text = generate_core_entity(Variant.ENCRYPT)
+        assert "5 cycles" in text
+        assert "50 cycles per block" in text
+
+    def test_setup_pass_note_on_decrypt(self):
+        assert "40-cycle" in generate_core_entity(Variant.DECRYPT)
+
+
+class TestBundles:
+    @pytest.mark.parametrize("variant", list(Variant),
+                             ids=lambda v: v.value)
+    def test_bundle_complete_and_clean(self, variant):
+        files = generate_core_vhdl(variant)
+        assert "rijndael_pkg.vhd" in files
+        assert f"rijndael_core_{variant.value}.vhd" in files
+        for name, text in files.items():
+            if name.endswith(".vhd"):
+                lint_vhdl(text, name)
+            else:
+                parsed = parse_mif(text)
+                assert parsed["depth"] == 256
+
+    def test_encrypt_bundle_has_no_inverse_rom(self):
+        files = generate_core_vhdl(Variant.ENCRYPT)
+        assert "inv_sbox_rom.vhd" not in files
+        assert "sbox_inverse.mif" not in files
+
+    def test_decrypt_bundle_keeps_forward_rom_for_kstran(self):
+        files = generate_core_vhdl(Variant.DECRYPT)
+        assert "sbox_rom.vhd" in files  # KStran uses the forward box
+        assert "inv_sbox_rom.vhd" in files
+
+    def test_mif_matches_embedded_table(self):
+        mifs = generate_sbox_mifs(Variant.BOTH)
+        assert parse_mif(mifs["sbox_forward.mif"])["words"] == list(SBOX)
+        assert parse_mif(mifs["sbox_inverse.mif"])["words"] == \
+            list(INV_SBOX)
+
+
+class TestLinter:
+    def test_detects_unbalanced_process(self):
+        bad = generate_core_entity(Variant.ENCRYPT).replace(
+            "end process data_in_proc;", "", 1
+        )
+        with pytest.raises(LintError):
+            lint_vhdl(bad, "bad")
+
+    def test_detects_missing_end_entity(self):
+        good = generate_sbox_entity()
+        bad = good.replace("end entity sbox_rom;", "")
+        with pytest.raises(LintError):
+            lint_vhdl(bad, "bad")
+
+    def test_detects_unused_port(self):
+        bad = generate_sbox_entity().replace(
+            "data <= TABLE(to_integer(unsigned(addr)));",
+            'data <= x"00";',
+        )
+        with pytest.raises(LintError):
+            lint_vhdl(bad, "bad")
+
+    def test_detects_case_imbalance(self):
+        bad = generate_core_entity(Variant.ENCRYPT).replace(
+            "end case;", "", 1
+        )
+        with pytest.raises(LintError):
+            lint_vhdl(bad, "bad")

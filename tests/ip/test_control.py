@@ -1,0 +1,64 @@
+"""Tests for control/timing constants (paper §4 cycle arithmetic)."""
+
+import pytest
+
+from repro.ip.control import (
+    NUM_ROUNDS,
+    Variant,
+    all_32bit_cycles_per_round,
+    block_latency,
+    cycles_per_round,
+    key_setup_cycles,
+)
+
+
+class TestVariant:
+    def test_encrypt_capabilities(self):
+        assert Variant.ENCRYPT.can_encrypt
+        assert not Variant.ENCRYPT.can_decrypt
+        assert not Variant.ENCRYPT.needs_setup_pass
+
+    def test_decrypt_capabilities(self):
+        assert not Variant.DECRYPT.can_encrypt
+        assert Variant.DECRYPT.can_decrypt
+        assert Variant.DECRYPT.needs_setup_pass
+
+    def test_both_capabilities(self):
+        assert Variant.BOTH.can_encrypt
+        assert Variant.BOTH.can_decrypt
+        assert Variant.BOTH.needs_setup_pass
+
+    def test_values_match_paper_terms(self):
+        assert {v.value for v in Variant} == {
+            "encrypt", "decrypt", "both",
+        }
+
+
+class TestCycleArithmetic:
+    def test_paper_round_is_five_cycles(self):
+        # §4: "decreasing the number of clock cycles needed to execute
+        # a round from 12 ... to 5".
+        assert cycles_per_round(sync_rom=False) == 5
+
+    def test_all_32bit_baseline_is_twelve(self):
+        assert all_32bit_cycles_per_round() == 12
+
+    def test_block_latency_is_fifty(self):
+        # 10 rounds x 5 cycles: the number behind every latency row of
+        # Table 2 (700 ns = 50 x 14 ns, etc.).
+        assert NUM_ROUNDS == 10
+        assert block_latency() == 50
+
+    def test_sync_rom_round_is_six_cycles(self):
+        assert cycles_per_round(sync_rom=True) == 6
+        assert block_latency(sync_rom=True) == 60
+
+    def test_key_setup_pass_lengths(self):
+        assert key_setup_cycles() == 40
+        assert key_setup_cycles(sync_rom=True) == 50
+
+    def test_latency_consistent_with_paper_table2(self):
+        # latency_ns = 50 * clk for every Table 2 row.
+        for clk, latency in [(14, 700), (15, 750), (17, 850),
+                             (10, 500), (11, 550), (13, 650)]:
+            assert block_latency() * clk == latency

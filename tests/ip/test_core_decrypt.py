@@ -1,0 +1,122 @@
+"""Cycle-accurate decrypt-only core vs the golden model."""
+
+import pytest
+
+from repro.aes.cipher import AES128
+from repro.aes.key_schedule import expand_key
+from repro.ip.control import Phase, Variant
+from repro.ip.testbench import Testbench
+from tests.conftest import random_block, random_key
+
+
+class TestKnownAnswers:
+    def test_fips_appendix_b(self, decrypt_bench, fips_plaintext,
+                             fips_ciphertext):
+        result, latency = decrypt_bench.decrypt(fips_ciphertext)
+        assert result == fips_plaintext
+        assert latency == 50
+
+    def test_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ct = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        bench = Testbench(Variant.DECRYPT)
+        bench.load_key(key)
+        result, _ = bench.decrypt(ct)
+        assert result == bytes.fromhex(
+            "00112233445566778899aabbccddeeff"
+        )
+
+
+class TestSetupPass:
+    def test_setup_pass_is_forty_cycles(self, fips_key):
+        bench = Testbench(Variant.DECRYPT)
+        consumed = bench.load_key(fips_key)
+        assert consumed == 41  # wr_key edge + 40-cycle pass
+
+    def test_core_busy_during_setup(self, fips_key):
+        bench = Testbench(Variant.DECRYPT)
+        bench.load_key(fips_key, wait=False)
+        assert bench.core.phase is Phase.KEY_SETUP
+        bench.simulator.step(39)
+        assert bench.core.busy
+        bench.simulator.step(1)
+        assert not bench.core.busy
+
+    def test_setup_derives_last_round_key(self, fips_key):
+        bench = Testbench(Variant.DECRYPT)
+        bench.load_key(fips_key)
+        expanded = expand_key(fips_key, 10)
+        assert list(bench.core.keyunit.key_last_words()) == \
+            expanded[40:44]
+
+    def test_key_ready_flag(self, fips_key):
+        bench = Testbench(Variant.DECRYPT)
+        assert bench.core.key_ready.value == 0
+        bench.load_key(fips_key)
+        assert bench.core.key_ready.value == 1
+
+    def test_decrypt_before_key_load_stays_buffered(self):
+        # Without a key the device cannot start a decryption; the
+        # block waits in the Data_In buffer.
+        bench = Testbench(Variant.DECRYPT)
+        bench.write_block(bytes(16))
+        bench.simulator.step(60)
+        assert bench.core.blocks_processed == 0
+        assert bench.core.buf_valid.value == 1
+        # Loading a key releases it.
+        bench.load_key(bytes(16))
+        result = bench.wait_result(max_cycles=120)
+        assert result == AES128(bytes(16)).decrypt_block(bytes(16))
+
+
+class TestAgainstGoldenModel:
+    def test_random_blocks_match(self, rng):
+        key = random_key(rng)
+        bench = Testbench(Variant.DECRYPT)
+        bench.load_key(key)
+        golden = AES128(key)
+        for _ in range(8):
+            ct = random_block(rng)
+            result, latency = bench.decrypt(ct)
+            assert result == golden.decrypt_block(ct)
+            assert latency == 50
+
+    def test_encrypt_then_decrypt_round_trip(self, rng):
+        key = random_key(rng)
+        enc = Testbench(Variant.ENCRYPT)
+        dec = Testbench(Variant.DECRYPT)
+        enc.load_key(key)
+        dec.load_key(key)
+        for _ in range(4):
+            block = random_block(rng)
+            ct, _ = enc.encrypt(block)
+            pt, _ = dec.decrypt(ct)
+            assert pt == block
+
+    def test_reverse_schedule_lands_on_key0(self, fips_key,
+                                            fips_ciphertext):
+        # After a decryption the working key register has walked all
+        # the way back to the cipher key — the invariant behind the
+        # folded final Add Key.
+        bench = Testbench(Variant.DECRYPT)
+        bench.load_key(fips_key)
+        bench.decrypt(fips_ciphertext)
+        assert bench.core.keyunit.work_words() == \
+            bench.core.keyunit.key0_words()
+
+
+class TestVariantRestrictions:
+    def test_decrypt_only_has_no_forward_data_sbox(self):
+        bench = Testbench(Variant.DECRYPT)
+        assert bench.core.sbox_f is None
+        assert bench.core.sbox_i is not None
+
+    def test_decrypt_only_rom_bits(self):
+        # 4 inverse data S-boxes + 4 (forward) KStran S-boxes.
+        assert Testbench(Variant.DECRYPT).core.rom_bits == 16384
+
+    def test_encdec_pin_ignored(self, decrypt_bench, fips_plaintext,
+                                fips_ciphertext):
+        result, _ = decrypt_bench.process_block(fips_ciphertext,
+                                                direction=0)
+        assert result == fips_plaintext

@@ -1,0 +1,136 @@
+"""Cycle-accurate encrypt-only core vs the golden model."""
+
+import pytest
+
+from repro.aes.cipher import AES128
+from repro.aes.vectors import ALL_VECTORS
+from repro.ip.control import Phase, Variant
+from repro.ip.testbench import Testbench
+from tests.conftest import random_block, random_key
+
+
+class TestKnownAnswers:
+    def test_fips_appendix_b(self, encrypt_bench, fips_plaintext,
+                             fips_ciphertext):
+        result, latency = encrypt_bench.encrypt(fips_plaintext)
+        assert result == fips_ciphertext
+        assert latency == 50
+
+    @pytest.mark.parametrize(
+        "vector",
+        [v for v in ALL_VECTORS if len(v.key) == 16],
+        ids=lambda v: v.name,
+    )
+    def test_aes128_vectors(self, vector):
+        bench = Testbench(Variant.ENCRYPT)
+        bench.load_key(vector.key)
+        result, _ = bench.encrypt(vector.plaintext)
+        assert result == vector.ciphertext
+
+
+class TestLatencyContract:
+    def test_latency_is_exactly_fifty(self, encrypt_bench):
+        for _ in range(3):
+            _, latency = encrypt_bench.encrypt(bytes(16))
+            assert latency == 50
+
+    def test_latency_independent_of_data(self, encrypt_bench, rng):
+        latencies = {
+            encrypt_bench.encrypt(random_block(rng))[1] for _ in range(5)
+        }
+        assert latencies == {50}
+
+    def test_data_ok_is_one_cycle_pulse(self, encrypt_bench):
+        encrypt_bench.write_block(bytes(16))
+        encrypt_bench.simulator.run_until(
+            lambda: encrypt_bench.core.data_ok.value == 1, 100
+        )
+        encrypt_bench.simulator.step()
+        assert encrypt_bench.core.data_ok.value == 0
+
+    def test_output_register_holds_after_pulse(self, encrypt_bench,
+                                               fips_plaintext,
+                                               fips_ciphertext):
+        encrypt_bench.encrypt(fips_plaintext)
+        encrypt_bench.simulator.step(10)
+        assert encrypt_bench.core.out_block() == fips_ciphertext
+
+
+class TestAgainstGoldenModel:
+    def test_random_blocks_match(self, rng):
+        key = random_key(rng)
+        bench = Testbench(Variant.ENCRYPT)
+        bench.load_key(key)
+        golden = AES128(key)
+        for _ in range(8):
+            block = random_block(rng)
+            result, _ = bench.encrypt(block)
+            assert result == golden.encrypt_block(block)
+
+    def test_key_change_takes_effect(self, rng):
+        bench = Testbench(Variant.ENCRYPT)
+        block = bytes(range(16))
+        key1, key2 = random_key(rng), random_key(rng)
+        bench.load_key(key1)
+        first, _ = bench.encrypt(block)
+        bench.load_key(key2)
+        second, _ = bench.encrypt(block)
+        assert first == AES128(key1).encrypt_block(block)
+        assert second == AES128(key2).encrypt_block(block)
+        assert first != second
+
+    def test_zero_key_default(self):
+        # Without wr_key the key register holds zeros — a legal key.
+        bench = Testbench(Variant.ENCRYPT)
+        result, _ = bench.encrypt(bytes(16))
+        assert result == AES128(bytes(16)).encrypt_block(bytes(16))
+
+
+class TestVariantRestrictions:
+    def test_encrypt_only_has_no_inverse_sbox(self):
+        bench = Testbench(Variant.ENCRYPT)
+        assert bench.core.sbox_f is not None
+        assert bench.core.sbox_i is None
+
+    def test_encrypt_only_rom_bits(self):
+        # 4 data S-boxes + 4 KStran S-boxes = 16384 bits (Table 2).
+        assert Testbench(Variant.ENCRYPT).core.rom_bits == 16384
+
+    def test_encdec_pin_ignored(self, encrypt_bench, fips_plaintext,
+                                fips_ciphertext):
+        # Driving the (nonexistent on this device) direction pin high
+        # must still encrypt.
+        result, _ = encrypt_bench.process_block(fips_plaintext,
+                                                direction=1)
+        assert result == fips_ciphertext
+
+    def test_key_load_is_instant(self, rng):
+        # No setup pass on the encrypt-only device: ready next cycle.
+        bench = Testbench(Variant.ENCRYPT)
+        cycles = bench.load_key(random_key(rng))
+        assert cycles == 1
+        assert not bench.core.busy
+
+
+class TestFsmObservability:
+    def test_phase_transitions(self, encrypt_bench):
+        core = encrypt_bench.core
+        assert core.phase is Phase.IDLE
+        encrypt_bench.write_block(bytes(16))
+        assert core.phase is Phase.RUN
+        encrypt_bench.wait_result()
+        assert core.phase is Phase.IDLE
+
+    def test_blocks_processed_counter(self, encrypt_bench):
+        assert encrypt_bench.core.blocks_processed == 0
+        encrypt_bench.encrypt(bytes(16))
+        encrypt_bench.encrypt(bytes(16))
+        assert encrypt_bench.core.blocks_processed == 2
+
+    def test_busy_during_run(self, encrypt_bench):
+        encrypt_bench.write_block(bytes(16))
+        assert encrypt_bench.core.busy
+        encrypt_bench.simulator.step(25)
+        assert encrypt_bench.core.busy
+        encrypt_bench.wait_result()
+        assert not encrypt_bench.core.busy

@@ -1,0 +1,98 @@
+"""The synchronous-ROM build (the paper's future-work variant).
+
+Cyclone block RAM cannot read asynchronously, so the paper implemented
+the S-boxes in logic cells and deferred a registered-ROM redesign to
+future work ("To allow the use of synchronous ROM, several
+modifications are needed").  This build is that redesign: ROM reads
+are pipelined, the round stretches from 5 to 6 cycles and the key
+setup pass from 40 to 50.
+"""
+
+import pytest
+
+from repro.aes.cipher import AES128
+from repro.ip.control import Variant, block_latency, key_setup_cycles
+from repro.ip.testbench import Testbench
+from tests.conftest import random_block, random_key
+
+
+class TestFunctionalEquivalence:
+    def test_encrypt_matches_golden(self, rng):
+        key = random_key(rng)
+        bench = Testbench(Variant.ENCRYPT, sync_rom=True)
+        bench.load_key(key)
+        golden = AES128(key)
+        for _ in range(4):
+            block = random_block(rng)
+            result, _ = bench.encrypt(block)
+            assert result == golden.encrypt_block(block)
+
+    def test_decrypt_matches_golden(self, rng):
+        key = random_key(rng)
+        bench = Testbench(Variant.DECRYPT, sync_rom=True)
+        bench.load_key(key)
+        golden = AES128(key)
+        for _ in range(4):
+            ct = random_block(rng)
+            result, _ = bench.decrypt(ct)
+            assert result == golden.decrypt_block(ct)
+
+    def test_both_variant_round_trip(self, rng):
+        key = random_key(rng)
+        bench = Testbench(Variant.BOTH, sync_rom=True)
+        bench.load_key(key)
+        block = random_block(rng)
+        ct, _ = bench.encrypt(block)
+        pt, _ = bench.decrypt(ct)
+        assert pt == block
+
+    def test_fips_vector(self, fips_key, fips_plaintext,
+                         fips_ciphertext):
+        bench = Testbench(Variant.ENCRYPT, sync_rom=True)
+        bench.load_key(fips_key)
+        result, _ = bench.encrypt(fips_plaintext)
+        assert result == fips_ciphertext
+
+
+class TestTimingContract:
+    def test_latency_is_sixty(self, rng):
+        bench = Testbench(Variant.BOTH, sync_rom=True)
+        bench.load_key(random_key(rng))
+        _, enc = bench.encrypt(bytes(16))
+        _, dec = bench.decrypt(bytes(16))
+        assert enc == dec == block_latency(sync_rom=True) == 60
+
+    def test_setup_pass_is_fifty(self, fips_key):
+        bench = Testbench(Variant.DECRYPT, sync_rom=True)
+        consumed = bench.load_key(fips_key)
+        assert consumed == 1 + key_setup_cycles(sync_rom=True) == 51
+
+    def test_streaming_period_is_sixty(self, rng):
+        key = random_key(rng)
+        bench = Testbench(Variant.ENCRYPT, sync_rom=True)
+        bench.load_key(key)
+        blocks = [random_block(rng) for _ in range(4)]
+        results, stamps = bench.stream_blocks(blocks)
+        assert results == [AES128(key).encrypt_block(b) for b in blocks]
+        assert all(b - a == 60 for a, b in zip(stamps, stamps[1:]))
+
+    def test_sync_units_have_pipeline_registers(self):
+        core = Testbench(Variant.ENCRYPT, sync_rom=True).core
+        assert core.sbox_f is not None
+        assert len(core.sbox_f.registers) == 1
+        assert len(core.keyunit.sbox.registers) == 1
+
+
+class TestCrossBuildEquivalence:
+    def test_async_and_sync_produce_identical_ciphertext(self, rng):
+        key = random_key(rng)
+        fast = Testbench(Variant.ENCRYPT, sync_rom=False)
+        slow = Testbench(Variant.ENCRYPT, sync_rom=True)
+        fast.load_key(key)
+        slow.load_key(key)
+        for _ in range(3):
+            block = random_block(rng)
+            a, la = fast.encrypt(block)
+            b, lb = slow.encrypt(block)
+            assert a == b
+            assert (la, lb) == (50, 60)

@@ -1,0 +1,155 @@
+"""Tests for the radiation-hardened core (TMR + parity)."""
+
+import pytest
+
+from repro.aes.cipher import AES128
+from repro.analysis.seu import inject_once, run_campaign
+from repro.ip.control import Variant
+from repro.ip.hardened import (
+    HardenedRijndaelCore,
+    TmrRegister,
+    hardening_overhead,
+    parity_of,
+)
+from repro.ip.testbench import Testbench
+from repro.rtl.signal import SignalError
+from repro.rtl.simulator import Simulator
+from tests.conftest import random_block, random_key
+
+KEY = bytes(range(16))
+BLOCK = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+class TestTmrRegister:
+    def test_majority_read(self):
+        sim = Simulator()
+        tmr = TmrRegister(sim, "r", 8)
+        tmr.copies[0].deposit(0xFF)
+        assert tmr.value == 0  # one corrupted copy is out-voted
+
+    def test_two_copies_win(self):
+        sim = Simulator()
+        tmr = TmrRegister(sim, "r", 8)
+        tmr.copies[0].deposit(0xF0)
+        tmr.copies[1].deposit(0xF0)
+        assert tmr.value == 0xF0
+
+    def test_bitwise_vote(self):
+        sim = Simulator()
+        tmr = TmrRegister(sim, "r", 4)
+        tmr.copies[0].deposit(0b1100)
+        tmr.copies[1].deposit(0b1010)
+        tmr.copies[2].deposit(0b0110)
+        assert tmr.value == 0b1110
+
+    def test_next_writes_all_copies(self):
+        sim = Simulator()
+        tmr = TmrRegister(sim, "r", 8)
+        tmr.next = 0x5A
+        for copy in tmr.copies:
+            copy.commit()
+        assert all(c.value == 0x5A for c in tmr.copies)
+        assert tmr.value == 0x5A
+
+    def test_value_not_writable(self):
+        tmr = TmrRegister(Simulator(), "r", 8)
+        with pytest.raises(SignalError):
+            tmr.value = 1  # type: ignore[misc]
+
+    def test_copies_registered_with_simulator(self):
+        sim = Simulator()
+        TmrRegister(sim, "r", 8)
+        names = [r.name for r in sim.registers]
+        assert names == ["r_tmr0", "r_tmr1", "r_tmr2"]
+
+    def test_reset(self):
+        sim = Simulator()
+        tmr = TmrRegister(sim, "r", 8, reset=7)
+        tmr.copies[1].deposit(0)
+        tmr.reset()
+        assert tmr.value == 7
+
+
+class TestFunctionalEquivalence:
+    def test_matches_golden_model(self, rng):
+        key = random_key(rng)
+        bench = Testbench(Variant.BOTH, hardened=True)
+        bench.load_key(key)
+        golden = AES128(key)
+        for _ in range(4):
+            block = random_block(rng)
+            ct, latency = bench.encrypt(block)
+            assert ct == golden.encrypt_block(block)
+            assert latency == 50
+            pt, _ = bench.decrypt(ct)
+            assert pt == block
+
+    def test_no_false_alarms_in_clean_runs(self, rng):
+        bench = Testbench(Variant.ENCRYPT, hardened=True)
+        bench.load_key(random_key(rng))
+        bench.core.clear_error()
+        for _ in range(3):
+            bench.encrypt(random_block(rng))
+        assert bench.core.error_detected.value == 0
+        assert bench.core.errors_flagged == 0
+
+    def test_control_registers_are_tmr(self):
+        bench = Testbench(Variant.ENCRYPT, hardened=True)
+        core = bench.core
+        assert isinstance(core, HardenedRijndaelCore)
+        assert isinstance(core.round, TmrRegister)
+        assert isinstance(core.top, TmrRegister)
+        assert "aes_round" in core.tmr_register_names
+
+
+class TestFaultBehaviour:
+    def test_control_flip_is_voted_out(self):
+        # Flipping one TMR copy of the round counter mid-run changes
+        # nothing: the other two copies out-vote it.
+        result = inject_once(KEY, BLOCK, "aes_round_tmr1", bit=2,
+                             cycle_offset=12, hardened=True)
+        assert result.outcome == "masked"
+
+    def test_unhardened_control_flip_corrupts_or_hangs(self):
+        result = inject_once(KEY, BLOCK, "aes_round", bit=2,
+                             cycle_offset=12, hardened=False)
+        assert result.outcome in ("corrupted", "hung")
+
+    def test_state_flip_detected_by_parity(self):
+        result = inject_once(KEY, BLOCK, "aes_state_0", bit=9,
+                             cycle_offset=12, hardened=True)
+        assert result.outcome == "detected"
+
+    def test_parity_of(self):
+        assert parity_of(0) == 0
+        assert parity_of(0b1011) == 1
+        assert parity_of(0xFF) == 0
+
+
+class TestCampaignComparison:
+    def test_hardening_cuts_undetected_corruption(self):
+        plain = run_campaign(40, seed=99, hardened=False)
+        hard = run_campaign(40, seed=99, hardened=True)
+        assert hard.corruption_rate < plain.corruption_rate
+
+    def test_hardened_campaign_reports_detections(self):
+        hard = run_campaign(
+            30, seed=4, hardened=True,
+            targets=[f"aes_state_{i}" for i in range(4)],
+        )
+        # Parity catches essentially every live-state flip.
+        assert hard.count("detected") + hard.count("masked") >= 28
+        assert "detected" in hard.render()
+
+
+class TestOverheadModel:
+    def test_overhead_is_modest(self):
+        cost = hardening_overhead()
+        # The mitigation is supposed to be cheap relative to the
+        # 2114-LE encrypt device: well under 10 %.
+        assert 0 < cost["extra_les"] < 0.10 * 2114
+
+    def test_overhead_fields(self):
+        cost = hardening_overhead()
+        assert cost["control_bits"] == 20
+        assert cost["extra_flipflops"] > 2 * cost["control_bits"] - 1

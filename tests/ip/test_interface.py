@@ -1,0 +1,106 @@
+"""Tests for the Table 1 interface description and bus-width analysis."""
+
+import pytest
+
+from repro.ip.control import Variant
+from repro.ip.interface import (
+    DEVICE_SIGNALS,
+    bus_utilization,
+    interface_inventory,
+    min_bus_width_for_full_rate,
+    pin_count,
+    signal_table,
+)
+
+
+class TestTable1:
+    def test_signal_names_match_paper(self):
+        names = [s.name for s in DEVICE_SIGNALS]
+        assert names == [
+            "clk", "setup", "wr_data", "wr_key", "din", "enc/dec",
+            "data_ok", "dout",
+        ]
+
+    def test_directions(self):
+        by_name = {s.name: s for s in DEVICE_SIGNALS}
+        assert by_name["clk"].direction == "in"
+        assert by_name["data_ok"].direction == "out"
+        assert by_name["dout"].direction == "out"
+
+    def test_bus_widths(self):
+        by_name = {s.name: s for s in DEVICE_SIGNALS}
+        assert by_name["din"].width == 128
+        assert by_name["dout"].width == 128
+        assert by_name["setup"].width == 1
+
+    def test_encdec_only_on_both(self):
+        by_name = {s.name: s for s in DEVICE_SIGNALS}
+        assert by_name["enc/dec"].both_only
+        assert not by_name["din"].both_only
+
+
+class TestPinCounts:
+    """Table 2's Pins rows: 261 / 261 / 262."""
+
+    def test_single_direction_devices(self):
+        assert pin_count(Variant.ENCRYPT) == 261
+        assert pin_count(Variant.DECRYPT) == 261
+
+    def test_both_device(self):
+        assert pin_count(Variant.BOTH) == 262
+
+    def test_matches_core_pins(self):
+        # 4 control + 128 din + 1 data_ok + 128 dout (+ enc/dec).
+        assert pin_count(Variant.ENCRYPT) == 4 + 128 + 1 + 128
+
+    def test_occupancy_percentages(self):
+        # 261/333 = 78% on Acex; 261/301 = 87% on Cyclone (Table 2).
+        assert round(100 * 261 / 333) == 78
+        assert round(100 * 261 / 301) == 87
+
+
+class TestRendering:
+    def test_table_text_contains_all_signals(self):
+        text = signal_table(Variant.BOTH)
+        for spec in DEVICE_SIGNALS:
+            assert spec.name in text
+        assert "262" in text
+
+    def test_encrypt_table_omits_encdec(self):
+        text = signal_table(Variant.ENCRYPT)
+        assert "enc/dec" not in text
+        assert "261" in text
+
+    def test_inventory_mentions_processes(self):
+        lines = "\n".join(interface_inventory(Variant.BOTH))
+        assert "Data_In" in lines
+        assert "Out process" in lines
+        assert "enc/dec" in lines
+
+
+class TestBusWidthClaim:
+    """§4: a 32- or 16-bit wrapper bus sustains full rate; 'lower bus
+    sizes could not be sufficient'."""
+
+    def test_minimum_full_rate_width(self):
+        width = min_bus_width_for_full_rate()
+        assert width == 16
+
+    def test_eight_bit_bus_oversubscribed(self):
+        # 2 cycles/beat x 16 beats x 2 directions = 64 > 50 cycles.
+        assert bus_utilization(8) > 1.0
+
+    def test_sixteen_bit_bus_fits(self):
+        assert bus_utilization(16) <= 0.75
+        assert min_bus_width_for_full_rate() <= 16
+
+    def test_thirtytwo_bit_bus_comfortable(self):
+        assert bus_utilization(32) == pytest.approx(16 / 50)
+
+    def test_sync_rom_build_relaxes_requirement(self):
+        # 60-cycle blocks give the bus more room.
+        assert bus_utilization(16, sync_rom=True) < bus_utilization(16)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bus_utilization(0)

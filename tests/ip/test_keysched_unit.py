@@ -1,0 +1,137 @@
+"""Tests for the on-the-fly key schedule unit against the golden model."""
+
+import pytest
+
+from repro.aes.key_schedule import expand_key, kstran
+from repro.ip.keysched_unit import KeyScheduleUnit, rot_word_hw
+from repro.rtl.simulator import Simulator
+
+
+def make_unit():
+    sim = Simulator()
+    unit = KeyScheduleUnit()
+    sim.adopt(unit.registers)
+    return sim, unit
+
+
+def load_words(sim, unit, words):
+    unit.load_key(words)
+    unit.load_work(words)
+    sim.step()
+
+
+class TestPlumbing:
+    def test_rot_word_hw(self):
+        assert rot_word_hw(0x01020304) == 0x02030401
+
+    def test_rom_bits(self):
+        # KStran owns its own 4 S-boxes (paper §3): 8192 bits.
+        assert KeyScheduleUnit().rom_bits == 8192
+
+    def test_register_inventory(self):
+        unit = KeyScheduleUnit()
+        # key0, key_last, work, build = 4 banks of 4 words.
+        assert len(unit.registers) == 16
+
+    def test_kstran_now_matches_golden(self):
+        unit = KeyScheduleUnit()
+        for word in (0x09CF4F3C, 0x00000000, 0xFFFFFFFF):
+            for rnd in (1, 5, 10):
+                assert unit.kstran_now(word, rnd) == kstran(word, rnd)
+
+    def test_load_key_latches_on_edge(self):
+        sim, unit = make_unit()
+        unit.load_key((1, 2, 3, 4))
+        assert unit.key0_words() == (0, 0, 0, 0)
+        sim.step()
+        assert unit.key0_words() == (1, 2, 3, 4)
+
+
+class TestForwardStepping:
+    def test_full_forward_schedule(self, fips_key):
+        sim, unit = make_unit()
+        words = tuple(
+            int.from_bytes(fips_key[4 * i : 4 * i + 4], "big")
+            for i in range(4)
+        )
+        load_words(sim, unit, words)
+        expanded = expand_key(fips_key, 10)
+        for rnd in range(1, 11):
+            committed = None
+            for index in range(4):
+                value = unit.step_forward(index, rnd)
+                if index == 3:
+                    committed = unit.commit_build(value, 3)
+                sim.step()
+            assert list(committed) == expanded[4 * rnd : 4 * rnd + 4]
+            assert unit.work_words() == committed
+
+    def test_word0_needs_kstran(self, fips_key):
+        sim, unit = make_unit()
+        words = tuple(
+            int.from_bytes(fips_key[4 * i : 4 * i + 4], "big")
+            for i in range(4)
+        )
+        load_words(sim, unit, words)
+        expected = words[0] ^ kstran(words[3], 1)
+        assert unit.forward_word(0, 1) == expected
+
+    def test_explicit_kstran_value_honored(self):
+        sim, unit = make_unit()
+        load_words(sim, unit, (5, 6, 7, 8))
+        assert unit.forward_word(0, 1, kstran_value=0) == 5
+
+
+class TestReverseStepping:
+    def test_full_reverse_schedule(self, fips_key):
+        sim, unit = make_unit()
+        expanded = expand_key(fips_key, 10)
+        last = tuple(expanded[40:44])
+        load_words(sim, unit, last)
+        for rnd in range(10, 0, -1):
+            for slot in range(4):
+                index, value = unit.step_reverse(slot, rnd)
+                if slot == 3:
+                    committed = unit.commit_build(value, index)
+                sim.step()
+            assert list(committed) == expanded[4 * (rnd - 1) : 4 * rnd]
+            assert unit.work_words() == committed
+
+    def test_reverse_word_order_is_3_2_1_0(self, fips_key):
+        sim, unit = make_unit()
+        load_words(sim, unit, (10, 20, 30, 40))
+        assert unit.reverse_word(0, 1)[0] == 3
+        assert unit.reverse_word(1, 1)[0] == 2
+        assert unit.reverse_word(2, 1)[0] == 1
+
+    def test_reverse_slot_range(self):
+        _, unit = make_unit()
+        with pytest.raises(ValueError):
+            unit.reverse_word(4, 1)
+
+    def test_reverse_recovers_key0(self, fips_key):
+        """Running the reverse schedule all the way down must land on
+        the original cipher key — the invariant that makes decryption's
+        final Add Key correct."""
+        sim, unit = make_unit()
+        expanded = expand_key(fips_key, 10)
+        load_words(sim, unit, tuple(expanded[40:44]))
+        for rnd in range(10, 0, -1):
+            for slot in range(4):
+                index, value = unit.step_reverse(slot, rnd)
+                if slot == 3:
+                    unit.commit_build(value, index)
+                sim.step()
+        key_words = tuple(
+            int.from_bytes(fips_key[4 * i : 4 * i + 4], "big")
+            for i in range(4)
+        )
+        assert unit.work_words() == key_words
+
+
+class TestLastKeyLatch:
+    def test_latch_last(self):
+        sim, unit = make_unit()
+        unit.latch_last((9, 8, 7, 6))
+        sim.step()
+        assert unit.key_last_words() == (9, 8, 7, 6)

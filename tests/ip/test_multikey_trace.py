@@ -1,0 +1,94 @@
+"""Microarchitectural trace tests for the multi-key-size and
+precomputed-key cores."""
+
+import pytest
+
+from repro.ip.control import Variant
+from repro.ip.multikey import MultiKeyTestbench
+from repro.ip.precomputed import PrecomputedTestbench
+from repro.rtl.trace import Trace
+
+
+class TestMultiKeySchedule:
+    @pytest.mark.parametrize("bits,rounds", [(128, 10), (192, 12),
+                                             (256, 14)])
+    def test_round_dwell(self, bits, rounds):
+        bench = MultiKeyTestbench(bits)
+        trace = Trace(bench.simulator,
+                      [bench.core.round, bench.core.step])
+        bench.load_key(bytes(bits // 8))
+        start = bench.simulator.cycle
+        bench.encrypt(bytes(16))
+        values = trace.history("mk_round")[start:start + 5 * rounds]
+        # Every round value dwells for exactly its 5 cycles.
+        for rnd in range(1, rounds):
+            window = values[(rnd - 1) * 5:(rnd - 1) * 5 + 4]
+            assert all(v == rnd for v in window), (rnd, window)
+
+    def test_schedule_position_advances_once_per_sub_cycle(self):
+        bench = MultiKeyTestbench(192)
+        trace = Trace(bench.simulator, [bench.core.sched_pos])
+        bench.load_key(bytes(24))
+        start = bench.simulator.cycle
+        bench.encrypt(bytes(16))
+        positions = trace.history("mk_sched_pos")[start:]
+        # Monotone, steps of <= 1, ends exactly at the schedule end.
+        diffs = [b - a for a, b in zip(positions, positions[1:])
+                 if b != a]
+        assert all(d == 1 for d in diffs)
+        assert max(positions) == bench.core.total_words == 52
+
+    def test_window_offset_invariant_holds_to_completion(self):
+        # AES-256: the final rounds read at non-zero window offsets;
+        # an assert inside _round_key guards the invariant — simply
+        # completing proves it held every round.
+        bench = MultiKeyTestbench(256)
+        bench.load_key(bytes(32))
+        _, latency = bench.encrypt(bytes(16))
+        assert latency == 70
+
+
+class TestPrecomputedSchedule:
+    def test_expansion_pointer_walk(self, fips_key):
+        bench = PrecomputedTestbench(128)
+        trace = Trace(bench.simulator, [bench.core.expand_pos,
+                                        bench.core.key_ready])
+        bench.load_key(fips_key)
+        positions = trace.history("pk_expand_pos")
+        # The pointer walks 4..43 once, one step per cycle, then
+        # holds at its final value.
+        walk = [p for p in positions if p >= 4]
+        deduped = [p for i, p in enumerate(walk)
+                   if i == 0 or walk[i - 1] != p]
+        assert deduped == list(range(4, 44))
+        assert max(positions) == 43
+
+    def test_key_ready_exactly_after_expansion(self, fips_key):
+        bench = PrecomputedTestbench(128)
+        trace = Trace(bench.simulator, [bench.core.key_ready])
+        bench.load_key(fips_key)
+        ready = trace.history("pk_key_ready")
+        assert ready[-1] == 1
+        # Ready rises exactly once, at the end.
+        assert sum(
+            1 for a, b in zip(ready, ready[1:]) if b > a
+        ) == 1
+
+    def test_no_data_ok_during_expansion(self, fips_key):
+        bench = PrecomputedTestbench(128)
+        trace = Trace(bench.simulator, [bench.core.data_ok])
+        bench.load_key(fips_key)
+        assert sum(trace.history("pk_data_ok")) == 0
+
+    @pytest.mark.parametrize("variant", [Variant.ENCRYPT,
+                                         Variant.BOTH])
+    def test_five_cycle_staircase(self, variant, fips_key,
+                                  fips_plaintext):
+        bench = PrecomputedTestbench(128, variant)
+        trace = Trace(bench.simulator, [bench.core.step])
+        bench.load_key(fips_key)
+        start = bench.simulator.cycle
+        bench.encrypt(fips_plaintext)
+        steps = trace.history("pk_step")[start:start + 50]
+        for i in range(0, 45, 5):
+            assert steps[i:i + 5] == [0, 1, 2, 3, 4], (i, steps[i:i+5])

@@ -1,0 +1,157 @@
+"""Tests for the precomputed-key-schedule core."""
+
+import pytest
+
+from repro.aes.cipher import AES128, Rijndael
+from repro.aes.key_schedule import expand_key
+from repro.aes.vectors import (
+    FIPS197_APPENDIX_C1,
+    FIPS197_APPENDIX_C2,
+    FIPS197_APPENDIX_C3,
+)
+from repro.ip.control import Variant
+from repro.ip.core import DIR_DECRYPT, DIR_ENCRYPT
+from repro.ip.precomputed import PrecomputedKeyCore, \
+    PrecomputedTestbench
+from repro.ip.testbench import Testbench
+from repro.rtl.simulator import Simulator
+from tests.conftest import random_block, random_key
+
+VECTORS = {128: FIPS197_APPENDIX_C1, 192: FIPS197_APPENDIX_C2,
+           256: FIPS197_APPENDIX_C3}
+
+
+class TestConstruction:
+    def test_key_sizes(self):
+        with pytest.raises(ValueError):
+            PrecomputedKeyCore(Simulator(), key_bits=64)
+
+    @pytest.mark.parametrize("bits,words", [(128, 44), (192, 52),
+                                            (256, 60)])
+    def test_key_store_size(self, bits, words):
+        core = PrecomputedKeyCore(Simulator(), bits)
+        assert core.total_words == words
+        assert core.key_store_bits == words * 32
+
+    @pytest.mark.parametrize("bits,cycles", [(128, 40), (192, 46),
+                                             (256, 52)])
+    def test_expansion_cycles(self, bits, cycles):
+        core = PrecomputedKeyCore(Simulator(), bits)
+        assert core.expansion_cycles == cycles
+
+    def test_expansion_matches_keysize_model(self):
+        from repro.arch.keysize import KeySizeVariant
+
+        for bits in (128, 192, 256):
+            core = PrecomputedKeyCore(Simulator(), bits)
+            assert core.expansion_cycles == \
+                KeySizeVariant(bits).key_setup_cycles
+
+
+class TestExpansion:
+    @pytest.mark.parametrize("bits", [128, 192, 256])
+    def test_ram_holds_fips_expansion(self, bits):
+        vector = VECTORS[bits]
+        bench = PrecomputedTestbench(bits)
+        bench.load_key(vector.key)
+        expected = expand_key(vector.key, bits // 32 + 6)
+        stored = [reg.value for reg in bench.core.keyram]
+        assert stored == expected
+
+    def test_key_ready_timing(self, fips_key):
+        bench = PrecomputedTestbench(128)
+        bench.load_key(fips_key, wait=False)
+        assert bench.core.key_ready.value == 0
+        bench.simulator.step(40)
+        assert bench.core.key_ready.value == 1
+
+
+class TestKnownAnswers:
+    @pytest.mark.parametrize("bits", [128, 192, 256])
+    def test_both_directions(self, bits):
+        vector = VECTORS[bits]
+        bench = PrecomputedTestbench(bits)
+        bench.load_key(vector.key)
+        ct, enc_latency = bench.encrypt(vector.plaintext)
+        pt, dec_latency = bench.decrypt(ct)
+        assert ct == vector.ciphertext
+        assert pt == vector.plaintext
+        assert enc_latency == dec_latency == (bits // 32 + 6) * 5
+
+
+class TestAgainstOtherCores:
+    def test_agrees_with_on_the_fly_core(self, rng):
+        key = random_key(rng)
+        otf = Testbench(Variant.BOTH)
+        pre = PrecomputedTestbench(128)
+        otf.load_key(key)
+        pre.load_key(key)
+        block = random_block(rng)
+        ct_otf, _ = otf.encrypt(block)
+        ct_pre, _ = pre.encrypt(block)
+        assert ct_otf == ct_pre
+        pt_otf, _ = otf.decrypt(ct_pre)
+        pt_pre, _ = pre.decrypt(ct_pre)
+        assert pt_otf == pt_pre == block
+
+    @pytest.mark.parametrize("bits", [192, 256])
+    def test_wide_key_decryption_unlocked(self, bits, rng):
+        """The on-the-fly reverse walk is AES-128-only; this core
+        decrypts every size."""
+        key = bytes(rng.randrange(256) for _ in range(bits // 8))
+        golden = Rijndael(key, 16)
+        bench = PrecomputedTestbench(bits)
+        bench.load_key(key)
+        for _ in range(3):
+            ct = random_block(rng)
+            pt, _ = bench.decrypt(ct)
+            assert pt == golden.decrypt_block(ct)
+
+
+class TestProtocol:
+    def test_block_before_key_waits(self, fips_key, fips_plaintext):
+        bench = PrecomputedTestbench(128)
+        core = bench.core
+        core.wr_data.value = 1
+        core.din.value = int.from_bytes(fips_plaintext, "big")
+        bench.simulator.step()
+        bench.simulator.step(10)
+        assert core.blocks_processed == 0
+        core.wr_data.value = 0
+        bench.load_key(fips_key)
+        bench.simulator.run_until(
+            lambda: core.data_ok.value == 1, max_cycles=120
+        )
+        assert core.out_block() == \
+            AES128(fips_key).encrypt_block(fips_plaintext)
+
+    def test_variant_restriction(self, rng, fips_key):
+        bench = PrecomputedTestbench(128, Variant.ENCRYPT)
+        bench.load_key(fips_key)
+        # The enc/dec pin is ignored on a single-direction device.
+        block = random_block(rng)
+        result, _ = bench.process_block(block, DIR_DECRYPT)
+        assert result == AES128(fips_key).encrypt_block(block)
+
+    def test_overrun_counting(self, fips_key, rng):
+        bench = PrecomputedTestbench(128)
+        bench.load_key(fips_key)
+        core = bench.core
+        for _ in range(3):
+            core.wr_data.value = 1
+            core.din.value = int.from_bytes(random_block(rng), "big")
+            core.encdec.value = DIR_ENCRYPT
+            bench.simulator.step()
+        core.wr_data.value = 0
+        assert core.bus_overruns >= 1
+
+    def test_rekey_mid_traffic(self, rng):
+        bench = PrecomputedTestbench(128)
+        key1, key2 = random_key(rng), random_key(rng)
+        block = random_block(rng)
+        bench.load_key(key1)
+        first, _ = bench.encrypt(block)
+        bench.load_key(key2)
+        second, _ = bench.encrypt(block)
+        assert first == AES128(key1).encrypt_block(block)
+        assert second == AES128(key2).encrypt_block(block)

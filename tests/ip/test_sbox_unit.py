@@ -1,0 +1,106 @@
+"""Tests for the 4-S-box substitution unit."""
+
+import pytest
+
+from repro.aes.constants import INV_SBOX, SBOX
+from repro.ip.sbox_unit import LANES, UNIT_ROM_BITS, SboxRom, SubWordUnit
+from repro.rtl.simulator import Simulator
+
+
+class TestSboxRom:
+    def test_forward_table(self):
+        rom = SboxRom()
+        assert rom.read(0x53) == SBOX[0x53]
+
+    def test_inverse_table(self):
+        rom = SboxRom(inverse=True)
+        assert rom.read(SBOX[0x53]) == 0x53
+        assert rom.read(0x00) == INV_SBOX[0x00]
+
+    def test_capacity(self):
+        # Paper §3: one S-box is 2048 bits.
+        assert SboxRom().bits == 2048
+
+    def test_address_checked(self):
+        with pytest.raises(ValueError):
+            SboxRom().read(256)
+
+
+class TestAsyncUnit:
+    def test_unit_geometry(self):
+        unit = SubWordUnit("u")
+        assert LANES == 4
+        assert unit.rom_bits == UNIT_ROM_BITS == 8192
+
+    def test_lookup_substitutes_each_lane(self):
+        unit = SubWordUnit("u")
+        word = 0x00531FFF
+        expected = (
+            (SBOX[0x00] << 24) | (SBOX[0x53] << 16)
+            | (SBOX[0x1F] << 8) | SBOX[0xFF]
+        )
+        assert unit.lookup(word) == expected
+
+    def test_inverse_unit_round_trip(self):
+        fwd = SubWordUnit("f")
+        inv = SubWordUnit("i", inverse=True)
+        for word in (0x00000000, 0xDEADBEEF, 0xFFFFFFFF, 0x01234567):
+            assert inv.lookup(fwd.lookup(word)) == word
+
+    def test_lookup_range_checked(self):
+        with pytest.raises(ValueError):
+            SubWordUnit("u").lookup(1 << 32)
+
+    def test_async_has_no_registers(self):
+        assert SubWordUnit("u").registers == ()
+
+    def test_async_rejects_clocked_api(self):
+        unit = SubWordUnit("u")
+        with pytest.raises(RuntimeError):
+            unit.clock_read(0)
+        with pytest.raises(RuntimeError):
+            unit.registered_output
+
+
+class TestSyncUnit:
+    def test_sync_rejects_combinational_api(self):
+        unit = SubWordUnit("u", sync_rom=True)
+        with pytest.raises(RuntimeError):
+            unit.lookup(0)
+
+    def test_sync_read_takes_one_cycle(self):
+        sim = Simulator()
+        unit = SubWordUnit("u", sync_rom=True)
+        sim.adopt(unit.registers)
+        sim.add_clocked(lambda: None)
+        unit.clock_read(0x53535353)
+        assert unit.registered_output == 0  # not yet
+        sim.step()
+        expected = int.from_bytes(bytes([SBOX[0x53]] * 4), "big")
+        assert unit.registered_output == expected
+
+    def test_sync_owns_one_register(self):
+        unit = SubWordUnit("u", sync_rom=True)
+        assert len(unit.registers) == 1
+        assert unit.registers[0].width == 32
+
+    def test_sync_pipeline_behaviour(self):
+        # Back-to-back reads: output always lags address by one edge.
+        sim = Simulator()
+        unit = SubWordUnit("u", sync_rom=True)
+        sim.adopt(unit.registers)
+        addresses = [0x00000000, 0x11111111, 0xFFFFFFFF]
+        outputs = []
+
+        def drive():
+            if sim.cycle < len(addresses):
+                unit.clock_read(addresses[sim.cycle])
+
+        sim.add_clocked(drive)
+        for _ in range(4):
+            sim.step()
+            outputs.append(unit.registered_output)
+        fwd = SubWordUnit("ref")
+        assert outputs[0] == fwd.lookup(addresses[0])
+        assert outputs[1] == fwd.lookup(addresses[1])
+        assert outputs[2] == fwd.lookup(addresses[2])

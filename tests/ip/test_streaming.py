@@ -1,0 +1,141 @@
+"""I/O overlap and streaming (the Data_In / Out processes, paper §4).
+
+The paper's reason for registering the bus: "The independence of
+process execution allows the execution of a read of new data at same
+time an encryption/decryption process is being performed", and the Out
+register lets the core "start another operation while the data out is
+being transferred".  Consequence (asserted here): steady-state result
+spacing equals the block latency exactly — throughput really is
+128 bits / latency as Table 2 computes it.
+"""
+
+import pytest
+
+from repro.aes.cipher import AES128
+from repro.ip.control import Variant
+from repro.ip.core import DIR_ENCRYPT
+from repro.ip.testbench import Testbench
+from tests.conftest import random_block, random_key
+
+
+class TestZeroGapStreaming:
+    def test_result_spacing_equals_latency(self, rng):
+        key = random_key(rng)
+        bench = Testbench(Variant.ENCRYPT)
+        bench.load_key(key)
+        blocks = [random_block(rng) for _ in range(6)]
+        results, stamps = bench.stream_blocks(blocks)
+        gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+        assert gaps == [50] * 5
+
+    def test_streamed_results_correct_and_ordered(self, rng):
+        key = random_key(rng)
+        bench = Testbench(Variant.ENCRYPT)
+        bench.load_key(key)
+        golden = AES128(key)
+        blocks = [random_block(rng) for _ in range(6)]
+        results, _ = bench.stream_blocks(blocks)
+        assert results == [golden.encrypt_block(b) for b in blocks]
+
+    def test_decrypt_streaming(self, rng):
+        key = random_key(rng)
+        bench = Testbench(Variant.DECRYPT)
+        bench.load_key(key)
+        golden = AES128(key)
+        blocks = [random_block(rng) for _ in range(4)]
+        results, stamps = bench.stream_blocks(blocks)
+        assert results == [golden.decrypt_block(b) for b in blocks]
+        assert all(b - a == 50 for a, b in zip(stamps, stamps[1:]))
+
+    def test_empty_stream(self):
+        bench = Testbench(Variant.ENCRYPT)
+        assert bench.stream_blocks([]) == ([], [])
+
+
+class TestInputBuffer:
+    def test_write_while_busy_is_buffered(self, encrypt_bench):
+        encrypt_bench.write_block(bytes(16))
+        assert encrypt_bench.core.can_accept
+        encrypt_bench.write_block(bytes([1] * 16))
+        assert not encrypt_bench.core.can_accept
+        assert encrypt_bench.core.buf_valid.value == 1
+
+    def test_buffered_block_starts_at_finish_edge(self, encrypt_bench,
+                                                  rng, fips_key):
+        golden = AES128(fips_key)
+        first, second = random_block(rng), random_block(rng)
+        encrypt_bench.write_block(first)
+        encrypt_bench.write_block(second)
+        r1 = encrypt_bench.wait_result()
+        stamp1 = encrypt_bench.simulator.cycle
+        encrypt_bench.simulator.step()  # leave the pulse
+        r2 = encrypt_bench.wait_result()
+        stamp2 = encrypt_bench.simulator.cycle
+        assert r1 == golden.encrypt_block(first)
+        assert r2 == golden.encrypt_block(second)
+        assert stamp2 - stamp1 == 50  # popped with zero gap
+
+    def test_overrun_is_counted_and_dropped(self, encrypt_bench, rng,
+                                            fips_key):
+        golden = AES128(fips_key)
+        blocks = [random_block(rng) for _ in range(3)]
+        encrypt_bench.write_block(blocks[0])  # running
+        encrypt_bench.write_block(blocks[1])  # buffered
+        encrypt_bench.write_block(blocks[2])  # dropped
+        assert encrypt_bench.core.bus_overruns == 1
+        r1 = encrypt_bench.wait_result()
+        encrypt_bench.simulator.step()
+        r2 = encrypt_bench.wait_result()
+        assert r1 == golden.encrypt_block(blocks[0])
+        assert r2 == golden.encrypt_block(blocks[1])
+        # The third block never ran.
+        assert encrypt_bench.core.blocks_processed == 2
+
+    def test_buffer_capture_during_key_setup(self, fips_key, rng):
+        bench = Testbench(Variant.DECRYPT)
+        golden = AES128(fips_key)
+        ct = golden.encrypt_block(random_block(rng))
+        bench.load_key(fips_key, wait=False)
+        bench.write_block(ct)  # arrives mid setup pass
+        result = bench.wait_result(max_cycles=120)
+        assert result == golden.decrypt_block(ct)
+
+
+class TestProtocolEdges:
+    def test_wr_data_during_setup_period_is_ignored(self, encrypt_bench):
+        core = encrypt_bench.core
+        core.setup.value = 1
+        core.wr_data.value = 1
+        core.din.value = 123
+        encrypt_bench.simulator.step()
+        core.setup.value = 0
+        core.wr_data.value = 0
+        assert core.protocol_errors == 1
+        assert core.blocks_processed == 0
+        assert not core.busy
+
+    def test_wr_key_during_operation_period_is_ignored(self,
+                                                       encrypt_bench,
+                                                       fips_key):
+        core = encrypt_bench.core
+        before = core.keyunit.key0_words()
+        core.setup.value = 0
+        core.wr_key.value = 1
+        core.din.value = (1 << 128) - 1
+        encrypt_bench.simulator.step()
+        core.wr_key.value = 0
+        assert core.protocol_errors == 1
+        assert core.keyunit.key0_words() == before
+
+    def test_key_reload_preempts_running_block(self, fips_key, rng):
+        # Loading a new key mid-block abandons the block (documented
+        # behaviour); the device must come back clean.
+        bench = Testbench(Variant.BOTH)
+        bench.load_key(fips_key)
+        bench.write_block(random_block(rng), direction=DIR_ENCRYPT)
+        bench.simulator.step(10)  # mid-flight
+        key2 = random_key(rng)
+        bench.load_key(key2)
+        block = random_block(rng)
+        result, _ = bench.encrypt(block)
+        assert result == AES128(key2).encrypt_block(block)

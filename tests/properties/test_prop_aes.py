@@ -1,0 +1,125 @@
+"""Property-based tests on the behavioral cipher and key schedule."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aes.cipher import AES128, Rijndael
+from repro.aes.key_schedule import (
+    expand_key,
+    next_round_key,
+    previous_round_key,
+)
+from repro.aes.state import State
+from repro.aes.transforms import (
+    add_round_key,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    mix_columns,
+    shift_rows,
+    sub_bytes,
+)
+
+block16 = st.binary(min_size=16, max_size=16)
+key16 = st.binary(min_size=16, max_size=16)
+key_any = st.sampled_from([16, 24, 32]).flatmap(
+    lambda n: st.binary(min_size=n, max_size=n)
+)
+word = st.integers(min_value=0, max_value=0xFFFFFFFF)
+round_key = st.tuples(word, word, word, word)
+
+
+class TestTransformInvariants:
+    @given(block16)
+    def test_sub_bytes_bijective(self, data):
+        state = State(data)
+        assert inv_sub_bytes(sub_bytes(state)) == state
+        assert sub_bytes(inv_sub_bytes(state)) == state
+
+    @given(block16)
+    def test_shift_rows_bijective(self, data):
+        state = State(data)
+        assert inv_shift_rows(shift_rows(state)) == state
+
+    @given(block16)
+    def test_mix_columns_bijective(self, data):
+        state = State(data)
+        assert inv_mix_columns(mix_columns(state)) == state
+
+    @given(block16, key16)
+    def test_add_key_involution(self, data, key):
+        state = State(data)
+        assert add_round_key(add_round_key(state, key), key) == state
+
+    @given(block16)
+    def test_sub_bytes_commutes_with_shift_rows(self, data):
+        """Both are byte-local/byte-permuting, so they commute — the
+        algebraic fact behind the hardware's freedom to order the
+        32-bit ByteSub passes before the 128-bit ShiftRow."""
+        state = State(data)
+        assert sub_bytes(shift_rows(state)) == \
+            shift_rows(sub_bytes(state))
+
+    @given(block16)
+    def test_transforms_preserve_length(self, data):
+        for fn in (sub_bytes, shift_rows, mix_columns):
+            assert len(fn(State(data)).to_bytes()) == 16
+
+
+class TestCipherProperties:
+    @settings(max_examples=30)
+    @given(key16, block16)
+    def test_encrypt_decrypt_round_trip(self, key, block):
+        aes = AES128(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    @settings(max_examples=30)
+    @given(key16, block16)
+    def test_encryption_is_permutation_sample(self, key, block):
+        # Injectivity spot-check: flipping the input flips the output.
+        aes = AES128(key)
+        other = bytes([block[0] ^ 1]) + block[1:]
+        assert aes.encrypt_block(block) != aes.encrypt_block(other)
+
+    @settings(max_examples=15)
+    @given(key_any, block16)
+    def test_all_key_sizes_round_trip(self, key, block):
+        cipher = Rijndael(key, block_bytes=16)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @settings(max_examples=20)
+    @given(key16, block16)
+    def test_ciphertext_never_equals_plaintext_trivially(self, key,
+                                                         block):
+        # Not a theorem for every input, but with random inputs a
+        # collision would indicate the identity sneaking in.
+        assert AES128(key).encrypt_block(block) != block
+
+
+class TestKeyScheduleProperties:
+    @settings(max_examples=30)
+    @given(key16)
+    def test_on_the_fly_equals_expansion(self, key):
+        words = expand_key(key, 10)
+        current = tuple(words[0:4])
+        for rnd in range(1, 11):
+            current = next_round_key(current, rnd)
+        assert list(current) == words[40:44]
+
+    @given(round_key, st.integers(min_value=1, max_value=10))
+    def test_forward_reverse_are_inverse(self, key_words, rnd):
+        assert previous_round_key(
+            next_round_key(key_words, rnd), rnd
+        ) == key_words
+
+    @given(round_key, st.integers(min_value=1, max_value=10))
+    def test_reverse_forward_are_inverse(self, key_words, rnd):
+        assert next_round_key(
+            previous_round_key(key_words, rnd), rnd
+        ) == key_words
+
+    @settings(max_examples=20)
+    @given(key16)
+    def test_round_keys_all_distinct(self, key):
+        words = expand_key(key, 10)
+        keys = {tuple(words[4 * r : 4 * r + 4]) for r in range(11)}
+        assert len(keys) == 11

@@ -1,0 +1,67 @@
+"""Property tests for CMAC and Key Wrap."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aes.auth import cmac, cmac_verify, key_unwrap, key_wrap
+
+key16 = st.binary(min_size=16, max_size=16)
+message = st.binary(min_size=0, max_size=70)
+key_material = st.integers(min_value=2, max_value=5).flatmap(
+    lambda n: st.binary(min_size=8 * n, max_size=8 * n)
+)
+
+FAST = settings(max_examples=15, deadline=None)
+
+
+class TestCmacProperties:
+    @FAST
+    @given(key16, message)
+    def test_deterministic(self, key, msg):
+        assert cmac(key, msg) == cmac(key, msg)
+
+    @FAST
+    @given(key16, message)
+    def test_verify_round_trip(self, key, msg):
+        assert cmac_verify(key, msg, cmac(key, msg))
+
+    @FAST
+    @given(key16, message, st.integers(0, 127))
+    def test_single_bit_tamper_detected(self, key, msg, bit):
+        tag = bytearray(cmac(key, msg))
+        tag[bit // 8] ^= 1 << (bit % 8)
+        assert not cmac_verify(key, msg, bytes(tag))
+
+    @FAST
+    @given(key16, message)
+    def test_appending_byte_changes_tag(self, key, msg):
+        assert cmac(key, msg) != cmac(key, msg + b"\x00")
+
+    @FAST
+    @given(key16, message)
+    def test_tag_is_block_sized(self, key, msg):
+        assert len(cmac(key, msg)) == 16
+
+
+class TestKeyWrapProperties:
+    @FAST
+    @given(key16, key_material)
+    def test_round_trip(self, kek, material):
+        assert key_unwrap(kek, key_wrap(kek, material)) == material
+
+    @FAST
+    @given(key16, key_material)
+    def test_wrapped_longer_by_eight(self, kek, material):
+        assert len(key_wrap(kek, material)) == len(material) + 8
+
+    @FAST
+    @given(key16, key16, key_material)
+    def test_wrong_kek_rejected(self, kek, other, material):
+        if kek == other:
+            return
+        import pytest
+
+        from repro.aes.auth import IntegrityError
+
+        wrapped = key_wrap(kek, material)
+        with pytest.raises(IntegrityError):
+            key_unwrap(other, wrapped)

@@ -1,0 +1,104 @@
+"""Property-based tests on the synthesis-estimation flow."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.spec import ArchitectureSpec
+from repro.fpga.aes_netlists import build_netlist
+from repro.fpga.primitives import (
+    mux_luts,
+    rom_as_luts,
+    xor_network_depth,
+    xor_tree_luts,
+)
+from repro.fpga.synthesis import compile_spec
+from repro.ip.control import Variant
+
+variants = st.sampled_from(list(Variant))
+sub_widths = st.sampled_from([8, 16, 32])
+schedules = st.sampled_from(["on_the_fly", "precomputed"])
+
+
+def spec_strategy():
+    return st.builds(
+        lambda v, s, k, sync: ArchitectureSpec(
+            name=f"prop-{v.value}-{s}-{k}-{sync}",
+            variant=v,
+            sub_width=s,
+            wide_width=128,
+            key_schedule=k,
+            sync_rom=sync,
+        ),
+        variants, sub_widths, schedules, st.booleans(),
+    )
+
+
+class TestPrimitiveMonotonicity:
+    @given(st.integers(min_value=0, max_value=200))
+    def test_xor_tree_monotone(self, n):
+        assert xor_tree_luts(n) <= xor_tree_luts(n + 1)
+
+    @given(st.integers(min_value=2, max_value=200))
+    def test_xor_tree_at_most_linear(self, n):
+        assert xor_tree_luts(n) <= n - 1  # never worse than a chain
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_depth_log_bounded(self, n):
+        depth = xor_network_depth(n)
+        assert 4 ** depth >= n
+        assert depth == 0 or 4 ** (depth - 1) < n
+
+    @given(st.integers(min_value=0, max_value=256),
+           st.integers(min_value=1, max_value=8))
+    def test_mux_monotone_in_ways(self, bits, ways):
+        assert mux_luts(bits, ways) <= mux_luts(bits, ways + 1)
+
+    @given(st.sampled_from([16, 32, 64, 128, 256, 512]),
+           st.integers(min_value=1, max_value=16))
+    def test_rom_as_luts_scales_with_width(self, words, width):
+        assert rom_as_luts(words, width) == width * rom_as_luts(words, 1)
+
+
+class TestFlowInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(spec_strategy())
+    def test_netlist_nonnegative_and_pinned(self, spec):
+        nl = build_netlist(spec)
+        assert nl.total_luts > 0
+        assert nl.total_ff > 0
+        assert nl.total_pins in (261, 262)
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec_strategy())
+    def test_fit_report_consistent(self, spec):
+        report = compile_spec(spec, "Acex1K", strict=False)
+        assert report.logic_elements > 0
+        assert report.clock_ns >= 1
+        assert report.latency_ns == \
+            report.latency_cycles * report.clock_ns
+        assert report.throughput_mbps > 0
+        # Throughput never exceeds 128 bits per clock.
+        assert report.throughput_mbps <= 128 * 1000 / report.clock_ns
+
+    @settings(max_examples=15, deadline=None)
+    @given(sub_widths)
+    def test_wider_sub_means_fewer_cycles_more_rom(self, width):
+        narrow = ArchitectureSpec("n", Variant.ENCRYPT, sub_width=8,
+                                  wide_width=128)
+        wide = ArchitectureSpec("w", Variant.ENCRYPT, sub_width=width,
+                                wide_width=128)
+        assert wide.block_latency_cycles <= narrow.block_latency_cycles
+        assert wide.rom_bits >= narrow.rom_bits
+
+    @settings(max_examples=10, deadline=None)
+    @given(spec_strategy())
+    def test_both_variant_never_smaller(self, spec):
+        if spec.variant is not Variant.BOTH:
+            both = ArchitectureSpec(
+                spec.name + "-both", Variant.BOTH,
+                sub_width=spec.sub_width, wide_width=spec.wide_width,
+                key_schedule=spec.key_schedule, sync_rom=spec.sync_rom,
+            )
+            single = compile_spec(spec, "Acex1K", strict=False)
+            combined = compile_spec(both, "Acex1K", strict=False)
+            assert combined.logic_elements > single.logic_elements
+            assert combined.clock_ns >= single.clock_ns

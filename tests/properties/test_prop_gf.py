@@ -1,0 +1,101 @@
+"""Property-based tests: GF(2^8) is a field; the column ring behaves."""
+
+from hypothesis import given, strategies as st
+
+from repro.gf.galois import (
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_mul_slow,
+    gf_pow,
+    xtime,
+)
+from repro.gf.polyring import MIX_POLY, ColumnPolynomial, ring_mul
+
+byte = st.integers(min_value=0, max_value=255)
+nonzero_byte = st.integers(min_value=1, max_value=255)
+column = st.tuples(byte, byte, byte, byte)
+
+
+class TestFieldAxioms:
+    @given(byte, byte)
+    def test_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(byte, byte, byte)
+    def test_mul_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(byte, byte, byte)
+    def test_distributive(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == \
+            gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(byte)
+    def test_mul_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(nonzero_byte)
+    def test_inverse_law(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(byte, byte)
+    def test_table_mul_matches_slow_mul(self, a, b):
+        assert gf_mul(a, b) == gf_mul_slow(a, b)
+
+    @given(byte)
+    def test_xtime_is_mul_two(self, a):
+        assert xtime(a) == gf_mul(a, 2)
+
+    @given(nonzero_byte, nonzero_byte)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf_div(gf_mul(a, b), b) == a
+
+    @given(byte, st.integers(min_value=0, max_value=20),
+           st.integers(min_value=0, max_value=20))
+    def test_pow_adds_exponents(self, a, m, n):
+        assert gf_mul(gf_pow(a, m), gf_pow(a, n)) == gf_pow(a, m + n) \
+            or a == 0  # 0^0 convention makes the 0 case special
+        if a != 0:
+            assert gf_mul(gf_pow(a, m), gf_pow(a, n)) == gf_pow(a, m + n)
+
+
+class TestColumnRing:
+    @given(column, column)
+    def test_ring_mul_commutative(self, a, b):
+        assert ring_mul(a, b) == ring_mul(b, a)
+
+    @given(column, column, column)
+    def test_ring_mul_distributes_over_xor(self, a, b, c):
+        bc = tuple(x ^ y for x, y in zip(b, c))
+        lhs = ring_mul(a, bc)
+        rhs = tuple(
+            x ^ y for x, y in zip(ring_mul(a, b), ring_mul(a, c))
+        )
+        assert lhs == rhs
+
+    @given(column)
+    def test_mix_poly_round_trip(self, a):
+        """c(x) then d(x) restores every column — MixColumn is a
+        bijection (the decrypt datapath depends on this)."""
+        mixed = ring_mul(a, MIX_POLY.coeffs)
+        restored = ring_mul(mixed, MIX_POLY.inverse().coeffs)
+        assert restored == a
+
+    @given(column)
+    def test_identity_element(self, a):
+        assert ring_mul(a, (1, 0, 0, 0)) == a
+
+    @given(column)
+    def test_x4_wraps_to_identity(self, a):
+        # Multiplying by x four times returns the column (x^4 = 1).
+        out = a
+        for _ in range(4):
+            out = ring_mul(out, (0, 1, 0, 0))
+        assert out == a
+
+    @given(column)
+    def test_polynomial_object_consistent_with_ring_mul(self, a):
+        poly = ColumnPolynomial(a)
+        assert (poly * MIX_POLY).coeffs == ring_mul(a, MIX_POLY.coeffs)

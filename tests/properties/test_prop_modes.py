@@ -1,0 +1,99 @@
+"""Property-based tests on the block modes and padding."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aes.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    cfb_decrypt,
+    cfb_encrypt,
+    ctr_xcrypt,
+    ecb_decrypt,
+    ecb_encrypt,
+    ofb_xcrypt,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+
+key16 = st.binary(min_size=16, max_size=16)
+iv16 = st.binary(min_size=16, max_size=16)
+nonce8 = st.binary(min_size=8, max_size=8)
+aligned = st.integers(min_value=0, max_value=4).flatmap(
+    lambda n: st.binary(min_size=16 * n, max_size=16 * n)
+)
+anything = st.binary(min_size=0, max_size=80)
+
+FAST = settings(max_examples=15, deadline=None)
+
+
+class TestPadding:
+    @given(anything, st.integers(min_value=1, max_value=64))
+    def test_pad_round_trip(self, data, block):
+        assert pkcs7_unpad(pkcs7_pad(data, block), block) == data
+
+    @given(anything)
+    def test_pad_alignment(self, data):
+        assert len(pkcs7_pad(data)) % 16 == 0
+
+    @given(anything)
+    def test_pad_grows(self, data):
+        padded = pkcs7_pad(data)
+        assert len(padded) > len(data)
+        assert 1 <= len(padded) - len(data) <= 16
+
+
+class TestModeRoundTrips:
+    @FAST
+    @given(key16, aligned)
+    def test_ecb(self, key, data):
+        assert ecb_decrypt(key, ecb_encrypt(key, data)) == data
+
+    @FAST
+    @given(key16, iv16, aligned)
+    def test_cbc(self, key, iv, data):
+        assert cbc_decrypt(key, iv, cbc_encrypt(key, iv, data)) == data
+
+    @FAST
+    @given(key16, iv16, aligned)
+    def test_cfb(self, key, iv, data):
+        assert cfb_decrypt(key, iv, cfb_encrypt(key, iv, data)) == data
+
+    @FAST
+    @given(key16, nonce8, anything)
+    def test_ctr(self, key, nonce, data):
+        assert ctr_xcrypt(key, nonce, ctr_xcrypt(key, nonce, data)) == \
+            data
+
+    @FAST
+    @given(key16, iv16, anything)
+    def test_ofb(self, key, iv, data):
+        assert ofb_xcrypt(key, iv, ofb_xcrypt(key, iv, data)) == data
+
+
+class TestModeStructure:
+    @FAST
+    @given(key16, iv16, aligned)
+    def test_cbc_length_preserved(self, key, iv, data):
+        assert len(cbc_encrypt(key, iv, data)) == len(data)
+
+    @FAST
+    @given(key16, nonce8, anything)
+    def test_ctr_length_preserved(self, key, nonce, data):
+        assert len(ctr_xcrypt(key, nonce, data)) == len(data)
+
+    @FAST
+    @given(key16, st.binary(min_size=32, max_size=32))
+    def test_ecb_blockwise_independent(self, key, data):
+        whole = ecb_encrypt(key, data)
+        assert whole[:16] == ecb_encrypt(key, data[:16])
+        assert whole[16:] == ecb_encrypt(key, data[16:])
+
+    @FAST
+    @given(key16, iv16, st.binary(min_size=32, max_size=32))
+    def test_cbc_blocks_chained(self, key, iv, data):
+        # Changing block 0 of the plaintext changes block 1 of the
+        # ciphertext (unlike ECB).
+        base = cbc_encrypt(key, iv, data)
+        tweaked = bytes([data[0] ^ 1]) + data[1:]
+        other = cbc_encrypt(key, iv, tweaked)
+        assert base[16:] != other[16:]

@@ -1,0 +1,147 @@
+"""Tests for the repro-aes command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestTables:
+    def test_table2(self, capsys):
+        code, out = run_cli(capsys, "tables", "2")
+        assert code == 0
+        assert "2114" in out and "Cyclone" in out
+
+    def test_all_tables(self, capsys):
+        code, out = run_cli(capsys, "tables")
+        assert code == 0
+        assert "wr_data" in out          # table 1
+        assert "Throughput" in out       # table 2
+        assert "Hammercores" in out      # table 3
+
+
+class TestFigures:
+    @pytest.mark.parametrize("number", range(1, 10))
+    def test_each_figure(self, capsys, number):
+        code, out = run_cli(capsys, "figure", str(number))
+        assert code == 0
+        assert len(out) > 40
+
+    def test_bad_figure(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "12"])
+
+
+class TestEncrypt:
+    KEY = "000102030405060708090a0b0c0d0e0f"
+    PT = "00112233445566778899aabbccddeeff"
+    CT = "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_encrypt(self, capsys):
+        code, out = run_cli(capsys, "encrypt", "--key", self.KEY,
+                            "--data", self.PT)
+        assert code == 0
+        assert self.CT in out
+        assert "50 cycles" in out
+
+    def test_decrypt(self, capsys):
+        code, out = run_cli(capsys, "encrypt", "--key", self.KEY,
+                            "--data", self.CT, "--decrypt")
+        assert code == 0
+        assert self.PT in out
+
+    def test_bad_hex(self):
+        with pytest.raises(SystemExit):
+            main(["encrypt", "--key", "zz", "--data", self.PT])
+
+    def test_wrong_length(self):
+        with pytest.raises(SystemExit):
+            main(["encrypt", "--key", "aabb", "--data", self.PT])
+
+    def test_aes256_routes_to_precomputed_core(self, capsys):
+        key256 = ("000102030405060708090a0b0c0d0e0f"
+                  "101112131415161718191a1b1c1d1e1f")
+        code, out = run_cli(capsys, "encrypt", "--key", key256,
+                            "--data", self.PT)
+        assert code == 0
+        # FIPS-197 Appendix C.3 ciphertext at the 70-cycle latency.
+        assert "8ea2b7ca516745bfeafc49904b496089" in out
+        assert "70 cycles" in out
+        assert "AES-256" in out
+
+    def test_aes192_decrypt(self, capsys):
+        key192 = ("000102030405060708090a0b0c0d0e0f"
+                  "1011121314151617")
+        code, out = run_cli(capsys, "encrypt", "--key", key192,
+                            "--data",
+                            "dda97ca4864cdfe06eaf70a0ec0d7191",
+                            "--decrypt")
+        assert code == 0
+        assert self.PT in out
+        assert "60 cycles" in out
+
+
+class TestFitAndSweep:
+    def test_fit(self, capsys):
+        code, out = run_cli(capsys, "fit", "--variant", "encrypt",
+                            "--device", "Acex1K")
+        assert code == 0
+        assert "2114" in out
+
+    def test_fit_sync_rom(self, capsys):
+        code, out = run_cli(capsys, "fit", "--variant", "encrypt",
+                            "--device", "Cyclone", "--sync-rom")
+        assert code == 0
+        assert "16384" in out
+
+    def test_bad_variant(self):
+        with pytest.raises(SystemExit):
+            main(["fit", "--variant", "sideways"])
+
+    def test_sweep(self, capsys):
+        code, out = run_cli(capsys, "sweep")
+        assert code == 0
+        assert "mixed-32-128" in out
+        assert "knee" in out
+
+
+class TestCampaigns:
+    def test_seu(self, capsys):
+        code, out = run_cli(capsys, "seu", "--injections", "6",
+                            "--seed", "1")
+        assert code == 0
+        assert "6 injections" in out
+
+    def test_seu_hardened(self, capsys):
+        code, out = run_cli(capsys, "seu", "--injections", "6",
+                            "--seed", "1", "--hardened")
+        assert code == 0
+        assert "injections" in out
+
+    def test_power(self, capsys):
+        code, out = run_cli(capsys, "power", "--blocks", "2")
+        assert code == 0
+        assert "mW" in out
+
+
+class TestArtifacts:
+    def test_hdl_emission(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "hdl", "--variant", "encrypt",
+                            "--outdir", str(tmp_path))
+        assert code == 0
+        assert (tmp_path / "rijndael_pkg.vhd").exists()
+        assert (tmp_path / "sbox_forward.mif").exists()
+        assert "wrote" in out
+
+    def test_vcd_dump(self, capsys, tmp_path):
+        out_file = tmp_path / "wave.vcd"
+        code, out = run_cli(capsys, "vcd", "--out", str(out_file))
+        assert code == 0
+        text = out_file.read_text()
+        assert "$enddefinitions" in text
+        assert "aes_data_ok" in text

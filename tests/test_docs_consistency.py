@@ -1,0 +1,107 @@
+"""Docs <-> code consistency: DESIGN.md's experiment index and
+EXPERIMENTS.md's bench references must point at files that exist, and
+the numbers the README prints must match the model."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def referenced_bench_files(text: str):
+    return set(re.findall(r"`(?:benchmarks/)?(test_\w+\.py)`", text))
+
+
+class TestDesignIndex:
+    DESIGN = (REPO / "DESIGN.md").read_text()
+
+    def test_identity_check_present(self):
+        assert "Paper identity check" in self.DESIGN
+
+    def test_every_indexed_bench_exists(self):
+        benches = referenced_bench_files(self.DESIGN)
+        assert benches, "DESIGN.md index references no benches?"
+        missing = [
+            b for b in benches
+            if not (REPO / "benchmarks" / b).exists()
+        ]
+        assert not missing, missing
+
+    def test_every_module_in_inventory_exists(self):
+        # Paths like `fpga/timing.py` or ip/buswrap.py in the map.
+        modules = set(re.findall(r"(\w+(?:/\w+)+\.py)", self.DESIGN))
+        missing = [
+            m for m in modules
+            if not (REPO / "src" / "repro" / m).exists()
+            and not (REPO / m).exists()
+        ]
+        assert not missing, missing
+
+    def test_substitution_table_present(self):
+        assert "Paper used" in self.DESIGN
+        assert "ModelSim" in self.DESIGN
+
+
+class TestExperimentsRecord:
+    EXPERIMENTS = (REPO / "EXPERIMENTS.md").read_text()
+
+    def test_every_referenced_bench_exists(self):
+        benches = referenced_bench_files(self.EXPERIMENTS)
+        missing = [
+            b for b in benches
+            if not (REPO / "benchmarks" / b).exists()
+            and not list(REPO.glob(f"tests/**/{b}"))
+        ]
+        assert not missing, missing
+
+    def test_table2_cells_match_model(self):
+        """The measured numbers written in EXPERIMENTS.md must match
+        what the model produces today."""
+        from repro.analysis.tables import table2_comparison
+
+        for row in table2_comparison():
+            token = f"{row['model_lcs']}"
+            assert token in self.EXPERIMENTS, (
+                f"EXPERIMENTS.md is stale: {row['design']}/"
+                f"{row['family']} now models {row['model_lcs']} LCs"
+            )
+
+    def test_lost_cells_documented(self):
+        assert "corrupted" in self.EXPERIMENTS
+        assert "[14]" in self.EXPERIMENTS
+
+
+class TestReadme:
+    README = (REPO / "README.md").read_text()
+
+    def test_headline_table_matches_model(self):
+        from repro.analysis.tables import table2_comparison
+
+        for row in table2_comparison():
+            assert str(row["model_lcs"]) in self.README, (
+                f"README table stale for {row['design']}/"
+                f"{row['family']}"
+            )
+
+    def test_mentions_all_deliverable_dirs(self):
+        for path in ("src/repro", "tests/", "benchmarks/", "examples/",
+                     "DESIGN.md", "EXPERIMENTS.md"):
+            assert path in self.README
+
+    def test_quickstart_snippet_is_valid(self):
+        # Execute the README's quickstart code block.
+        match = re.search(r"```python\n(.*?)```", self.README,
+                          re.DOTALL)
+        assert match
+        exec(compile(match.group(1), "README-quickstart", "exec"), {})
+
+
+class TestBenchCoverage:
+    def test_every_paper_table_and_figure_has_a_bench(self):
+        benches = {p.name for p in (REPO / "benchmarks").glob("*.py")}
+        for table in (1, 2, 3):
+            assert any(f"table{table}" in b for b in benches), table
+        for figure in range(1, 10):
+            assert any(f"fig{figure}" in b for b in benches), figure
