@@ -23,7 +23,11 @@ from repro.ip.testbench import Testbench
 
 # A small published safe prime (RFC 5114-style toy size — real
 # deployments use 2048+ bits; the exchange structure is identical).
-DH_PRIME = 0xFFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B
+DH_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E08"
+    "8A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B",
+    16,
+)
 DH_GENERATOR = 2
 
 

@@ -35,11 +35,15 @@ class IntegrityError(ValueError):
 
 
 def _double(block: bytes) -> bytes:
-    """Multiply by x in GF(2^128) (the CMAC subkey step)."""
-    value = int.from_bytes(block, "big")
-    value <<= 1
-    if value >> 128:
-        value = (value ^ _RB) & ((1 << 128) - 1)
+    """Multiply by x in GF(2^128) (the CMAC subkey step).
+
+    Branch-free: the input is E_K(0) or K1 — secret either way — so
+    the reduction is applied via a mask derived from the carry bit
+    rather than a data-dependent branch.
+    """
+    value = int.from_bytes(block, "big") << 1
+    carry = value >> 128
+    value = (value ^ (_RB * carry)) & ((1 << 128) - 1)
     return value.to_bytes(16, "big")
 
 

@@ -1,0 +1,49 @@
+"""Static-analysis subsystem: design rules, FSM analysis, crypto lint.
+
+The paper's contribution is a carefully constrained structure — four
+shared S-box ROMs per substitution bank, a 5-cycle round, an
+on-the-fly key schedule behind a registered bus interface.  This
+package verifies, without running a single simulation cycle, that the
+codebase still honors those constraints and avoids the classic AES
+integration mistakes:
+
+- :mod:`repro.checks.engine` — rule registry, severities, findings,
+  config;
+- :mod:`repro.checks.netlist_drc` — connectivity DRC + structural
+  inventories over :mod:`repro.fpga.connectivity` /
+  :mod:`repro.fpga.aes_netlists`;
+- :mod:`repro.checks.fsm` — reachability, dead transitions and the
+  5-cycles-per-round accounting over the control FSM;
+- :mod:`repro.checks.crypto_lint` — AST constant-time and misuse
+  lint over the cipher/IP source;
+- :mod:`repro.checks.hdl_rules` — the VHDL structural checker as a
+  rule family;
+- :mod:`repro.checks.baseline` / :mod:`repro.checks.reporters` /
+  :mod:`repro.checks.runner` — suppression workflow, text/JSON
+  output, and the ``repro-aes lint`` entry point.
+"""
+
+from repro.checks.baseline import Baseline
+from repro.checks.engine import (
+    CheckConfig,
+    Finding,
+    Location,
+    Rule,
+    Severity,
+    registry,
+    run_rules,
+)
+from repro.checks.runner import LintResult, run_lint
+
+__all__ = [
+    "Baseline",
+    "CheckConfig",
+    "Finding",
+    "LintResult",
+    "Location",
+    "Rule",
+    "Severity",
+    "registry",
+    "run_lint",
+    "run_rules",
+]

@@ -1,0 +1,110 @@
+"""Baseline suppression: accept today's sanctioned findings, catch
+tomorrow's regressions.
+
+A baseline file is JSON listing finding fingerprints plus enough
+human-readable context (rule, file, object, message) that a reviewer
+can audit *why* each suppression exists.  ``repro-aes lint`` loads the
+repo's ``lint-baseline.json`` by default; findings whose fingerprint
+appears there are demoted to suppressed and do not affect the exit
+code.  ``--write-baseline`` regenerates the file from the current
+findings — the workflow for sanctioning a new, reviewed exception.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.checks.engine import Finding
+
+#: Default baseline filename, looked up relative to the working
+#: directory (i.e. the repo root in normal use).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised on a malformed baseline file."""
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A set of suppressed fingerprints with audit context."""
+
+    entries: Dict[str, dict]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries={})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries = {
+            f.fingerprint(): {
+                "rule": f.rule,
+                "file": f.location.file,
+                "obj": f.location.obj,
+                "message": f.message,
+            }
+            for f in findings
+        }
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON: {exc}")
+        if not isinstance(data, dict) or "suppressions" not in data:
+            raise BaselineError(
+                f"{path}: expected an object with a 'suppressions' key"
+            )
+        if data.get("version") != _VERSION:
+            raise BaselineError(
+                f"{path}: unsupported baseline version "
+                f"{data.get('version')!r}"
+            )
+        entries: Dict[str, dict] = {}
+        for item in data["suppressions"]:
+            if not isinstance(item, dict) or "fingerprint" not in item:
+                raise BaselineError(
+                    f"{path}: every suppression needs a 'fingerprint'"
+                )
+            entries[item["fingerprint"]] = {
+                k: v for k, v in item.items() if k != "fingerprint"
+            }
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        suppressions = [
+            {"fingerprint": fp, **ctx}
+            for fp, ctx in sorted(self.entries.items(),
+                                  key=lambda kv: (kv[1].get("file", ""),
+                                                  kv[1].get("rule", ""),
+                                                  kv[0]))
+        ]
+        payload = {"version": _VERSION, "suppressions": suppressions}
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (active, suppressed)."""
+        active: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            if finding.fingerprint() in self.entries:
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+        return active, suppressed
+
+    def stale_entries(self, findings: Sequence[Finding]) -> List[str]:
+        """Fingerprints in the baseline no longer produced by any rule
+        (candidates for cleanup; reported as a note, never an error)."""
+        seen = {f.fingerprint() for f in findings}
+        return sorted(fp for fp in self.entries if fp not in seen)

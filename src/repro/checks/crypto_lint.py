@@ -1,0 +1,345 @@
+"""Crypto-misuse and constant-time lint (AST-based).
+
+Scans the cipher and IP source for the misuse classes that creep into
+AES deployments as they grow (the Paul et al. RTOS integration story):
+
+- ``ct.secret-branch`` — control flow conditioned on key-derived
+  values.  Taint is deliberately shallow and lexical: function
+  parameters whose names look like key material (``key``, ``kek``,
+  ``*_key``, ...) plus locals assigned from tainted expressions.
+  Length/type checks (``len``, ``isinstance``, ``type``) and
+  ``hmac.compare_digest`` are sanitizers: branching on a length or a
+  constant-time comparison verdict is fine.
+- ``ct.secret-index`` — memory lookups addressed by key-derived
+  values *outside* the sanctioned S-box tables.  The paper's whole
+  datapath is ROM lookups, so the sanctioned set
+  (:attr:`repro.checks.engine.CheckConfig.sanctioned_tables`) covers
+  SBOX / INV_SBOX / RCON, the T-tables and the GF log tables; any
+  other table addressed by secrets is a cache-timing channel.
+- ``ct.key-global`` — key/IV material bound to module-level globals
+  (it outlives any zeroization discipline and leaks into pickles and
+  tracebacks).  Published KAT vectors are the sanctioned exception,
+  suppressed via the baseline file.
+- ``ct.static-iv`` — literal IV/nonce bytes at a mode call site.
+- ``ct.raw-ecb`` — direct ECB use outside the mode library itself.
+
+A heuristic linter earns its keep by being quiet: every rule here is
+tuned to produce zero *unsanctioned* findings on this repository, and
+the shipped ``lint-baseline.json`` documents the sanctioned rest.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.checks.engine import (
+    KIND_SOURCE,
+    CheckConfig,
+    Finding,
+    Location,
+    Severity,
+    rule,
+)
+
+#: Calls whose result is public even when fed secrets.
+_SANITIZERS = {"len", "isinstance", "type", "compare_digest"}
+
+#: Module-level names that look like embedded key/IV material.
+_KEY_GLOBAL_RE = re.compile(
+    r"(?:^|_)(?:key|keys|kek|secret|secrets|iv|nonce|password)(?:_|$)",
+    re.IGNORECASE,
+)
+
+#: Mode-call names whose second positional argument is an IV/nonce.
+_IV_POSITION = {
+    "cbc_encrypt": 1, "cbc_decrypt": 1, "cfb_encrypt": 1,
+    "cfb_decrypt": 1, "ofb_stream": 1, "ctr_stream": 1,
+    "ctr_encrypt": 1, "ctr_decrypt": 1, "gcm_encrypt": 1,
+    "gcm_decrypt": 1,
+}
+
+_ECB_CALLS = {"ecb_encrypt", "ecb_decrypt"}
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed Python file handed to the source rules."""
+
+    path: str          # display path (repo-relative when possible)
+    tree: ast.Module
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "SourceFile":
+        return cls(path=path, tree=ast.parse(text, filename=path))
+
+
+# ------------------------------------------------------------ taint engine
+def _is_secret_name(name: str, config: CheckConfig) -> bool:
+    if name in config.secret_name_exceptions:
+        return False
+    return any(fnmatch.fnmatch(name, pat)
+               for pat in config.secret_name_patterns)
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _names_referenced(node: ast.AST) -> Set[str]:
+    """Names read in an expression, skipping sanitizer-call interiors."""
+    names: Set[str] = set()
+
+    def walk(n: ast.AST) -> None:
+        if isinstance(n, ast.Call) and _call_name(n) in _SANITIZERS:
+            return  # len(key) etc. launders the secret
+        if isinstance(n, ast.Name):
+            names.add(n.id)
+        for child in ast.iter_child_nodes(n):
+            walk(child)
+
+    walk(node)
+    return names
+
+
+def _taints(node: ast.AST, tainted: Set[str]) -> Set[str]:
+    """Tainted names an expression actually reads."""
+    return _names_referenced(node) & tainted
+
+
+def _assign_targets(node: ast.AST) -> List[str]:
+    targets: List[str] = []
+    if isinstance(node, ast.Assign):
+        sources: Sequence[ast.AST] = node.targets
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        sources = [node.target]
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        sources = [node.target]
+    else:
+        return targets
+    def collect(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            targets.append(target.id)
+        elif isinstance(target, ast.Subscript):
+            # ``r[i] = secret`` taints the container, never the index.
+            collect(target.value)
+        elif isinstance(target, ast.Starred):
+            collect(target.value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                collect(element)
+        # Attribute stores (self.x = secret) do not taint the object:
+        # shallow taint stays function-local by design.
+
+    for target in sources:
+        collect(target)
+    return targets
+
+
+def _function_taint(func: ast.AST, config: CheckConfig) -> Set[str]:
+    """Fixpoint of shallow, function-local taint propagation."""
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    tainted: Set[str] = set()
+    args = func.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        if _is_secret_name(arg.arg, config):
+            tainted.add(arg.arg)
+    if args.vararg and _is_secret_name(args.vararg.arg, config):
+        tainted.add(args.vararg.arg)
+
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(func):
+            value = getattr(node, "value", None)
+            if value is None or not _assign_targets(node):
+                continue
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                value = node.iter
+            if _taints(value, tainted):
+                for name in _assign_targets(node):
+                    if name not in tainted:
+                        tainted.add(name)
+                        changed = True
+    return tainted
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ------------------------------------------------------------------- rules
+@rule("ct.secret-branch", Severity.ERROR, KIND_SOURCE,
+      "control flow conditioned on key-derived values")
+def secret_branch(source: SourceFile,
+                  config: CheckConfig) -> Iterator[Finding]:
+    for func in _functions(source.tree):
+        tainted = _function_taint(func, config)
+        if not tainted:
+            continue
+        for node in _own_nodes(func):
+            test: Optional[ast.AST] = None
+            if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+                test = node.test
+            elif isinstance(node, ast.Assert):
+                test = node.test
+            if test is None:
+                continue
+            hits = _taints(test, tainted)
+            if hits:
+                names = ", ".join(sorted(hits))
+                yield Finding(
+                    "ct.secret-branch", Severity.ERROR,
+                    f"branch condition depends on key material "
+                    f"({names}); timing reveals secret bits",
+                    Location(source.path, node.lineno,
+                             getattr(func, "name", "<module>")),
+                )
+
+
+@rule("ct.secret-index", Severity.ERROR, KIND_SOURCE,
+      "table lookup addressed by key material outside the sanctioned "
+      "S-box tables")
+def secret_index(source: SourceFile,
+                 config: CheckConfig) -> Iterator[Finding]:
+    sanctioned = set(config.sanctioned_tables)
+    for func in _functions(source.tree):
+        tainted = _function_taint(func, config)
+        if not tainted:
+            continue
+        for node in _own_nodes(func):
+            if not isinstance(node, ast.Subscript):
+                continue
+            base = node.value
+            base_name = ""
+            if isinstance(base, ast.Name):
+                base_name = base.id
+            elif isinstance(base, ast.Attribute):
+                base_name = base.attr
+            if base_name in sanctioned:
+                continue
+            if base_name in tainted:
+                # Slicing the secret itself by a public index is how
+                # word extraction works; the channel is the *address*,
+                # which here is the public index.
+                if not _taints(node.slice, tainted):
+                    continue
+            hits = _taints(node.slice, tainted)
+            if hits:
+                names = ", ".join(sorted(hits))
+                yield Finding(
+                    "ct.secret-index", Severity.ERROR,
+                    f"lookup into {base_name or '<expr>'!r} is "
+                    f"addressed by key material ({names}); only the "
+                    f"sanctioned S-box tables may be",
+                    Location(source.path, node.lineno,
+                             getattr(func, "name", "<module>")),
+                )
+
+
+@rule("ct.key-global", Severity.WARNING, KIND_SOURCE,
+      "key/IV material assigned to a module-level global")
+def key_global(source: SourceFile,
+               config: CheckConfig) -> Iterator[Finding]:
+    for node in source.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not _is_bytes_like(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and \
+                    _KEY_GLOBAL_RE.search(target.id):
+                yield Finding(
+                    "ct.key-global", Severity.WARNING,
+                    f"module-level global {target.id!r} holds "
+                    f"embedded key/IV material",
+                    Location(source.path, node.lineno, target.id),
+                )
+
+
+@rule("ct.static-iv", Severity.WARNING, KIND_SOURCE,
+      "literal IV/nonce at a mode call site")
+def static_iv(source: SourceFile,
+              config: CheckConfig) -> Iterator[Finding]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        for kw in node.keywords:
+            if kw.arg in ("iv", "nonce") and _is_bytes_like(kw.value):
+                yield Finding(
+                    "ct.static-iv", Severity.WARNING,
+                    f"call to {name or '<call>'} passes a literal "
+                    f"{kw.arg}; IVs must be unique per message",
+                    Location(source.path, node.lineno, name),
+                )
+        position = _IV_POSITION.get(name)
+        if position is not None and len(node.args) > position and \
+                _is_bytes_like(node.args[position]):
+            yield Finding(
+                "ct.static-iv", Severity.WARNING,
+                f"call to {name} passes a literal IV positionally; "
+                f"IVs must be unique per message",
+                Location(source.path, node.lineno, name),
+            )
+
+
+@rule("ct.raw-ecb", Severity.WARNING, KIND_SOURCE,
+      "direct ECB use outside the mode library")
+def raw_ecb(source: SourceFile,
+            config: CheckConfig) -> Iterator[Finding]:
+    defines_ecb = any(
+        isinstance(node, ast.FunctionDef) and node.name in _ECB_CALLS
+        for node in source.tree.body
+    )
+    if defines_ecb:
+        return  # the mode library itself
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call) and _call_name(node) in _ECB_CALLS:
+            yield Finding(
+                "ct.raw-ecb", Severity.WARNING,
+                f"direct {_call_name(node)} call: ECB leaks "
+                f"plaintext structure; wrap traffic in CBC/CTR/GCM",
+                Location(source.path, node.lineno, _call_name(node)),
+            )
+
+
+def _is_bytes_like(node: ast.AST) -> bool:
+    """Literal bytes, or a constructor call over literals."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (bytes, bytearray))
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name in ("bytes", "bytearray", "fromhex"):
+            return True
+        return False
+    if isinstance(node, ast.BinOp):
+        return _is_bytes_like(node.left) or _is_bytes_like(node.right)
+    return False

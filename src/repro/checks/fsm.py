@@ -1,0 +1,314 @@
+"""FSM analysis: reachability, dead transitions, cycle accounting.
+
+The IR is a flat labelled transition system: states (optionally
+tagged), transitions with an event label and a guard description, and
+a reset state.  :func:`core_fsm` renders the control structure of
+:class:`repro.ip.core.RijndaelCore` into it — the IDLE / KEY_SETUP /
+RUN top level of :class:`repro.ip.control.Phase` with the RUN phase
+expanded to its per-cycle micro-states — so the analyzer can prove the
+paper's headline numbers *structurally*: every path around the round
+loop costs exactly :func:`repro.ip.control.cycles_per_round` clocks,
+and a block therefore costs exactly
+:func:`repro.ip.control.block_latency`.
+
+Rules:
+
+- ``fsm.unreachable-state`` — state not reachable from reset;
+- ``fsm.dead-transition`` — transition that can never fire (source
+  unreachable, or shadowed by an earlier transition with the same
+  source and event);
+- ``fsm.trap-state`` — a non-terminal state with no way out;
+- ``fsm.round-cycles`` — every cycle through the round-tagged states
+  must cost exactly the declared cycles-per-round, and the block path
+  must total the declared block latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.engine import (
+    KIND_FSM,
+    CheckConfig,
+    Finding,
+    Location,
+    Severity,
+    rule,
+)
+from repro.ip.control import (
+    NUM_ROUNDS,
+    Variant,
+    block_latency,
+    cycles_per_round,
+    key_setup_cycles,
+)
+
+
+@dataclass(frozen=True)
+class State:
+    """One FSM state; tags group states for the accounting rules."""
+
+    name: str
+    tags: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One edge.  ``cycles`` is the clock cost of taking it."""
+
+    src: str
+    dst: str
+    event: str
+    guard: str = ""
+    cycles: int = 1
+
+
+@dataclass
+class FsmModel:
+    """A named labelled transition system."""
+
+    name: str
+    reset: str
+    states: List[State] = field(default_factory=list)
+    transitions: List[Transition] = field(default_factory=list)
+    #: Expected cost of one lap of the round loop (None = don't check).
+    expected_round_cycles: Optional[int] = None
+    #: Expected rounds per block for the latency product check.
+    rounds_per_block: int = NUM_ROUNDS
+    #: Expected capture-to-result latency (None = don't check).
+    expected_block_cycles: Optional[int] = None
+
+    def state_names(self) -> Set[str]:
+        return {s.name for s in self.states}
+
+    def add_state(self, name: str, *tags: str) -> None:
+        self.states.append(State(name, tags))
+
+    def add_transition(self, src: str, dst: str, event: str,
+                       guard: str = "", cycles: int = 1) -> None:
+        self.transitions.append(Transition(src, dst, event, guard,
+                                           cycles))
+
+    def validate(self) -> None:
+        names = self.state_names()
+        if self.reset not in names:
+            raise ValueError(
+                f"fsm {self.name!r}: reset state {self.reset!r} "
+                f"is not declared"
+            )
+        for t in self.transitions:
+            for end in (t.src, t.dst):
+                if end not in names:
+                    raise ValueError(
+                        f"fsm {self.name!r}: transition "
+                        f"{t.src}->{t.dst} references undeclared "
+                        f"state {end!r}"
+                    )
+
+    # ------------------------------------------------------------ queries
+    def reachable(self) -> Set[str]:
+        """States reachable from reset (edges taken unconditionally)."""
+        seen = {self.reset}
+        frontier = [self.reset]
+        by_src: Dict[str, List[Transition]] = {}
+        for t in self.transitions:
+            by_src.setdefault(t.src, []).append(t)
+        while frontier:
+            node = frontier.pop()
+            for t in by_src.get(node, ()):
+                if t.dst not in seen:
+                    seen.add(t.dst)
+                    frontier.append(t.dst)
+        return seen
+
+    def tagged(self, tag: str) -> Set[str]:
+        return {s.name for s in self.states if tag in s.tags}
+
+    def cycles_through(self, tag: str) -> List[Tuple[List[str], int]]:
+        """All simple cycles whose states all carry ``tag``, with the
+        summed transition cost of one lap."""
+        nodes = self.tagged(tag)
+        edges: Dict[str, List[Transition]] = {}
+        for t in self.transitions:
+            if t.src in nodes and t.dst in nodes:
+                edges.setdefault(t.src, []).append(t)
+        cycles: List[Tuple[List[str], int]] = []
+        seen_keys: Set[Tuple[str, ...]] = set()
+
+        def dfs(origin: str, node: str, path: List[Transition],
+                visited: Set[str]) -> None:
+            for t in edges.get(node, ()):
+                if t.dst == origin:
+                    lap = path + [t]
+                    names = [e.src for e in lap]
+                    # Canonicalize rotation so each cycle counts once.
+                    pivot = names.index(min(names))
+                    key = tuple(names[pivot:] + names[:pivot])
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        cycles.append(
+                            (names, sum(e.cycles for e in lap))
+                        )
+                elif t.dst not in visited:
+                    dfs(origin, t.dst, path + [t],
+                        visited | {t.dst})
+
+        for origin in sorted(nodes):
+            dfs(origin, origin, [], {origin})
+        return cycles
+
+
+# --------------------------------------------------------------- builders
+def core_fsm(variant: Variant = Variant.ENCRYPT,
+             sync_rom: bool = False) -> FsmModel:
+    """The control FSM of the shipped core, micro-states expanded.
+
+    The RUN phase is modelled one state per clock: ``run_s0..run_sN``
+    where N+1 = cycles_per_round.  The async round is the paper's 5
+    cycles (4 ByteSub word passes + 1 wide mix stage); sync-ROM
+    stretches it to 6.
+    """
+    per_round = cycles_per_round(sync_rom)
+    model = FsmModel(
+        name=f"core_{variant.value}{'_sync' if sync_rom else ''}",
+        reset="idle",
+        expected_round_cycles=per_round,
+        rounds_per_block=NUM_ROUNDS,
+        expected_block_cycles=block_latency(sync_rom),
+    )
+    model.add_state("idle", "top")
+    steps = [f"run_s{i}" for i in range(per_round)]
+    for step in steps:
+        model.add_state(step, "run", "round")
+
+    model.add_transition("idle", steps[0], "start_block",
+                         guard="wr_data & can_start")
+    for here, there in zip(steps, steps[1:]):
+        model.add_transition(here, there, "advance")
+    model.add_transition(steps[-1], steps[0], "next_round",
+                         guard=f"round < {NUM_ROUNDS}")
+    model.add_transition(steps[-1], "idle", "block_done",
+                         guard=f"round == {NUM_ROUNDS}")
+
+    if variant.needs_setup_pass:
+        # The reverse walk needs the last round key: a key load runs
+        # the forward expansion once (one word per cycle async).
+        model.add_state("key_setup", "top", "setup")
+        model.add_transition("idle", "key_setup", "wr_key",
+                             guard="setup & wr_key",
+                             cycles=1)
+        model.add_transition(
+            "key_setup", "idle", "setup_done",
+            guard=f"after {key_setup_cycles(sync_rom)} cycles",
+            cycles=key_setup_cycles(sync_rom),
+        )
+        model.add_transition("key_setup", "key_setup", "wr_key",
+                             guard="setup & wr_key (rekey restart)")
+    model.validate()
+    return model
+
+
+def paper_fsms() -> List[FsmModel]:
+    """The FSM models of every shipped device flavour."""
+    models = []
+    for variant in Variant:
+        for sync_rom in (False, True):
+            models.append(core_fsm(variant, sync_rom))
+    return models
+
+
+# ------------------------------------------------------------------ rules
+def _loc(model: FsmModel, obj: str) -> Location:
+    return Location(file=f"fsm:{model.name}", obj=obj)
+
+
+@rule("fsm.unreachable-state", Severity.ERROR, KIND_FSM,
+      "state not reachable from reset")
+def unreachable_state(model: FsmModel,
+                      config: CheckConfig) -> Iterator[Finding]:
+    reachable = model.reachable()
+    for state in model.states:
+        if state.name not in reachable:
+            yield Finding(
+                "fsm.unreachable-state", Severity.ERROR,
+                f"state {state.name!r} is unreachable from reset "
+                f"state {model.reset!r}", _loc(model, state.name),
+            )
+
+
+@rule("fsm.dead-transition", Severity.ERROR, KIND_FSM,
+      "transition that can never fire")
+def dead_transition(model: FsmModel,
+                    config: CheckConfig) -> Iterator[Finding]:
+    reachable = model.reachable()
+    seen: Set[Tuple[str, str]] = set()
+    for t in model.transitions:
+        label = f"{t.src} -[{t.event}]-> {t.dst}"
+        if t.src not in reachable:
+            yield Finding(
+                "fsm.dead-transition", Severity.ERROR,
+                f"transition {label} can never fire: source state is "
+                f"unreachable", _loc(model, label),
+            )
+            continue
+        key = (t.src, t.event)
+        if key in seen:
+            yield Finding(
+                "fsm.dead-transition", Severity.ERROR,
+                f"transition {label} is shadowed by an earlier "
+                f"transition on the same event", _loc(model, label),
+            )
+        seen.add(key)
+
+
+@rule("fsm.trap-state", Severity.WARNING, KIND_FSM,
+      "reachable state with no outgoing transition")
+def trap_state(model: FsmModel,
+               config: CheckConfig) -> Iterator[Finding]:
+    reachable = model.reachable()
+    sources = {t.src for t in model.transitions}
+    for state in model.states:
+        if state.name in reachable and state.name not in sources:
+            yield Finding(
+                "fsm.trap-state", Severity.WARNING,
+                f"state {state.name!r} is reachable but has no "
+                f"outgoing transitions (hardware would wedge)",
+                _loc(model, state.name),
+            )
+
+
+@rule("fsm.round-cycles", Severity.ERROR, KIND_FSM,
+      "every round loop must cost exactly the declared cycle count")
+def round_cycles(model: FsmModel,
+                 config: CheckConfig) -> Iterator[Finding]:
+    expected = model.expected_round_cycles
+    if expected is None:
+        return
+    laps = model.cycles_through("round")
+    if not laps:
+        yield Finding(
+            "fsm.round-cycles", Severity.ERROR,
+            "no cycle through the round-tagged states: the core "
+            "cannot iterate rounds", _loc(model, "round"),
+        )
+        return
+    for names, cost in laps:
+        if cost != expected:
+            path = " -> ".join(names + [names[0]])
+            yield Finding(
+                "fsm.round-cycles", Severity.ERROR,
+                f"round loop {path} costs {cost} cycles; the "
+                f"architecture declares {expected} per round",
+                _loc(model, names[0]),
+            )
+    if model.expected_block_cycles is not None:
+        block = model.rounds_per_block * expected
+        if block != model.expected_block_cycles:
+            yield Finding(
+                "fsm.round-cycles", Severity.ERROR,
+                f"{model.rounds_per_block} rounds x {expected} "
+                f"cycles = {block}, but the declared block latency "
+                f"is {model.expected_block_cycles}",
+                _loc(model, "block"),
+            )

@@ -1,0 +1,71 @@
+"""VHDL deliverable rules: the old ``repro.hdl.lint`` checker as a
+rule family.
+
+``repro.hdl.lint`` predates the rule engine; it raises on the first
+structural problem, which is right for the generator's emit path
+(never write broken HDL) but wrong for a lint report.  These rules
+adapt it: every generated file is checked, every violation becomes a
+finding, and two extra checks the raising API never had (MIF/ROM
+coverage, paper constants present) ride along.
+
+Subjects are ``(filename, text)`` pairs produced by the runner from
+:func:`repro.hdl.vhdl_gen.generate_core_vhdl`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Tuple
+
+from repro.checks.engine import (
+    KIND_VHDL,
+    CheckConfig,
+    Finding,
+    Location,
+    Severity,
+    rule,
+)
+from repro.hdl.lint import check_vhdl
+
+VhdlSubject = Tuple[str, str]  # (filename, text)
+
+
+@rule("hdl.vhdl-structure", Severity.ERROR, KIND_VHDL,
+      "generated VHDL must pass the structural checker")
+def vhdl_structure(subject: VhdlSubject,
+                   config: CheckConfig) -> Iterator[Finding]:
+    filename, text = subject
+    if not filename.endswith(".vhd"):
+        return
+    for message in check_vhdl(text, filename):
+        # The checker prefixes messages with the filename; strip it so
+        # the finding location carries the file exactly once.
+        cleaned = message
+        if cleaned.startswith(f"{filename}: "):
+            cleaned = cleaned[len(filename) + 2:]
+        yield Finding(
+            "hdl.vhdl-structure", Severity.ERROR, cleaned,
+            Location(file=filename),
+        )
+
+
+@rule("hdl.sbox-roms-initialized", Severity.ERROR, KIND_VHDL,
+      "every S-box ROM constant in the VHDL must carry 256 entries")
+def sbox_roms_initialized(subject: VhdlSubject,
+                          config: CheckConfig) -> Iterator[Finding]:
+    filename, text = subject
+    if not filename.endswith(".vhd"):
+        return
+    for match in re.finditer(
+        r"constant\s+(\w+)\s*:\s*rom_256x8_t\s*:=\s*\((.*?)\);",
+        text, re.IGNORECASE | re.DOTALL,
+    ):
+        name, body = match.group(1), match.group(2)
+        entries = len(re.findall(r'x"[0-9a-fA-F]{2}"', body))
+        if entries != 256:
+            yield Finding(
+                "hdl.sbox-roms-initialized", Severity.ERROR,
+                f"ROM constant {name} initializes {entries} bytes; "
+                f"an S-box holds 256",
+                Location(file=filename, obj=name),
+            )

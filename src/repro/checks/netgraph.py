@@ -1,0 +1,228 @@
+"""Connectivity-level netlist IR for design-rule checking.
+
+:mod:`repro.fpga.netlist` counts primitives (the synthesis area
+model); it deliberately carries no wiring.  DRC needs wiring, so this
+module adds the missing abstraction level: cells with typed, width-
+checked ports, and nets connecting them.  The granularity is the
+paper's block diagram (Figs. 8-9) — one cell per register bank, mux,
+S-box ROM, logic network and pin — which is exactly the level where
+the paper's structural invariants (4 ROMs per substitution bank, the
+Table 1 pin budget, no combinational feedback) are statable.
+
+:func:`repro.fpga.connectivity.paper_connectivity` builds the shipped
+devices in this IR; :mod:`repro.checks.netlist_drc` holds the rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+class NetgraphError(ValueError):
+    """Raised on malformed construction (not on rule violations —
+    those become findings; this is for *unbuildable* designs)."""
+
+
+class CellKind(enum.Enum):
+    """What a cell is, which decides its timing behaviour.
+
+    COMB and ROM outputs are combinational functions of their inputs
+    (the paper's EABs read asynchronously), so both participate in
+    combinational-loop detection; SEQ outputs change only on the clock
+    edge and break loops; PIN_IN/PIN_OUT are the device boundary.
+    """
+
+    COMB = "comb"
+    SEQ = "seq"
+    ROM = "rom"
+    PIN_IN = "pin_in"
+    PIN_OUT = "pin_out"
+
+    @property
+    def is_combinational(self) -> bool:
+        return self in (CellKind.COMB, CellKind.ROM)
+
+
+class PortDir(enum.Enum):
+    IN = "in"
+    OUT = "out"
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """One declared port on a cell."""
+
+    name: str
+    direction: PortDir
+    width: int
+
+
+@dataclass
+class Cell:
+    """One block-diagram element."""
+
+    name: str
+    kind: CellKind
+    group: str = ""
+    ports: Dict[str, PortSpec] = field(default_factory=dict)
+
+    def port(self, name: str) -> PortSpec:
+        if name not in self.ports:
+            raise NetgraphError(f"cell {self.name!r} has no port {name!r}")
+        return self.ports[name]
+
+
+@dataclass
+class Net:
+    """One wire bundle; drivers/sinks are (cell, port) endpoints."""
+
+    name: str
+    width: int
+    drivers: List[Tuple[str, str]] = field(default_factory=list)
+    sinks: List[Tuple[str, str]] = field(default_factory=list)
+
+
+class Design:
+    """A named connectivity netlist."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.cells: Dict[str, Cell] = {}
+        self.nets: Dict[str, Net] = {}
+
+    # ------------------------------------------------------------- building
+    def add_cell(self, name: str, kind: CellKind, group: str = "",
+                 **ports: Tuple[str, int]) -> Cell:
+        """Declare a cell; ports are ``name=("in"|"out", width)``."""
+        if name in self.cells:
+            raise NetgraphError(f"duplicate cell {name!r}")
+        specs = {
+            pname: PortSpec(pname, PortDir(direction), width)
+            for pname, (direction, width) in ports.items()
+        }
+        cell = Cell(name, kind, group, specs)
+        self.cells[name] = cell
+        return cell
+
+    def add_net(self, name: str, width: int) -> Net:
+        if name in self.nets:
+            raise NetgraphError(f"duplicate net {name!r}")
+        if width < 1:
+            raise NetgraphError(f"net {name!r}: width must be >= 1")
+        net = Net(name, width)
+        self.nets[name] = net
+        return net
+
+    def connect(self, net_name: str, cell_name: str,
+                port_name: str) -> None:
+        """Attach a cell port to a net (direction read off the port)."""
+        if net_name not in self.nets:
+            raise NetgraphError(f"unknown net {net_name!r}")
+        if cell_name not in self.cells:
+            raise NetgraphError(f"unknown cell {cell_name!r}")
+        port = self.cells[cell_name].port(port_name)
+        net = self.nets[net_name]
+        endpoint = (cell_name, port_name)
+        if port.direction is PortDir.OUT:
+            net.drivers.append(endpoint)
+        else:
+            net.sinks.append(endpoint)
+
+    # -------------------------------------------------------------- queries
+    def cells_of_kind(self, kind: CellKind) -> Iterator[Cell]:
+        return (c for c in self.cells.values() if c.kind is kind)
+
+    def cells_in_group(self, group: str) -> List[Cell]:
+        return [c for c in self.cells.values() if c.group == group]
+
+    def groups(self) -> Set[str]:
+        return {c.group for c in self.cells.values() if c.group}
+
+    def connected_ports(self, cell_name: str) -> Set[str]:
+        """Port names of a cell that touch at least one net."""
+        used: Set[str] = set()
+        for net in self.nets.values():
+            for cname, pname in (*net.drivers, *net.sinks):
+                if cname == cell_name:
+                    used.add(pname)
+        return used
+
+    def net_of(self, cell_name: str,
+               port_name: str) -> Optional[Net]:
+        for net in self.nets.values():
+            if (cell_name, port_name) in net.drivers or \
+                    (cell_name, port_name) in net.sinks:
+                return net
+        return None
+
+    # ------------------------------------------------------ loop detection
+    def combinational_cycles(self) -> List[List[str]]:
+        """Cycles in the combinational subgraph (cells as nodes).
+
+        An edge u -> v exists when a COMB/ROM cell u drives a net that
+        a COMB/ROM cell v reads.  SEQ cells terminate paths (their
+        outputs are edge-triggered), so any cycle returned here is a
+        genuine zero-delay feedback loop.  Returns one representative
+        cycle per strongly-connected component of size > 1 (or a
+        self-loop), as a list of cell names.
+        """
+        comb = {c.name for c in self.cells.values()
+                if c.kind.is_combinational}
+        edges: Dict[str, Set[str]] = {name: set() for name in comb}
+        for net in self.nets.values():
+            driver_cells = {c for c, _ in net.drivers if c in comb}
+            sink_cells = {c for c, _ in net.sinks if c in comb}
+            for u in driver_cells:
+                edges[u].update(sink_cells)
+
+        # Iterative Tarjan SCC.
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        counter = [0]
+        cycles: List[List[str]] = []
+
+        def strongconnect(root: str) -> None:
+            work = [(root, iter(sorted(edges[root])))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index:
+                        index[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(edges[succ]))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1 or node in edges[node]:
+                        cycles.append(sorted(component))
+
+        for name in sorted(comb):
+            if name not in index:
+                strongconnect(name)
+        return cycles

@@ -1,0 +1,298 @@
+"""Netlist design-rule checks.
+
+Two subject kinds:
+
+- **Connectivity designs** (:class:`repro.checks.netgraph.Design`,
+  built by :mod:`repro.fpga.connectivity`): classic DRC — undriven /
+  multiply-driven nets, dangling drivers, width mismatches,
+  unconnected ports, combinational loops — plus the paper's structural
+  invariants at wiring granularity (4-ROM substitution banks, the
+  Table 1 pin budget).
+- **Structural netlists** (:class:`repro.fpga.netlist.Netlist` paired
+  with their :class:`repro.arch.spec.ArchitectureSpec`): inventory
+  consistency between the area model and the spec, and the paper's
+  Table 2 memory shape for the shipped design points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.arch.spec import ArchitectureSpec
+from repro.checks.engine import (
+    KIND_DESIGN,
+    KIND_NETLIST,
+    CheckConfig,
+    Finding,
+    Location,
+    Severity,
+    rule,
+)
+from repro.checks.netgraph import CellKind, Design, PortDir
+from repro.fpga.netlist import Netlist
+from repro.ip.control import Variant
+from repro.ip.interface import pin_count
+
+#: The paper's bank shape: 4 S-box ROMs, 256x8 each.
+BANK_ROMS = 4
+ROM_WORDS = 256
+ROM_WIDTH = 8
+
+#: Width-1 input pins that carry protocol control (Table 1): clk,
+#: setup, wr_data, wr_key — plus enc/dec on the combined device.
+CONTROL_PINS = 4
+
+
+@dataclass(frozen=True)
+class NetlistSubject:
+    """A structural netlist tied to the spec it was built from."""
+
+    spec: ArchitectureSpec
+    netlist: Netlist
+
+
+def _loc(design: Design, obj: str) -> Location:
+    return Location(file=f"netlist:{design.name}", obj=obj)
+
+
+# ------------------------------------------------------- connectivity DRC
+@rule("drc.undriven-net", Severity.ERROR, KIND_DESIGN,
+      "net has sinks but no driver")
+def undriven_net(design: Design,
+                 config: CheckConfig) -> Iterator[Finding]:
+    for net in design.nets.values():
+        if net.sinks and not net.drivers:
+            sinks = ", ".join(f"{c}.{p}" for c, p in net.sinks[:3])
+            yield Finding(
+                "drc.undriven-net", Severity.ERROR,
+                f"net {net.name!r} is read by {sinks} but nothing "
+                f"drives it", _loc(design, net.name),
+            )
+
+
+@rule("drc.multi-driven-net", Severity.ERROR, KIND_DESIGN,
+      "net has more than one driver (bus contention)")
+def multi_driven_net(design: Design,
+                     config: CheckConfig) -> Iterator[Finding]:
+    for net in design.nets.values():
+        if len(net.drivers) > 1:
+            drivers = ", ".join(f"{c}.{p}" for c, p in net.drivers)
+            yield Finding(
+                "drc.multi-driven-net", Severity.ERROR,
+                f"net {net.name!r} is driven by {len(net.drivers)} "
+                f"outputs: {drivers}", _loc(design, net.name),
+            )
+
+
+@rule("drc.dangling-net", Severity.WARNING, KIND_DESIGN,
+      "net is driven but never read")
+def dangling_net(design: Design,
+                 config: CheckConfig) -> Iterator[Finding]:
+    for net in design.nets.values():
+        if net.drivers and not net.sinks:
+            yield Finding(
+                "drc.dangling-net", Severity.WARNING,
+                f"net {net.name!r} is driven by "
+                f"{net.drivers[0][0]}.{net.drivers[0][1]} but has no "
+                f"sinks", _loc(design, net.name),
+            )
+
+
+@rule("drc.width-mismatch", Severity.ERROR, KIND_DESIGN,
+      "port width differs from the width of its net")
+def width_mismatch(design: Design,
+                   config: CheckConfig) -> Iterator[Finding]:
+    for net in design.nets.values():
+        for cell_name, port_name in (*net.drivers, *net.sinks):
+            port = design.cells[cell_name].port(port_name)
+            if port.width != net.width:
+                yield Finding(
+                    "drc.width-mismatch", Severity.ERROR,
+                    f"port {cell_name}.{port_name} is {port.width} "
+                    f"bits but net {net.name!r} is {net.width} bits",
+                    _loc(design, f"{cell_name}.{port_name}"),
+                )
+
+
+@rule("drc.unconnected-port", Severity.ERROR, KIND_DESIGN,
+      "declared cell port is not attached to any net")
+def unconnected_port(design: Design,
+                     config: CheckConfig) -> Iterator[Finding]:
+    for cell in design.cells.values():
+        used = design.connected_ports(cell.name)
+        for port_name in cell.ports:
+            if port_name not in used:
+                yield Finding(
+                    "drc.unconnected-port", Severity.ERROR,
+                    f"port {cell.name}.{port_name} is declared but "
+                    f"unconnected", _loc(design,
+                                         f"{cell.name}.{port_name}"),
+                )
+
+
+@rule("drc.comb-loop", Severity.ERROR, KIND_DESIGN,
+      "combinational feedback loop (through COMB/async-ROM cells)")
+def comb_loop(design: Design,
+              config: CheckConfig) -> Iterator[Finding]:
+    for cycle in design.combinational_cycles():
+        path = " -> ".join(cycle + [cycle[0]])
+        yield Finding(
+            "drc.comb-loop", Severity.ERROR,
+            f"combinational loop: {path}",
+            _loc(design, cycle[0]),
+        )
+
+
+@rule("drc.sbox-bank-shape", Severity.ERROR, KIND_DESIGN,
+      "every substitution bank must hold exactly 4 256x8 ROMs")
+def sbox_bank_shape(design: Design,
+                    config: CheckConfig) -> Iterator[Finding]:
+    groups = {c.group for c in design.cells_of_kind(CellKind.ROM)}
+    for group in sorted(groups):
+        roms = [c for c in design.cells_in_group(group)
+                if c.kind is CellKind.ROM]
+        if len(roms) != BANK_ROMS:
+            yield Finding(
+                "drc.sbox-bank-shape", Severity.ERROR,
+                f"substitution bank {group!r} has {len(roms)} ROMs; "
+                f"the paper's unit uses exactly {BANK_ROMS}",
+                _loc(design, group),
+            )
+        for rom_cell in roms:
+            widths = {p.name: p.width for p in rom_cell.ports.values()}
+            if widths.get("addr") != ROM_WIDTH or \
+                    widths.get("data") != ROM_WIDTH:
+                yield Finding(
+                    "drc.sbox-bank-shape", Severity.ERROR,
+                    f"ROM {rom_cell.name} is not a "
+                    f"{ROM_WORDS}x{ROM_WIDTH} S-box "
+                    f"(addr={widths.get('addr')}, "
+                    f"data={widths.get('data')})",
+                    _loc(design, rom_cell.name),
+                )
+
+
+@rule("drc.pin-budget", Severity.ERROR, KIND_DESIGN,
+      "device pins must match the paper's Table 1 budget")
+def pin_budget(design: Design,
+               config: CheckConfig) -> Iterator[Finding]:
+    pins = [c for c in design.cells.values()
+            if c.kind in (CellKind.PIN_IN, CellKind.PIN_OUT)]
+    if not pins:
+        return  # not a top-level design; nothing to check
+    is_both = any(c.name == "pin_enc_dec" for c in pins)
+    variant = Variant.BOTH if is_both else Variant.ENCRYPT
+    total = sum(p.width for c in pins for p in c.ports.values())
+    expected = pin_count(variant)
+    if total != expected:
+        yield Finding(
+            "drc.pin-budget", Severity.ERROR,
+            f"device has {total} pins; Table 1 specifies {expected}",
+            _loc(design, "pins"),
+        )
+    control = [c for c in pins if c.kind is CellKind.PIN_IN
+               and all(p.width == 1 for p in c.ports.values())]
+    expected_control = CONTROL_PINS + (1 if is_both else 0)
+    if len(control) != expected_control:
+        names = ", ".join(sorted(c.name for c in control))
+        yield Finding(
+            "drc.pin-budget", Severity.ERROR,
+            f"device has {len(control)} single-bit control pins "
+            f"({names}); Table 1 specifies {expected_control}",
+            _loc(design, "pins"),
+        )
+
+
+@rule("drc.input-pin-driven", Severity.ERROR, KIND_DESIGN,
+      "an input pin must never be driven from inside the device")
+def input_pin_driven(design: Design,
+                     config: CheckConfig) -> Iterator[Finding]:
+    for cell in design.cells_of_kind(CellKind.PIN_OUT):
+        for port in cell.ports.values():
+            if port.direction is PortDir.OUT:
+                yield Finding(
+                    "drc.input-pin-driven", Severity.ERROR,
+                    f"output pad {cell.name} declares a driving port "
+                    f"{port.name!r}",
+                    _loc(design, f"{cell.name}.{port.name}"),
+                )
+
+
+# ------------------------------------------------- structural inventories
+@rule("struct.sbox-inventory", Severity.ERROR, KIND_NETLIST,
+      "area-model S-box ROMs must match the architecture spec")
+def sbox_inventory(subject: NetlistSubject,
+                   config: CheckConfig) -> Iterator[Finding]:
+    spec, netlist = subject.spec, subject.netlist
+    loc = Location(file=f"netlist:{netlist.name}")
+    data = kstran = 0
+    for group_name, rom in netlist.rom_blocks():
+        if not group_name.startswith("sbox"):
+            continue
+        if (rom.words, rom.width) != (ROM_WORDS, ROM_WIDTH):
+            yield Finding(
+                "struct.sbox-inventory", Severity.ERROR,
+                f"group {group_name!r} holds a {rom.words}x{rom.width} "
+                f"ROM; S-boxes are {ROM_WORDS}x{ROM_WIDTH}",
+                Location(file=loc.file, obj=group_name),
+            )
+        if "kstran" in group_name:
+            kstran += rom.count
+        else:
+            data += rom.count
+    if data != spec.data_sbox_count:
+        yield Finding(
+            "struct.sbox-inventory", Severity.ERROR,
+            f"netlist carries {data} data S-boxes; spec "
+            f"{spec.name!r} requires {spec.data_sbox_count}",
+            Location(file=loc.file, obj="sbox_data"),
+        )
+    expected_kstran = (spec.kstran_sbox_count
+                       if spec.key_schedule == "on_the_fly" else 0)
+    if kstran != expected_kstran:
+        yield Finding(
+            "struct.sbox-inventory", Severity.ERROR,
+            f"netlist carries {kstran} KStran S-boxes; spec "
+            f"{spec.name!r} requires {expected_kstran}",
+            Location(file=loc.file, obj="sbox_kstran"),
+        )
+
+
+@rule("struct.paper-invariants", Severity.ERROR, KIND_NETLIST,
+      "the shipped design points must keep the paper's Table 2 shape")
+def paper_invariants(subject: NetlistSubject,
+                     config: CheckConfig) -> Iterator[Finding]:
+    spec, netlist = subject.spec, subject.netlist
+    if spec.sub_width != 32 or spec.key_schedule != "on_the_fly":
+        return  # a sweep point, not a paper device
+    loc_file = f"netlist:{netlist.name}"
+    directions = 2 if spec.variant is Variant.BOTH else 1
+    per_direction: dict = {}
+    for group, rom in netlist.rom_blocks():
+        if group.startswith("sbox"):
+            per_direction[group] = per_direction.get(group, 0) + rom.count
+    for group, count in sorted(per_direction.items()):
+        if count != BANK_ROMS:
+            yield Finding(
+                "struct.paper-invariants", Severity.ERROR,
+                f"bank {group!r} holds {count} S-boxes; the paper's "
+                f"unit holds exactly {BANK_ROMS} per direction",
+                Location(file=loc_file, obj=group),
+            )
+    expected_banks = 2 * directions  # data + kstran, per direction
+    if len(per_direction) != expected_banks:
+        yield Finding(
+            "struct.paper-invariants", Severity.ERROR,
+            f"device has {len(per_direction)} S-box banks; the "
+            f"{spec.variant.value} device needs {expected_banks}",
+            Location(file=loc_file, obj="sbox"),
+        )
+    expected_pins = pin_count(spec.variant)
+    if netlist.total_pins != expected_pins:
+        yield Finding(
+            "struct.paper-invariants", Severity.ERROR,
+            f"device has {netlist.total_pins} pins; Table 2 lists "
+            f"{expected_pins} for the {spec.variant.value} device",
+            Location(file=loc_file, obj="pins"),
+        )

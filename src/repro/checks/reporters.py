@@ -1,0 +1,96 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.checks.engine import Finding, Severity, registry
+
+
+def render_text(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding] = (),
+    stale_fingerprints: Sequence[str] = (),
+    verbose: bool = False,
+) -> str:
+    """GCC-style one-line-per-finding report plus a summary tail."""
+    lines: List[str] = [f.render() for f in findings]
+    if verbose and suppressed:
+        lines.append("")
+        lines.append(f"suppressed by baseline ({len(suppressed)}):")
+        lines.extend(f"  {f.render()}" for f in suppressed)
+    if stale_fingerprints:
+        lines.append(
+            f"note: {len(stale_fingerprints)} baseline entr"
+            f"{'y is' if len(stale_fingerprints) == 1 else 'ies are'} "
+            "stale (no longer reported); re-run with --write-baseline "
+            "to clean up"
+        )
+    counts = _severity_counts(findings)
+    summary = ", ".join(
+        f"{counts[s]} {s.name.lower()}{'s' if counts[s] != 1 else ''}"
+        for s in (Severity.ERROR, Severity.WARNING, Severity.NOTE)
+        if counts[s]
+    ) or "no findings"
+    tail = summary
+    if suppressed:
+        tail += f" ({len(suppressed)} suppressed)"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding] = (),
+    stale_fingerprints: Sequence[str] = (),
+) -> str:
+    """Stable JSON for CI consumers and editor integrations."""
+
+    def encode(finding: Finding) -> dict:
+        return {
+            "rule": finding.rule,
+            "severity": finding.severity.name.lower(),
+            "message": finding.message,
+            "file": finding.location.file,
+            "line": finding.location.line,
+            "obj": finding.location.obj,
+            "fingerprint": finding.fingerprint(),
+        }
+
+    payload = {
+        "findings": [encode(f) for f in findings],
+        "suppressed": [encode(f) for f in suppressed],
+        "stale_baseline_entries": list(stale_fingerprints),
+        "summary": {
+            s.name.lower(): n
+            for s, n in _severity_counts(findings).items()
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_rule_table(only_family: Optional[str] = None) -> str:
+    """The ``repro-aes lint --list-rules`` listing."""
+    from repro.checks.engine import iter_families
+
+    lines = [f"{'rule':<27}{'severity':<10}{'subject':<9}description"]
+    lines.append("-" * 78)
+    for family, rules in iter_families(registry()):
+        if only_family and family != only_family:
+            continue
+        for rule_obj in rules:
+            lines.append(
+                f"{rule_obj.id:<27}{rule_obj.severity.name.lower():<10}"
+                f"{rule_obj.requires:<9}{rule_obj.doc}"
+            )
+    return "\n".join(lines)
+
+
+def _severity_counts(
+    findings: Sequence[Finding],
+) -> Dict[Severity, int]:
+    counts = {s: 0 for s in Severity}
+    for finding in findings:
+        counts[finding.severity] += 1
+    return counts

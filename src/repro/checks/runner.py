@@ -1,0 +1,178 @@
+"""Lint orchestration: build the default subjects, run every family.
+
+This is what ``repro-aes lint`` calls.  The default subject set covers
+the whole shipped artifact:
+
+- connectivity designs of the three paper devices (DRC family);
+- structural netlists of the paper design points (inventory family);
+- control-FSM models of every device flavour (FSM family);
+- the Python cipher/IP source under ``src/repro/aes`` and
+  ``src/repro/ip`` (constant-time family);
+- the generated VHDL deliverable (HDL family).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.checks.baseline import DEFAULT_BASELINE, Baseline
+from repro.checks.engine import (
+    KIND_DESIGN,
+    KIND_FSM,
+    KIND_NETLIST,
+    KIND_SOURCE,
+    KIND_VHDL,
+    CheckConfig,
+    Finding,
+    Location,
+    Severity,
+    run_rules,
+)
+from repro.checks.crypto_lint import SourceFile
+
+#: Source trees the constant-time family scans by default, relative to
+#: the repository root.
+DEFAULT_SOURCE_DIRS = ("src/repro/aes", "src/repro/ip")
+
+
+@dataclass
+class LintResult:
+    """Everything a reporter or exit-code decision needs."""
+
+    findings: List[Finding]              # active (not suppressed)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_fingerprints: List[str] = field(default_factory=list)
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        from repro.checks.engine import max_severity
+        return max_severity(self.findings)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.worst is Severity.ERROR else 0
+
+
+def find_repo_root(start: Optional[Path] = None) -> Path:
+    """Walk up until a directory that looks like the repo root."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return here
+
+
+def build_subjects(
+    root: Path,
+    source_paths: Optional[Sequence[Path]] = None,
+) -> Dict[str, Sequence[object]]:
+    """Assemble the default subject set for one lint run."""
+    from repro.arch.spec import PAPER_SPECS
+    from repro.checks.netlist_drc import NetlistSubject
+    from repro.checks.fsm import paper_fsms
+    from repro.fpga.aes_netlists import build_netlist
+    from repro.fpga.connectivity import paper_connectivity
+    from repro.hdl.vhdl_gen import generate_core_vhdl
+    from repro.ip.control import Variant
+
+    designs = [paper_connectivity(variant) for variant in Variant]
+    netlists = [NetlistSubject(spec, build_netlist(spec))
+                for spec in PAPER_SPECS.values()]
+    fsms = paper_fsms()
+    sources = _load_sources(root, source_paths)
+    vhdl: List[Tuple[str, str]] = []
+    for variant in Variant:
+        for name, text in sorted(
+                generate_core_vhdl(variant).items()):
+            vhdl.append((f"{variant.value}/{name}", text))
+    return {
+        KIND_DESIGN: designs,
+        KIND_NETLIST: netlists,
+        KIND_FSM: fsms,
+        KIND_SOURCE: sources,
+        KIND_VHDL: vhdl,
+    }
+
+
+def _load_sources(
+    root: Path,
+    source_paths: Optional[Sequence[Path]] = None,
+) -> List[object]:
+    if source_paths is None:
+        source_paths = [root / d for d in DEFAULT_SOURCE_DIRS]
+    files: List[Path] = []
+    for path in source_paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+    sources: List[object] = []
+    for file_path in files:
+        try:
+            display = str(file_path.resolve().relative_to(root))
+        except ValueError:
+            display = str(file_path)
+        try:
+            sources.append(
+                SourceFile.parse(display, file_path.read_text())
+            )
+        except SyntaxError as exc:
+            # A file the lint cannot parse is itself a finding-worthy
+            # event, surfaced through a synthetic parse failure below.
+            sources.append(_ParseFailure(display, str(exc)))
+    return sources
+
+
+@dataclass(frozen=True)
+class _ParseFailure:
+    path: str
+    error: str
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    config: Optional[CheckConfig] = None,
+    baseline_path: Optional[Path] = None,
+    source_paths: Optional[Sequence[Path]] = None,
+    subjects: Optional[Dict[str, Sequence[object]]] = None,
+) -> LintResult:
+    """One full lint pass; the API the CLI and CI wrap."""
+    root = root or find_repo_root()
+    config = config or CheckConfig()
+    if subjects is None:
+        subjects = build_subjects(root, source_paths)
+
+    parse_failures = [
+        s for s in subjects.get(KIND_SOURCE, ())
+        if isinstance(s, _ParseFailure)
+    ]
+    subjects = dict(subjects)
+    subjects[KIND_SOURCE] = [
+        s for s in subjects.get(KIND_SOURCE, ())
+        if not isinstance(s, _ParseFailure)
+    ]
+
+    findings = run_rules(subjects, config)
+    for failure in parse_failures:
+        findings.append(Finding(
+            "engine.parse-error", Severity.ERROR,
+            f"cannot parse: {failure.error}",
+            Location(file=failure.path),
+        ))
+
+    baseline = Baseline.empty()
+    if baseline_path is None:
+        default = root / DEFAULT_BASELINE
+        if default.exists():
+            baseline = Baseline.load(default)
+    elif baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+
+    active, suppressed = baseline.split(findings)
+    return LintResult(
+        findings=active,
+        suppressed=suppressed,
+        stale_fingerprints=baseline.stale_entries(findings),
+    )

@@ -191,6 +191,65 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.checks.baseline import Baseline, BaselineError
+    from repro.checks.engine import CheckConfig, Severity
+    from repro.checks.reporters import render_json, render_rule_table, \
+        render_text
+    from repro.checks.runner import find_repo_root, run_lint
+
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+
+    config = CheckConfig(
+        enable=tuple(args.enable) if args.enable else ("*",),
+        disable=tuple(args.disable or ()),
+    )
+    import fnmatch
+
+    from repro.checks.engine import registry
+    rule_ids = list(registry())
+    for pattern in (*(args.enable or ()), *(args.disable or ())):
+        if not any(fnmatch.fnmatch(r, pattern) for r in rule_ids):
+            print(f"warning: pattern {pattern!r} matches no rules "
+                  f"(see --list-rules)", file=sys.stderr)
+    root = find_repo_root(Path(args.root) if args.root else None)
+    baseline_path = Path(args.baseline) if args.baseline else None
+    source_paths = (
+        [Path(p) for p in args.paths] if args.paths else None
+    )
+    try:
+        result = run_lint(root=root, config=config,
+                          baseline_path=baseline_path,
+                          source_paths=source_paths)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or root / "lint-baseline.json"
+        Baseline.from_findings(
+            result.findings + result.suppressed
+        ).save(target)
+        print(f"wrote {target}: "
+              f"{len(result.findings) + len(result.suppressed)} "
+              f"suppression(s)")
+        return 0
+
+    if args.json:
+        print(render_json(result.findings, result.suppressed,
+                          result.stale_fingerprints))
+    else:
+        print(render_text(result.findings, result.suppressed,
+                          result.stale_fingerprints,
+                          verbose=args.verbose))
+    if args.strict and result.findings:
+        return 1
+    worst = result.worst
+    return 1 if worst is Severity.ERROR else 0
+
+
 def cmd_vcd(args: argparse.Namespace) -> int:
     import random
 
@@ -279,6 +338,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None)
     p.add_argument("--injections", type=int, default=30)
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: netlist DRC, FSM checks, constant-time "
+             "lint, VHDL structure",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.add_argument("--verbose", action="store_true",
+                   help="also list baseline-suppressed findings")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule table and exit")
+    p.add_argument("--enable", action="append", metavar="PATTERN",
+                   help="only run rules matching PATTERN (repeatable)")
+    p.add_argument("--disable", action="append", metavar="PATTERN",
+                   help="skip rules matching PATTERN (repeatable)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline file (default: lint-baseline.json "
+                        "at the repo root, if present)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="record current findings as the new baseline")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on warnings too")
+    p.add_argument("--root", default=None,
+                   help="repository root (default: auto-detected)")
+    p.add_argument("paths", nargs="*",
+                   help="restrict the source lint to these files/dirs")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("vcd", help="dump a waveform of a real run")
     p.add_argument("--blocks", type=int, default=1)

@@ -1,0 +1,240 @@
+"""Block-level connectivity netlists of the paper's devices.
+
+:mod:`repro.fpga.aes_netlists` answers "how big" (primitive counts
+for the area model); this module answers "how wired": the same Figs.
+8-9 structure expressed in the :mod:`repro.checks.netgraph` IR so the
+DRC rules can verify the paper's invariants — every net driven exactly
+once, every port connected, widths consistent, no combinational
+feedback through the asynchronous S-box ROMs, exactly four ROMs in the
+ByteSub bank and four in KStran, and the Table 1 pin budget.
+
+The wiring mirrors :class:`repro.ip.core.RijndaelCore` block for
+block: Data_In capture register + pending buffer, the 32/128-bit mixed
+state path through the 4-S-box substitution unit, the on-the-fly key
+unit with its KStran bank and Rcon generator, the round/step control
+FSM, and the registered Out process.  Note the KStran address tap
+(``kstran_tap``) and the schedule XOR layer are *separate* cells: the
+tap is a function of the working register only, which is exactly why
+the real hardware has no combinational loop through the KStran ROMs —
+and why the DRC's cycle search stays clean here.
+"""
+
+from __future__ import annotations
+
+from repro.checks.netgraph import CellKind, Design
+from repro.ip.control import Variant
+from repro.ip.interface import DEVICE_SIGNALS
+
+#: Number of S-box ROMs per substitution bank (one per byte lane).
+SBOX_LANES = 4
+
+#: Inter-block nets: name -> width.  Declared up front so the block
+#: builders can connect in any order.
+_NETS = {
+    "data_in_q": 128, "buf_q": 128, "load_word": 128,
+    "state_q": 128, "state_d": 128, "state_word": 32,
+    "sbox_wb": 128, "sbox_out_word": 32, "mix_out": 128,
+    "key_work": 128, "key_next": 128, "key0_q": 128,
+    "kstran_in_word": 32, "kstran_out_word": 32, "rcon": 8,
+    "state_sel": 2, "step": 3, "round_adv": 1, "last_round": 1,
+    "buf_wr": 1, "buf_sel": 1, "out_en": 1, "data_ok_q": 1,
+}
+
+
+def paper_connectivity(variant: Variant = Variant.ENCRYPT,
+                       name: str = "") -> Design:
+    """Build the connectivity netlist of one shipped device."""
+    design = Design(name or f"paper_{variant.value}")
+    _pins(design, variant)
+    for net_name, width in _NETS.items():
+        design.add_net(net_name, width)
+    _data_in(design)
+    _state_path(design)
+    _sbox_bank(design, "bytesub",
+               addr_net="state_word", out_net="sbox_out_word")
+    _key_unit(design)
+    _sbox_bank(design, "kstran",
+               addr_net="kstran_in_word", out_net="kstran_out_word")
+    _control(design, variant)
+    _out_process(design)
+    return design
+
+
+# ------------------------------------------------------------------- pins
+def _pins(design: Design, variant: Variant) -> None:
+    for spec in DEVICE_SIGNALS:
+        if spec.both_only and variant is not Variant.BOTH:
+            continue
+        net_name = spec.name.replace("/", "_")
+        design.add_net(net_name, spec.width)
+        direction = "out" if spec.direction == "in" else "in"
+        kind = (CellKind.PIN_IN if spec.direction == "in"
+                else CellKind.PIN_OUT)
+        design.add_cell(f"pin_{net_name}", kind, group="pins",
+                        pad=(direction, spec.width))
+        design.connect(net_name, f"pin_{net_name}", "pad")
+    # The clock fans out to every register implicitly; the DRC only
+    # needs to see it consumed once so it is not a dangling input.
+    design.add_cell("clock_root", CellKind.SEQ, group="clock",
+                    clk=("in", 1))
+    design.connect("clk", "clock_root", "clk")
+
+
+# -------------------------------------------------------- Data_In process
+def _data_in(design: Design) -> None:
+    design.add_cell("data_in_reg", CellKind.SEQ, group="interface",
+                    d=("in", 128), en=("in", 1), q=("out", 128))
+    design.connect("din", "data_in_reg", "d")
+    design.connect("wr_data", "data_in_reg", "en")
+    design.connect("data_in_q", "data_in_reg", "q")
+    # One-deep pending buffer: lets the bus write the next block while
+    # the engine runs (the paper's stated reason for registering din).
+    design.add_cell("pending_buf", CellKind.SEQ, group="interface",
+                    d=("in", 128), en=("in", 1), q=("out", 128))
+    design.connect("data_in_q", "pending_buf", "d")
+    design.connect("buf_wr", "pending_buf", "en")
+    design.connect("buf_q", "pending_buf", "q")
+    # Block-start source: capture register or the pending buffer.
+    design.add_cell("load_mux", CellKind.COMB, group="interface",
+                    a=("in", 128), b=("in", 128), sel=("in", 1),
+                    y=("out", 128))
+    design.connect("data_in_q", "load_mux", "a")
+    design.connect("buf_q", "load_mux", "b")
+    design.connect("buf_sel", "load_mux", "sel")
+    design.connect("load_word", "load_mux", "y")
+
+
+# ------------------------------------------------------------- state path
+def _state_path(design: Design) -> None:
+    # 3-way source mux: block load / S-box write-back / mix stage.
+    design.add_cell("state_mux", CellKind.COMB, group="state",
+                    load=("in", 128), sub=("in", 128),
+                    mix=("in", 128), sel=("in", 2), y=("out", 128))
+    design.connect("load_word", "state_mux", "load")
+    design.connect("sbox_wb", "state_mux", "sub")
+    design.connect("mix_out", "state_mux", "mix")
+    design.connect("state_sel", "state_mux", "sel")
+    design.connect("state_d", "state_mux", "y")
+    design.add_cell("state_reg", CellKind.SEQ, group="state",
+                    d=("in", 128), q=("out", 128))
+    design.connect("state_d", "state_reg", "d")
+    design.connect("state_q", "state_reg", "q")
+    # Word select: which 32-bit chunk feeds the substitution unit.
+    design.add_cell("word_select", CellKind.COMB, group="state",
+                    state=("in", 128), sel=("in", 3), y=("out", 32))
+    design.connect("state_q", "word_select", "state")
+    design.connect("step", "word_select", "sel")
+    design.connect("state_word", "word_select", "y")
+    # Write-back placer: routes the substituted word into its slot.
+    design.add_cell("word_place", CellKind.COMB, group="state",
+                    word=("in", 32), state=("in", 128),
+                    sel=("in", 3), y=("out", 128))
+    design.connect("sbox_out_word", "word_place", "word")
+    design.connect("state_q", "word_place", "state")
+    design.connect("step", "word_place", "sel")
+    design.connect("sbox_wb", "word_place", "y")
+    # Fused ShiftRow / MixColumn / AddKey stage (1 cycle, 128 bits).
+    design.add_cell("mix_network", CellKind.COMB, group="mix",
+                    state=("in", 128), key=("in", 128),
+                    last=("in", 1), y=("out", 128))
+    design.connect("state_q", "mix_network", "state")
+    design.connect("key_work", "mix_network", "key")
+    design.connect("last_round", "mix_network", "last")
+    design.connect("mix_out", "mix_network", "y")
+
+
+# ------------------------------------------------------------ S-box banks
+def _sbox_bank(design: Design, group: str, addr_net: str,
+               out_net: str) -> None:
+    """One 4-ROM substitution bank: split word, 4 lookups, rejoin."""
+    design.add_cell(f"{group}_split", CellKind.COMB, group=group,
+                    word=("in", 32),
+                    **{f"b{i}": ("out", 8) for i in range(SBOX_LANES)})
+    design.connect(addr_net, f"{group}_split", "word")
+    design.add_cell(f"{group}_join", CellKind.COMB, group=group,
+                    y=("out", 32),
+                    **{f"b{i}": ("in", 8) for i in range(SBOX_LANES)})
+    design.connect(out_net, f"{group}_join", "y")
+    for lane in range(SBOX_LANES):
+        addr = f"{group}_addr{lane}"
+        data = f"{group}_data{lane}"
+        design.add_net(addr, 8)
+        design.add_net(data, 8)
+        design.connect(addr, f"{group}_split", f"b{lane}")
+        design.add_cell(f"{group}_rom{lane}", CellKind.ROM,
+                        group=group, addr=("in", 8), data=("out", 8))
+        design.connect(addr, f"{group}_rom{lane}", "addr")
+        design.connect(data, f"{group}_rom{lane}", "data")
+        design.connect(data, f"{group}_join", f"b{lane}")
+
+
+# --------------------------------------------------------------- key unit
+def _key_unit(design: Design) -> None:
+    # key0 latch (loaded on wr_key) and working register.
+    design.add_cell("key0_reg", CellKind.SEQ, group="key",
+                    d=("in", 128), en=("in", 1), q=("out", 128))
+    design.connect("din", "key0_reg", "d")
+    design.connect("wr_key", "key0_reg", "en")
+    design.connect("key0_q", "key0_reg", "q")
+    design.add_cell("key_work_reg", CellKind.SEQ, group="key",
+                    d=("in", 128), q=("out", 128))
+    design.connect("key_next", "key_work_reg", "d")
+    design.connect("key_work", "key_work_reg", "q")
+    # KStran address tap: RotWord of the working register's last word.
+    # A function of the *register output only* — this separation is
+    # what keeps the KStran path loop-free.
+    design.add_cell("kstran_tap", CellKind.COMB, group="key",
+                    work=("in", 128), tap=("out", 32))
+    design.connect("key_work", "kstran_tap", "work")
+    design.connect("kstran_in_word", "kstran_tap", "tap")
+    # Schedule XOR layer: substituted word + Rcon + ripple XOR chain.
+    design.add_cell("sched_xor", CellKind.COMB, group="key",
+                    work=("in", 128), key0=("in", 128),
+                    sub=("in", 32), rcon=("in", 8), y=("out", 128))
+    design.connect("key_work", "sched_xor", "work")
+    design.connect("key0_q", "sched_xor", "key0")
+    design.connect("kstran_out_word", "sched_xor", "sub")
+    design.connect("rcon", "sched_xor", "rcon")
+    design.connect("key_next", "sched_xor", "y")
+    # Rcon generator: an xtime register stepped once per round.
+    design.add_cell("rcon_reg", CellKind.SEQ, group="key",
+                    en=("in", 1), q=("out", 8))
+    design.connect("round_adv", "rcon_reg", "en")
+    design.connect("rcon", "rcon_reg", "q")
+
+
+# ---------------------------------------------------------------- control
+def _control(design: Design, variant: Variant) -> None:
+    ports = {
+        "setup": ("in", 1), "wr_data": ("in", 1), "wr_key": ("in", 1),
+        "state_sel": ("out", 2), "step": ("out", 3),
+        "round_adv": ("out", 1), "last_round": ("out", 1),
+        "buf_wr": ("out", 1), "buf_sel": ("out", 1),
+        "out_en": ("out", 1), "data_ok": ("out", 1),
+    }
+    if variant is Variant.BOTH:
+        ports["encdec"] = ("in", 1)
+    design.add_cell("control_fsm", CellKind.SEQ, group="control",
+                    **ports)
+    design.connect("setup", "control_fsm", "setup")
+    design.connect("wr_data", "control_fsm", "wr_data")
+    design.connect("wr_key", "control_fsm", "wr_key")
+    if variant is Variant.BOTH:
+        design.connect("enc_dec", "control_fsm", "encdec")
+    for net in ("state_sel", "step", "round_adv", "last_round",
+                "buf_wr", "buf_sel", "out_en"):
+        design.connect(net, "control_fsm", net)
+    design.connect("data_ok_q", "control_fsm", "data_ok")
+
+
+# ------------------------------------------------------------ Out process
+def _out_process(design: Design) -> None:
+    design.add_cell("out_reg", CellKind.SEQ, group="interface",
+                    d=("in", 128), en=("in", 1), q=("out", 128))
+    design.connect("mix_out", "out_reg", "d")
+    design.connect("out_en", "out_reg", "en")
+    design.connect("dout", "out_reg", "q")
+    design.add_cell("data_ok_buf", CellKind.COMB, group="interface",
+                    a=("in", 1), y=("out", 1))
+    design.connect("data_ok_q", "data_ok_buf", "a")
+    design.connect("data_ok", "data_ok_buf", "y")

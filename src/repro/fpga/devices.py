@@ -64,7 +64,8 @@ class Device:
         """Whether S-box ROMs can live in embedded memory combinationally."""
         return bool(self.memory and self.memory.supports_async_read)
 
-    def occupancy(self, les: int, mem_bits: int, pins: int) -> Dict[str, float]:
+    def occupancy(self, les: int, mem_bits: int,
+                  pins: int) -> Dict[str, float]:
         """Utilization fractions for a fit (the Table 2 percentages)."""
         return {
             "logic": les / self.logic_elements,

@@ -124,6 +124,21 @@ def lint_vhdl(text: str, filename: str = "<vhdl>") -> LintReport:
     )
 
 
+def check_vhdl(text: str, filename: str = "<vhdl>") -> "Tuple[str, ...]":
+    """Non-raising variant of :func:`lint_vhdl` for the rule engine.
+
+    Returns the violation messages (empty tuple = clean).  The raising
+    API stays for the generator's emit path, which must refuse to
+    write broken HDL; the :mod:`repro.checks` subsystem wants findings
+    instead of exceptions so one bad file cannot mask the rest.
+    """
+    try:
+        lint_vhdl(text, filename)
+    except LintError as exc:
+        return (str(exc),)
+    return ()
+
+
 def _is_external(code: str, entity_name: str) -> bool:
     """Allow architectures of entities declared in another file if a
     component/use hints at them (we only generate same-file pairs, so

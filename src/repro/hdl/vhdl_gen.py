@@ -120,7 +120,7 @@ def generate_sbox_entity(inverse: bool = False) -> str:
     mif = "sbox_inverse.mif" if inverse else "sbox_forward.mif"
     constant = _sbox_constant("TABLE", table)
     return f"""\
--- {name}: 256x8 asynchronous ROM ({'inverse' if inverse else 'forward'} S-box, 2048 bits)
+-- {name}: 256x8 async ROM ({'inverse' if inverse else 'forward'} S-box)
 -- Contents also provided as {mif} for EAB/M4K initialization.
 library ieee;
 use ieee.std_logic_1164.all;

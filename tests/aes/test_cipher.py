@@ -10,7 +10,7 @@ from repro.aes.cipher import (
     num_rounds,
     schedule_trace,
 )
-from repro.aes.vectors import ALL_VECTORS, FIPS197_APPENDIX_B
+from repro.aes.vectors import ALL_VECTORS
 
 
 class TestKnownAnswers:

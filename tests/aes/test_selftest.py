@@ -1,6 +1,5 @@
 """Tests for the power-on self test."""
 
-import pytest
 
 from repro.aes.selftest import CheckResult, SelfTestReport, run_self_test
 

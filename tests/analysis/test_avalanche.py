@@ -1,6 +1,5 @@
 """Tests for the diffusion statistics."""
 
-import pytest
 
 from repro.analysis.avalanche import (
     AvalancheReport,

@@ -1,6 +1,5 @@
 """Tests for the mechanical reproduction-report generator."""
 
-import pytest
 
 from repro.analysis.report_gen import generate_report
 

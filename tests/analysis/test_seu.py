@@ -4,7 +4,6 @@ import pytest
 
 from repro.aes.cipher import AES128
 from repro.analysis.seu import CampaignResult, inject_once, run_campaign
-from repro.ip.control import Variant
 
 KEY = bytes(range(16))
 BLOCK = bytes.fromhex("00112233445566778899aabbccddeeff")

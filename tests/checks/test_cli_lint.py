@@ -1,0 +1,200 @@
+"""The `repro-aes lint` subcommand and the runner it wraps.
+
+The acceptance bar for the subsystem: exit 0 on the clean shipped
+tree, non-zero when a violation of *each* analyzer family is seeded.
+"""
+
+import json
+
+from repro.checks.engine import (
+    KIND_DESIGN,
+    KIND_FSM,
+    KIND_NETLIST,
+    KIND_SOURCE,
+    KIND_VHDL,
+    Severity,
+)
+from repro.checks.fsm import core_fsm
+from repro.checks.netgraph import CellKind, Design
+from repro.checks.runner import (
+    build_subjects,
+    find_repo_root,
+    run_lint,
+)
+from repro.cli import main
+
+ROOT = find_repo_root()
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def empty_subjects():
+    return {KIND_DESIGN: [], KIND_NETLIST: [], KIND_FSM: [],
+            KIND_SOURCE: [], KIND_VHDL: []}
+
+
+class TestCleanTree:
+    def test_shipped_tree_lints_clean(self):
+        result = run_lint(root=ROOT)
+        assert result.findings == []
+        assert result.exit_code == 0
+        # The sanctioned warnings are suppressed, not silenced.
+        assert len(result.suppressed) == 4
+        assert result.stale_fingerprints == []
+
+    def test_subjects_cover_every_family(self):
+        subjects = build_subjects(ROOT)
+        for kind in (KIND_DESIGN, KIND_NETLIST, KIND_FSM,
+                     KIND_SOURCE, KIND_VHDL):
+            assert subjects[kind], kind
+
+
+class TestSeededViolationsFailPerFamily:
+    """Each family must be able to fail the run on its own."""
+
+    def _exit_code(self, kind, subject):
+        subjects = empty_subjects()
+        subjects[kind] = [subject]
+        return run_lint(root=ROOT, subjects=subjects).exit_code
+
+    def test_design_family(self):
+        design = Design("seeded")
+        design.add_cell("f", CellKind.COMB, x=("in", 1),
+                        y=("out", 1))
+        design.add_net("fb", 1)
+        design.connect("fb", "f", "y")
+        design.connect("fb", "f", "x")  # self combinational loop
+        assert self._exit_code(KIND_DESIGN, design) == 1
+
+    def test_netlist_family(self):
+        from repro.arch.spec import PAPER_SPECS
+        from repro.checks.netlist_drc import NetlistSubject
+        from repro.fpga.aes_netlists import build_netlist
+
+        spec = PAPER_SPECS["encrypt"]
+        netlist = build_netlist(spec)
+        netlist.add_rom("sbox_extra", 256, 8, count=1)
+        subject = NetlistSubject(spec, netlist)
+        assert self._exit_code(KIND_NETLIST, subject) == 1
+
+    def test_fsm_family(self):
+        from repro.ip.control import Variant
+
+        model = core_fsm(Variant.ENCRYPT)
+        model.add_state("orphan")
+        assert self._exit_code(KIND_FSM, model) == 1
+
+    def test_source_family(self):
+        from repro.checks.crypto_lint import SourceFile
+
+        source = SourceFile.parse(
+            "seeded.py",
+            "def f(key):\n    if key[0]:\n        pass\n",
+        )
+        assert self._exit_code(KIND_SOURCE, source) == 1
+
+    def test_vhdl_family(self):
+        bad = ("entity a is\nend entity b;\n"
+               "architecture r of a is\nbegin\n"
+               "end architecture r;\n")
+        assert self._exit_code(KIND_VHDL, ("bad.vhd", bad)) == 1
+
+    def test_warnings_alone_do_not_fail(self):
+        from repro.checks.crypto_lint import SourceFile
+
+        source = SourceFile.parse(
+            "seeded.py", 'SESSION_KEY = b"\\x00" * 16\n'
+        )
+        subjects = empty_subjects()
+        subjects[KIND_SOURCE] = [source]
+        result = run_lint(root=ROOT, subjects=subjects)
+        assert result.worst is Severity.WARNING
+        assert result.exit_code == 0
+
+
+class TestCliSurface:
+    def test_lint_exits_zero_on_clean_tree(self, capsys):
+        code, out = run_cli(capsys, "lint", "--root", str(ROOT))
+        assert code == 0
+        assert "no findings" in out
+        assert "4 suppressed" in out
+
+    def test_strict_is_still_clean(self, capsys):
+        code, _ = run_cli(capsys, "lint", "--strict",
+                          "--root", str(ROOT))
+        assert code == 0
+
+    def test_json_output(self, capsys):
+        code, out = run_cli(capsys, "lint", "--json",
+                            "--root", str(ROOT))
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["findings"] == []
+        assert len(payload["suppressed"]) == 4
+        assert payload["summary"]["error"] == 0
+
+    def test_list_rules(self, capsys):
+        code, out = run_cli(capsys, "lint", "--list-rules")
+        assert code == 0
+        for rule_id in ("drc.comb-loop", "fsm.round-cycles",
+                        "ct.secret-branch", "hdl.vhdl-structure",
+                        "struct.paper-invariants"):
+            assert rule_id in out
+
+    def test_disable_family(self, capsys):
+        # With ct.* disabled nothing remains to suppress.
+        code, out = run_cli(capsys, "lint", "--disable", "ct.*",
+                            "--root", str(ROOT))
+        assert code == 0
+        assert "suppressed" not in out
+
+    def test_seeded_source_fails_through_cli(self, capsys, tmp_path):
+        bad = tmp_path / "leaky.py"
+        bad.write_text(
+            "def f(key, t):\n    return t[key[0]]\n"
+        )
+        code, out = run_cli(capsys, "lint", "--root", str(ROOT),
+                            str(bad))
+        assert code == 1
+        assert "ct.secret-index" in out
+
+    def test_write_baseline_round_trip(self, capsys, tmp_path):
+        bad = tmp_path / "leaky.py"
+        bad.write_text(
+            "def f(key, t):\n    return t[key[0]]\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        code, out = run_cli(
+            capsys, "lint", "--root", str(ROOT), str(bad),
+            "--baseline", str(baseline), "--write-baseline",
+        )
+        assert code == 0
+        assert baseline.exists()
+        # With the violation baselined, the same run now passes.
+        code, out = run_cli(
+            capsys, "lint", "--root", str(ROOT), str(bad),
+            "--baseline", str(baseline),
+        )
+        assert code == 0
+        assert "suppressed" in out
+
+    def test_corrupt_baseline_is_a_clean_error(self, capsys,
+                                               tmp_path):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{broken")
+        code = main(["lint", "--root", str(ROOT),
+                     "--baseline", str(corrupt)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not valid JSON" in captured.err
+
+    def test_verbose_lists_suppressed(self, capsys):
+        code, out = run_cli(capsys, "lint", "--verbose",
+                            "--root", str(ROOT))
+        assert code == 0
+        assert "suppressed by baseline" in out
+        assert "ct.key-global" in out

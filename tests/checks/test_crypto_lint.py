@@ -1,0 +1,229 @@
+"""Constant-time / crypto-misuse AST rules: one triggering and one
+non-triggering snippet per rule, plus taint-engine behaviour."""
+
+import textwrap
+
+from repro.checks.crypto_lint import SourceFile
+from repro.checks.engine import KIND_SOURCE, CheckConfig, run_rules
+
+
+def lint(code, rule_id, config=None):
+    source = SourceFile.parse("snippet.py", textwrap.dedent(code))
+    return run_rules({KIND_SOURCE: [source]}, config,
+                     only=[rule_id])
+
+
+class TestSecretBranch:
+    def test_branch_on_key_byte_triggers(self):
+        findings = lint(
+            """
+            def f(key):
+                if key[0] == 0x52:
+                    return 1
+                return 0
+            """, "ct.secret-branch")
+        assert len(findings) == 1
+        assert "key" in findings[0].message
+
+    def test_branch_on_key_length_is_fine(self):
+        findings = lint(
+            """
+            def f(key):
+                if len(key) != 16:
+                    raise ValueError("bad key size")
+            """, "ct.secret-branch")
+        assert findings == []
+
+    def test_compare_digest_launders(self):
+        findings = lint(
+            """
+            import hmac
+            def f(key, tag):
+                if hmac.compare_digest(key, tag):
+                    return True
+            """, "ct.secret-branch")
+        assert findings == []
+
+    def test_taint_propagates_through_assignment(self):
+        findings = lint(
+            """
+            def f(key):
+                word = key[0] ^ 0x63
+                while word:
+                    word >>= 1
+            """, "ct.secret-branch")
+        assert len(findings) == 1
+
+    def test_public_branch_untainted(self):
+        findings = lint(
+            """
+            def f(key, rounds):
+                for i in range(rounds):
+                    if i == 9:
+                        break
+            """, "ct.secret-branch")
+        assert findings == []
+
+
+class TestSecretIndex:
+    def test_lookup_by_key_byte_triggers(self):
+        findings = lint(
+            """
+            def f(key, table):
+                return table[key[0]]
+            """, "ct.secret-index")
+        assert len(findings) == 1
+        assert "table" in findings[0].message
+
+    def test_sanctioned_sbox_is_fine(self):
+        findings = lint(
+            """
+            def f(key):
+                return SBOX[key[0]]
+            """, "ct.secret-index")
+        assert findings == []
+
+    def test_slicing_the_secret_by_public_index_is_fine(self):
+        findings = lint(
+            """
+            def f(key, i):
+                return key[4 * i:4 * i + 4]
+            """, "ct.secret-index")
+        assert findings == []
+
+    def test_custom_sanctioned_tables(self):
+        config = CheckConfig(sanctioned_tables=("MY_ROM",))
+        code = """
+            def f(key):
+                return MY_ROM[key[0]]
+            """
+        assert lint(code, "ct.secret-index", config) == []
+        assert lint(code, "ct.secret-index")  # default set: flagged
+
+    def test_name_exceptions_are_not_secrets(self):
+        findings = lint(
+            """
+            def f(table, key_index, is_key):
+                if is_key:
+                    return table[key_index]
+            """, "ct.secret-branch")
+        assert findings == []
+
+
+class TestKeyGlobal:
+    def test_module_key_literal_triggers(self):
+        findings = lint(
+            'SESSION_KEY = bytes.fromhex("2b7e151628aed2a6")\n',
+            "ct.key-global")
+        assert len(findings) == 1
+        assert "SESSION_KEY" in findings[0].message
+
+    def test_annotated_assignment_triggers(self):
+        findings = lint(
+            'STATIC_IV: bytes = b"\\x00" * 16\n', "ct.key-global")
+        assert len(findings) == 1
+
+    def test_non_key_constant_is_fine(self):
+        assert lint("BLOCK = 16\n", "ct.key-global") == []
+
+    def test_non_bytes_key_name_is_fine(self):
+        # A key *schedule length*, not key material.
+        assert lint("KEY_WORDS = 44\n", "ct.key-global") == []
+
+
+class TestStaticIv:
+    def test_keyword_literal_iv_triggers(self):
+        findings = lint(
+            """
+            def send(key, msg):
+                return cbc_encrypt(key, msg, iv=b"\\x00" * 16)
+            """, "ct.static-iv")
+        assert len(findings) == 1
+
+    def test_positional_literal_iv_triggers(self):
+        findings = lint(
+            """
+            def send(key, msg):
+                return cbc_encrypt(key, b"\\x00" * 16, msg)
+            """, "ct.static-iv")
+        assert len(findings) == 1
+
+    def test_fresh_iv_is_fine(self):
+        findings = lint(
+            """
+            import os
+            def send(key, msg):
+                return cbc_encrypt(key, os.urandom(16), msg)
+            """, "ct.static-iv")
+        assert findings == []
+
+
+class TestRawEcb:
+    def test_ecb_call_outside_library_triggers(self):
+        findings = lint(
+            """
+            def send(key, msg):
+                return ecb_encrypt(key, msg)
+            """, "ct.raw-ecb")
+        assert len(findings) == 1
+        assert "ECB" in findings[0].message
+
+    def test_mode_library_itself_is_exempt(self):
+        findings = lint(
+            """
+            def ecb_encrypt(key, msg):
+                return msg
+
+            def helper(key, msg):
+                return ecb_encrypt(key, msg)
+            """, "ct.raw-ecb")
+        assert findings == []
+
+
+class TestTaintEngineEdges:
+    def test_subscript_store_taints_container_not_index(self):
+        # r[i] = key[...] must taint r, never the loop index i.
+        findings = lint(
+            """
+            def f(key, table):
+                r = [None] * 4
+                for i in range(4):
+                    r[i] = key[4 * i]
+                    if i == 3:
+                        pass
+                    x = table[i]
+                return r, x
+            """, "ct.secret-branch")
+        assert findings == []
+
+    def test_attribute_store_does_not_taint_object(self):
+        findings = lint(
+            """
+            def f(self, key):
+                self.key = key
+                if self:
+                    return 1
+            """, "ct.secret-branch")
+        assert findings == []
+
+    def test_tainted_container_lookup_by_secret_triggers(self):
+        findings = lint(
+            """
+            def f(key, table):
+                k = key
+                return table[k[0]]
+            """, "ct.secret-index")
+        assert len(findings) == 1
+
+
+class TestShippedSourcesClean:
+    def test_cipher_and_ip_have_no_ct_errors(self):
+        """The real tree must carry zero constant-time *errors*
+        (the sanctioned warnings live in the baseline)."""
+        from repro.checks.engine import Severity
+        from repro.checks.runner import find_repo_root, run_lint
+
+        result = run_lint(root=find_repo_root())
+        errors = [f for f in result.findings
+                  if f.severity is Severity.ERROR]
+        assert errors == []

@@ -1,0 +1,171 @@
+"""Rule-engine core: registry, config, findings, baseline."""
+
+import json
+
+import pytest
+
+from repro.checks.baseline import Baseline, BaselineError
+from repro.checks.engine import (
+    KIND_SOURCE,
+    CheckConfig,
+    Finding,
+    Location,
+    Severity,
+    iter_families,
+    max_severity,
+    registry,
+    run_rules,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.NOTE
+
+    def test_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse(" Warning ") is Severity.WARNING
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestRegistry:
+    def test_all_families_present(self):
+        families = {r.family for r in registry().values()}
+        assert {"ct", "drc", "fsm", "hdl", "struct"} <= families
+
+    def test_every_rule_documents_itself(self):
+        for rule_obj in registry().values():
+            assert rule_obj.doc
+            assert "." in rule_obj.id
+
+    def test_iter_families_sorted(self):
+        names = [family for family, _ in iter_families(registry())]
+        assert names == sorted(names)
+
+
+class TestCheckConfig:
+    def test_default_enables_everything(self):
+        config = CheckConfig()
+        assert config.enabled("drc.undriven-net")
+        assert config.enabled("ct.secret-branch")
+
+    def test_disable_wins_over_enable(self):
+        config = CheckConfig(enable=("*",), disable=("drc.*",))
+        assert not config.enabled("drc.undriven-net")
+        assert config.enabled("fsm.trap-state")
+
+    def test_enable_pattern_restricts(self):
+        config = CheckConfig(enable=("ct.*",))
+        assert config.enabled("ct.raw-ecb")
+        assert not config.enabled("drc.comb-loop")
+
+    def test_severity_override(self):
+        config = CheckConfig(
+            severity_overrides={"ct.*": Severity.NOTE}
+        )
+        rule_obj = registry()["ct.secret-branch"]
+        assert config.effective_severity(rule_obj) is Severity.NOTE
+
+    def test_override_applied_to_findings(self):
+        import ast
+
+        from repro.checks.crypto_lint import SourceFile
+
+        code = "def f(key):\n    if key[0]:\n        pass\n"
+        source = SourceFile("x.py", ast.parse(code))
+        findings = run_rules(
+            {KIND_SOURCE: [source]},
+            CheckConfig(severity_overrides={
+                "ct.secret-branch": Severity.NOTE,
+            }),
+        )
+        assert findings
+        assert all(f.severity is Severity.NOTE for f in findings)
+
+
+class TestFinding:
+    def test_fingerprint_ignores_line(self):
+        a = Finding("r.x", Severity.ERROR, "msg",
+                    Location("f.py", 10, "obj"))
+        b = Finding("r.x", Severity.ERROR, "msg",
+                    Location("f.py", 99, "obj"))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_separates_rules(self):
+        a = Finding("r.x", Severity.ERROR, "msg", Location("f.py"))
+        b = Finding("r.y", Severity.ERROR, "msg", Location("f.py"))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_render(self):
+        f = Finding("r.x", Severity.WARNING, "something",
+                    Location("f.py", 3, "net"))
+        assert f.render() == "f.py:3 (net): warning: [r.x] something"
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        findings = [
+            Finding("a", Severity.NOTE, "m"),
+            Finding("b", Severity.ERROR, "m"),
+        ]
+        assert max_severity(findings) is Severity.ERROR
+
+
+class TestBaseline:
+    def _finding(self, message="msg"):
+        return Finding("r.x", Severity.WARNING, message,
+                       Location("f.py", 1, "obj"))
+
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings([self._finding()])
+        target = tmp_path / "b.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        assert loaded.entries == baseline.entries
+        # Audit context is preserved alongside the fingerprint.
+        data = json.loads(target.read_text())
+        assert data["version"] == 1
+        assert data["suppressions"][0]["rule"] == "r.x"
+
+    def test_split(self):
+        suppressed_f = self._finding("old")
+        active_f = self._finding("new")
+        baseline = Baseline.from_findings([suppressed_f])
+        active, suppressed = baseline.split([suppressed_f, active_f])
+        assert active == [active_f]
+        assert suppressed == [suppressed_f]
+
+    def test_stale_entries(self):
+        gone = self._finding("vanished")
+        baseline = Baseline.from_findings([gone])
+        assert baseline.stale_entries([]) == [gone.fingerprint()]
+        assert baseline.stale_entries([gone]) == []
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        target = tmp_path / "b.json"
+        target.write_text("{nope")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            Baseline.load(target)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        target = tmp_path / "b.json"
+        target.write_text('{"version": 99, "suppressions": []}')
+        with pytest.raises(BaselineError, match="version"):
+            Baseline.load(target)
+
+    def test_load_rejects_missing_fingerprint(self, tmp_path):
+        target = tmp_path / "b.json"
+        target.write_text('{"version": 1, "suppressions": [{}]}')
+        with pytest.raises(BaselineError, match="fingerprint"):
+            Baseline.load(target)
+
+    def test_shipped_baseline_matches_tree(self):
+        """The committed baseline only carries sanctioned warnings."""
+        from repro.checks.runner import find_repo_root
+
+        root = find_repo_root()
+        baseline = Baseline.load(root / "lint-baseline.json")
+        rules = {ctx["rule"] for ctx in baseline.entries.values()}
+        assert rules <= {"ct.key-global", "ct.raw-ecb"}

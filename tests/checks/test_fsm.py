@@ -1,0 +1,142 @@
+"""FSM analysis rules: the shipped control FSMs must be clean, and
+each rule must fire on a seeded defect."""
+
+import pytest
+
+from repro.checks.engine import KIND_FSM, run_rules
+from repro.checks.fsm import FsmModel, core_fsm, paper_fsms
+from repro.ip.control import (
+    NUM_ROUNDS,
+    Variant,
+    block_latency,
+    cycles_per_round,
+)
+
+
+def run_fsm_rule(rule_id, model):
+    return run_rules({KIND_FSM: [model]}, only=[rule_id])
+
+
+ALL_FSM_RULES = ["fsm.unreachable-state", "fsm.dead-transition",
+                 "fsm.trap-state", "fsm.round-cycles"]
+
+
+class TestCoreFsmModel:
+    @pytest.mark.parametrize("variant", list(Variant))
+    @pytest.mark.parametrize("sync_rom", [False, True])
+    def test_shipped_fsms_clean(self, variant, sync_rom):
+        model = core_fsm(variant, sync_rom)
+        findings = run_rules({KIND_FSM: [model]}, only=ALL_FSM_RULES)
+        assert findings == []
+
+    def test_round_loop_is_the_paper_five_cycles(self):
+        model = core_fsm(Variant.ENCRYPT, sync_rom=False)
+        laps = model.cycles_through("round")
+        assert laps
+        assert all(cost == 5 for _, cost in laps)
+
+    def test_block_product_matches_latency(self):
+        for sync_rom in (False, True):
+            model = core_fsm(Variant.ENCRYPT, sync_rom)
+            assert (model.expected_round_cycles * NUM_ROUNDS
+                    == block_latency(sync_rom))
+
+    def test_paper_fsms_covers_all_flavours(self):
+        models = paper_fsms()
+        assert len(models) == len(Variant) * 2
+        assert len({m.name for m in models}) == len(models)
+
+    def test_decrypt_has_key_setup_pass(self):
+        model = core_fsm(Variant.DECRYPT)
+        assert "key_setup" in model.state_names()
+        assert "key_setup" not in \
+            core_fsm(Variant.ENCRYPT).state_names()
+
+    def test_validate_rejects_phantom_states(self):
+        model = FsmModel(name="bad", reset="idle")
+        model.add_state("idle")
+        model.add_transition("idle", "ghost", "go")
+        with pytest.raises(ValueError, match="undeclared"):
+            model.validate()
+
+
+class TestUnreachableState:
+    def test_triggers(self):
+        model = core_fsm(Variant.ENCRYPT)
+        model.add_state("orphan")
+        findings = run_fsm_rule("fsm.unreachable-state", model)
+        assert len(findings) == 1
+        assert "orphan" in findings[0].message
+
+    def test_clean(self):
+        assert not run_fsm_rule("fsm.unreachable-state",
+                                core_fsm(Variant.ENCRYPT))
+
+
+class TestDeadTransition:
+    def test_unreachable_source_triggers(self):
+        model = core_fsm(Variant.ENCRYPT)
+        model.add_state("orphan")
+        model.add_transition("orphan", "idle", "escape")
+        findings = run_fsm_rule("fsm.dead-transition", model)
+        assert len(findings) == 1
+        assert "source state is unreachable" in findings[0].message
+
+    def test_shadowed_duplicate_triggers(self):
+        model = core_fsm(Variant.ENCRYPT)
+        # Same (source, event) as the existing start transition.
+        model.add_transition("idle", "run_s2", "start_block")
+        findings = run_fsm_rule("fsm.dead-transition", model)
+        assert len(findings) == 1
+        assert "shadowed" in findings[0].message
+
+    def test_clean(self):
+        assert not run_fsm_rule("fsm.dead-transition",
+                                core_fsm(Variant.BOTH, True))
+
+
+class TestTrapState:
+    def test_triggers(self):
+        model = core_fsm(Variant.ENCRYPT)
+        model.add_state("wedge")
+        model.add_transition("idle", "wedge", "oops")
+        findings = run_fsm_rule("fsm.trap-state", model)
+        assert len(findings) == 1
+        assert findings[0].severity.name == "WARNING"
+
+    def test_clean(self):
+        assert not run_fsm_rule("fsm.trap-state",
+                                core_fsm(Variant.ENCRYPT))
+
+
+class TestRoundCycles:
+    def test_wrong_lap_cost_triggers(self):
+        model = core_fsm(Variant.ENCRYPT)
+        # A bypass edge that shortens the round loop by two clocks.
+        model.add_transition("run_s2", "run_s0", "skip")
+        findings = run_fsm_rule("fsm.round-cycles", model)
+        assert any("3 cycles" in f.message for f in findings)
+
+    def test_missing_loop_triggers(self):
+        model = FsmModel(name="noloop", reset="a",
+                         expected_round_cycles=5)
+        model.add_state("a", "round")
+        model.add_state("b", "round")
+        model.add_transition("a", "b", "go")
+        findings = run_fsm_rule("fsm.round-cycles", model)
+        assert len(findings) == 1
+        assert "cannot iterate" in findings[0].message
+
+    def test_block_product_mismatch_triggers(self):
+        per_round = cycles_per_round(False)
+        model = core_fsm(Variant.ENCRYPT)
+        model.expected_block_cycles = per_round * NUM_ROUNDS + 1
+        findings = run_fsm_rule("fsm.round-cycles", model)
+        assert len(findings) == 1
+        assert "block latency" in findings[0].message
+
+    def test_unset_expectation_skips(self):
+        model = FsmModel(name="free", reset="a")
+        model.add_state("a")
+        model.add_transition("a", "a", "tick")
+        assert not run_fsm_rule("fsm.round-cycles", model)

@@ -1,0 +1,160 @@
+"""VHDL structural checks: the raising `repro.hdl.lint` API, its
+non-raising adapter, and the rule-engine wrappers."""
+
+import pytest
+
+from repro.checks.engine import KIND_VHDL, run_rules
+from repro.hdl.lint import LintError, check_vhdl, lint_vhdl
+
+GOOD_VHDL = """\
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity blinker is
+  port (
+    clk  : in  std_logic;
+    q    : out std_logic
+  );
+end entity blinker;
+
+architecture rtl of blinker is
+  signal state : std_logic := '0';
+begin
+  tick : process (clk)
+  begin
+    if rising_edge(clk) then
+      state <= not state;
+    end if;
+  end process;
+  q <= state;
+end architecture rtl;
+"""
+
+
+def run_vhdl_rule(rule_id, filename, text):
+    return run_rules({KIND_VHDL: [(filename, text)]}, only=[rule_id])
+
+
+class TestLintVhdl:
+    def test_clean_file_reports_structure(self):
+        report = lint_vhdl(GOOD_VHDL, "blinker.vhd")
+        assert report.entities == ("blinker",)
+        assert report.architectures == (("rtl", "blinker"),)
+        assert report.processes == 1
+        assert set(report.ports) == {"clk", "q"}
+
+    def test_entity_end_mismatch(self):
+        bad = GOOD_VHDL.replace("end entity blinker;",
+                                "end entity strobe;")
+        with pytest.raises(LintError, match="entity/end-entity"):
+            lint_vhdl(bad, "x.vhd")
+
+    def test_architecture_end_mismatch(self):
+        bad = GOOD_VHDL.replace("end architecture rtl;", "")
+        with pytest.raises(LintError, match="architecture/end"):
+            lint_vhdl(bad, "x.vhd")
+
+    def test_architecture_of_unknown_entity(self):
+        bad = GOOD_VHDL.replace("architecture rtl of blinker",
+                                "architecture rtl of mystery")
+        with pytest.raises(LintError, match="unknown"):
+            lint_vhdl(bad, "x.vhd")
+
+    def test_package_end_mismatch(self):
+        bad = "package tools is\nend package utils;\n"
+        with pytest.raises(LintError, match="package"):
+            lint_vhdl(bad, "x.vhd")
+
+    def test_process_end_mismatch(self):
+        bad = GOOD_VHDL.replace("end process;", "")
+        with pytest.raises(LintError, match="process"):
+            lint_vhdl(bad, "x.vhd")
+
+    def test_if_imbalance(self):
+        bad = GOOD_VHDL.replace("    end if;\n", "")
+        with pytest.raises(LintError, match="if/end-if"):
+            lint_vhdl(bad, "x.vhd")
+
+    def test_case_imbalance(self):
+        bad = GOOD_VHDL.replace(
+            "q <= state;",
+            "q <= state;\n  -- next line opens a case\n"
+        ).replace("begin\n  tick",
+                  "begin\n  case state is\n  tick")
+        with pytest.raises(LintError, match="case"):
+            lint_vhdl(bad, "x.vhd")
+
+    def test_unused_port(self):
+        bad = GOOD_VHDL.replace("q <= state;", "")
+        with pytest.raises(LintError, match="port 'q'"):
+            lint_vhdl(bad, "x.vhd")
+
+    def test_comments_are_ignored(self):
+        commented = GOOD_VHDL + "-- if this comment opened an if\n"
+        lint_vhdl(commented, "x.vhd")  # must not raise
+
+
+class TestCheckVhdl:
+    def test_clean_returns_empty(self):
+        assert check_vhdl(GOOD_VHDL, "x.vhd") == ()
+
+    def test_violation_returns_message(self):
+        bad = GOOD_VHDL.replace("end entity blinker;",
+                                "end entity strobe;")
+        messages = check_vhdl(bad, "x.vhd")
+        assert len(messages) == 1
+        assert "entity/end-entity" in messages[0]
+
+
+class TestVhdlStructureRule:
+    def test_triggers_on_bad_file(self):
+        bad = GOOD_VHDL.replace("end entity blinker;",
+                                "end entity strobe;")
+        findings = run_vhdl_rule("hdl.vhdl-structure", "x.vhd", bad)
+        assert len(findings) == 1
+        assert findings[0].location.file == "x.vhd"
+        # The filename prefix is stripped into the location.
+        assert not findings[0].message.startswith("x.vhd")
+
+    def test_clean_file_is_silent(self):
+        assert not run_vhdl_rule("hdl.vhdl-structure", "x.vhd",
+                                 GOOD_VHDL)
+
+    def test_non_vhdl_files_are_skipped(self):
+        assert not run_vhdl_rule("hdl.vhdl-structure", "readme.md",
+                                 "entity nonsense")
+
+
+class TestSboxRomsInitialized:
+    def _rom_constant(self, entries):
+        body = ", ".join(f'x"{i % 256:02x}"' for i in range(entries))
+        return (f"constant TABLE : rom_256x8_t := ({body});\n")
+
+    def test_full_rom_is_fine(self):
+        text = self._rom_constant(256)
+        assert not run_vhdl_rule("hdl.sbox-roms-initialized",
+                                 "rom.vhd", text)
+
+    def test_truncated_rom_triggers(self):
+        text = self._rom_constant(255)
+        findings = run_vhdl_rule("hdl.sbox-roms-initialized",
+                                 "rom.vhd", text)
+        assert len(findings) == 1
+        assert "255 bytes" in findings[0].message
+
+
+class TestGeneratedVhdlClean:
+    def test_shipped_generator_output_passes_all_hdl_rules(self):
+        from repro.hdl.vhdl_gen import generate_core_vhdl
+        from repro.ip.control import Variant
+
+        subjects = []
+        for variant in Variant:
+            for name, text in generate_core_vhdl(variant).items():
+                subjects.append((f"{variant.value}/{name}", text))
+        assert subjects
+        findings = run_rules(
+            {KIND_VHDL: subjects},
+            only=["hdl.vhdl-structure", "hdl.sbox-roms-initialized"],
+        )
+        assert findings == []

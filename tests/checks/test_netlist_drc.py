@@ -1,0 +1,283 @@
+"""Netlist DRC rules: each rule gets a triggering and a
+non-triggering fixture; the shipped connectivity designs must be
+clean on all of them."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.spec import PAPER_SPECS
+from repro.checks.engine import KIND_DESIGN, KIND_NETLIST, run_rules
+from repro.checks.netgraph import CellKind, Design, NetgraphError
+from repro.checks.netlist_drc import NetlistSubject
+from repro.fpga.aes_netlists import build_netlist
+from repro.fpga.connectivity import paper_connectivity
+from repro.ip.control import Variant
+
+
+def run_design_rule(rule_id, design):
+    return run_rules({KIND_DESIGN: [design]}, only=[rule_id])
+
+
+def run_netlist_rule(rule_id, subject):
+    return run_rules({KIND_NETLIST: [subject]}, only=[rule_id])
+
+
+def minimal_clean_design():
+    """reg -> logic -> reg: every net driven once and read."""
+    d = Design("minimal")
+    d.add_cell("a_reg", CellKind.SEQ, q=("out", 8), d=("in", 8))
+    d.add_cell("logic", CellKind.COMB, x=("in", 8), y=("out", 8))
+    d.add_net("n1", 8)
+    d.add_net("n2", 8)
+    d.connect("n1", "a_reg", "q")
+    d.connect("n1", "logic", "x")
+    d.connect("n2", "logic", "y")
+    d.connect("n2", "a_reg", "d")
+    return d
+
+
+class TestNetgraphConstruction:
+    def test_duplicate_cell_rejected(self):
+        d = Design("dup")
+        d.add_cell("c", CellKind.COMB, x=("in", 1))
+        with pytest.raises(NetgraphError, match="duplicate cell"):
+            d.add_cell("c", CellKind.COMB, x=("in", 1))
+
+    def test_duplicate_net_rejected(self):
+        d = Design("dup")
+        d.add_net("n", 1)
+        with pytest.raises(NetgraphError, match="duplicate net"):
+            d.add_net("n", 1)
+
+    def test_connect_checks_endpoints(self):
+        d = Design("x")
+        d.add_net("n", 1)
+        with pytest.raises(NetgraphError, match="unknown cell"):
+            d.connect("n", "ghost", "p")
+        d.add_cell("c", CellKind.COMB, p=("in", 1))
+        with pytest.raises(NetgraphError, match="no port"):
+            d.connect("n", "c", "ghost_port")
+
+
+class TestUndrivenNet:
+    def test_triggers(self):
+        d = minimal_clean_design()
+        d.add_net("floating", 8)
+        d.connect("floating", "logic", "x")  # second sink, no driver
+        findings = run_design_rule("drc.undriven-net", d)
+        assert len(findings) == 1
+        assert "floating" in findings[0].message
+
+    def test_clean(self):
+        assert not run_design_rule("drc.undriven-net",
+                                   minimal_clean_design())
+
+
+class TestMultiDrivenNet:
+    def test_triggers(self):
+        d = minimal_clean_design()
+        d.add_cell("rogue", CellKind.COMB, y=("out", 8))
+        d.connect("n1", "rogue", "y")  # n1 already driven by a_reg.q
+        findings = run_design_rule("drc.multi-driven-net", d)
+        assert len(findings) == 1
+        assert "2 outputs" in findings[0].message
+
+    def test_clean(self):
+        assert not run_design_rule("drc.multi-driven-net",
+                                   minimal_clean_design())
+
+
+class TestDanglingNet:
+    def test_triggers(self):
+        d = minimal_clean_design()
+        d.add_cell("src", CellKind.SEQ, q=("out", 4))
+        d.add_net("unused", 4)
+        d.connect("unused", "src", "q")
+        findings = run_design_rule("drc.dangling-net", d)
+        assert len(findings) == 1
+        assert findings[0].severity.name == "WARNING"
+
+    def test_clean(self):
+        assert not run_design_rule("drc.dangling-net",
+                                   minimal_clean_design())
+
+
+class TestWidthMismatch:
+    def test_triggers(self):
+        d = minimal_clean_design()
+        d.add_cell("narrow", CellKind.COMB, x=("in", 4))
+        d.connect("n1", "narrow", "x")  # 4-bit port on an 8-bit net
+        findings = run_design_rule("drc.width-mismatch", d)
+        assert len(findings) == 1
+        assert "4 bits" in findings[0].message
+
+    def test_clean(self):
+        assert not run_design_rule("drc.width-mismatch",
+                                   minimal_clean_design())
+
+
+class TestUnconnectedPort:
+    def test_triggers(self):
+        d = minimal_clean_design()
+        d.add_cell("half", CellKind.COMB, x=("in", 8),
+                   y=("out", 8))
+        d.connect("n1", "half", "x")  # y never attached
+        findings = run_design_rule("drc.unconnected-port", d)
+        assert len(findings) == 1
+        assert "half.y" in findings[0].message
+
+    def test_clean(self):
+        assert not run_design_rule("drc.unconnected-port",
+                                   minimal_clean_design())
+
+
+class TestCombLoop:
+    def _looped(self, break_with_seq):
+        d = Design("loop")
+        middle = CellKind.SEQ if break_with_seq else CellKind.COMB
+        d.add_cell("f", CellKind.COMB, x=("in", 1), y=("out", 1))
+        d.add_cell("g", middle, x=("in", 1), y=("out", 1))
+        d.add_net("a", 1)
+        d.add_net("b", 1)
+        d.connect("a", "f", "y")
+        d.connect("a", "g", "x")
+        d.connect("b", "g", "y")
+        d.connect("b", "f", "x")
+        return d
+
+    def test_comb_comb_loop_triggers(self):
+        findings = run_design_rule("drc.comb-loop",
+                                   self._looped(False))
+        assert len(findings) == 1
+        assert "combinational loop" in findings[0].message
+
+    def test_register_breaks_loop(self):
+        assert not run_design_rule("drc.comb-loop",
+                                   self._looped(True))
+
+    def test_async_rom_participates(self):
+        # A ROM is combinational (async EAB): rom -> comb -> rom loops.
+        d = Design("romloop")
+        d.add_cell("rom", CellKind.ROM, addr=("in", 8),
+                   data=("out", 8))
+        d.add_cell("fb", CellKind.COMB, x=("in", 8), y=("out", 8))
+        d.add_net("a", 8)
+        d.add_net("b", 8)
+        d.connect("a", "rom", "data")
+        d.connect("a", "fb", "x")
+        d.connect("b", "fb", "y")
+        d.connect("b", "rom", "addr")
+        assert run_design_rule("drc.comb-loop", d)
+
+
+def _bank(design, group, rom_count, addr_width=8):
+    for i in range(rom_count):
+        design.add_cell(f"{group}_rom{i}", CellKind.ROM, group=group,
+                        addr=("in", addr_width), data=("out", 8))
+
+
+class TestSboxBankShape:
+    def test_wrong_rom_count_triggers(self):
+        d = Design("bank")
+        _bank(d, "bytesub", 3)
+        findings = run_design_rule("drc.sbox-bank-shape", d)
+        assert len(findings) == 1
+        assert "3 ROMs" in findings[0].message
+
+    def test_wrong_rom_shape_triggers(self):
+        d = Design("bank")
+        _bank(d, "bytesub", 4, addr_width=10)
+        findings = run_design_rule("drc.sbox-bank-shape", d)
+        assert len(findings) == 4  # every ROM misshapen
+
+    def test_clean(self):
+        d = Design("bank")
+        _bank(d, "bytesub", 4)
+        assert not run_design_rule("drc.sbox-bank-shape", d)
+
+
+class TestPinBudget:
+    def test_no_pins_means_not_applicable(self):
+        assert not run_design_rule("drc.pin-budget",
+                                   minimal_clean_design())
+
+    def test_wrong_total_triggers(self):
+        d = Design("pins")
+        d.add_cell("pin_clk", CellKind.PIN_IN, pad=("in", 1))
+        findings = run_design_rule("drc.pin-budget", d)
+        assert findings
+        assert any("Table 1" in f.message for f in findings)
+
+
+class TestInputPinDriven:
+    def test_triggers(self):
+        d = Design("bad")
+        d.add_cell("pin_out", CellKind.PIN_OUT, pad=("out", 8))
+        findings = run_design_rule("drc.input-pin-driven", d)
+        assert len(findings) == 1
+
+    def test_clean(self):
+        d = Design("ok")
+        d.add_cell("pin_out", CellKind.PIN_OUT, pad=("in", 8))
+        assert not run_design_rule("drc.input-pin-driven", d)
+
+
+class TestShippedDesignsClean:
+    """The paper devices must pass the whole DRC family."""
+
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_paper_connectivity_clean(self, variant):
+        design = paper_connectivity(variant)
+        findings = run_rules({KIND_DESIGN: [design]},
+                             only=[r for r in _drc_rule_ids()])
+        assert findings == []
+
+    def test_paper_sbox_banks_are_paper_shaped(self):
+        design = paper_connectivity(Variant.ENCRYPT)
+        roms = list(design.cells_of_kind(CellKind.ROM))
+        assert len(roms) == 8  # 4 ByteSub + 4 KStran
+
+
+def _drc_rule_ids():
+    from repro.checks.engine import registry
+
+    return [r for r in registry() if r.startswith("drc.")]
+
+
+class TestStructuralInventory:
+    def _subject(self, name="encrypt"):
+        spec = PAPER_SPECS[name]
+        return NetlistSubject(spec, build_netlist(spec))
+
+    def test_shipped_netlists_clean(self):
+        for name in PAPER_SPECS:
+            subject = self._subject(name)
+            findings = run_rules(
+                {KIND_NETLIST: [subject]},
+                only=["struct.sbox-inventory",
+                      "struct.paper-invariants"],
+            )
+            assert findings == [], name
+
+    def test_sbox_inventory_catches_spec_drift(self):
+        subject = self._subject()
+        drifted = dataclasses.replace(subject.spec,
+                                      unrolled_rounds=2)
+        findings = run_netlist_rule(
+            "struct.sbox-inventory",
+            NetlistSubject(drifted, subject.netlist),
+        )
+        assert findings
+        assert "data S-boxes" in findings[0].message
+
+    def test_paper_invariants_catch_pin_drift(self):
+        subject = self._subject()
+        netlist = build_netlist(subject.spec)
+        netlist.add_pins("debug_port", 3)
+        findings = run_netlist_rule(
+            "struct.paper-invariants",
+            NetlistSubject(subject.spec, netlist),
+        )
+        assert findings
+        assert "pins" in findings[0].message

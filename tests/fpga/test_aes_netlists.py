@@ -1,6 +1,5 @@
 """Tests for the architecture -> netlist expansion."""
 
-import pytest
 
 from repro.arch.spec import ArchitectureSpec, paper_spec
 from repro.fpga.aes_netlists import build_netlist

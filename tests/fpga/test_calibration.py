@@ -1,6 +1,5 @@
 """Tests keeping the calibration constants honest and in sync."""
 
-import pytest
 
 from repro.arch.spec import paper_spec
 from repro.fpga import calibration

@@ -1,6 +1,5 @@
 """Tests for control/timing constants (paper §4 cycle arithmetic)."""
 
-import pytest
 
 from repro.ip.control import (
     NUM_ROUNDS,

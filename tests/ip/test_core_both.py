@@ -1,6 +1,5 @@
 """The combined encrypt/decrypt device (enc/dec pin, paper §4)."""
 
-import pytest
 
 from repro.aes.cipher import AES128
 from repro.ip.control import Variant

@@ -1,6 +1,5 @@
 """Cycle-accurate decrypt-only core vs the golden model."""
 
-import pytest
 
 from repro.aes.cipher import AES128
 from repro.aes.key_schedule import expand_key

@@ -8,7 +8,6 @@ are pipelined, the round stretches from 5 to 6 cycles and the key
 setup pass from 40 to 50.
 """
 
-import pytest
 
 from repro.aes.cipher import AES128
 from repro.ip.control import Variant, block_latency, key_setup_cycles

@@ -1,7 +1,6 @@
 """Microarchitectural trace tests: the FSM executes the exact 5-cycle
 round schedule the paper describes, observed through waveforms."""
 
-import pytest
 
 from repro.ip.control import Variant
 from repro.ip.testbench import Testbench

@@ -9,7 +9,6 @@ spacing equals the block latency exactly — throughput really is
 128 bits / latency as Table 2 computes it.
 """
 
-import pytest
 
 from repro.aes.cipher import AES128
 from repro.ip.control import Variant

@@ -5,7 +5,6 @@ the numbers the README prints must match the model."""
 import re
 from pathlib import Path
 
-import pytest
 
 REPO = Path(__file__).resolve().parent.parent
 

@@ -6,6 +6,7 @@ software and hardware locked together over long runs, the synthesis
 flow consuming specs end to end, and the example scripts executing.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -135,9 +136,15 @@ class TestExamples:
         args = [sys.executable, str(REPO / "examples" / script)]
         if script == "ip_delivery.py":
             args.append(str(tmp_path / "pkg"))
+        env = dict(os.environ)
+        src = str(REPO / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + existing if existing else src
+        )
         result = subprocess.run(
             args, capture_output=True, text=True, timeout=240,
-            cwd=str(tmp_path),
+            cwd=str(tmp_path), env=env,
         )
         assert result.returncode == 0, result.stderr[-2000:]
         assert result.stdout  # every example narrates its run
