@@ -18,8 +18,14 @@ integration mistakes:
   lint over the cipher/IP source;
 - :mod:`repro.checks.hdl_rules` — the VHDL structural checker as a
   rule family;
+- :mod:`repro.checks.sta` — graph-based static timing analysis over
+  the connectivity IR, with a per-device delay model cross-checked
+  against the analytical :mod:`repro.fpga.timing`;
+- :mod:`repro.checks.equiv` — symbolic datapath equivalence: every
+  round stage proven against the behavioral model with uninterpreted
+  S-box atoms;
 - :mod:`repro.checks.baseline` / :mod:`repro.checks.reporters` /
-  :mod:`repro.checks.runner` — suppression workflow, text/JSON
+  :mod:`repro.checks.runner` — suppression workflow, text/JSON/SARIF
   output, and the ``repro-aes lint`` entry point.
 """
 

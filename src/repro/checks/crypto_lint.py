@@ -9,7 +9,12 @@ AES deployments as they grow (the Paul et al. RTOS integration story):
   ``*_key``, ...) plus locals assigned from tainted expressions.
   Length/type checks (``len``, ``isinstance``, ``type``) and
   ``hmac.compare_digest`` are sanitizers: branching on a length or a
-  constant-time comparison verdict is fine.
+  constant-time comparison verdict is fine.  Taint additionally
+  crosses **one level** of same-module helper calls: a parameter of a
+  module-local function receiving a lexically tainted argument at any
+  call site is seeded tainted in that callee.  The propagation is not
+  transitive — seeded taint does not seed further calls — keeping the
+  analysis predictable and the false-positive surface bounded.
 - ``ct.secret-index`` — memory lookups addressed by key-derived
   values *outside* the sanctioned S-box tables.  The paper's whole
   datapath is ROM lookups, so the sanctioned set
@@ -34,7 +39,8 @@ import ast
 import fnmatch
 import re
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, \
+    Sequence, Set
 
 from repro.checks.engine import (
     KIND_SOURCE,
@@ -144,10 +150,15 @@ def _assign_targets(node: ast.AST) -> List[str]:
     return targets
 
 
-def _function_taint(func: ast.AST, config: CheckConfig) -> Set[str]:
-    """Fixpoint of shallow, function-local taint propagation."""
+def _function_taint(func: ast.AST, config: CheckConfig,
+                    seeded: Iterable[str] = ()) -> Set[str]:
+    """Fixpoint of shallow, function-local taint propagation.
+
+    ``seeded`` adds parameter names proven tainted at a call site
+    (see :func:`_call_site_seeds`) on top of the name-based seeds.
+    """
     assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
-    tainted: Set[str] = set()
+    tainted: Set[str] = set(seeded)
     args = func.args
     for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
         if _is_secret_name(arg.arg, config):
@@ -178,6 +189,60 @@ def _functions(tree: ast.Module) -> Iterator[ast.AST]:
             yield node
 
 
+def _param_names(func: ast.AST) -> List[str]:
+    args = func.args
+    return [a.arg for a in (*args.posonlyargs, *args.args)]
+
+
+def _call_site_seeds(tree: ast.Module,
+                     config: CheckConfig) -> Dict[str, Set[str]]:
+    """One level of same-module call-site taint propagation.
+
+    For every function whose *lexical* taint (name-based parameters
+    plus local assignments) reaches an argument of a call to another
+    function defined in the same module, the matching callee parameter
+    is seeded tainted.  Seeded taint deliberately does not propagate
+    further — the callee's own calls are judged only by its lexical
+    taint, so a chain of helpers is traversed one hop at a time and
+    never explodes transitively.
+    """
+    by_name = {
+        func.name: func for func in _functions(tree)
+    }
+    seeds: Dict[str, Set[str]] = {}
+    for caller in _functions(tree):
+        tainted = _function_taint(caller, config)
+        if not tainted:
+            continue
+        for node in _own_nodes(caller):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = by_name.get(_call_name(node))
+            if callee is None or callee is caller:
+                continue
+            params = _param_names(callee)
+            # A method reached through an attribute receives ``self``
+            # implicitly; positional arguments shift by one.
+            offset = (
+                1 if params[:1] in (["self"], ["cls"])
+                and isinstance(node.func, ast.Attribute) else 0
+            )
+            hit: Set[str] = set()
+            for index, arg in enumerate(node.args):
+                if isinstance(arg, ast.Starred):
+                    break  # positions unknowable past a splat
+                if index + offset < len(params) and \
+                        _taints(arg, tainted):
+                    hit.add(params[index + offset])
+            for keyword in node.keywords:
+                if keyword.arg in params and \
+                        _taints(keyword.value, tainted):
+                    hit.add(keyword.arg)
+            if hit:
+                seeds.setdefault(callee.name, set()).update(hit)
+    return seeds
+
+
 def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
     """Walk a function body without descending into nested defs."""
     stack: List[ast.AST] = list(ast.iter_child_nodes(func))
@@ -194,8 +259,10 @@ def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
       "control flow conditioned on key-derived values")
 def secret_branch(source: SourceFile,
                   config: CheckConfig) -> Iterator[Finding]:
+    seeds = _call_site_seeds(source.tree, config)
     for func in _functions(source.tree):
-        tainted = _function_taint(func, config)
+        tainted = _function_taint(func, config,
+                                  seeds.get(func.name, ()))
         if not tainted:
             continue
         for node in _own_nodes(func):
@@ -224,8 +291,10 @@ def secret_branch(source: SourceFile,
 def secret_index(source: SourceFile,
                  config: CheckConfig) -> Iterator[Finding]:
     sanctioned = set(config.sanctioned_tables)
+    seeds = _call_site_seeds(source.tree, config)
     for func in _functions(source.tree):
-        tainted = _function_taint(func, config)
+        tainted = _function_taint(func, config,
+                                  seeds.get(func.name, ()))
         if not tainted:
             continue
         for node in _own_nodes(func):

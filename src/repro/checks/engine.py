@@ -10,7 +10,8 @@ its kind.
 
 Analyzer families (:mod:`repro.checks.netlist_drc`,
 :mod:`repro.checks.fsm`, :mod:`repro.checks.crypto_lint`,
-:mod:`repro.checks.hdl_rules`) register rules at import time via
+:mod:`repro.checks.hdl_rules`, :mod:`repro.checks.sta`,
+:mod:`repro.checks.equiv`) register rules at import time via
 :func:`rule`; the registry is the single source of truth the CLI,
 the docs table and the tests enumerate.
 """
@@ -50,6 +51,8 @@ KIND_NETLIST = "netlist"    # repro.fpga.netlist.Netlist (+ spec)
 KIND_FSM = "fsm"            # repro.checks.fsm.FsmModel
 KIND_SOURCE = "source"      # repro.checks.crypto_lint.SourceFile
 KIND_VHDL = "vhdl"          # (filename, text) pair
+KIND_STA = "sta"            # repro.checks.sta.StaSubject
+KIND_EQUIV = "equiv"        # repro.checks.equiv.EquivSubject
 
 
 @dataclass(frozen=True)
@@ -140,8 +143,8 @@ def rule(rule_id: str, severity: Severity, requires: str,
 def registry() -> Dict[str, Rule]:
     """All registered rules (importing the analyzer modules first)."""
     # Importing the families populates the registry as a side effect.
-    from repro.checks import crypto_lint, fsm, hdl_rules, \
-        netlist_drc  # noqa: F401
+    from repro.checks import crypto_lint, equiv, fsm, hdl_rules, \
+        netlist_drc, sta  # noqa: F401
     return dict(_REGISTRY)
 
 

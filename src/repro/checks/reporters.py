@@ -1,4 +1,4 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters: text, machine-readable JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
@@ -21,11 +21,13 @@ def render_text(
         lines.append(f"suppressed by baseline ({len(suppressed)}):")
         lines.extend(f"  {f.render()}" for f in suppressed)
     if stale_fingerprints:
+        # Stale entries warn but never fail a run: a fixed finding
+        # should not punish the fixer.  --write-baseline prunes them.
         lines.append(
-            f"note: {len(stale_fingerprints)} baseline entr"
+            f"warning: {len(stale_fingerprints)} baseline entr"
             f"{'y is' if len(stale_fingerprints) == 1 else 'ies are'} "
             "stale (no longer reported); re-run with --write-baseline "
-            "to clean up"
+            "to prune"
         )
     counts = _severity_counts(findings)
     summary = ", ".join(
@@ -66,6 +68,89 @@ def render_json(
             s.name.lower(): n
             for s, n in _severity_counts(findings).items()
         },
+    }
+    return json.dumps(payload, indent=2)
+
+
+#: SARIF reporting descriptor levels per severity.
+_SARIF_LEVELS = {
+    Severity.NOTE: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+#: Stable key under ``partialFingerprints`` carrying the baseline
+#: fingerprint (versioned so the scheme can evolve).
+SARIF_FINGERPRINT_KEY = "reproAesLint/v1"
+
+
+def _sarif_uri(file: str) -> str:
+    """A location string GitHub code scanning will accept.
+
+    Model findings use pseudo-paths such as ``netlist:paper_encrypt``;
+    SARIF wants URI-shaped strings, so the scheme-like colon is folded
+    into a path separator.
+    """
+    return file.replace(":", "/") if file else "<global>"
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0, the format ``codeql-action/upload-sarif`` ingests.
+
+    Only active findings are emitted — baseline-suppressed entries are
+    this tool's suppression mechanism and stay out of code scanning.
+    """
+    rules = registry()
+    used = sorted({f.rule for f in findings} & set(rules))
+    rule_index = {rule_id: i for i, rule_id in enumerate(used)}
+    descriptors = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": rules[rule_id].doc},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[rules[rule_id].severity],
+            },
+        }
+        for rule_id in used
+    ]
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _sarif_uri(finding.location.file),
+                    },
+                    "region": {
+                        "startLine": max(finding.location.line, 1),
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                SARIF_FINGERPRINT_KEY: finding.fingerprint(),
+            },
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    payload = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
+                   "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-aes-lint",
+                    "informationUri":
+                        "https://example.invalid/repro-aes",
+                    "rules": descriptors,
+                },
+            },
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2)
 

@@ -8,7 +8,11 @@ the whole shipped artifact:
 - control-FSM models of every device flavour (FSM family);
 - the Python cipher/IP source under ``src/repro/aes`` and
   ``src/repro/ip`` (constant-time family);
-- the generated VHDL deliverable (HDL family).
+- the generated VHDL deliverable (HDL family);
+- graph STA subjects — every paper variant on both Table 2 devices
+  (``sta.*`` family);
+- symbolic equivalence subjects — one per paper variant (``eqv.*``
+  family).
 """
 
 from __future__ import annotations
@@ -20,9 +24,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.checks.baseline import DEFAULT_BASELINE, Baseline
 from repro.checks.engine import (
     KIND_DESIGN,
+    KIND_EQUIV,
     KIND_FSM,
     KIND_NETLIST,
     KIND_SOURCE,
+    KIND_STA,
     KIND_VHDL,
     CheckConfig,
     Finding,
@@ -70,14 +76,18 @@ def build_subjects(
 ) -> Dict[str, Sequence[object]]:
     """Assemble the default subject set for one lint run."""
     from repro.arch.spec import PAPER_SPECS
+    from repro.checks.equiv import EquivSubject
     from repro.checks.netlist_drc import NetlistSubject
     from repro.checks.fsm import paper_fsms
+    from repro.checks.sta import StaSubject
     from repro.fpga.aes_netlists import build_netlist
     from repro.fpga.connectivity import paper_connectivity
+    from repro.fpga.devices import EP1C20, EP1K100
     from repro.hdl.vhdl_gen import generate_core_vhdl
     from repro.ip.control import Variant
 
     designs = [paper_connectivity(variant) for variant in Variant]
+    by_variant = {design.name: design for design in designs}
     netlists = [NetlistSubject(spec, build_netlist(spec))
                 for spec in PAPER_SPECS.values()]
     fsms = paper_fsms()
@@ -87,12 +97,24 @@ def build_subjects(
         for name, text in sorted(
                 generate_core_vhdl(variant).items()):
             vhdl.append((f"{variant.value}/{name}", text))
+    sta_subjects = [
+        StaSubject(spec, device, by_variant[f"paper_{spec.variant.value}"])
+        for spec in PAPER_SPECS.values()
+        for device in (EP1K100, EP1C20)
+    ]
+    equiv_subjects = [
+        EquivSubject(variant,
+                     by_variant[f"paper_{variant.value}"])
+        for variant in Variant
+    ]
     return {
         KIND_DESIGN: designs,
         KIND_NETLIST: netlists,
         KIND_FSM: fsms,
         KIND_SOURCE: sources,
         KIND_VHDL: vhdl,
+        KIND_STA: sta_subjects,
+        KIND_EQUIV: equiv_subjects,
     }
 
 

@@ -1,0 +1,459 @@
+"""Graph-based static timing analysis over the connectivity IR.
+
+:mod:`repro.fpga.timing` prices three *named* path classes from the
+paper's block diagram — a hand-derived model that nothing cross-checks
+against the actual wiring.  This module closes that gap: it annotates
+every cell of a :class:`repro.checks.netgraph.Design` with a delay
+drawn from the device's calibrated parameters, then runs a
+topological longest-path search over the register-to-register graph.
+The result is a path-accurate clock period with the full cell chain,
+computed from the same netlist the DRC rules verify.
+
+Delay model (all values in ns):
+
+- every path pays the device's ``t_overhead`` once (clock-to-out +
+  setup + skew, exactly as the analytical model charges it);
+- a combinational cell costs ``levels * t_level + t_route``, with the
+  level count decided by its timing role
+  (:data:`repro.fpga.connectivity.TIMING_ROLES`);
+- an S-box ROM costs ``t_rom_access`` when the device reads embedded
+  memory asynchronously (the Acex1K EABs), or a
+  :data:`repro.fpga.timing.ROM_IN_LUTS_DEPTH`-level LUT mux-tree when
+  it cannot (the Cyclone case).  With ``spec.sync_rom`` the ROM is a
+  registered element: it terminates the address path and launches the
+  data path with ``t_rom_access`` of clock-to-data.
+
+Rules:
+
+- ``sta.non-dag`` — the combinational subgraph has a cycle, so no
+  topological order exists (delegates to the same SCC machinery the
+  DRC's loop rule uses);
+- ``sta.unmodelled-cell`` — a combinational cell with no timing role;
+- ``sta.negative-slack`` — some register-to-register path is longer
+  than the device's Table 2 clock period
+  (:func:`repro.fpga.timing.clock_constraint`);
+- ``sta.model-divergence`` — the graph critical path and the
+  analytical model disagree by more than
+  :data:`MODEL_AGREEMENT_NS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.arch.spec import ArchitectureSpec
+from repro.checks.engine import (
+    KIND_STA,
+    CheckConfig,
+    Finding,
+    Location,
+    Severity,
+    rule,
+)
+from repro.checks.netgraph import Cell, CellKind, Design
+from repro.fpga.connectivity import TIMING_ROLES
+from repro.fpga.devices import Device
+from repro.fpga.primitives import mix_stage_depth
+from repro.fpga.timing import (
+    ROM_IN_LUTS_DEPTH,
+    analyze,
+    clock_constraint,
+    round_clock,
+)
+from repro.ip.control import Variant
+
+#: Maximum tolerated gap between the graph STA's critical path and the
+#: analytical model's, in ns.  Anything larger means one of the two
+#: models has drifted from the netlist.
+MODEL_AGREEMENT_NS = 1.0
+
+#: The single clock domain of the paper's devices.
+CLOCK_DOMAIN = "clk"
+
+
+@dataclass(frozen=True)
+class StaSubject:
+    """One STA run: a connectivity design targeted at a device."""
+
+    spec: ArchitectureSpec
+    device: Device
+    design: Design
+
+    @property
+    def label(self) -> str:
+        return f"{self.design.name}@{self.device.family}"
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Per-device delay parameters the STA charges cells with."""
+
+    t_level: float
+    t_overhead: float
+    t_rom_access: float
+    t_route: float
+    rom_is_async: bool
+    rom_is_sync: bool
+
+    @classmethod
+    def for_target(cls, spec: ArchitectureSpec,
+                   device: Device) -> "DelayModel":
+        rom_async = device.supports_async_rom and not spec.sync_rom
+        rom_sync = spec.sync_rom and device.memory is not None
+        return cls(
+            t_level=device.t_level,
+            t_overhead=device.t_overhead,
+            t_rom_access=device.t_rom_access,
+            t_route=device.t_route,
+            rom_is_async=rom_async,
+            rom_is_sync=rom_sync,
+        )
+
+    # ------------------------------------------------------- cell delays
+    def logic_levels(self, cell: Cell,
+                     variant: Variant) -> Optional[int]:
+        """Logic levels of a combinational cell, or None if unknown."""
+        role = TIMING_ROLES.get(cell.name)
+        if role is None:
+            return None
+        extra = 1 if variant is Variant.BOTH else 0
+        if role == "wiring":
+            return 0
+        if role in ("mux", "addr-mux"):
+            return 1
+        if role == "state-mux":
+            return 1 + extra
+        if role == "mix":
+            # The worst direction the device contains, plus the
+            # last-round bypass mux; the BOTH device's extra
+            # direction-select level is charged on the state mux.
+            return mix_stage_depth(inverse=variant.can_decrypt) + 1
+        if role == "sched-xor":
+            return 2  # Rcon XOR + ripple build XOR (rotate is wiring)
+        raise ValueError(f"unknown timing role {role!r}")
+
+    def traverse_ns(self, cell: Cell,
+                    variant: Variant) -> Optional[float]:
+        """Delay through one combinational or ROM cell."""
+        if cell.kind is CellKind.ROM:
+            if self.rom_is_async:
+                return self.t_rom_access + self.t_route
+            if self.rom_is_sync:
+                return None  # registered: not traversed, split instead
+            return ROM_IN_LUTS_DEPTH * self.t_level + self.t_route
+        levels = self.logic_levels(cell, variant)
+        if levels is None:
+            return None
+        return levels * self.t_level + self.t_route
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """One register-to-register path, worst-case through its cells."""
+
+    start: str                      # launching cell
+    end: str                        # capturing cell
+    delay_ns: float                 # including t_overhead
+    cells: Tuple[str, ...]          # combinational chain, in order
+
+    def render(self) -> str:
+        chain = " -> ".join((self.start, *self.cells, self.end))
+        return f"{self.delay_ns:.2f} ns  {chain}"
+
+
+@dataclass
+class StaReport:
+    """Everything the rules and the ``repro-aes sta`` command need."""
+
+    subject: StaSubject
+    clock_domain: str = CLOCK_DOMAIN
+    required_ns: float = 0.0        # Table 2 constraint
+    paths: List[TimingPath] = field(default_factory=list)
+    unmodelled: List[str] = field(default_factory=list)
+    cycles: List[List[str]] = field(default_factory=list)
+    #: Analytical model output for the same (spec, device).
+    analytical_ns: float = 0.0
+    analytical_critical: str = ""
+    analytical_paths: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def critical(self) -> Optional[TimingPath]:
+        return self.paths[0] if self.paths else None
+
+    @property
+    def critical_ns(self) -> float:
+        return self.paths[0].delay_ns if self.paths else 0.0
+
+    @property
+    def clock_ns(self) -> float:
+        """The graph-derived period on the paper's 1 ns grid."""
+        return round_clock(self.critical_ns)
+
+    @property
+    def slack_ns(self) -> float:
+        return self.required_ns - self.critical_ns
+
+    def render(self) -> str:
+        sub = self.subject
+        lines = [
+            f"{sub.label}: domain {self.clock_domain!r}, "
+            f"required {self.required_ns:.0f} ns "
+            f"(Table 2), slack {self.slack_ns:+.2f} ns",
+        ]
+        if self.cycles:
+            for cycle in self.cycles:
+                lines.append(
+                    "  NOT A DAG: " + " -> ".join(cycle + [cycle[0]])
+                )
+            return "\n".join(lines)
+        for path in self.paths[:5]:
+            lines.append(f"  {path.render()}")
+        lines.append(
+            f"  analytical model: {self.analytical_ns:.2f} ns "
+            f"({self.analytical_critical}); "
+            f"divergence {abs(self.critical_ns - self.analytical_ns):.2f} ns"
+        )
+        if self.unmodelled:
+            lines.append(
+                "  unmodelled cells: " + ", ".join(self.unmodelled)
+            )
+        return "\n".join(lines)
+
+
+def _net_edges(
+    design: Design,
+) -> Tuple[Dict[str, Set[str]], Dict[str, Set[str]]]:
+    """Cell-level successor and predecessor maps from the nets."""
+    succ: Dict[str, Set[str]] = {name: set() for name in design.cells}
+    pred: Dict[str, Set[str]] = {name: set() for name in design.cells}
+    for net in design.nets.values():
+        for d_cell, _ in net.drivers:
+            for s_cell, _ in net.sinks:
+                succ[d_cell].add(s_cell)
+                pred[s_cell].add(d_cell)
+    return succ, pred
+
+
+def analyze_design(subject: StaSubject) -> StaReport:
+    """Longest register-to-register path search over one design.
+
+    Start points are sequential-cell outputs (plus sync-ROM data
+    outputs, which launch with ``t_rom_access``); endpoints are
+    sequential-cell inputs (plus sync-ROM address inputs).  Paths to
+    or from device pins are I/O constraints, not core-clock paths, so
+    they are excluded.
+    """
+    design = subject.design
+    model = DelayModel.for_target(subject.spec, subject.device)
+    variant = subject.spec.variant
+    report = StaReport(
+        subject=subject,
+        required_ns=clock_constraint(subject.spec, subject.device),
+    )
+    clock, critical, paths = analyze(subject.spec, subject.device)
+    report.analytical_critical = critical
+    report.analytical_paths = dict(paths)
+    report.analytical_ns = paths[critical]
+
+    report.cycles = design.combinational_cycles()
+    if report.cycles:
+        return report  # no topological order exists
+
+    rom_is_seq = model.rom_is_sync
+
+    def is_start(cell: Cell) -> bool:
+        if cell.kind is CellKind.SEQ:
+            return True
+        return cell.kind is CellKind.ROM and rom_is_seq
+
+    def is_endpoint(cell: Cell) -> bool:
+        return is_start(cell)
+
+    def is_through(cell: Cell) -> bool:
+        if cell.kind is CellKind.COMB:
+            return True
+        return cell.kind is CellKind.ROM and not rom_is_seq
+
+    succ, pred = _net_edges(design)
+
+    # Arrival time at each through-cell's *output*, with back-pointers
+    # for chain reconstruction.  Kahn's algorithm over the through
+    # subgraph; start cells contribute their launch delay.
+    through = {c.name for c in design.cells.values() if is_through(c)}
+    launch: Dict[str, float] = {}
+    for cell in design.cells.values():
+        if is_start(cell):
+            launch[cell.name] = (
+                model.t_rom_access
+                if cell.kind is CellKind.ROM else 0.0
+            )
+
+    indeg = {
+        name: sum(1 for p in pred[name] if p in through)
+        for name in through
+    }
+    ready = sorted(name for name in through if indeg[name] == 0)
+    arrival: Dict[str, float] = {}
+    back: Dict[str, Optional[str]] = {}
+    unmodelled: Set[str] = set()
+    order: List[str] = []
+    while ready:
+        name = ready.pop()
+        order.append(name)
+        cell = design.cells[name]
+        incr = model.traverse_ns(cell, variant)
+        if incr is None:
+            unmodelled.add(name)
+            incr = model.t_level  # charge one level, flag it
+        best = 0.0
+        best_pred: Optional[str] = None
+        for p in sorted(pred[name]):
+            at = arrival.get(p) if p in through else launch.get(p)
+            if at is None:
+                continue  # a pin: not a clocked path
+            if at > best or best_pred is None:
+                best, best_pred = at, p
+        arrival[name] = best + incr
+        back[name] = best_pred if best_pred in through else None
+        for s in sorted(succ[name]):
+            if s in through:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+    report.unmodelled = sorted(unmodelled)
+
+    def chain(name: str) -> Tuple[str, ...]:
+        cells: List[str] = []
+        node: Optional[str] = name
+        while node is not None:
+            cells.append(node)
+            node = back[node]
+        return tuple(reversed(cells))
+
+    def launch_cell(first_through: str) -> str:
+        best, best_name = -1.0, ""
+        for p in sorted(pred[first_through]):
+            if p in launch and launch[p] >= best:
+                if best_name and launch[p] == best:
+                    continue
+                best, best_name = launch[p], p
+        return best_name
+
+    # One worst path per capturing endpoint.
+    for cell in sorted(design.cells.values(), key=lambda c: c.name):
+        if not is_endpoint(cell):
+            continue
+        best_delay = None
+        best_chain: Tuple[str, ...] = ()
+        best_start = ""
+        for p in sorted(pred[cell.name]):
+            if p in through:
+                delay = arrival[p]
+                cells = chain(p)
+                start = launch_cell(cells[0]) if cells else ""
+            elif p in launch:
+                delay = launch[p]
+                cells = ()
+                start = p
+            else:
+                continue  # driven by a pin
+            if best_delay is None or delay > best_delay:
+                best_delay, best_chain, best_start = delay, cells, start
+        if best_delay is None:
+            continue
+        report.paths.append(TimingPath(
+            start=best_start,
+            end=cell.name,
+            delay_ns=model.t_overhead + best_delay,
+            cells=best_chain,
+        ))
+    report.paths.sort(key=lambda p: (-p.delay_ns, p.end))
+    return report
+
+
+def paper_sta_subjects() -> List[StaSubject]:
+    """The shipped STA subject set: 3 variants x the 2 Table 2 parts."""
+    from repro.arch.spec import PAPER_SPECS
+    from repro.fpga.connectivity import paper_connectivity
+    from repro.fpga.devices import EP1C20, EP1K100
+
+    subjects = []
+    for spec in PAPER_SPECS.values():
+        design = paper_connectivity(spec.variant)
+        for device in (EP1K100, EP1C20):
+            subjects.append(StaSubject(spec, device, design))
+    return subjects
+
+
+# ------------------------------------------------------------------- rules
+def _loc(subject: StaSubject, obj: str) -> Location:
+    return Location(file=f"sta:{subject.label}", obj=obj)
+
+
+@rule("sta.non-dag", Severity.ERROR, KIND_STA,
+      "combinational cycle prevents topological timing analysis")
+def non_dag(subject: StaSubject,
+            config: CheckConfig) -> Iterator[Finding]:
+    report = analyze_design(subject)
+    for cycle in report.cycles:
+        path = " -> ".join(cycle + [cycle[0]])
+        yield Finding(
+            "sta.non-dag", Severity.ERROR,
+            f"no topological order: combinational cycle {path}",
+            _loc(subject, cycle[0]),
+        )
+
+
+@rule("sta.unmodelled-cell", Severity.WARNING, KIND_STA,
+      "combinational cell without a timing role (delay guessed)")
+def unmodelled_cell(subject: StaSubject,
+                    config: CheckConfig) -> Iterator[Finding]:
+    report = analyze_design(subject)
+    for name in report.unmodelled:
+        yield Finding(
+            "sta.unmodelled-cell", Severity.WARNING,
+            f"cell {name!r} has no entry in TIMING_ROLES; STA charged "
+            f"one logic level as a guess", _loc(subject, name),
+        )
+
+
+@rule("sta.negative-slack", Severity.ERROR, KIND_STA,
+      "register-to-register path longer than the Table 2 clock period")
+def negative_slack(subject: StaSubject,
+                   config: CheckConfig) -> Iterator[Finding]:
+    report = analyze_design(subject)
+    if report.cycles:
+        return  # sta.non-dag already fired; no valid arrival times
+    for path in report.paths:
+        slack = report.required_ns - path.delay_ns
+        if slack < 0:
+            yield Finding(
+                "sta.negative-slack", Severity.ERROR,
+                f"path {path.render()} violates the "
+                f"{report.required_ns:.0f} ns period "
+                f"(slack {slack:.2f} ns)",
+                _loc(subject, path.end),
+            )
+
+
+@rule("sta.model-divergence", Severity.ERROR, KIND_STA,
+      "graph STA and the analytical timing model disagree by > 1 ns")
+def model_divergence(subject: StaSubject,
+                     config: CheckConfig) -> Iterator[Finding]:
+    report = analyze_design(subject)
+    if report.cycles:
+        return
+    gap = abs(report.critical_ns - report.analytical_ns)
+    if gap > MODEL_AGREEMENT_NS:
+        critical = report.critical
+        chain = critical.render() if critical else "<none>"
+        yield Finding(
+            "sta.model-divergence", Severity.ERROR,
+            f"graph critical path is {report.critical_ns:.2f} ns "
+            f"({chain}) but repro.fpga.timing predicts "
+            f"{report.analytical_ns:.2f} ns "
+            f"({report.analytical_critical}); gap {gap:.2f} ns "
+            f"exceeds {MODEL_AGREEMENT_NS:.0f} ns",
+            _loc(subject, "critical"),
+        )

@@ -13,6 +13,8 @@ Exposes the reproduction's main flows without writing Python:
     repro-aes power --blocks 8 --family Cyclone
     repro-aes hdl --variant encrypt --outdir build/
     repro-aes vcd --blocks 1 --out wave.vcd
+    repro-aes lint --strict --format sarif
+    repro-aes sta --variant both --device Acex1K
 """
 
 from __future__ import annotations
@@ -195,7 +197,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.checks.baseline import Baseline, BaselineError
     from repro.checks.engine import CheckConfig, Severity
     from repro.checks.reporters import render_json, render_rule_table, \
-        render_text
+        render_sarif, render_text
     from repro.checks.runner import find_repo_root, run_lint
 
     if args.list_rules:
@@ -235,11 +237,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"wrote {target}: "
               f"{len(result.findings) + len(result.suppressed)} "
               f"suppression(s)")
+        stale = len(result.stale_fingerprints)
+        if stale:
+            print(f"{stale} stale entr"
+                  f"{'y' if stale == 1 else 'ies'} removed")
         return 0
 
-    if args.json:
+    out_format = "json" if args.json else args.format
+    if out_format == "json":
         print(render_json(result.findings, result.suppressed,
                           result.stale_fingerprints))
+    elif out_format == "sarif":
+        print(render_sarif(result.findings))
     else:
         print(render_text(result.findings, result.suppressed,
                           result.stale_fingerprints,
@@ -248,6 +257,32 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 1
     worst = result.worst
     return 1 if worst is Severity.ERROR else 0
+
+
+def cmd_sta(args: argparse.Namespace) -> int:
+    from repro.checks.sta import analyze_design, paper_sta_subjects
+
+    subjects = paper_sta_subjects()
+    if args.variant:
+        variant = _variant(args.variant)
+        subjects = [s for s in subjects
+                    if s.spec.variant is variant]
+    if args.device:
+        want = args.device.lower()
+        subjects = [
+            s for s in subjects
+            if want in (s.device.family.lower(), s.device.name.lower())
+        ]
+    if not subjects:
+        raise SystemExit("error: no design/device matches the filter")
+    failed = False
+    for subject in subjects:
+        report = analyze_design(subject)
+        print(report.render())
+        print()
+        if report.cycles or report.slack_ns < 0:
+            failed = True
+    return 1 if failed else 0
 
 
 def cmd_vcd(args: argparse.Namespace) -> int:
@@ -345,7 +380,12 @@ def build_parser() -> argparse.ArgumentParser:
              "lint, VHDL structure",
     )
     p.add_argument("--json", action="store_true",
-                   help="machine-readable output")
+                   help="machine-readable output "
+                        "(alias for --format json)")
+    p.add_argument("--format", default="text",
+                   choices=("text", "json", "sarif"),
+                   help="output format (sarif suits CI code-scanning "
+                        "upload)")
     p.add_argument("--verbose", action="store_true",
                    help="also list baseline-suppressed findings")
     p.add_argument("--list-rules", action="store_true",
@@ -366,6 +406,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="*",
                    help="restrict the source lint to these files/dirs")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "sta",
+        help="graph static timing report for the paper design points",
+    )
+    p.add_argument("--variant", default=None,
+                   help="restrict to one variant "
+                        "(encrypt/decrypt/both)")
+    p.add_argument("--device", default=None,
+                   help="restrict to one device family or part number")
+    p.set_defaults(fn=cmd_sta)
 
     p = sub.add_parser("vcd", help="dump a waveform of a real run")
     p.add_argument("--blocks", type=int, default=1)

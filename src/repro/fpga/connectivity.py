@@ -28,6 +28,37 @@ from repro.ip.interface import DEVICE_SIGNALS
 #: Number of S-box ROMs per substitution bank (one per byte lane).
 SBOX_LANES = 4
 
+#: Timing role of every combinational cell in the paper designs,
+#: consumed by the graph STA (:mod:`repro.checks.sta`) to pick a delay
+#: without parsing cell names.  ROM cells are classified by their
+#: :class:`~repro.checks.netgraph.CellKind` instead.  Roles:
+#:
+#: - ``wiring`` — pure routing (word split/join, the RotWord tap, the
+#:   write-back placer: the real hardware places the substituted word
+#:   with per-word register enables, not a mux layer);
+#: - ``mux`` — one 2:1 select level;
+#: - ``addr-mux`` — the S-box address word-select level;
+#: - ``state-mux`` — the state source mux (one level, plus the
+#:   direction-select level on the combined device);
+#: - ``mix`` — the fused (I)ShiftRow/(I)MixColumn/AddKey network
+#:   (depth from :func:`repro.fpga.primitives.mix_stage_depth` plus
+#:   the bypass mux);
+#: - ``sched-xor`` — the key-schedule Rcon XOR + ripple build XOR.
+TIMING_ROLES = {
+    "load_mux": "mux",
+    "state_mux": "state-mux",
+    "word_select": "addr-mux",
+    "word_place": "wiring",
+    "mix_network": "mix",
+    "bytesub_split": "wiring",
+    "bytesub_join": "wiring",
+    "kstran_split": "wiring",
+    "kstran_join": "wiring",
+    "kstran_tap": "wiring",
+    "sched_xor": "sched-xor",
+    "data_ok_buf": "wiring",
+}
+
 #: Inter-block nets: name -> width.  Declared up front so the block
 #: builders can connect in any order.
 _NETS = {

@@ -53,6 +53,12 @@ class Device:
     t_overhead: float
     #: Embedded-memory access time (async read, or sync clock-to-data), ns.
     t_rom_access: float
+    #: Incremental routing delay charged per traversed cell by the
+    #: graph STA (:mod:`repro.checks.sta`).  The calibrated families
+    #: fold routing into ``t_level``/``t_overhead``, so this defaults
+    #: to zero; it exists so a device with long-line-dominated routing
+    #: can be modeled without re-fitting the level delay.
+    t_route: float = 0.0
 
     @property
     def memory_bits(self) -> int:

@@ -143,3 +143,16 @@ def analyze(spec: ArchitectureSpec,
 def round_clock(delay_ns: float) -> float:
     """Round a path delay to the 1 ns grid (half-up, like the paper)."""
     return float(math.floor(delay_ns + 0.5))
+
+
+def clock_constraint(spec: ArchitectureSpec, device: Device) -> float:
+    """The clock period the design is held to on a device, in ns.
+
+    This is the Table 2 grid value the analytical model predicts; the
+    graph STA (:mod:`repro.checks.sta`) uses it as the required period
+    when computing slack, so a netlist change that lengthens any
+    register-to-register path past the paper's published clock shows
+    up as a ``sta.negative-slack`` finding.
+    """
+    clock, _, _ = analyze(spec, device)
+    return clock

@@ -8,9 +8,11 @@ import json
 
 from repro.checks.engine import (
     KIND_DESIGN,
+    KIND_EQUIV,
     KIND_FSM,
     KIND_NETLIST,
     KIND_SOURCE,
+    KIND_STA,
     KIND_VHDL,
     Severity,
 )
@@ -34,7 +36,8 @@ def run_cli(capsys, *argv):
 
 def empty_subjects():
     return {KIND_DESIGN: [], KIND_NETLIST: [], KIND_FSM: [],
-            KIND_SOURCE: [], KIND_VHDL: []}
+            KIND_SOURCE: [], KIND_VHDL: [], KIND_STA: [],
+            KIND_EQUIV: []}
 
 
 class TestCleanTree:
@@ -49,8 +52,14 @@ class TestCleanTree:
     def test_subjects_cover_every_family(self):
         subjects = build_subjects(ROOT)
         for kind in (KIND_DESIGN, KIND_NETLIST, KIND_FSM,
-                     KIND_SOURCE, KIND_VHDL):
+                     KIND_SOURCE, KIND_VHDL, KIND_STA, KIND_EQUIV):
             assert subjects[kind], kind
+
+    def test_sta_subjects_cover_both_table2_devices(self):
+        subjects = build_subjects(ROOT)
+        families = {s.device.family for s in subjects[KIND_STA]}
+        assert families == {"Acex1K", "Cyclone"}
+        assert len(subjects[KIND_STA]) == 6
 
 
 class TestSeededViolationsFailPerFamily:
@@ -102,6 +111,30 @@ class TestSeededViolationsFailPerFamily:
                "architecture r of a is\nbegin\n"
                "end architecture r;\n")
         assert self._exit_code(KIND_VHDL, ("bad.vhd", bad)) == 1
+
+    def test_sta_family(self):
+        import dataclasses
+
+        from repro.checks.sta import StaSubject, paper_sta_subjects
+        from repro.fpga.devices import EP1K100
+
+        base = paper_sta_subjects()[0]
+        slow = dataclasses.replace(EP1K100, t_route=2.0)
+        subject = StaSubject(base.spec, slow, base.design)
+        assert self._exit_code(KIND_STA, subject) == 1
+
+    def test_equiv_family(self, monkeypatch):
+        from repro.checks import equiv
+
+        broken = list(equiv.TABLES["S"])
+        broken[0] ^= 0x01
+        monkeypatch.setitem(equiv.TABLES, "S", tuple(broken))
+        equiv.clear_cache()
+        subject = equiv.paper_equiv_subjects()[0]
+        try:
+            assert self._exit_code(KIND_EQUIV, subject) == 1
+        finally:
+            equiv.clear_cache()
 
     def test_warnings_alone_do_not_fail(self):
         from repro.checks.crypto_lint import SourceFile
@@ -181,6 +214,71 @@ class TestCliSurface:
         )
         assert code == 0
         assert "suppressed" in out
+
+    def test_sarif_output_is_valid_and_empty_on_clean_tree(
+            self, capsys):
+        code, out = run_cli(capsys, "lint", "--format", "sarif",
+                            "--root", str(ROOT))
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-aes-lint"
+        assert run["results"] == []
+
+    def test_sarif_carries_findings_with_fingerprints(
+            self, capsys, tmp_path):
+        bad = tmp_path / "leaky.py"
+        bad.write_text("def f(key, t):\n    return t[key[0]]\n")
+        code, out = run_cli(capsys, "lint", "--format", "sarif",
+                            "--root", str(ROOT), str(bad))
+        assert code == 1
+        payload = json.loads(out)
+        run = payload["runs"][0]
+        result = run["results"][0]
+        assert result["ruleId"] == "ct.secret-index"
+        assert result["level"] == "error"
+        assert result["partialFingerprints"]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "ct.secret-index" in rule_ids
+
+    def test_stale_baseline_warns_then_prunes(self, capsys,
+                                              tmp_path):
+        bad = tmp_path / "leaky.py"
+        bad.write_text("def f(key, t):\n    return t[key[0]]\n")
+        baseline = tmp_path / "baseline.json"
+        run_cli(capsys, "lint", "--root", str(ROOT), str(bad),
+                "--baseline", str(baseline), "--write-baseline")
+        # Fix the finding: its baseline entry is now stale.
+        bad.write_text("def f(key, t):\n    return t[0]\n")
+        code, out = run_cli(capsys, "lint", "--root", str(ROOT),
+                            str(bad), "--baseline", str(baseline))
+        assert code == 0  # stale entries warn, never fail
+        assert "stale" in out
+        code, out = run_cli(
+            capsys, "lint", "--root", str(ROOT), str(bad),
+            "--baseline", str(baseline), "--write-baseline",
+        )
+        assert code == 0
+        assert "1 stale entry removed" in out
+        # After pruning the warning is gone.
+        code, out = run_cli(capsys, "lint", "--root", str(ROOT),
+                            str(bad), "--baseline", str(baseline))
+        assert code == 0
+        assert "stale" not in out
+
+    def test_sta_command_reports_all_six_rows(self, capsys):
+        code, out = run_cli(capsys, "sta")
+        assert code == 0
+        for label in ("paper_encrypt@Acex1K", "paper_both@Cyclone"):
+            assert label in out
+
+    def test_sta_command_filters(self, capsys):
+        code, out = run_cli(capsys, "sta", "--variant", "decrypt",
+                            "--device", "Cyclone")
+        assert code == 0
+        assert "paper_decrypt@Cyclone" in out
+        assert "Acex1K" not in out
 
     def test_corrupt_baseline_is_a_clean_error(self, capsys,
                                                tmp_path):

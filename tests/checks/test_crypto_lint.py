@@ -216,6 +216,94 @@ class TestTaintEngineEdges:
         assert len(findings) == 1
 
 
+class TestCallSitePropagation:
+    """One level of same-module helper-call taint propagation."""
+
+    def test_helper_branch_on_tainted_arg_triggers(self):
+        findings = lint(
+            """
+            def _mask(value):
+                if value & 1:
+                    return 0xFF
+                return 0
+
+            def f(key):
+                return _mask(key[0])
+            """, "ct.secret-branch")
+        assert len(findings) == 1
+        assert findings[0].location.obj == "_mask"
+
+    def test_keyword_argument_seeds_callee(self):
+        findings = lint(
+            """
+            def _mask(value=0):
+                if value:
+                    return 1
+                return 0
+
+            def f(key):
+                return _mask(value=key[0])
+            """, "ct.secret-branch")
+        assert len(findings) == 1
+
+    def test_helper_lookup_on_tainted_arg_triggers(self):
+        findings = lint(
+            """
+            MY_TABLE = list(range(256))
+
+            def _lookup(index):
+                return MY_TABLE[index]
+
+            def f(key):
+                return _lookup(key[0])
+            """, "ct.secret-index")
+        assert len(findings) == 1
+
+    def test_propagation_is_one_level_only(self):
+        # key -> _outer is one hop (seeded); _outer -> _inner would be
+        # a second hop driven by seeded (not lexical) taint, so the
+        # branch inside _inner stays unflagged by design.
+        findings = lint(
+            """
+            def _inner(value):
+                if value & 1:
+                    return 1
+                return 0
+
+            def _outer(value):
+                return _inner(value)
+
+            def f(key):
+                return _outer(key[0])
+            """, "ct.secret-branch")
+        assert findings == []
+
+    def test_sanitized_argument_does_not_seed(self):
+        findings = lint(
+            """
+            def _pick(n):
+                if n != 16:
+                    raise ValueError(n)
+
+            def f(key):
+                _pick(len(key))
+            """, "ct.secret-branch")
+        assert findings == []
+
+    def test_untainted_call_site_does_not_seed(self):
+        findings = lint(
+            """
+            def _mask(value):
+                if value & 1:
+                    return 1
+                return 0
+
+            def f(key, rounds):
+                return _mask(rounds)
+            """, "ct.secret-branch")
+        assert findings == []
+
+
 class TestShippedSourcesClean:
     def test_cipher_and_ip_have_no_ct_errors(self):
         """The real tree must carry zero constant-time *errors*

@@ -1,0 +1,165 @@
+"""Symbolic equivalence: algebra, stage proofs, and mutation traps."""
+
+import pytest
+
+from repro.aes.constants import INV_SBOX, RCON, SBOX
+from repro.checks import equiv
+from repro.checks.engine import KIND_EQUIV, run_rules
+from repro.checks.equiv import (
+    IDENTITY,
+    ByteExpr,
+    EquivSubject,
+    check_key_step,
+    check_mix_stage,
+    check_sbox_tables,
+    check_sub_stage,
+    gf_mul,
+    mat_apply,
+    matrix_from_fn,
+    paper_equiv_subjects,
+    symbolic_key_step,
+    symbolic_mix_stage,
+    verify,
+)
+from repro.ip.control import Variant
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    equiv.clear_cache()
+    yield
+    equiv.clear_cache()
+
+
+class TestByteAlgebra:
+    def test_xor_cancels_duplicate_atoms(self):
+        a = ByteExpr.var("x")
+        assert (a ^ a) == ByteExpr.lit(0)
+
+    def test_matrix_from_fn_roundtrip(self):
+        double = matrix_from_fn(lambda b: gf_mul(b, 2))
+        for value in (0x00, 0x01, 0x53, 0x80, 0xFF):
+            assert mat_apply(double, value) == gf_mul(value, 2)
+
+    def test_sbox_atom_evaluates_through_table(self):
+        expr = ByteExpr.sbox("S", ByteExpr.var("x"))
+        assert expr.evaluate({"x": 0x00}) == SBOX[0x00]
+        assert expr.evaluate({"x": 0x53}) == SBOX[0x53]
+
+    def test_compound_sbox_argument(self):
+        arg = ByteExpr.var("x") ^ ByteExpr.var("y")
+        expr = ByteExpr.sbox("IS", arg)
+        assert expr.evaluate({"x": 0x12, "y": 0x34}) == \
+            INV_SBOX[0x12 ^ 0x34]
+
+    def test_linearity_flag(self):
+        assert (ByteExpr.var("x") ^ ByteExpr.var("y")).is_linear
+        assert not ByteExpr.lit(1).is_linear
+        assert not ByteExpr.sbox("S", ByteExpr.var("x")).is_linear
+
+    def test_mapped_composes_matrices(self):
+        double = matrix_from_fn(lambda b: gf_mul(b, 2))
+        expr = ByteExpr.var("x").mapped(double).mapped(double)
+        assert expr.evaluate({"x": 0x37}) == gf_mul(0x37, 4)
+        assert IDENTITY == matrix_from_fn(lambda b: b)
+
+
+class TestStageProofs:
+    def test_sbox_tables_proven(self):
+        assert check_sbox_tables() == []
+
+    @pytest.mark.parametrize("inverse", [False, True])
+    def test_sub_stage_proven(self, inverse):
+        assert check_sub_stage(inverse) == []
+
+    @pytest.mark.parametrize("inverse", [False, True])
+    def test_mix_stage_proven(self, inverse):
+        assert check_mix_stage(inverse) == []
+
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_key_step_proven(self, reverse):
+        assert check_key_step(reverse) == []
+
+    def test_mix_stage_model_is_linear(self):
+        for inverse in (False, True):
+            for bypass in (False, True):
+                model = symbolic_mix_stage(inverse, bypass)
+                assert all(e.is_linear for e in model)
+
+    def test_key_step_rcon_lands_on_msb_of_word0(self):
+        model = symbolic_key_step(reverse=False)
+        assert equiv.RCON_VAR in model[0].variables()
+        for expr in model[1:4]:
+            assert equiv.RCON_VAR not in expr.variables()
+
+    def test_rcon_first_eight_span_gf2_8(self):
+        # The property the key-step probe strategy relies on.
+        assert sorted(RCON[1:9]) == [1 << b for b in range(8)]
+
+
+class TestSubjectsAndRules:
+    def test_shipped_subjects_all_proven(self):
+        subjects = paper_equiv_subjects()
+        assert [s.variant for s in subjects] == list(Variant)
+        for subject in subjects:
+            report = verify(subject)
+            assert all(not v for v in report.values()), report
+
+    def test_rules_produce_no_findings_on_shipped_tree(self):
+        findings = run_rules({KIND_EQUIV: paper_equiv_subjects()})
+        assert findings == []
+
+    def test_verification_is_memoized(self):
+        subject = paper_equiv_subjects()[0]
+        first = verify(subject)
+        assert verify(subject) is first
+
+    def test_every_datapath_cell_is_claimed(self):
+        from repro.checks.netgraph import CellKind
+
+        for subject in paper_equiv_subjects():
+            for name, cell in subject.design.cells.items():
+                if cell.kind in (CellKind.COMB, CellKind.ROM):
+                    assert name in equiv.STAGE_COVERAGE, name
+
+    def test_unclaimed_cell_warns(self):
+        from repro.checks.netgraph import CellKind, Design
+
+        design = Design("extra")
+        design.add_cell("rogue_xor", CellKind.COMB,
+                        i=("in", 8), o=("out", 8))
+        subject = EquivSubject(Variant.ENCRYPT, design)
+        findings = run_rules({KIND_EQUIV: [subject]},
+                             only=["eqv.unmodelled-cell"])
+        assert [f.location.obj for f in findings] == ["rogue_xor"]
+
+
+class TestMutationTraps:
+    """Seeded defects must be caught — the checker is not vacuous."""
+
+    def test_corrupt_sbox_entry_is_detected(self, monkeypatch):
+        broken = list(SBOX)
+        broken[0x42] ^= 0x01
+        monkeypatch.setitem(equiv.TABLES, "S", tuple(broken))
+        problems = check_sub_stage(inverse=False)
+        assert problems
+
+    def test_wrong_mix_coefficients_are_detected(self, monkeypatch):
+        monkeypatch.setattr(equiv, "MIX_POLY", (0x03, 0x02, 0x01, 0x01))
+        problems = check_mix_stage(inverse=False)
+        assert any("mix stage" in p for p in problems)
+
+    def test_wrong_rcon_injection_is_detected(self, monkeypatch):
+        # Pretend the netlist injects Rcon on the LSB byte instead.
+        original = equiv.symbolic_key_step
+
+        def skewed(reverse):
+            model = original(reverse)
+            rcon = ByteExpr.var(equiv.RCON_VAR)
+            model[0] = model[0] ^ rcon          # remove from MSB
+            model[3] = model[3] ^ rcon          # add on LSB
+            return model
+
+        monkeypatch.setattr(equiv, "symbolic_key_step", skewed)
+        problems = equiv.check_key_step(reverse=False)
+        assert any("key step" in p for p in problems)

@@ -1,0 +1,132 @@
+"""Graph STA: Table 2 reproduction, slack, divergence and DAG rules."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.tables import PAPER_TABLE2
+from repro.checks.engine import KIND_STA, run_rules
+from repro.checks.netgraph import CellKind, Design
+from repro.checks.sta import (
+    StaSubject,
+    analyze_design,
+    paper_sta_subjects,
+)
+from repro.fpga.devices import EP1C20, EP1K100
+from repro.ip.control import NUM_ROUNDS, Variant
+
+ALL_SUBJECTS = paper_sta_subjects()
+ROW_IDS = [s.label for s in ALL_SUBJECTS]
+
+
+@pytest.fixture(scope="module", params=ALL_SUBJECTS, ids=ROW_IDS)
+def report(request):
+    return analyze_design(request.param)
+
+
+class TestTable2Reproduction:
+    def test_rounded_period_matches_table2(self, report):
+        sub = report.subject
+        key = (sub.spec.variant.value, sub.device.family)
+        expected_clk = PAPER_TABLE2[key][4]
+        assert report.clock_ns == expected_clk
+
+    def test_block_latency_is_50_clocks(self, report):
+        sub = report.subject
+        key = (sub.spec.variant.value, sub.device.family)
+        expected_latency = PAPER_TABLE2[key][3]
+        cycles = 5 * NUM_ROUNDS  # the paper's 50-clock block latency
+        assert cycles * report.clock_ns == expected_latency
+
+    def test_no_negative_slack_at_table2_period(self, report):
+        assert report.slack_ns >= 0
+
+    def test_graph_matches_analytical_model_exactly(self, report):
+        assert report.critical_ns == pytest.approx(report.analytical_ns)
+
+    def test_paper_designs_are_dags(self, report):
+        assert report.cycles == []
+
+    def test_every_cell_has_a_delay_model(self, report):
+        assert report.unmodelled == []
+
+    def test_critical_path_ends_in_a_register(self, report):
+        critical = report.critical
+        assert critical is not None
+        end = report.subject.design.cells[critical.end]
+        assert end.kind in (CellKind.SEQ, CellKind.ROM)
+
+
+class TestRuleFindings:
+    def test_shipped_subjects_produce_no_findings(self):
+        findings = run_rules({KIND_STA: ALL_SUBJECTS})
+        assert findings == []
+
+    def test_routing_increment_creates_negative_slack(self):
+        # A long-routing device stretches graph paths while the
+        # analytical constraint stays put: slack goes negative and the
+        # two models diverge.
+        slow = dataclasses.replace(EP1K100, t_route=2.0)
+        base = ALL_SUBJECTS[0]
+        subject = StaSubject(base.spec, slow, base.design)
+        rep = analyze_design(subject)
+        assert rep.slack_ns < 0
+        findings = run_rules({KIND_STA: [subject]})
+        rules = {f.rule for f in findings}
+        assert "sta.negative-slack" in rules
+        assert "sta.model-divergence" in rules
+
+    def test_combinational_cycle_reports_non_dag(self):
+        design = Design("looped")
+        design.add_cell("a", CellKind.COMB,
+                        i=("in", 1), o=("out", 1))
+        design.add_cell("b", CellKind.COMB,
+                        i=("in", 1), o=("out", 1))
+        design.add_net("ab", 1)
+        design.add_net("ba", 1)
+        design.connect("ab", "a", "o")
+        design.connect("ab", "b", "i")
+        design.connect("ba", "b", "o")
+        design.connect("ba", "a", "i")
+        subject = StaSubject(ALL_SUBJECTS[0].spec, EP1K100, design)
+        rep = analyze_design(subject)
+        assert rep.cycles
+        findings = run_rules({KIND_STA: [subject]},
+                             only=["sta.non-dag"])
+        assert len(findings) == 1
+        assert "cycle" in findings[0].message
+
+    def test_unknown_cell_warns_and_still_analyzes(self):
+        design = Design("mystery")
+        design.add_cell("src", CellKind.SEQ,
+                        q=("out", 8))
+        design.add_cell("gadget", CellKind.COMB,
+                        i=("in", 8), o=("out", 8))
+        design.add_cell("dst", CellKind.SEQ,
+                        d=("in", 8))
+        design.add_net("n1", 8)
+        design.add_net("n2", 8)
+        design.connect("n1", "src", "q")
+        design.connect("n1", "gadget", "i")
+        design.connect("n2", "gadget", "o")
+        design.connect("n2", "dst", "d")
+        subject = StaSubject(ALL_SUBJECTS[0].spec, EP1C20, design)
+        rep = analyze_design(subject)
+        assert rep.unmodelled == ["gadget"]
+        # The guessed delay is one logic level.
+        assert rep.critical_ns == pytest.approx(
+            EP1C20.t_overhead + EP1C20.t_level)
+        findings = run_rules({KIND_STA: [subject]},
+                             only=["sta.unmodelled-cell"])
+        assert [f.location.obj for f in findings] == ["gadget"]
+
+
+class TestReportRendering:
+    def test_render_names_the_full_cell_chain(self):
+        both = next(s for s in ALL_SUBJECTS
+                    if s.spec.variant is Variant.BOTH
+                    and s.device is EP1K100)
+        text = analyze_design(both).render()
+        assert "mix_network" in text
+        assert "required 17 ns" in text
+        assert "divergence 0.00 ns" in text
