@@ -29,8 +29,49 @@ BLOCK = 16
 _R = 0xE1000000000000000000000000000000
 
 
+#: SP 800-38D §5.2.1.1 operand bounds.  len(P) <= 2^39 - 256 bits:
+#: the plaintext may consume at most 2^32 - 2 counter blocks, so the
+#: 32-bit GCTR counter can never wrap back onto J0 (tag keystream) or
+#: J0 + 1 (first payload counter).  AAD and IV are bounded by their
+#: 64-bit length fields in the GHASH length block / J0 derivation.
+MAX_PLAINTEXT_BYTES = ((1 << 39) - 256) // 8
+MAX_AAD_BYTES = ((1 << 64) - 1) // 8
+MAX_IV_BYTES = ((1 << 64) - 1) // 8
+
+
 class AuthenticationError(ValueError):
     """Raised when a GCM tag fails verification."""
+
+
+def _check_lengths(plaintext_len: int, aad_len: int,
+                   iv_len: int) -> None:
+    """Enforce the SP 800-38D operand limits *before* any processing.
+
+    Without the plaintext bound, a message longer than 2^32 - 2
+    blocks silently wraps :func:`_inc32` and re-encrypts earlier
+    counters — keystream reuse, the one unforgivable CTR failure.
+    The check runs on lengths alone, ahead of key expansion and of
+    the first counter increment.
+    """
+    if iv_len == 0:
+        raise ValueError("GCM requires a non-empty IV")
+    if iv_len > MAX_IV_BYTES:
+        raise ValueError(
+            f"GCM IV exceeds the SP 800-38D limit of "
+            f"{MAX_IV_BYTES} bytes"
+        )
+    if plaintext_len > MAX_PLAINTEXT_BYTES:
+        raise ValueError(
+            f"GCM plaintext exceeds the SP 800-38D limit of "
+            f"{MAX_PLAINTEXT_BYTES} bytes (2^39 - 256 bits); "
+            f"longer messages would wrap the 32-bit counter and "
+            f"reuse keystream"
+        )
+    if aad_len > MAX_AAD_BYTES:
+        raise ValueError(
+            f"GCM AAD exceeds the SP 800-38D limit of "
+            f"{MAX_AAD_BYTES} bytes"
+        )
 
 
 def gf128_mul(x: int, y: int) -> int:
@@ -59,6 +100,13 @@ def _ghash(h: int, data: bytes) -> int:
 
 
 def _inc32(block: bytes) -> bytes:
+    """inc32 of SP 800-38D §6.2: the low 4 bytes wrap modulo 2^32.
+
+    The wrap is what the spec defines, but a wrapped counter repeats
+    keystream — so :func:`_check_lengths` bounds every message to at
+    most 2^32 - 2 payload blocks, making the wrap unreachable from
+    the GCM entry points.
+    """
     head, counter = block[:12], int.from_bytes(block[12:], "big")
     return head + ((counter + 1) & 0xFFFFFFFF).to_bytes(4, "big")
 
@@ -72,6 +120,17 @@ def _gctr(aes: AES128, icb: bytes, data: bytes) -> bytes:
         out.extend(c ^ s for c, s in zip(chunk, stream))
         counter = _inc32(counter)
     return bytes(out)
+
+
+def _gctr_bulk(key: bytes, icb: bytes, data: bytes) -> bytes:
+    """GCTR for the payload, on the batch engine.
+
+    Bit-for-bit the serial :func:`_gctr` (the engine's backends are
+    cross-checked against the straightforward model); the serial form
+    stays for the single-block tag path and as the golden reference.
+    """
+    from repro.perf.engine import default_engine
+    return default_engine().gctr(key, icb, data)
 
 
 def _derive(aes: AES128, iv: bytes, h: int) -> bytes:
@@ -102,12 +161,11 @@ def _tag(aes: AES128, h: int, j0: bytes, aad: bytes,
 def gcm_encrypt(key: bytes, iv: bytes, plaintext: bytes,
                 aad: bytes = b"") -> Tuple[bytes, bytes]:
     """Encrypt and authenticate; returns (ciphertext, 16-byte tag)."""
-    if not iv:
-        raise ValueError("GCM requires a non-empty IV")
+    _check_lengths(len(plaintext), len(aad), len(iv))
     aes = AES128(key)
     h = int.from_bytes(aes.encrypt_block(bytes(16)), "big")
     j0 = _derive(aes, bytes(iv), h)
-    ciphertext = _gctr(aes, _inc32(j0), bytes(plaintext))
+    ciphertext = _gctr_bulk(key, _inc32(j0), bytes(plaintext))
     tag = _tag(aes, h, j0, bytes(aad), ciphertext)
     return ciphertext, tag
 
@@ -116,12 +174,11 @@ def gcm_decrypt(key: bytes, iv: bytes, ciphertext: bytes, tag: bytes,
                 aad: bytes = b"") -> bytes:
     """Verify and decrypt; raises :class:`AuthenticationError` on a
     bad tag (and releases no plaintext in that case)."""
-    if not iv:
-        raise ValueError("GCM requires a non-empty IV")
+    _check_lengths(len(ciphertext), len(aad), len(iv))
     aes = AES128(key)
     h = int.from_bytes(aes.encrypt_block(bytes(16)), "big")
     j0 = _derive(aes, bytes(iv), h)
     expected = _tag(aes, h, j0, bytes(aad), bytes(ciphertext))
     if not _hmac.compare_digest(expected, bytes(tag)):
         raise AuthenticationError("GCM tag verification failed")
-    return _gctr(aes, _inc32(j0), bytes(ciphertext))
+    return _gctr_bulk(key, _inc32(j0), bytes(ciphertext))

@@ -8,11 +8,17 @@ streaming channel.  CBC/CFB feedback chains serialize blocks — exactly
 the scenario where the paper's 50-cycle latency is the whole story —
 while ECB/CTR allow the device's I/O overlap to hide load time.
 
+The bulk paths of the parallelizable modes (ECB encryption, the CTR
+keystream) route through the batch engine
+(:func:`repro.perf.engine.default_engine`), which picks the fastest
+backend that still agrees bit-for-bit with :class:`AES128`.
+
 Padding: PKCS#7 helpers are provided for the byte-stream modes.
 """
 
 from __future__ import annotations
 
+import hmac as _hmac
 from typing import Iterator
 
 from repro.aes.cipher import AES128
@@ -28,16 +34,38 @@ def pkcs7_pad(data: bytes, block: int = BLOCK) -> bytes:
     return bytes(data) + bytes([pad]) * pad
 
 
+def _ct_lt(a: int, b: int) -> int:
+    """1 if ``a < b`` else 0, branch-free (operands in 0..511)."""
+    return ((a - b) >> 9) & 1
+
+
 def pkcs7_unpad(data: bytes, block: int = BLOCK) -> bytes:
-    """Strip PKCS#7 padding, validating every pad byte."""
+    """Strip PKCS#7 padding, validating every pad byte.
+
+    Constant-time in the same masked-arithmetic style as
+    :func:`repro.aes.auth._double`: ``data`` is decrypted plaintext —
+    secret — so the validation walks a fixed ``block`` bytes, folds
+    every check (pad in 1..block, every covered byte equals the pad
+    value) into one accumulator with branch-free masks, and renders a
+    single verdict through ``hmac.compare_digest``.  Which byte was
+    wrong, and whether the failure was range or content, is never
+    separable by timing — the classic CBC padding-oracle lever.
+    """
     data = bytes(data)
-    if not data or len(data) % block:
+    if not 1 <= block <= 255:
+        raise ValueError("block size must be 1..255")
+    if len(data) == 0 or len(data) % block:
         raise ValueError("padded data length must be a positive multiple "
                          "of the block size")
-    pad = data[-1]
-    if not 1 <= pad <= block or data[-pad:] != bytes([pad]) * pad:
+    tail = data[len(data) - block:]
+    pad = tail[block - 1]
+    bad = _ct_lt(pad, 1) | _ct_lt(block, pad)
+    for offset in range(block):
+        byte = tail[block - 1 - offset]
+        bad |= _ct_lt(offset, pad) * (byte ^ pad)
+    if not _hmac.compare_digest(bytes([bad]), b"\x00"):
         raise ValueError("invalid PKCS#7 padding")
-    return data[:-pad]
+    return data[: len(data) - pad]
 
 
 def _blocks(data: bytes) -> Iterator[bytes]:
@@ -63,11 +91,21 @@ def _xor(a: bytes, b: bytes) -> bytes:
     return bytes(x ^ y for x, y in zip(a, b))
 
 
+def _bulk_engine():
+    """The process-wide batch engine (imported lazily: the perf
+    package depends on this module's siblings, not vice versa)."""
+    from repro.perf.engine import default_engine
+    return default_engine()
+
+
 def ecb_encrypt(key: bytes, plaintext: bytes) -> bytes:
-    """ECB — each block independently (parallel-friendly, leaks patterns)."""
+    """ECB — each block independently (parallel-friendly, leaks patterns).
+
+    Bulk path: runs on the batch engine, whose backends are verified
+    bit-for-bit against :class:`AES128`.
+    """
     plaintext = _require_aligned(plaintext, "plaintext")
-    aes = AES128(key)
-    return b"".join(aes.encrypt_block(b) for b in _blocks(plaintext))
+    return _bulk_engine().xcrypt_ecb(key, plaintext)
 
 
 def ecb_decrypt(key: bytes, ciphertext: bytes) -> bytes:
@@ -106,16 +144,7 @@ def ctr_keystream(key: bytes, nonce: bytes, blocks: int) -> bytes:
 
     ``nonce`` is 8 bytes; the counter fills the low 8 bytes big-endian.
     """
-    nonce = bytes(nonce)
-    if len(nonce) != 8:
-        raise ValueError("CTR nonce must be 8 bytes")
-    if blocks < 0:
-        raise ValueError("block count must be non-negative")
-    aes = AES128(key)
-    out = bytearray()
-    for counter in range(blocks):
-        out.extend(aes.encrypt_block(nonce + counter.to_bytes(8, "big")))
-    return bytes(out)
+    return _bulk_engine().keystream(key, nonce, blocks)
 
 
 def ctr_xcrypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
@@ -123,12 +152,10 @@ def ctr_xcrypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
 
     Works on any length — CTR is a stream mode, and notably only ever
     uses the *encrypt* direction, which is why encrypt-only devices
-    (the paper's smallest variant) suffice for CTR links.
+    (the paper's smallest variant) suffice for CTR links.  Keystream
+    generation and the XOR both run on the batch engine.
     """
-    data = bytes(data)
-    blocks = (len(data) + BLOCK - 1) // BLOCK
-    stream = ctr_keystream(key, nonce, blocks)
-    return _xor(data, stream[: len(data)])
+    return _bulk_engine().xcrypt_ctr(key, nonce, data)
 
 
 def cfb_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:

@@ -327,6 +327,79 @@ def secret_index(source: SourceFile,
                 )
 
 
+@rule("ct.padding-oracle", Severity.ERROR, KIND_SOURCE,
+      "variable-time padding validation in an unpad-style function")
+def padding_oracle(source: SourceFile,
+                   config: CheckConfig) -> Iterator[Finding]:
+    """Padding validators leak through timing, not key names.
+
+    An unpad function's input is *decrypted plaintext* — secret — yet
+    none of its parameters match the key-material name patterns, so
+    the generic taint rules never look at it.  This rule seeds every
+    non-geometry parameter of a function matching
+    ``config.padding_function_patterns`` as tainted and then flags the
+    two variable-time validation shapes:
+
+    - an ``==`` / ``!=`` / ordering comparison that reads tainted
+      data (Python compares bytes with an early-exit memcmp — the
+      classic CBC padding-oracle lever);
+    - a branch whose test reads tainted data directly (truthiness
+      checks and early exits).
+
+    ``hmac.compare_digest`` is the sanctioned comparator: a verdict
+    folded into one accumulator and compared constant-time (the
+    :func:`repro.aes.auth._double` masked-arithmetic precedent) is
+    exactly what passes.
+    """
+    for func in _functions(source.tree):
+        assert isinstance(func, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef))
+        if not any(fnmatch.fnmatch(func.name, pattern)
+                   for pattern in config.padding_function_patterns):
+            continue
+        public = set(config.padding_public_params)
+        seeds = [name for name in _param_names(func)
+                 if name not in public]
+        tainted = _function_taint(func, config, seeds)
+        if not tainted:
+            continue
+        compare_lines: Set[int] = set()
+        for node in _own_nodes(func):
+            if isinstance(node, ast.Compare):
+                hits = _taints(node, tainted)
+                if hits:
+                    compare_lines.add(node.lineno)
+                    names = ", ".join(sorted(hits))
+                    yield Finding(
+                        "ct.padding-oracle", Severity.ERROR,
+                        f"comparison over padding-derived data "
+                        f"({names}) short-circuits byte-by-byte; "
+                        f"fold the checks into an accumulator and "
+                        f"use hmac.compare_digest",
+                        Location(source.path, node.lineno, func.name),
+                    )
+        for node in _own_nodes(func):
+            test: Optional[ast.AST] = None
+            if isinstance(node, (ast.If, ast.While, ast.IfExp,
+                                 ast.Assert)):
+                test = node.test
+            if test is None:
+                continue
+            if any(isinstance(sub, ast.Compare)
+                   and sub.lineno in compare_lines
+                   for sub in ast.walk(test)):
+                continue  # already reported as a leaky comparison
+            hits = _taints(test, tainted)
+            if hits:
+                names = ", ".join(sorted(hits))
+                yield Finding(
+                    "ct.padding-oracle", Severity.ERROR,
+                    f"branch on padding-derived data ({names}); "
+                    f"early exits reveal which pad byte failed",
+                    Location(source.path, node.lineno, func.name),
+                )
+
+
 @rule("ct.key-global", Severity.WARNING, KIND_SOURCE,
       "key/IV material assigned to a module-level global")
 def key_global(source: SourceFile,

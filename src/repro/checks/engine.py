@@ -187,6 +187,15 @@ class CheckConfig:
         "wr_key", "load_key", "key_index", "key_ready", "is_key",
         "has_key",
     )
+    #: Function-name patterns the padding-oracle rule treats as
+    #: padding validators: their inputs are decrypted plaintext,
+    #: secret even though no parameter is named like key material.
+    padding_function_patterns: Tuple[str, ...] = ("*unpad*",)
+    #: Parameters of those validators that are public configuration
+    #: (block geometry), not ciphertext-derived data.
+    padding_public_params: Tuple[str, ...] = (
+        "self", "cls", "block", "block_size", "blocksize",
+    )
 
     def enabled(self, rule_id: str) -> bool:
         if any(fnmatch.fnmatch(rule_id, pat) for pat in self.disable):

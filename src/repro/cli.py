@@ -15,6 +15,7 @@ Exposes the reproduction's main flows without writing Python:
     repro-aes vcd --blocks 1 --out wave.vcd
     repro-aes lint --strict --format sarif
     repro-aes sta --variant both --device Acex1K
+    repro-aes bench --quick --out BENCH_software_throughput.json
 """
 
 from __future__ import annotations
@@ -285,6 +286,33 @@ def cmd_sta(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import render_report, run_bench, \
+        write_report
+    from repro.perf.engine import BackendMismatch
+
+    try:
+        report = run_bench(
+            quick=args.quick,
+            sizes=args.size or None,
+            reps=args.reps,
+            backend_names=args.backend or None,
+            workers=args.workers,
+        )
+    except BackendMismatch as exc:
+        # The equivalence gate failed: a backend produced bytes the
+        # straightforward model disagrees with.  No numbers are
+        # written — a fast wrong answer is not a benchmark.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    out = write_report(report, Path(args.out))
+    print(render_report(report))
+    print(f"\nwrote {out}")
+    return 0
+
+
 def cmd_vcd(args: argparse.Namespace) -> int:
     import random
 
@@ -417,6 +445,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default=None,
                    help="restrict to one device family or part number")
     p.set_defaults(fn=cmd_sta)
+
+    p = sub.add_parser(
+        "bench",
+        help="software throughput bench: backend x mode x size "
+             "matrix with an equivalence gate; persists the "
+             "trajectory JSON",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="the CI smoke matrix: fewer sizes, one rep, "
+                        "tighter baseline measurement cap")
+    p.add_argument("--out", default="BENCH_software_throughput.json",
+                   help="where to write the trajectory JSON")
+    p.add_argument("--backend", action="append", metavar="NAME",
+                   help="restrict to these backends (repeatable; "
+                        "baseline always runs — it defines the "
+                        "speedup denominator)")
+    p.add_argument("--size", action="append", type=int,
+                   metavar="BYTES",
+                   help="override the pinned message sizes "
+                        "(repeatable, multiples of 16)")
+    p.add_argument("--reps", type=int, default=None,
+                   help="timing repetitions per workload")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard count for the parallelizable modes")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("vcd", help="dump a waveform of a real run")
     p.add_argument("--blocks", type=int, default=1)

@@ -1,0 +1,377 @@
+"""Software throughput benchmark: the persisted perf trajectory.
+
+This is the harness behind ``repro-aes bench``.  It does three things,
+in a fixed order:
+
+1. **Equivalence gate** — every backend is cross-checked bit-for-bit
+   against the straightforward model (:class:`repro.aes.cipher.AES128`)
+   on random corpora across every batch primitive (ECB, CTR with a
+   partial tail, GCTR across the 32-bit counter wrap) *before* any
+   timing happens.  A fast wrong answer is worthless; a mismatch
+   raises :class:`~repro.perf.engine.BackendMismatch` and the CLI
+   exits non-zero, which is what the CI smoke job keys off.
+2. **Pinned workload matrix** — backend x mode x message size, the
+   software analogue of the area/throughput trade-off tables in the
+   MixColumn-architectures literature.  Slow backends are measured on
+   a capped prefix of the payload and scaled (per-block cost is size-
+   independent for the streaming modes); the cap is recorded honestly
+   in ``measured_blocks``.  A serial CBC row rides along as the
+   chained-mode reference — the case where, as the paper argues, no
+   batching helps and per-block latency is the whole story.
+3. **Trajectory record** — the results land in
+   ``BENCH_software_throughput.json`` (schema below) so subsequent
+   PRs can assert no-regression against a persisted baseline instead
+   of folklore.
+
+JSON schema (``repro-aes/software-throughput/v1``)::
+
+    {
+      "schema": "repro-aes/software-throughput/v1",
+      "created_unix": 1754000000,
+      "quick": true,
+      "workers": 1,
+      "host": {"platform": ..., "python": ..., "machine": ...,
+               "cpu_count": ..., "numpy": "2.4.6" | null},
+      "equivalence": {"backends": [...], "primitives": [...],
+                      "corpus_blocks": ..., "mismatches": 0},
+      "workloads": [
+        {"backend": "sliced", "vectorized": true, "mode": "ctr",
+         "chained": false, "size_bytes": 1048576, "blocks": 65536,
+         "measured_blocks": 65536, "reps": 1, "seconds": ...,
+         "blocks_per_s": ..., "mb_per_s": ...,
+         "speedup_vs_baseline": ...}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.aes.cipher import AES128
+from repro.aes.vectors import SP800_38A_ECB128_KEY
+from repro.perf.backends import (
+    Backend,
+    available_backends,
+    numpy_version,
+)
+from repro.perf.engine import BackendMismatch, BatchEngine
+
+BLOCK = 16
+
+SCHEMA = "repro-aes/software-throughput/v1"
+
+DEFAULT_OUT = "BENCH_software_throughput.json"
+
+#: The pinned message sizes (bytes) of the full and quick matrices.
+FULL_SIZES = (16384, 262144, 1048576)
+QUICK_SIZES = (16384, 1048576)
+
+#: Parallelizable modes every backend is timed on.
+BATCH_MODES = ("ecb", "ctr")
+
+#: Measurement caps, in blocks, per backend name.  The baseline runs
+#: ~1.5k blocks/s in CPython, so timing a full 1 MiB through it would
+#: dominate the whole bench; a capped prefix gives the same per-block
+#: cost.  ``measured_blocks`` records what actually ran.
+_MEASURE_CAPS = {"baseline": 2048}
+_MEASURE_CAPS_QUICK = {"baseline": 512}
+
+#: Seed for every corpus/payload this harness generates — pinned so
+#: the trajectory compares like against like across PRs.
+_SEED = 2003
+
+
+# ------------------------------------------------------- golden model
+def _serial_ecb(key: bytes, data: bytes) -> bytes:
+    aes = AES128(key)
+    return b"".join(aes.encrypt_block(data[i:i + BLOCK])
+                    for i in range(0, len(data), BLOCK))
+
+
+def _serial_ctr(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    aes = AES128(key)
+    out = bytearray()
+    for index in range(0, len(data), BLOCK):
+        counter = (index // BLOCK).to_bytes(8, "big")
+        stream = aes.encrypt_block(nonce + counter)
+        chunk = data[index:index + BLOCK]
+        out.extend(c ^ s for c, s in zip(chunk, stream))
+    return bytes(out)
+
+
+def _serial_gctr(key: bytes, icb: bytes, data: bytes) -> bytes:
+    aes = AES128(key)
+    head, start = icb[:12], int.from_bytes(icb[12:], "big")
+    out = bytearray()
+    for index in range(0, len(data), BLOCK):
+        counter = (start + index // BLOCK) & 0xFFFFFFFF
+        stream = aes.encrypt_block(head + counter.to_bytes(4, "big"))
+        chunk = data[index:index + BLOCK]
+        out.extend(c ^ s for c, s in zip(chunk, stream))
+    return bytes(out)
+
+
+# --------------------------------------------------- equivalence gate
+def cross_check(backends: Optional[Dict[str, Backend]] = None,
+                corpus_blocks: int = 48,
+                seed: int = _SEED) -> Dict[str, object]:
+    """Verify every backend against the straightforward model.
+
+    Raises :class:`BackendMismatch` naming the first divergent
+    (backend, primitive) pair; returns the summary recorded in the
+    bench JSON when everything agrees.
+    """
+    if backends is None:
+        backends = available_backends()
+    rng = random.Random(seed)
+    keys = [SP800_38A_ECB128_KEY,
+            bytes(rng.randrange(256) for _ in range(16))]
+    aligned = rng.randbytes(corpus_blocks * BLOCK)
+    ragged = rng.randbytes(corpus_blocks * BLOCK - 7)
+    nonce = rng.randbytes(8)
+    # An ICB 2 blocks short of the 32-bit wrap: the corpus crosses it.
+    icb = rng.randbytes(12) + (0xFFFFFFFE).to_bytes(4, "big")
+
+    primitives: Dict[
+        str, Callable[[BatchEngine, bytes], Sequence[bytes]]
+    ] = {
+        "ecb": lambda eng, key: (eng.xcrypt_ecb(key, aligned),
+                                 _serial_ecb(key, aligned)),
+        "ctr": lambda eng, key: (eng.xcrypt_ctr(key, nonce, ragged),
+                                 _serial_ctr(key, nonce, ragged)),
+        "gctr": lambda eng, key: (eng.gctr(key, icb, ragged),
+                                  _serial_gctr(key, icb, ragged)),
+    }
+    for name, backend in sorted(backends.items()):
+        engine = BatchEngine(backend)
+        for primitive, run in primitives.items():
+            for key in keys:
+                got, want = run(engine, key)
+                if got != want:
+                    raise BackendMismatch(
+                        f"backend {name!r} diverges from the "
+                        f"straightforward model on {primitive} "
+                        f"(corpus {corpus_blocks} blocks, "
+                        f"seed {seed})"
+                    )
+    return {
+        "backends": sorted(backends),
+        "primitives": sorted(primitives),
+        "corpus_blocks": corpus_blocks,
+        "keys": len(keys),
+        "mismatches": 0,
+    }
+
+
+# ------------------------------------------------------------- timing
+def host_fingerprint() -> Dict[str, object]:
+    """Where these numbers were measured (trajectories only compare
+    within a fingerprint; CI hosts vary run to run)."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version(),
+    }
+
+
+def _measure(fn: Callable[[], object], reps: int) -> float:
+    fn()  # warm-up: table/array builds, cache fills
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return time.perf_counter() - start
+
+
+def run_bench(quick: bool = False,
+              sizes: Optional[Sequence[int]] = None,
+              reps: Optional[int] = None,
+              backend_names: Optional[Sequence[str]] = None,
+              workers: int = 1,
+              corpus_blocks: int = 48) -> Dict[str, object]:
+    """Equivalence-gate then time the pinned workload matrix.
+
+    Returns the full report dict (the JSON payload).  ``sizes`` and
+    ``reps`` override the pinned matrix for smoke tests; the defaults
+    are the persisted-trajectory configuration.
+    """
+    all_backends = available_backends()
+    if backend_names:
+        unknown = sorted(set(backend_names) - set(all_backends))
+        if unknown:
+            raise ValueError(f"unknown backends: {', '.join(unknown)}")
+        backends = {name: all_backends[name]
+                    for name in backend_names}
+    else:
+        backends = all_backends
+    if "baseline" not in backends:
+        # Speedups are *defined* relative to the straightforward
+        # model; it always runs.
+        backends["baseline"] = all_backends["baseline"]
+
+    equivalence = cross_check(backends, corpus_blocks=corpus_blocks)
+
+    if sizes is None:
+        sizes = QUICK_SIZES if quick else FULL_SIZES
+    sizes = sorted(set(int(s) for s in sizes))
+    if any(s < BLOCK or s % BLOCK for s in sizes):
+        raise ValueError(
+            f"workload sizes must be positive multiples of {BLOCK}"
+        )
+    if reps is None:
+        reps = 1 if quick else 3
+    caps = _MEASURE_CAPS_QUICK if quick else _MEASURE_CAPS
+
+    rng = random.Random(_SEED)
+    key = SP800_38A_ECB128_KEY
+    nonce = rng.randbytes(8)
+    iv = rng.randbytes(16)
+    payload = rng.randbytes(max(sizes))
+
+    rows: List[Dict[str, object]] = []
+    for name in sorted(backends):
+        engine = BatchEngine(backends[name], workers=workers)
+        cap = caps.get(name)
+        for mode in BATCH_MODES:
+            for size in sizes:
+                blocks = size // BLOCK
+                measured = blocks if cap is None else min(blocks, cap)
+                piece = payload[:measured * BLOCK]
+                if mode == "ecb":
+                    fn = lambda p=piece: engine.xcrypt_ecb(key, p)
+                else:
+                    fn = lambda p=piece: engine.xcrypt_ctr(
+                        key, nonce, p)
+                seconds = _measure(fn, reps)
+                rows.append(_row(name, backends[name], mode, False,
+                                 size, blocks, measured, reps,
+                                 seconds))
+
+    # Serial chained-mode reference: CBC through the straightforward
+    # model.  No backend can batch it — that is the point.
+    from repro.aes.modes import cbc_encrypt
+    cbc_size = min(sizes)
+    cbc_blocks = cbc_size // BLOCK
+    cap = caps.get("baseline")
+    measured = cbc_blocks if cap is None else min(cbc_blocks, cap)
+    piece = payload[:measured * BLOCK]
+    seconds = _measure(lambda: cbc_encrypt(key, iv, piece), reps)
+    rows.append(_row("baseline", backends["baseline"], "cbc", True,
+                     cbc_size, cbc_blocks, measured, reps, seconds))
+
+    _attach_speedups(rows)
+    return {
+        "schema": SCHEMA,
+        "created_unix": int(time.time()),
+        "quick": bool(quick),
+        "workers": int(workers),
+        "host": host_fingerprint(),
+        "equivalence": equivalence,
+        "workloads": rows,
+    }
+
+
+def _row(name: str, backend: Backend, mode: str, chained: bool,
+         size: int, blocks: int, measured: int, reps: int,
+         seconds: float) -> Dict[str, object]:
+    per_rep = seconds / reps if reps else 0.0
+    blocks_per_s = (measured / per_rep) if per_rep > 0 else 0.0
+    return {
+        "backend": name,
+        "vectorized": backend.vectorized,
+        "mode": mode,
+        "chained": chained,
+        "size_bytes": size,
+        "blocks": blocks,
+        "measured_blocks": measured,
+        "reps": reps,
+        "seconds": round(seconds, 6),
+        "blocks_per_s": round(blocks_per_s, 1),
+        "mb_per_s": round(blocks_per_s * BLOCK / (1024 * 1024), 3),
+    }
+
+
+def _attach_speedups(rows: List[Dict[str, object]]) -> None:
+    baseline: Dict[object, float] = {}
+    for row in rows:
+        if row["backend"] == "baseline":
+            baseline[(row["mode"], row["size_bytes"])] = \
+                float(row["blocks_per_s"])  # type: ignore[arg-type]
+    for row in rows:
+        base = baseline.get((row["mode"], row["size_bytes"]))
+        rate = float(row["blocks_per_s"])  # type: ignore[arg-type]
+        row["speedup_vs_baseline"] = (
+            round(rate / base, 2) if base else None
+        )
+
+
+def write_report(report: Dict[str, object], out: Path) -> Path:
+    """Persist the trajectory JSON (pretty-printed, trailing newline)."""
+    out = Path(out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True)
+                   + "\n")
+    return out
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable table of one bench run."""
+    lines = []
+    host = report["host"]
+    numpy_note = host["numpy"] or "absent"  # type: ignore[index]
+    lines.append(
+        f"software throughput "
+        f"({'quick' if report['quick'] else 'full'} matrix, "
+        f"workers={report['workers']}, numpy={numpy_note})"
+    )
+    header = (f"{'backend':<10} {'mode':<5} {'size':>9} "
+              f"{'blocks/s':>12} {'MB/s':>9} {'vs baseline':>12}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in report["workloads"]:  # type: ignore[union-attr]
+        speedup = row["speedup_vs_baseline"]
+        speedup_text = f"{speedup:.2f}x" if speedup else "-"
+        tag = "*" if row["vectorized"] else " "
+        lines.append(
+            f"{row['backend']:<10}{tag}{row['mode']:<5} "
+            f"{_human_size(row['size_bytes']):>9} "
+            f"{row['blocks_per_s']:>12,.0f} "
+            f"{row['mb_per_s']:>9.2f} {speedup_text:>12}"
+        )
+    eq: Dict[str, object] = report["equivalence"]  # type: ignore[assignment]
+    backends_n = len(eq["backends"])  # type: ignore[arg-type]
+    primitives_n = len(eq["primitives"])  # type: ignore[arg-type]
+    lines.append(
+        f"equivalence: {backends_n} backend(s) "
+        f"x {primitives_n} primitive(s) "
+        f"x {eq['keys']} key(s), "
+        f"{eq['mismatches']} mismatch(es)"
+    )
+    lines.append("(* = numpy-vectorized; baseline rows may be "
+                 "measured on a capped prefix, see measured_blocks)")
+    return "\n".join(lines)
+
+
+def _human_size(size: int) -> str:
+    if size % (1024 * 1024) == 0:
+        return f"{size // (1024 * 1024)} MiB"
+    if size % 1024 == 0:
+        return f"{size // 1024} KiB"
+    return f"{size} B"
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """Tiny direct entry point (``python -m repro.perf.bench``)."""
+    report = run_bench(quick="--quick" in (argv or sys.argv[1:]))
+    write_report(report, Path(DEFAULT_OUT))
+    print(render_report(report))
+    return 0

@@ -1,0 +1,200 @@
+"""The batch throughput engine: one interface over every backend.
+
+:class:`BatchEngine` is the software counterpart of the paper's IP
+wrapper: the caller hands it a key and a buffer, and the engine picks
+how the blocks actually get processed — which backend runs the T-table
+math, and whether the buffer is sharded across worker threads with
+``concurrent.futures``.
+
+Only the *parallelizable* primitives live here: ECB encryption, CTR
+keystream generation, and GCTR (GCM's 32-bit-counter variant).  Each
+encrypts an independent block stream, so a buffer can be cut into
+contiguous shards and processed concurrently.  The feedback modes
+(CBC, CFB) are deliberately absent: block *i* needs ciphertext
+*i - 1*, so no amount of batching hides per-block latency — in
+hardware terms, the paper's 50-cycle block latency is the whole story
+for a chained mode, and :mod:`repro.aes.modes` keeps those loops
+serial.
+
+Hot-swapping backends behind this one interface mirrors the dynamic-
+reconfiguration direction of the related FPGA work: the caller's code
+does not change when the implementation under it does.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Union
+
+from repro.perf.backends import Backend, get_backend
+
+BLOCK = 16
+
+#: Below this many blocks a shard is not worth a thread hop.
+MIN_SHARD_BLOCKS = 256
+
+
+class BackendMismatch(ValueError):
+    """A backend disagreed bit-for-bit with the golden model."""
+
+
+class BatchEngine:
+    """Batched encryption over a pluggable backend.
+
+    ``backend`` is a registry name (``baseline`` / ``ttable`` /
+    ``sliced`` / ``auto``) or a :class:`~repro.perf.backends.Backend`
+    instance.  ``workers`` > 1 shards large buffers across a thread
+    pool; the default of 1 keeps everything on the calling thread
+    (CPython's GIL serializes the pure-Python backends anyway — the
+    sharding pays off for vectorized or future native backends, and
+    the shard plan is identical either way, so results never depend
+    on the worker count).
+    """
+
+    def __init__(self, backend: Union[str, Backend] = "auto",
+                 workers: int = 1):
+        if isinstance(backend, str):
+            backend = get_backend(backend)
+        self._backend = backend
+        self._workers = max(1, int(workers))
+
+    @property
+    def backend(self) -> Backend:
+        """The backend currently doing the block math."""
+        return self._backend
+
+    @property
+    def workers(self) -> int:
+        """Shard count for the parallelizable primitives."""
+        return self._workers
+
+    # ------------------------------------------------------------ ECB
+    def encrypt_blocks(self, key: bytes, data: bytes) -> bytes:
+        """Encrypt an aligned buffer block-by-block (ECB direction)."""
+        key = bytes(key)
+        if len(key) != BLOCK:
+            raise ValueError(
+                f"AES-128 key must be {BLOCK} bytes, got {len(key)}"
+            )
+        data = bytes(data)
+        if len(data) % BLOCK:
+            raise ValueError(
+                f"data must be a multiple of {BLOCK} bytes"
+            )
+        if not data:
+            return b""
+        shards = self._shards(data)
+        if len(shards) == 1:
+            return self._backend.encrypt_blocks(key, data)
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            parts = pool.map(
+                lambda shard: self._backend.encrypt_blocks(key, shard),
+                shards,
+            )
+            return b"".join(parts)
+
+    def xcrypt_ecb(self, key: bytes, data: bytes) -> bytes:
+        """ECB over the batch path (encrypt direction only).
+
+        Decryption needs the inverse cipher, which stays on the
+        straightforward model — every backend here is encrypt-only,
+        like the paper's smallest device variant.
+        """
+        return self.encrypt_blocks(key, data)
+
+    # ------------------------------------------------------------ CTR
+    def keystream(self, key: bytes, nonce: bytes, blocks: int,
+                  initial: int = 0) -> bytes:
+        """CTR keystream: E(nonce || counter), 64-bit counter.
+
+        Matches :func:`repro.aes.modes.ctr_keystream`: an 8-byte
+        nonce, the counter big-endian in the low 8 bytes, starting at
+        ``initial``.
+        """
+        nonce = bytes(nonce)
+        if len(nonce) != 8:
+            raise ValueError("CTR nonce must be 8 bytes")
+        if blocks < 0:
+            raise ValueError("block count must be non-negative")
+        if blocks == 0:
+            return b""
+        counters = b"".join(
+            nonce + counter.to_bytes(8, "big")
+            for counter in range(initial, initial + blocks)
+        )
+        return self.encrypt_blocks(key, counters)
+
+    def xcrypt_ctr(self, key: bytes, nonce: bytes,
+                   data: bytes) -> bytes:
+        """CTR encrypt/decrypt (symmetric): data xor keystream."""
+        data = bytes(data)
+        blocks = (len(data) + BLOCK - 1) // BLOCK
+        stream = self.keystream(key, nonce, blocks)
+        return _xor_bytes(data, stream[:len(data)])
+
+    # ----------------------------------------------------------- GCTR
+    def gctr(self, key: bytes, icb: bytes, data: bytes) -> bytes:
+        """SP 800-38D GCTR: 32-bit increment of the low counter word.
+
+        Bit-for-bit the serial ``_gctr`` of :mod:`repro.aes.gcm`,
+        including the modulo-2^32 counter wrap — which the GCM entry
+        points make unreachable by enforcing the plaintext length
+        limit before any counter is consumed.
+        """
+        icb = bytes(icb)
+        if len(icb) != BLOCK:
+            raise ValueError(f"ICB must be {BLOCK} bytes")
+        data = bytes(data)
+        if not data:
+            return b""
+        blocks = (len(data) + BLOCK - 1) // BLOCK
+        head, start = icb[:12], int.from_bytes(icb[12:], "big")
+        counters = b"".join(
+            head + ((start + i) & 0xFFFFFFFF).to_bytes(4, "big")
+            for i in range(blocks)
+        )
+        stream = self.encrypt_blocks(key, counters)
+        return _xor_bytes(data, stream[:len(data)])
+
+    # ------------------------------------------------------- sharding
+    def _shards(self, data: bytes) -> List[bytes]:
+        """Cut an aligned buffer into contiguous worker shards.
+
+        The plan depends only on the buffer size and the configured
+        worker count — never on timing — so output ordering (and thus
+        the ciphertext) is deterministic.
+        """
+        blocks = len(data) // BLOCK
+        if self._workers == 1 or blocks < 2 * MIN_SHARD_BLOCKS:
+            return [data]
+        shard_count = min(self._workers,
+                          max(1, blocks // MIN_SHARD_BLOCKS))
+        per_shard = -(-blocks // shard_count)  # ceil
+        step = per_shard * BLOCK
+        return [data[i:i + step] for i in range(0, len(data), step)]
+
+
+def _xor_bytes(data: bytes, stream: bytes) -> bytes:
+    """XOR two equal-length buffers via one bignum op (C speed)."""
+    if len(data) != len(stream):
+        raise ValueError("XOR operands must be the same length")
+    value = int.from_bytes(data, "little") ^ \
+        int.from_bytes(stream, "little")
+    return value.to_bytes(len(data), "little")
+
+
+_DEFAULT: Optional[BatchEngine] = None
+
+
+def default_engine() -> BatchEngine:
+    """The process-wide engine the mode layer routes bulk work through.
+
+    Auto-selects the sliced backend (numpy-vectorized when available)
+    with serial sharding — the fastest configuration that needs no
+    tuning.  Callers wanting a specific backend or worker count build
+    their own :class:`BatchEngine`.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = BatchEngine()
+    return _DEFAULT

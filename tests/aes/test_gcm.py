@@ -3,7 +3,12 @@
 import pytest
 
 from repro.aes.gcm import (
+    MAX_AAD_BYTES,
+    MAX_IV_BYTES,
+    MAX_PLAINTEXT_BYTES,
     AuthenticationError,
+    _check_lengths,
+    _inc32,
     gcm_decrypt,
     gcm_encrypt,
     gf128_mul,
@@ -69,6 +74,55 @@ class TestAuthentication:
     def test_empty_iv_rejected(self):
         with pytest.raises(ValueError):
             gcm_encrypt(K96, b"", P60)
+
+
+class _Sized:
+    """Length-only stand-in: huge operands without the memory."""
+
+    def __init__(self, length):
+        self._length = length
+
+    def __len__(self):
+        return self._length
+
+
+class TestLengthLimits:
+    """SP 800-38D operand bounds, enforced before any processing."""
+
+    def test_constants_match_spec_bits(self):
+        assert MAX_PLAINTEXT_BYTES * 8 == (1 << 39) - 256
+        assert MAX_AAD_BYTES == ((1 << 64) - 1) // 8
+        assert MAX_IV_BYTES == MAX_AAD_BYTES
+
+    def test_limits_accepted_exactly(self):
+        _check_lengths(MAX_PLAINTEXT_BYTES, MAX_AAD_BYTES,
+                       MAX_IV_BYTES)
+
+    @pytest.mark.parametrize("plaintext,aad,iv,match", [
+        (MAX_PLAINTEXT_BYTES + 1, 0, 12, "plaintext"),
+        (0, MAX_AAD_BYTES + 1, 12, "AAD"),
+        (0, 0, MAX_IV_BYTES + 1, "IV"),
+    ])
+    def test_over_limit_rejected(self, plaintext, aad, iv, match):
+        with pytest.raises(ValueError, match=match):
+            _check_lengths(plaintext, aad, iv)
+
+    def test_encrypt_rejects_oversized_before_processing(self):
+        # A length-only object proves the check reads len() alone —
+        # an implementation that touched the payload would TypeError.
+        with pytest.raises(ValueError, match="plaintext"):
+            gcm_encrypt(K96, IV96, _Sized(MAX_PLAINTEXT_BYTES + 1))
+
+    def test_decrypt_rejects_oversized_aad(self):
+        with pytest.raises(ValueError, match="AAD"):
+            gcm_decrypt(K96, IV96, b"", bytes(16),
+                        _Sized(MAX_AAD_BYTES + 1))
+
+    def test_inc32_wraps_modulo_2_32(self):
+        # The spec-defined wrap the length limits make unreachable.
+        block = bytes(range(12)) + b"\xff\xff\xff\xff"
+        assert _inc32(block) == bytes(range(12)) + bytes(4)
+        assert _inc32(bytes(16)) == bytes(15) + b"\x01"
 
 
 class TestNon96BitIv:

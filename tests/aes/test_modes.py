@@ -55,6 +55,26 @@ class TestPadding:
         with pytest.raises(ValueError):
             pkcs7_pad(b"x", block=0)
 
+    def test_unpad_block_bounds(self):
+        with pytest.raises(ValueError):
+            pkcs7_unpad(bytes(16), block=0)
+        with pytest.raises(ValueError):
+            pkcs7_unpad(bytes(300), block=300)
+
+    def test_unpad_rejects_mid_pad_corruption(self):
+        padded = bytearray(pkcs7_pad(bytes(12)))  # ...04 04 04 04
+        padded[-3] ^= 0xFF
+        with pytest.raises(ValueError):
+            pkcs7_unpad(bytes(padded))
+
+    def test_unpad_rejects_oversized_pad_byte(self):
+        with pytest.raises(ValueError):
+            pkcs7_unpad(bytes(15) + b"\x11")  # 0x11 > block of 16
+
+    def test_unpad_rejects_zero_pad_byte(self):
+        with pytest.raises(ValueError):
+            pkcs7_unpad(bytes(16))
+
 
 class TestECB:
     def test_sp800_38a_vector(self):

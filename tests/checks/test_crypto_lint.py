@@ -131,6 +131,97 @@ class TestKeyGlobal:
         assert lint("KEY_WORDS = 44\n", "ct.key-global") == []
 
 
+class TestPaddingOracle:
+    def test_bytewise_comparison_triggers(self):
+        findings = lint(
+            """
+            def pkcs7_unpad(data, block=16):
+                pad = data[-1]
+                if data[-pad:] != bytes([pad]) * pad:
+                    raise ValueError("invalid padding")
+                return data[:-pad]
+            """, "ct.padding-oracle")
+        assert len(findings) >= 1
+        assert any("compare_digest" in f.message for f in findings)
+
+    def test_early_exit_branch_triggers(self):
+        findings = lint(
+            """
+            def unpad(data):
+                pad = data[-1]
+                for byte in data[-pad:]:
+                    if byte != pad:
+                        raise ValueError("bad")
+                return data[:-pad]
+            """, "ct.padding-oracle")
+        assert len(findings) >= 1
+
+    def test_truthiness_branch_triggers(self):
+        findings = lint(
+            """
+            def unpad(data):
+                while data:
+                    data = data[:-1]
+                return data
+            """, "ct.padding-oracle")
+        assert len(findings) == 1
+        assert "branch" in findings[0].message
+
+    def test_accumulator_style_is_fine(self):
+        findings = lint(
+            """
+            import hmac
+
+            def _ct_lt(a, b):
+                return ((a - b) >> 9) & 1
+
+            def pkcs7_unpad(data, block=16):
+                data = bytes(data)
+                if len(data) == 0 or len(data) % block:
+                    raise ValueError("bad length")
+                tail = data[len(data) - block:]
+                pad = tail[block - 1]
+                bad = _ct_lt(pad, 1) | _ct_lt(block, pad)
+                for offset in range(block):
+                    byte = tail[block - 1 - offset]
+                    bad |= _ct_lt(offset, pad) * (byte ^ pad)
+                if not hmac.compare_digest(bytes([bad]), b"\\x00"):
+                    raise ValueError("invalid padding")
+                return data[: len(data) - pad]
+            """, "ct.padding-oracle")
+        assert findings == []
+
+    def test_geometry_params_not_seeded(self):
+        findings = lint(
+            """
+            def unpad(data, block=16):
+                if block > 255:
+                    raise ValueError("bad block")
+            """, "ct.padding-oracle")
+        assert findings == []
+
+    def test_non_padding_function_not_scanned(self):
+        findings = lint(
+            """
+            def parse(data):
+                if data[-1] == 0:
+                    return data[:-1]
+                return data
+            """, "ct.padding-oracle")
+        assert findings == []
+
+    def test_shipped_unpad_is_clean(self):
+        from pathlib import Path
+
+        import repro.aes.modes as modes
+
+        source = SourceFile.parse(
+            "modes.py", Path(modes.__file__).read_text())
+        findings = run_rules({KIND_SOURCE: [source]}, None,
+                             only=["ct.padding-oracle"])
+        assert findings == []
+
+
 class TestStaticIv:
     def test_keyword_literal_iv_triggers(self):
         findings = lint(

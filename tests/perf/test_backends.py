@@ -1,0 +1,132 @@
+"""Backends must agree bit-for-bit with the straightforward model."""
+
+import random
+
+import pytest
+
+from repro.aes.cipher import AES128
+from repro.aes.key_schedule import expand_key
+from repro.aes.vectors import (
+    SP800_38A_ECB128_CIPHERTEXT,
+    SP800_38A_ECB128_KEY,
+    SP800_38A_ECB128_PLAINTEXT,
+)
+from repro.perf.backends import (
+    BaselineBackend,
+    RoundKeyCache,
+    SlicedBackend,
+    TTableBackend,
+    available_backends,
+    get_backend,
+    have_numpy,
+)
+
+
+def serial_ecb(key, data):
+    aes = AES128(key)
+    return b"".join(aes.encrypt_block(data[i:i + 16])
+                    for i in range(0, len(data), 16))
+
+
+def all_backends():
+    backends = [BaselineBackend(), TTableBackend(),
+                SlicedBackend(vectorize=False)]
+    if have_numpy():
+        backends.append(SlicedBackend(vectorize=True))
+    return backends
+
+
+@pytest.mark.parametrize("backend", all_backends(),
+                         ids=lambda b: f"{b.name}-"
+                         f"{'np' if b.vectorized else 'py'}")
+class TestEquivalence:
+    def test_nist_ecb_vector(self, backend):
+        got = backend.encrypt_blocks(SP800_38A_ECB128_KEY,
+                                     SP800_38A_ECB128_PLAINTEXT)
+        assert got == SP800_38A_ECB128_CIPHERTEXT
+
+    def test_random_corpus(self, backend):
+        rng = random.Random(7)
+        for _ in range(3):
+            key = rng.randbytes(16)
+            data = rng.randbytes(16 * rng.randrange(1, 33))
+            assert backend.encrypt_blocks(key, data) == \
+                serial_ecb(key, data)
+
+    def test_empty(self, backend):
+        assert backend.encrypt_blocks(bytes(16), b"") == b""
+
+
+class TestSlicedVariants:
+    def test_pure_matches_vectorized(self):
+        if not have_numpy():
+            pytest.skip("numpy not available")
+        rng = random.Random(11)
+        key = rng.randbytes(16)
+        data = rng.randbytes(16 * 50)
+        pure = SlicedBackend(vectorize=False)
+        fast = SlicedBackend(vectorize=True)
+        assert pure.encrypt_blocks(key, data) == \
+            fast.encrypt_blocks(key, data)
+
+    def test_vectorize_flag_reported(self):
+        assert SlicedBackend(vectorize=False).vectorized is False
+        if have_numpy():
+            assert SlicedBackend().vectorized is True
+
+    def test_shares_injected_cache(self):
+        cache = RoundKeyCache(capacity=4)
+        backend = SlicedBackend(cache=cache, vectorize=False)
+        backend.encrypt_blocks(bytes(16), bytes(16))
+        assert len(cache) == 1
+
+
+class TestRoundKeyCache:
+    def test_words_match_expand_key(self):
+        cache = RoundKeyCache()
+        key = bytes(range(16))
+        assert cache.words(key) == tuple(expand_key(key, 10))
+
+    def test_hit_does_not_grow(self):
+        cache = RoundKeyCache()
+        cache.words(bytes(16))
+        cache.words(bytes(16))
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = RoundKeyCache(capacity=2)
+        k1, k2, k3 = (bytes([i]) + bytes(15) for i in range(3))
+        cache.words(k1)
+        cache.words(k2)
+        cache.words(k1)      # refresh k1: k2 is now the LRU entry
+        cache.words(k3)      # evicts k2
+        assert len(cache) == 2
+        cache.words(k1)      # still cached: no growth
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = RoundKeyCache()
+        cache.words(bytes(16))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(ValueError):
+            RoundKeyCache().words(bytes(8))
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RoundKeyCache(capacity=0)
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(available_backends()) == \
+            {"baseline", "ttable", "sliced"}
+
+    def test_get_backend_auto(self):
+        assert get_backend("auto").name == "sliced"
+
+    def test_get_backend_unknown(self):
+        with pytest.raises(ValueError):
+            get_backend("quantum")

@@ -1,0 +1,106 @@
+"""Bench harness: equivalence gate, report schema, persisted JSON."""
+
+import json
+
+import pytest
+
+from repro.perf.backends import Backend, BaselineBackend
+from repro.perf.bench import (
+    SCHEMA,
+    cross_check,
+    host_fingerprint,
+    render_report,
+    run_bench,
+    write_report,
+)
+from repro.perf.engine import BackendMismatch
+
+
+class _CorruptBackend(Backend):
+    """Flips the last bit of otherwise-correct ciphertext."""
+
+    name = "corrupt"
+
+    def __init__(self):
+        self._inner = BaselineBackend()
+
+    def encrypt_blocks(self, key, data):
+        out = self._inner.encrypt_blocks(key, data)
+        if not out:
+            return out
+        return out[:-1] + bytes([out[-1] ^ 1])
+
+
+class TestCrossCheck:
+    def test_all_registered_backends_agree(self):
+        summary = cross_check(corpus_blocks=8)
+        assert summary["mismatches"] == 0
+        assert "sliced" in summary["backends"]
+        assert sorted(summary["primitives"]) == \
+            ["ctr", "ecb", "gctr"]
+
+    def test_broken_backend_is_caught(self):
+        with pytest.raises(BackendMismatch, match="corrupt"):
+            cross_check({"corrupt": _CorruptBackend()},
+                        corpus_blocks=4)
+
+
+class TestRunBench:
+    def test_report_schema_and_speedups(self, tmp_path):
+        report = run_bench(quick=True, sizes=[256], reps=1,
+                           backend_names=["baseline", "sliced"],
+                           corpus_blocks=4)
+        assert report["schema"] == SCHEMA
+        assert report["quick"] is True
+        assert report["equivalence"]["mismatches"] == 0
+        rows = report["workloads"]
+        # 2 backends x 2 modes x 1 size, plus the serial CBC row.
+        assert len(rows) == 5
+        for row in rows:
+            assert row["measured_blocks"] <= row["blocks"]
+            assert row["blocks_per_s"] >= 0
+        baseline_rows = [r for r in rows
+                        if r["backend"] == "baseline"
+                        and not r["chained"]]
+        assert all(r["speedup_vs_baseline"] == pytest.approx(1.0)
+                   for r in baseline_rows)
+        cbc_rows = [r for r in rows if r["chained"]]
+        assert len(cbc_rows) == 1
+        assert cbc_rows[0]["mode"] == "cbc"
+
+        out = write_report(report, tmp_path / "bench.json")
+        loaded = json.loads(out.read_text())
+        assert loaded["schema"] == SCHEMA
+        assert len(loaded["workloads"]) == 5
+
+    def test_baseline_always_included(self):
+        report = run_bench(quick=True, sizes=[128], reps=1,
+                           backend_names=["ttable"],
+                           corpus_blocks=4)
+        backends = {row["backend"] for row in report["workloads"]}
+        assert {"baseline", "ttable"} <= backends
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backends"):
+            run_bench(quick=True, backend_names=["warp"])
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValueError, match="multiples"):
+            run_bench(quick=True, sizes=[100],
+                      backend_names=["sliced"], corpus_blocks=4)
+
+    def test_render_is_textual(self):
+        report = run_bench(quick=True, sizes=[128], reps=1,
+                           backend_names=["baseline"],
+                           corpus_blocks=4)
+        text = render_report(report)
+        assert "software throughput" in text
+        assert "baseline" in text
+        assert "0 mismatch(es)" in text
+
+
+class TestHostFingerprint:
+    def test_fields(self):
+        host = host_fingerprint()
+        assert set(host) >= {"platform", "machine", "python",
+                             "cpu_count", "numpy"}

@@ -1,5 +1,6 @@
 """Property-based tests on the block modes and padding."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.aes.modes import (
@@ -27,9 +28,24 @@ FAST = settings(max_examples=15, deadline=None)
 
 
 class TestPadding:
-    @given(anything, st.integers(min_value=1, max_value=64))
+    @given(anything, st.integers(min_value=1, max_value=255))
     def test_pad_round_trip(self, data, block):
         assert pkcs7_unpad(pkcs7_pad(data, block), block) == data
+
+    @given(anything, st.integers(min_value=2, max_value=255),
+           st.data())
+    def test_corrupted_pad_byte_rejected(self, data, block, draw):
+        # Force at least 2 pad bytes so a non-final one exists, then
+        # corrupt it: validation must reject, not just read the tail.
+        if len(data) % block == block - 1:
+            data += b"\x00"
+        padded = bytearray(pkcs7_pad(data, block))
+        pad = padded[-1]
+        offset = draw.draw(st.integers(min_value=2, max_value=pad))
+        padded[-offset] ^= draw.draw(
+            st.integers(min_value=1, max_value=255))
+        with pytest.raises(ValueError):
+            pkcs7_unpad(bytes(padded), block)
 
     @given(anything)
     def test_pad_alignment(self, data):

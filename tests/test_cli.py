@@ -145,3 +145,35 @@ class TestArtifacts:
         text = out_file.read_text()
         assert "$enddefinitions" in text
         assert "aes_data_ok" in text
+
+
+class TestBench:
+    def test_quick_bench_writes_trajectory(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "bench.json"
+        code, out = run_cli(capsys, "bench", "--quick",
+                            "--backend", "sliced",
+                            "--size", "256", "--reps", "1",
+                            "--out", str(out_file))
+        assert code == 0
+        assert "software throughput" in out
+        assert "wrote" in out
+        report = json.loads(out_file.read_text())
+        assert report["schema"] == \
+            "repro-aes/software-throughput/v1"
+        assert report["equivalence"]["mismatches"] == 0
+        backends = {row["backend"] for row in report["workloads"]}
+        assert {"baseline", "sliced"} <= backends
+
+    def test_unknown_backend_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--quick", "--backend", "warp",
+                  "--size", "256",
+                  "--out", str(tmp_path / "bench.json")])
+
+    def test_unaligned_size_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--quick", "--backend", "sliced",
+                  "--size", "100",
+                  "--out", str(tmp_path / "bench.json")])

@@ -34,6 +34,8 @@ PUBLIC_MODULES = [
     "repro.analysis.report_gen",
     "repro.hdl", "repro.hdl.mif", "repro.hdl.vhdl_gen",
     "repro.hdl.lint",
+    "repro.perf", "repro.perf.backends", "repro.perf.engine",
+    "repro.perf.bench",
     "repro.cli",
 ]
 
@@ -70,6 +72,8 @@ class TestPublicDocstrings:
         "repro.fpga.synthesis", "repro.fpga.mapper",
         "repro.arch.spec", "repro.analysis.tables",
         "repro.hdl.vhdl_gen",
+        "repro.perf.backends", "repro.perf.engine",
+        "repro.perf.bench",
     ]
 
     @pytest.mark.parametrize("name", CHECKED)
@@ -99,9 +103,15 @@ class TestPublicDocstrings:
 
 
 class TestNoAccidentalDependencies:
+    # Sanctioned optional accelerators: importable ONLY behind a
+    # try/except ImportError guard, so the install itself stays
+    # dependency-free.
+    OPTIONAL = {"numpy"}
+
     def test_library_is_stdlib_only(self):
         """The src tree must not import beyond the stdlib (the
-        install has no dependencies)."""
+        install has no dependencies); optional accelerators must be
+        ImportError-guarded."""
         import ast
         import sys
         from pathlib import Path
@@ -111,6 +121,19 @@ class TestNoAccidentalDependencies:
         offenders = []
         for path in src.rglob("*.py"):
             tree = ast.parse(path.read_text())
+            guarded = set()
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Try):
+                    continue
+                catches_import_error = any(
+                    isinstance(h.type, ast.Name)
+                    and h.type.id in ("ImportError",
+                                      "ModuleNotFoundError")
+                    for h in node.handlers
+                )
+                if catches_import_error:
+                    for stmt in node.body:
+                        guarded.update(ast.walk(stmt))
             for node in ast.walk(tree):
                 if isinstance(node, ast.Import):
                     roots = [a.name.split(".")[0] for a in node.names]
@@ -121,6 +144,9 @@ class TestNoAccidentalDependencies:
                 else:
                     continue
                 for root in roots:
-                    if root and root not in allowed_roots:
-                        offenders.append(f"{path.name}: {root}")
+                    if not root or root in allowed_roots:
+                        continue
+                    if root in self.OPTIONAL and node in guarded:
+                        continue
+                    offenders.append(f"{path.name}: {root}")
         assert not offenders, offenders
