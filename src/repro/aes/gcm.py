@@ -20,8 +20,22 @@ import hmac as _hmac
 from typing import Tuple
 
 from repro.aes.cipher import AES128
+from repro.obs.metrics import global_registry
 
 BLOCK = 16
+
+#: One increment per GCM API call; ``op`` is encrypt / decrypt, and
+#: auth failures get their own counter so a spike is visible without
+#: scraping logs.
+_GCM_OPS = global_registry().counter(
+    "repro_aes_gcm_ops_total",
+    "GCM operations by direction",
+    labels=("op",),
+)
+_GCM_AUTH_FAILURES = global_registry().counter(
+    "repro_aes_gcm_auth_failures_total",
+    "GCM tag verification failures",
+)
 
 #: GHASH reduction polynomial x^128 + x^7 + x^2 + x + 1, reflected:
 #: the GCM spec treats bit 0 as the x^0 coefficient of the *leftmost*
@@ -162,6 +176,7 @@ def gcm_encrypt(key: bytes, iv: bytes, plaintext: bytes,
                 aad: bytes = b"") -> Tuple[bytes, bytes]:
     """Encrypt and authenticate; returns (ciphertext, 16-byte tag)."""
     _check_lengths(len(plaintext), len(aad), len(iv))
+    _GCM_OPS.labels(op="encrypt").inc()
     aes = AES128(key)
     h = int.from_bytes(aes.encrypt_block(bytes(16)), "big")
     j0 = _derive(aes, bytes(iv), h)
@@ -175,10 +190,12 @@ def gcm_decrypt(key: bytes, iv: bytes, ciphertext: bytes, tag: bytes,
     """Verify and decrypt; raises :class:`AuthenticationError` on a
     bad tag (and releases no plaintext in that case)."""
     _check_lengths(len(ciphertext), len(aad), len(iv))
+    _GCM_OPS.labels(op="decrypt").inc()
     aes = AES128(key)
     h = int.from_bytes(aes.encrypt_block(bytes(16)), "big")
     j0 = _derive(aes, bytes(iv), h)
     expected = _tag(aes, h, j0, bytes(aad), bytes(ciphertext))
     if not _hmac.compare_digest(expected, bytes(tag)):
+        _GCM_AUTH_FAILURES.inc()
         raise AuthenticationError("GCM tag verification failed")
     return _gctr_bulk(key, _inc32(j0), bytes(ciphertext))

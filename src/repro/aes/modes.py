@@ -22,8 +22,17 @@ import hmac as _hmac
 from typing import Iterator
 
 from repro.aes.cipher import AES128
+from repro.obs.metrics import global_registry
 
 BLOCK = 16
+
+#: Mode-layer op counter: one increment per API call (not per block),
+#: so the observability cost is negligible even on the chained modes.
+_MODE_OPS = global_registry().counter(
+    "repro_aes_mode_ops_total",
+    "Mode-layer operations by mode and direction",
+    labels=("mode", "op"),
+)
 
 
 def pkcs7_pad(data: bytes, block: int = BLOCK) -> bytes:
@@ -105,12 +114,14 @@ def ecb_encrypt(key: bytes, plaintext: bytes) -> bytes:
     bit-for-bit against :class:`AES128`.
     """
     plaintext = _require_aligned(plaintext, "plaintext")
+    _MODE_OPS.labels(mode="ecb", op="encrypt").inc()
     return _bulk_engine().xcrypt_ecb(key, plaintext)
 
 
 def ecb_decrypt(key: bytes, ciphertext: bytes) -> bytes:
     """ECB decryption."""
     ciphertext = _require_aligned(ciphertext, "ciphertext")
+    _MODE_OPS.labels(mode="ecb", op="decrypt").inc()
     aes = AES128(key)
     return b"".join(aes.decrypt_block(b) for b in _blocks(ciphertext))
 
@@ -118,6 +129,7 @@ def ecb_decrypt(key: bytes, ciphertext: bytes) -> bytes:
 def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
     """CBC — chained: C_i = E(P_i xor C_{i-1}), C_0 = IV."""
     plaintext = _require_aligned(plaintext, "plaintext")
+    _MODE_OPS.labels(mode="cbc", op="encrypt").inc()
     feedback = _require_iv(iv)
     aes = AES128(key)
     out = bytearray()
@@ -130,6 +142,7 @@ def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
 def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
     """CBC decryption: P_i = D(C_i) xor C_{i-1}."""
     ciphertext = _require_aligned(ciphertext, "ciphertext")
+    _MODE_OPS.labels(mode="cbc", op="decrypt").inc()
     feedback = _require_iv(iv)
     aes = AES128(key)
     out = bytearray()
@@ -144,6 +157,7 @@ def ctr_keystream(key: bytes, nonce: bytes, blocks: int) -> bytes:
 
     ``nonce`` is 8 bytes; the counter fills the low 8 bytes big-endian.
     """
+    _MODE_OPS.labels(mode="ctr", op="keystream").inc()
     return _bulk_engine().keystream(key, nonce, blocks)
 
 
@@ -155,12 +169,14 @@ def ctr_xcrypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
     (the paper's smallest variant) suffice for CTR links.  Keystream
     generation and the XOR both run on the batch engine.
     """
+    _MODE_OPS.labels(mode="ctr", op="xcrypt").inc()
     return _bulk_engine().xcrypt_ctr(key, nonce, data)
 
 
 def cfb_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
     """Full-block CFB: C_i = P_i xor E(C_{i-1}).  Encrypt-only core."""
     plaintext = _require_aligned(plaintext, "plaintext")
+    _MODE_OPS.labels(mode="cfb", op="encrypt").inc()
     feedback = _require_iv(iv)
     aes = AES128(key)
     out = bytearray()
@@ -173,6 +189,7 @@ def cfb_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
 def cfb_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
     """Full-block CFB decryption (still uses the encrypt direction)."""
     ciphertext = _require_aligned(ciphertext, "ciphertext")
+    _MODE_OPS.labels(mode="cfb", op="decrypt").inc()
     feedback = _require_iv(iv)
     aes = AES128(key)
     out = bytearray()
@@ -185,6 +202,7 @@ def cfb_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
 def ofb_xcrypt(key: bytes, iv: bytes, data: bytes) -> bytes:
     """OFB encrypt/decrypt (symmetric): feedback = E(feedback)."""
     data = bytes(data)
+    _MODE_OPS.labels(mode="ofb", op="xcrypt").inc()
     feedback = _require_iv(iv)
     aes = AES128(key)
     out = bytearray()

@@ -11,7 +11,8 @@ its kind.
 Analyzer families (:mod:`repro.checks.netlist_drc`,
 :mod:`repro.checks.fsm`, :mod:`repro.checks.crypto_lint`,
 :mod:`repro.checks.hdl_rules`, :mod:`repro.checks.sta`,
-:mod:`repro.checks.equiv`) register rules at import time via
+:mod:`repro.checks.equiv`, :mod:`repro.checks.obs`) register rules at
+import time via
 :func:`rule`; the registry is the single source of truth the CLI,
 the docs table and the tests enumerate.
 """
@@ -53,6 +54,7 @@ KIND_SOURCE = "source"      # repro.checks.crypto_lint.SourceFile
 KIND_VHDL = "vhdl"          # (filename, text) pair
 KIND_STA = "sta"            # repro.checks.sta.StaSubject
 KIND_EQUIV = "equiv"        # repro.checks.equiv.EquivSubject
+KIND_OBS = "obs"            # repro.checks.obs.ObsSubject
 
 
 @dataclass(frozen=True)
@@ -144,7 +146,7 @@ def registry() -> Dict[str, Rule]:
     """All registered rules (importing the analyzer modules first)."""
     # Importing the families populates the registry as a side effect.
     from repro.checks import crypto_lint, equiv, fsm, hdl_rules, \
-        netlist_drc, sta  # noqa: F401
+        netlist_drc, obs, sta  # noqa: F401
     return dict(_REGISTRY)
 
 

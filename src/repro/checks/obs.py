@@ -1,0 +1,154 @@
+"""Observability rules: observed counters vs. the declared model.
+
+The FSM family (:mod:`repro.checks.fsm`) proves the paper's cycle
+accounting *structurally*; this family closes the loop by running the
+actual simulator with hardware counters enabled
+(:mod:`repro.obs.hwcounters`) and failing the lint gate when the
+*observed* totals diverge from what :func:`repro.checks.fsm.core_fsm`
+and :func:`repro.obs.hwcounters.expected_counters` declare.  A bug
+that skews the datapath sequencing without breaking a functional test
+— an extra wait state, a dropped key-schedule word — shows up here as
+``obs.counter-divergence`` before it can silently invalidate the
+paper's Table 2 numbers.
+
+Rules:
+
+- ``obs.counter-divergence`` — an instrumented run of each device
+  flavour must report exactly the modelled block latency, rounds per
+  block, sub-events per round, key-schedule words and setup-pass
+  cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.checks.engine import (
+    KIND_OBS,
+    CheckConfig,
+    Finding,
+    Location,
+    Severity,
+    rule,
+)
+from repro.checks.fsm import core_fsm
+from repro.ip.control import Variant
+from repro.obs.hwcounters import HwCounters, expected_counters
+
+#: Fixed stimulus so every lint run observes the identical workload.
+_KEY = bytes(range(16))
+_BLOCK = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+@dataclass(frozen=True)
+class ObsSubject:
+    """One device flavour to observe under counters."""
+
+    variant: Variant
+    sync_rom: bool = False
+    #: Blocks driven through the core (BOTH runs one per direction).
+    blocks: int = 2
+
+    @property
+    def name(self) -> str:
+        suffix = "_sync" if self.sync_rom else ""
+        return f"core_{self.variant.value}{suffix}"
+
+
+def paper_obs_subjects() -> List[ObsSubject]:
+    """The observed-run subjects of every shipped device flavour."""
+    return [
+        ObsSubject(variant, sync_rom)
+        for variant in Variant
+        for sync_rom in (False, True)
+    ]
+
+
+def observe_run(subject: ObsSubject) -> Tuple[HwCounters, int]:
+    """Drive the subject's workload; return (counters, setup latency).
+
+    Runs ``subject.blocks`` blocks after one key load.  The BOTH
+    device splits the blocks across both directions so the reverse
+    datapath is observed too.
+    """
+    from repro.ip.testbench import Testbench
+
+    bench = Testbench(variant=subject.variant,
+                      sync_rom=subject.sync_rom)
+    setup_latency = bench.load_key(_KEY)
+    for index in range(subject.blocks):
+        if subject.variant is Variant.BOTH:
+            encrypting = index % 2 == 0
+        else:
+            encrypting = subject.variant.can_encrypt
+        if encrypting:
+            bench.encrypt(_BLOCK)
+        else:
+            bench.decrypt(_BLOCK)
+    return bench.core.counters, setup_latency
+
+
+def _loc(subject: ObsSubject, obj: str) -> Location:
+    return Location(file=f"obs:{subject.name}", obj=obj)
+
+
+@rule("obs.counter-divergence", Severity.ERROR, KIND_OBS,
+      "observed hardware counters must match the FSM model")
+def counter_divergence(subject: ObsSubject,
+                       config: CheckConfig) -> Iterator[Finding]:
+    """Compare one observed run against the declared architecture."""
+    model = core_fsm(subject.variant, subject.sync_rom)
+    counters, _setup_latency = observe_run(subject)
+    expected = expected_counters(subject.variant, subject.sync_rom,
+                                 subject.blocks)
+
+    # Aggregate totals straight from the architecture declaration.
+    for key in ("blocks", "rounds", "bytesub_cycles", "mix_cycles",
+                "rom_issue_cycles", "run_cycles", "setup_cycles",
+                "setup_passes", "key_words"):
+        observed = getattr(counters, key)
+        if observed != expected[key]:
+            yield Finding(
+                "obs.counter-divergence", Severity.ERROR,
+                f"counter {key!r} observed {observed}, model expects "
+                f"{expected[key]}", _loc(subject, key),
+            )
+
+    # Per-block evidence against the FSM model's declared latencies.
+    for index, record in enumerate(counters.block_records):
+        tag = f"block[{index}]"
+        if (model.expected_block_cycles is not None
+                and record.cycles != model.expected_block_cycles):
+            yield Finding(
+                "obs.counter-divergence", Severity.ERROR,
+                f"{tag} ({record.direction}) took {record.cycles} "
+                f"cycles, fsm model declares "
+                f"{model.expected_block_cycles}", _loc(subject, tag),
+            )
+        if record.rounds != model.rounds_per_block:
+            yield Finding(
+                "obs.counter-divergence", Severity.ERROR,
+                f"{tag} ({record.direction}) ran {record.rounds} "
+                f"rounds, fsm model declares "
+                f"{model.rounds_per_block}", _loc(subject, tag),
+            )
+        per_round = model.expected_round_cycles
+        if per_round is not None and any(
+                events != per_round
+                for events in record.events_per_round):
+            yield Finding(
+                "obs.counter-divergence", Severity.ERROR,
+                f"{tag} ({record.direction}) sub-events per round "
+                f"{list(record.events_per_round)} != modelled "
+                f"{per_round} per round", _loc(subject, tag),
+            )
+
+    # The bus protocol must have been clean for a conforming run.
+    if counters.protocol_errors:
+        yield Finding(
+            "obs.counter-divergence", Severity.ERROR,
+            f"observed {counters.protocol_errors} bus protocol "
+            f"error(s) during a conforming workload",
+            _loc(subject, "protocol"),
+        )

@@ -12,7 +12,9 @@ the whole shipped artifact:
 - graph STA subjects — every paper variant on both Table 2 devices
   (``sta.*`` family);
 - symbolic equivalence subjects — one per paper variant (``eqv.*``
-  family).
+  family);
+- observed-run subjects — every device flavour executed under
+  hardware counters (``obs.*`` family).
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.checks.engine import (
     KIND_EQUIV,
     KIND_FSM,
     KIND_NETLIST,
+    KIND_OBS,
     KIND_SOURCE,
     KIND_STA,
     KIND_VHDL,
@@ -79,6 +82,7 @@ def build_subjects(
     from repro.checks.equiv import EquivSubject
     from repro.checks.netlist_drc import NetlistSubject
     from repro.checks.fsm import paper_fsms
+    from repro.checks.obs import paper_obs_subjects
     from repro.checks.sta import StaSubject
     from repro.fpga.aes_netlists import build_netlist
     from repro.fpga.connectivity import paper_connectivity
@@ -115,6 +119,7 @@ def build_subjects(
         KIND_VHDL: vhdl,
         KIND_STA: sta_subjects,
         KIND_EQUIV: equiv_subjects,
+        KIND_OBS: paper_obs_subjects(),
     }
 
 

@@ -16,6 +16,11 @@ Exposes the reproduction's main flows without writing Python:
     repro-aes lint --strict --format sarif
     repro-aes sta --variant both --device Acex1K
     repro-aes bench --quick --out BENCH_software_throughput.json
+    repro-aes stats --blocks 4 --format prom
+    repro-aes --trace trace.json bench --quick
+
+``--trace FILE`` works with every subcommand: it records spans across
+the whole run and writes Chrome-trace JSON on exit.
 """
 
 from __future__ import annotations
@@ -313,6 +318,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.report import collect_stats
+
+    try:
+        report = collect_stats(
+            variant=args.variant,
+            blocks=args.blocks,
+            sync_rom=args.sync_rom,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(report.render(args.format), end="")
+    return 0
+
+
 def cmd_vcd(args: argparse.Namespace) -> int:
     import random
 
@@ -342,6 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-aes",
         description="Reproduction of the DATE 2003 low-area Rijndael "
                     "IP paper.",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record spans across the whole command and write "
+             "Chrome-trace JSON to FILE (load in chrome://tracing)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -471,6 +496,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard count for the parallelizable modes")
     p.set_defaults(fn=cmd_bench)
 
+    p = sub.add_parser(
+        "stats",
+        help="run an instrumented workload; report hardware counters "
+             "and metrics (text/prom/json/chrome-trace)",
+    )
+    p.add_argument("--blocks", type=int, default=1,
+                   help="blocks to drive through the core")
+    p.add_argument("--variant", default="encrypt",
+                   choices=("encrypt", "decrypt", "both"),
+                   help="device variant to observe")
+    p.add_argument("--sync-rom", action="store_true",
+                   help="observe the synchronous-ROM build "
+                        "(6 cycles/round)")
+    p.add_argument("--format", default="text",
+                   choices=("text", "prom", "json", "chrome-trace"),
+                   help="output format")
+    p.set_defaults(fn=cmd_stats)
+
     p = sub.add_parser("vcd", help="dump a waveform of a real run")
     p.add_argument("--blocks", type=int, default=1)
     p.add_argument("--out", default="rijndael.vcd")
@@ -482,8 +525,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    tracer = None
+    if args.trace:
+        from repro.obs.tracing import enable_tracing
+        tracer = enable_tracing()
     try:
-        return args.fn(args)
+        with _command_span(args):
+            return args.fn(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: exit
         # quietly like a well-behaved Unix tool.
@@ -492,6 +540,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
+    finally:
+        if tracer is not None:
+            from repro.obs.tracing import disable_tracing
+            disable_tracing()
+            tracer.write(args.trace)
+
+
+def _command_span(args: argparse.Namespace):
+    """A whole-command span (a no-op unless ``--trace`` enabled it)."""
+    from repro.obs.tracing import trace_span
+    return trace_span(f"cli.{args.command}", category="cli")
 
 
 if __name__ == "__main__":

@@ -49,6 +49,7 @@ from repro.ip.datapath import (
 )
 from repro.ip.keysched_unit import KeyScheduleUnit
 from repro.ip.sbox_unit import SubWordUnit
+from repro.obs.hwcounters import HwCounters
 from repro.rtl.signal import Signal
 from repro.rtl.simulator import Simulator
 
@@ -123,6 +124,10 @@ class RijndaelCore:
             simulator.adopt(self.sbox_i.registers)
 
         # ----------------------------------------------- observability only
+        #: Cycle-accurate hardware perf counters (not hardware state):
+        #: ByteSub sub-cycles, round boundaries, key-schedule words,
+        #: bus stalls/overlap, per-block latency records.
+        self.counters = HwCounters(name=name)
         #: Blocks completed since construction (not a hardware register).
         self.blocks_processed = 0
         #: ``wr_data`` writes dropped because the buffer was full.
@@ -192,6 +197,14 @@ class RijndaelCore:
 
     # ------------------------------------------------------- clocked logic
     def _tick(self) -> None:
+        # Direct lookup, not self.phase: a fault campaign can flip the
+        # top register into an illegal encoding mid-run, and counting
+        # must not crash the simulation the checker is observing.
+        self.counters.cycle_tick(
+            {_KEY_SETUP: "key_setup", _RUN: "run"}.get(
+                self.top.value, "idle"
+            )
+        )
         self.data_ok.next = 0
         self._service_key_port()
         idle_after = self._service_engine()
@@ -203,6 +216,7 @@ class RijndaelCore:
             return
         if not self.setup.value:
             self.protocol_errors += 1
+            self.counters.protocol_error()
             return
         words = int_to_words(self.din.value)
         self.keyunit.load_key(words)
@@ -233,6 +247,7 @@ class RijndaelCore:
         )
         if self.wr_data.value and self.setup.value:
             self.protocol_errors += 1
+            self.counters.protocol_error()
             wr = False
 
         direct: Optional[Tuple[Word4, int]] = None
@@ -254,6 +269,7 @@ class RijndaelCore:
                 # Pending block still blocked (key not ready): hold it.
                 if direct is not None:
                     self.bus_overruns += 1
+                    self.counters.stall()
                 return
             if direct is not None:
                 if self._can_start(direct[1]):
@@ -266,8 +282,10 @@ class RijndaelCore:
         if direct is not None:
             if self.buf_valid.value:
                 self.bus_overruns += 1
+                self.counters.stall()
             else:
                 self._buffer(direct)
+                self.counters.overlap()
 
     def _pin_direction(self) -> int:
         if self.variant is Variant.ENCRYPT:
@@ -296,6 +314,10 @@ class RijndaelCore:
         Add Key into the output edge — this is how 10 rounds x 5
         cycles covers the 11 Add Keys without extra cycles.
         """
+        self.counters.block_start(
+            self.simulator.cycle,
+            "encrypt" if direction == DIR_ENCRYPT else "decrypt",
+        )
         if direction == DIR_ENCRYPT:
             key0 = self.keyunit.key0_words()
             for reg, word, key in zip(self.state, words, key0):
@@ -324,6 +346,7 @@ class RijndaelCore:
         if self.sync_rom:
             return self._tick_key_setup_sync(r, w)
         value = self.keyunit.step_forward(w, r)
+        self.counters.key_word()
         if w < 3:
             self.ks_word.next = w + 1
             return False
@@ -335,6 +358,7 @@ class RijndaelCore:
         self.keyunit.latch_last(committed)
         self.key_ready.next = 1
         self.top.next = _IDLE
+        self.counters.setup_pass_end()
         return True
 
     def _tick_key_setup_sync(self, r: int, w: int) -> bool:
@@ -345,6 +369,7 @@ class RijndaelCore:
         index = w - 1
         kstran = self.keyunit.kstran_data(r) if index == 0 else None
         value = self.keyunit.step_forward(index, r, kstran_value=kstran)
+        self.counters.key_word()
         if index < 3:
             self.ks_word.next = w + 1
             return False
@@ -356,6 +381,7 @@ class RijndaelCore:
         self.keyunit.latch_last(committed)
         self.key_ready.next = 1
         self.top.next = _IDLE
+        self.counters.setup_pass_end()
         return True
 
     # -------------------------------------------------------- cipher round
@@ -390,6 +416,7 @@ class RijndaelCore:
         self.data_ok.next = 1
         self.top.next = _IDLE
         self.blocks_processed += 1
+        self.counters.block_end(self.simulator.cycle)
         return True
 
     # encrypt, asynchronous ROM: steps 0..3 ByteSub words, step 4 mix stage
@@ -400,6 +427,8 @@ class RijndaelCore:
         if s <= 3:
             self.state[s].next = self.sbox_f.lookup(self.state[s].value)
             value = self.keyunit.step_forward(s, r)
+            self.counters.bytesub()
+            self.counters.key_word()
             if s == 3:
                 self.keyunit.commit_build(value, 3)
             self.step.next = s + 1
@@ -409,6 +438,8 @@ class RijndaelCore:
             self.keyunit.work_words(),
             last_round=(r == NUM_ROUNDS),
         )
+        self.counters.mix()
+        self.counters.round_end()
         if r == NUM_ROUNDS:
             return self._finish(result)
         for reg, word in zip(self.state, result):
@@ -428,6 +459,7 @@ class RijndaelCore:
                 self.keyunit.work_words(),
                 first_round=(r == NUM_ROUNDS),
             )
+            self.counters.mix()
             for reg, word in zip(self.state, result):
                 reg.next = word
             self.step.next = 1
@@ -435,12 +467,15 @@ class RijndaelCore:
         slot = s - 1
         key_index, key_value = self.keyunit.step_reverse(slot, r)
         substituted = self.sbox_i.lookup(self.state[slot].value)
+        self.counters.bytesub()
+        self.counters.key_word()
         if slot < 3:
             self.state[slot].next = substituted
             self.step.next = s + 1
             return False
         # Last IByteSub word of the round.
         self.keyunit.commit_build(key_value, key_index)
+        self.counters.round_end()
         if r > 1:
             self.state[3].next = substituted
             self.round.next = r - 1
@@ -463,6 +498,7 @@ class RijndaelCore:
         if s == 0:
             self.sbox_f.clock_read(self.state[0].value)
             self.keyunit.kstran_issue(self.keyunit.work_words()[3])
+            self.counters.rom_issue()
             self.step.next = 1
             return False
         if 1 <= s <= 3:
@@ -470,12 +506,16 @@ class RijndaelCore:
             self.sbox_f.clock_read(self.state[s].value)
             kstran = self.keyunit.kstran_data(r) if s == 1 else None
             self.keyunit.step_forward(s - 1, r, kstran_value=kstran)
+            self.counters.bytesub()
+            self.counters.key_word()
             self.step.next = s + 1
             return False
         if s == 4:
             self.state[3].next = self.sbox_f.registered_output
             value = self.keyunit.step_forward(3, r)
             self.keyunit.commit_build(value, 3)
+            self.counters.bytesub()
+            self.counters.key_word()
             self.step.next = 5
             return False
         result = encrypt_mix_stage(
@@ -483,6 +523,8 @@ class RijndaelCore:
             self.keyunit.work_words(),
             last_round=(r == NUM_ROUNDS),
         )
+        self.counters.mix()
+        self.counters.round_end()
         if r == NUM_ROUNDS:
             return self._finish(result)
         for reg, word in zip(self.state, result):
@@ -502,6 +544,7 @@ class RijndaelCore:
                 self.keyunit.work_words(),
                 first_round=(r == NUM_ROUNDS),
             )
+            self.counters.mix()
             for reg, word in zip(self.state, result):
                 reg.next = word
             self.step.next = 1
@@ -509,6 +552,8 @@ class RijndaelCore:
         if s == 1:
             self.sbox_i.clock_read(self.state[0].value)
             self.keyunit.step_reverse(0, r)  # build word 3
+            self.counters.rom_issue()
+            self.counters.key_word()
             self.step.next = 2
             return False
         if s == 2:
@@ -516,6 +561,8 @@ class RijndaelCore:
             self.sbox_i.clock_read(self.state[1].value)
             self.keyunit.step_reverse(1, r)  # build word 2
             self.keyunit.kstran_issue(self.keyunit.build[3].value)
+            self.counters.bytesub()
+            self.counters.key_word()
             self.step.next = 3
             return False
         if s == 3:
@@ -525,17 +572,23 @@ class RijndaelCore:
             self.keyunit.step_reverse(
                 3, r, kstran_value=self.keyunit.kstran_data(r)
             )  # build word 0
+            self.counters.bytesub()
+            self.counters.key_word()
+            self.counters.key_word()
             self.step.next = 4
             return False
         if s == 4:
             self.state[2].next = self.sbox_i.registered_output
             self.sbox_i.clock_read(self.state[3].value)
+            self.counters.bytesub()
             self.step.next = 5
             return False
         # s == 5: last word arrives; commit the recovered round key.
         substituted = self.sbox_i.registered_output
         previous_key = tuple(reg.value for reg in self.keyunit.build)
         self.keyunit.load_work(previous_key)
+        self.counters.bytesub()
+        self.counters.round_end()
         if r > 1:
             self.state[3].next = substituted
             self.round.next = r - 1

@@ -1,0 +1,63 @@
+"""Observability layer: metrics, span tracing, hardware counters.
+
+``repro.obs`` gives the repo measured evidence instead of asserted
+numbers.  It has three legs, all stdlib-only:
+
+- :mod:`repro.obs.metrics` — a small Prometheus-style registry
+  (counters, gauges, fixed-bucket histograms) with text exposition
+  and JSON snapshots; the software stack instruments into a
+  process-global registry.
+- :mod:`repro.obs.tracing` — ``trace_span()`` spans exported as
+  Chrome-trace JSON (``chrome://tracing`` / Perfetto); a no-op when
+  the global tracer is disabled, so hot paths pay ~nothing.
+- :mod:`repro.obs.hwcounters` — cycle-accurate performance counters
+  fed by the IP simulator, proving the paper's 5-cycles/round,
+  50-cycles/block and 40-cycle-setup invariants on real runs.
+
+:mod:`repro.obs.report` ties the legs together for the
+``repro-aes stats`` subcommand.
+"""
+
+from repro.obs.hwcounters import (
+    BlockRecord,
+    HwCounters,
+    expected_counters,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    global_registry,
+    reset_global_registry,
+)
+from repro.obs.tracing import (
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    trace_instant,
+    trace_span,
+)
+
+__all__ = [
+    "BlockRecord",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HwCounters",
+    "MetricError",
+    "MetricsRegistry",
+    "Tracer",
+    "active_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "expected_counters",
+    "global_registry",
+    "reset_global_registry",
+    "trace_instant",
+    "trace_span",
+]

@@ -1,0 +1,189 @@
+"""Span tracing with Chrome-trace (``chrome://tracing``) JSON export.
+
+A :class:`Tracer` records *complete* duration events (``"ph": "X"``)
+and instants (``"ph": "i"``) in the Trace Event Format that
+``chrome://tracing`` and Perfetto load directly: a JSON array of
+objects with ``name``/``cat``/``ph``/``ts``/``dur``/``pid``/``tid``.
+Timestamps are microseconds from the tracer's epoch
+(``time.perf_counter`` based, so spans nest consistently across
+threads).
+
+The process-global tracer is **off by default** and the instrumented
+hot paths go through :func:`trace_span`, which returns a shared no-op
+context manager when tracing is disabled — the disabled cost is one
+module-global read and one function call, no allocation.  The bench
+suite asserts the instrumented path stays within a few percent of the
+uninstrumented one.
+
+Usage::
+
+    from repro.obs.tracing import enable_tracing, trace_span
+
+    tracer = enable_tracing()
+    with trace_span("engine.encrypt_blocks", blocks=4096):
+        ...
+    tracer.write("trace.json")      # load in chrome://tracing
+
+``repro-aes --trace FILE <command>`` wires this around any CLI run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class _NullSpan:
+    """The do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; records one complete event when it exits."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 args: Optional[Dict[str, object]]):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end = time.perf_counter()
+        self._tracer._record(self._name, self._category,
+                             self._start, end, self._args)
+
+
+class Tracer:
+    """Collects trace events; thread-safe, export-on-demand."""
+
+    def __init__(self) -> None:
+        self._events: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+        self._pid = os.getpid()
+
+    def _us(self, moment: float) -> float:
+        return round((moment - self._epoch) * 1e6, 3)
+
+    def _record(self, name: str, category: str, start: float,
+                end: float, args: Optional[Dict[str, object]]) -> None:
+        event: Dict[str, object] = {
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "ts": self._us(start),
+            "dur": round((end - start) * 1e6, 3),
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        with self._lock:
+            self._events.append(event)
+
+    def span(self, name: str, category: str = "repro",
+             **args: object) -> _Span:
+        """A context manager timing one named span."""
+        return _Span(self, name, category, args or None)
+
+    def instant(self, name: str, category: str = "repro",
+                **args: object) -> None:
+        """Record a zero-duration instant event."""
+        event: Dict[str, object] = {
+            "name": name,
+            "cat": category,
+            "ph": "i",
+            "ts": self._us(time.perf_counter()),
+            "s": "t",  # thread-scoped instant
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        with self._lock:
+            self._events.append(event)
+
+    def events(self) -> List[Dict[str, object]]:
+        """A snapshot copy of the recorded events."""
+        with self._lock:
+            return [dict(e) for e in self._events]
+
+    def clear(self) -> None:
+        """Drop every recorded event."""
+        with self._lock:
+            self._events.clear()
+
+    def to_json(self) -> str:
+        """The events as a Chrome-trace JSON array."""
+        return json.dumps(self.events(), indent=1) + "\n"
+
+    def write(self, path: "os.PathLike[str] | str") -> None:
+        """Write the Chrome-trace JSON to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+
+_GLOBAL: Optional[Tracer] = None
+
+
+def enable_tracing() -> Tracer:
+    """Install (or return the already-installed) global tracer."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = Tracer()
+    return _GLOBAL
+
+
+def disable_tracing() -> Optional[Tracer]:
+    """Uninstall the global tracer; returns it (events intact)."""
+    global _GLOBAL
+    tracer = _GLOBAL
+    _GLOBAL = None
+    return tracer
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The installed global tracer, or ``None`` when disabled."""
+    return _GLOBAL
+
+
+def trace_span(name: str, category: str = "repro",
+               **args: object):
+    """A span on the global tracer — or a free no-op when disabled.
+
+    This is the only call sites should use: it keeps the disabled
+    cost at one global read, so instrumenting a hot path is safe.
+    """
+    tracer = _GLOBAL
+    if tracer is None:
+        return _NULL_SPAN
+    return _Span(tracer, name, category, args or None)
+
+
+def trace_instant(name: str, category: str = "repro",
+                  **args: object) -> None:
+    """An instant event on the global tracer; no-op when disabled."""
+    tracer = _GLOBAL
+    if tracer is not None:
+        tracer.instant(name, category, **args)

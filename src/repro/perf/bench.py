@@ -23,13 +23,14 @@ in a fixed order:
    PRs can assert no-regression against a persisted baseline instead
    of folklore.
 
-JSON schema (``repro-aes/software-throughput/v1``)::
+JSON schema (``repro-aes/software-throughput/v2``)::
 
     {
-      "schema": "repro-aes/software-throughput/v1",
+      "schema": "repro-aes/software-throughput/v2",
       "created_unix": 1754000000,
       "quick": true,
       "workers": 1,
+      "git_rev": "f5387c8..." | "unknown",
       "host": {"platform": ..., "python": ..., "machine": ...,
                "cpu_count": ..., "numpy": "2.4.6" | null},
       "equivalence": {"backends": [...], "primitives": [...],
@@ -40,8 +41,14 @@ JSON schema (``repro-aes/software-throughput/v1``)::
          "measured_blocks": 65536, "reps": 1, "seconds": ...,
          "blocks_per_s": ..., "mb_per_s": ...,
          "speedup_vs_baseline": ...}
-      ]
+      ],
+      "obs": {"repro_engine_ops_total": {...}, ...}
     }
+
+v2 added ``git_rev`` (code-revision provenance, best-effort) and the
+``obs`` section (a :mod:`repro.obs.metrics` snapshot of the engine
+instrumentation accumulated during the run).  :func:`load_report`
+reads both v1 and v2 files, normalizing v1 to the v2 shape.
 """
 
 from __future__ import annotations
@@ -50,6 +57,7 @@ import json
 import os
 import platform
 import random
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -62,11 +70,14 @@ from repro.perf.backends import (
     available_backends,
     numpy_version,
 )
+from repro.obs.metrics import global_registry
+from repro.obs.tracing import trace_span
 from repro.perf.engine import BackendMismatch, BatchEngine
 
 BLOCK = 16
 
-SCHEMA = "repro-aes/software-throughput/v1"
+SCHEMA_V1 = "repro-aes/software-throughput/v1"
+SCHEMA = "repro-aes/software-throughput/v2"
 
 DEFAULT_OUT = "BENCH_software_throughput.json"
 
@@ -185,6 +196,29 @@ def host_fingerprint() -> Dict[str, object]:
     }
 
 
+def git_revision(root: Optional[Path] = None) -> str:
+    """The commit hash these numbers were measured at, best-effort.
+
+    Returns ``"unknown"`` when git is absent, the tree is not a
+    repository, or anything else goes wrong — provenance must never
+    fail a bench run.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parents[3]
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root, capture_output=True, text=True,
+            timeout=10, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = proc.stdout.strip()
+    if proc.returncode == 0 and rev:
+        return rev
+    return "unknown"
+
+
 def _measure(fn: Callable[[], object], reps: int) -> float:
     fn()  # warm-up: table/array builds, cache fills
     start = time.perf_counter()
@@ -219,7 +253,10 @@ def run_bench(quick: bool = False,
         # model; it always runs.
         backends["baseline"] = all_backends["baseline"]
 
-    equivalence = cross_check(backends, corpus_blocks=corpus_blocks)
+    with trace_span("bench.cross_check",
+                    backends=",".join(sorted(backends))):
+        equivalence = cross_check(backends,
+                                  corpus_blocks=corpus_blocks)
 
     if sizes is None:
         sizes = QUICK_SIZES if quick else FULL_SIZES
@@ -252,7 +289,9 @@ def run_bench(quick: bool = False,
                 else:
                     fn = lambda p=piece: engine.xcrypt_ctr(
                         key, nonce, p)
-                seconds = _measure(fn, reps)
+                with trace_span("bench.workload", backend=name,
+                                mode=mode, size_bytes=size):
+                    seconds = _measure(fn, reps)
                 rows.append(_row(name, backends[name], mode, False,
                                  size, blocks, measured, reps,
                                  seconds))
@@ -265,7 +304,9 @@ def run_bench(quick: bool = False,
     cap = caps.get("baseline")
     measured = cbc_blocks if cap is None else min(cbc_blocks, cap)
     piece = payload[:measured * BLOCK]
-    seconds = _measure(lambda: cbc_encrypt(key, iv, piece), reps)
+    with trace_span("bench.workload", backend="baseline",
+                    mode="cbc", size_bytes=cbc_size):
+        seconds = _measure(lambda: cbc_encrypt(key, iv, piece), reps)
     rows.append(_row("baseline", backends["baseline"], "cbc", True,
                      cbc_size, cbc_blocks, measured, reps, seconds))
 
@@ -275,9 +316,11 @@ def run_bench(quick: bool = False,
         "created_unix": int(time.time()),
         "quick": bool(quick),
         "workers": int(workers),
+        "git_rev": git_revision(),
         "host": host_fingerprint(),
         "equivalence": equivalence,
         "workloads": rows,
+        "obs": global_registry().snapshot(prefix="repro_engine_"),
     }
 
 
@@ -323,15 +366,38 @@ def write_report(report: Dict[str, object], out: Path) -> Path:
     return out
 
 
+def load_report(path: Path) -> Dict[str, object]:
+    """Read a persisted trajectory file, v1 or v2.
+
+    v1 files (pre-provenance) are normalized to the v2 shape:
+    ``git_rev`` becomes ``"unknown"`` and ``obs`` an empty dict, so
+    downstream comparisons never need to branch on the schema.  An
+    unrecognized schema raises ``ValueError``.
+    """
+    report = json.loads(Path(path).read_text())
+    schema = report.get("schema")
+    if schema == SCHEMA_V1:
+        report.setdefault("git_rev", "unknown")
+        report.setdefault("obs", {})
+    elif schema != SCHEMA:
+        raise ValueError(
+            f"unrecognized bench schema {schema!r} in {path} "
+            f"(expected {SCHEMA_V1!r} or {SCHEMA!r})"
+        )
+    return report
+
+
 def render_report(report: Dict[str, object]) -> str:
     """Human-readable table of one bench run."""
     lines = []
     host = report["host"]
     numpy_note = host["numpy"] or "absent"  # type: ignore[index]
+    rev = str(report.get("git_rev", "unknown"))[:12]
     lines.append(
         f"software throughput "
         f"({'quick' if report['quick'] else 'full'} matrix, "
-        f"workers={report['workers']}, numpy={numpy_note})"
+        f"workers={report['workers']}, numpy={numpy_note}, "
+        f"rev={rev})"
     )
     header = (f"{'backend':<10} {'mode':<5} {'size':>9} "
               f"{'blocks/s':>12} {'MB/s':>9} {'vs baseline':>12}")

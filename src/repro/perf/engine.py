@@ -23,15 +23,48 @@ does not change when the implementation under it does.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Union
 
+from repro.obs.metrics import global_registry
+from repro.obs.tracing import trace_span
 from repro.perf.backends import Backend, get_backend
 
 BLOCK = 16
 
 #: Below this many blocks a shard is not worth a thread hop.
 MIN_SHARD_BLOCKS = 256
+
+# Engine instrumentation: children are bound once at import so the
+# per-call cost on the hot path is a dict-free method call.
+_REGISTRY = global_registry()
+_OPS = _REGISTRY.counter(
+    "repro_engine_ops_total",
+    "Batch-engine primitive invocations",
+    labels=("primitive",),
+)
+_BLOCKS = _REGISTRY.counter(
+    "repro_engine_blocks_total",
+    "16-byte blocks processed by the batch engine",
+)
+_SHARD_SECONDS = _REGISTRY.histogram(
+    "repro_engine_shard_seconds",
+    "Wall-clock seconds spent encrypting one shard",
+    labels=("backend",),
+)
+_WORKERS_EFFECTIVE = _REGISTRY.gauge(
+    "repro_engine_workers_effective",
+    "Effective worker count of the last sharded call",
+)
+_BACKEND_SELECTED = _REGISTRY.counter(
+    "repro_engine_backend_selected_total",
+    "Backend choices made at engine construction",
+    labels=("backend",),
+)
+_OPS_ENCRYPT = _OPS.labels(primitive="encrypt_blocks")
+_OPS_KEYSTREAM = _OPS.labels(primitive="keystream")
+_OPS_GCTR = _OPS.labels(primitive="gctr")
 
 
 class BackendMismatch(ValueError):
@@ -57,6 +90,8 @@ class BatchEngine:
             backend = get_backend(backend)
         self._backend = backend
         self._workers = max(1, int(workers))
+        self._effective_workers = 1
+        _BACKEND_SELECTED.labels(backend=backend.name).inc()
 
     @property
     def backend(self) -> Backend:
@@ -65,8 +100,20 @@ class BatchEngine:
 
     @property
     def workers(self) -> int:
-        """Shard count for the parallelizable primitives."""
+        """Configured shard ceiling for the parallelizable primitives."""
         return self._workers
+
+    @property
+    def effective_workers(self) -> int:
+        """Workers the last call actually used.
+
+        The shard plan can produce fewer shards than the configured
+        ``workers`` (small buffers shard less); the executor is sized
+        to the shards, never the configured ceiling, and this property
+        (plus the ``repro_engine_workers_effective`` gauge) reports
+        what really ran.
+        """
+        return self._effective_workers
 
     # ------------------------------------------------------------ ECB
     def encrypt_blocks(self, key: bytes, data: bytes) -> bytes:
@@ -83,15 +130,33 @@ class BatchEngine:
             )
         if not data:
             return b""
+        _OPS_ENCRYPT.inc()
+        _BLOCKS.inc(len(data) // BLOCK)
         shards = self._shards(data)
-        if len(shards) == 1:
-            return self._backend.encrypt_blocks(key, data)
-        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
-            parts = pool.map(
-                lambda shard: self._backend.encrypt_blocks(key, shard),
-                shards,
-            )
-            return b"".join(parts)
+        effective = min(self._workers, len(shards))
+        self._effective_workers = effective
+        _WORKERS_EFFECTIVE.set(effective)
+        with trace_span("engine.encrypt_blocks",
+                        backend=self._backend.name,
+                        blocks=len(data) // BLOCK,
+                        shards=len(shards), workers=effective):
+            if len(shards) == 1:
+                return self._encrypt_shard(key, data)
+            with ThreadPoolExecutor(max_workers=effective) as pool:
+                parts = pool.map(
+                    lambda shard: self._encrypt_shard(key, shard),
+                    shards,
+                )
+                return b"".join(parts)
+
+    def _encrypt_shard(self, key: bytes, shard: bytes) -> bytes:
+        """One backend call, timed into the shard-latency histogram."""
+        start = time.perf_counter()
+        out = self._backend.encrypt_blocks(key, shard)
+        _SHARD_SECONDS.labels(backend=self._backend.name).observe(
+            time.perf_counter() - start
+        )
+        return out
 
     def xcrypt_ecb(self, key: bytes, data: bytes) -> bytes:
         """ECB over the batch path (encrypt direction only).
@@ -118,6 +183,7 @@ class BatchEngine:
             raise ValueError("block count must be non-negative")
         if blocks == 0:
             return b""
+        _OPS_KEYSTREAM.inc()
         counters = b"".join(
             nonce + counter.to_bytes(8, "big")
             for counter in range(initial, initial + blocks)
@@ -147,6 +213,7 @@ class BatchEngine:
         data = bytes(data)
         if not data:
             return b""
+        _OPS_GCTR.inc()
         blocks = (len(data) + BLOCK - 1) // BLOCK
         head, start = icb[:12], int.from_bytes(icb[12:], "big")
         counters = b"".join(

@@ -1,0 +1,108 @@
+"""The obs.counter-divergence rule: clean on the shipped core,
+loud when observation and model disagree."""
+
+import pytest
+
+from repro.checks.engine import KIND_OBS, registry, run_rules
+from repro.checks.fsm import core_fsm
+from repro.checks.obs import (
+    ObsSubject,
+    observe_run,
+    paper_obs_subjects,
+)
+from repro.ip.control import Variant
+
+RULE = "obs.counter-divergence"
+
+
+class TestRegistration:
+    def test_rule_registered_with_obs_kind(self):
+        rules = registry()
+        assert RULE in rules
+        assert rules[RULE].requires == KIND_OBS
+
+    def test_paper_subjects_cover_every_flavour(self):
+        subjects = paper_obs_subjects()
+        assert len(subjects) == 6
+        assert {s.variant for s in subjects} == set(Variant)
+        assert {s.sync_rom for s in subjects} == {False, True}
+
+
+class TestCleanCore:
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_all_three_variants_pass(self, variant):
+        findings = run_rules(
+            {KIND_OBS: [ObsSubject(variant)]}, only=[RULE]
+        )
+        assert findings == []
+
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_sync_rom_flavours_pass(self, variant):
+        findings = run_rules(
+            {KIND_OBS: [ObsSubject(variant, sync_rom=True)]},
+            only=[RULE],
+        )
+        assert findings == []
+
+
+class TestDivergenceDetection:
+    """Damage the observed evidence the way a sequencing bug would
+    (the shipped core cannot be made to diverge, so the observation
+    step is monkeypatched) and assert the rule notices."""
+
+    def test_divergent_run_reports_findings(self, monkeypatch):
+        import repro.checks.obs as obs_mod
+
+        subject = ObsSubject(Variant.ENCRYPT)
+        counters, setup = observe_run(subject)
+        counters.bytesub_cycles -= 1       # lost datapath event
+        counters.key_words += 4            # phantom schedule word
+        monkeypatch.setattr(obs_mod, "observe_run",
+                            lambda s: (counters, setup))
+        findings = run_rules({KIND_OBS: [subject]}, only=[RULE])
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "bytesub_cycles" in messages
+        assert "key_words" in messages
+
+    def test_wrong_block_latency_reports_finding(self, monkeypatch):
+        import repro.checks.obs as obs_mod
+        from dataclasses import replace
+
+        subject = ObsSubject(Variant.ENCRYPT)
+        counters, setup = observe_run(subject)
+        record = counters.block_records[0]
+        counters.block_records[0] = replace(
+            record, end_cycle=record.end_cycle + 1
+        )
+        monkeypatch.setattr(obs_mod, "observe_run",
+                            lambda s: (counters, setup))
+        findings = run_rules({KIND_OBS: [subject]}, only=[RULE])
+        assert any("51 cycles" in f.message for f in findings)
+
+    def test_protocol_errors_fail(self, monkeypatch):
+        import repro.checks.obs as obs_mod
+
+        subject = ObsSubject(Variant.ENCRYPT)
+        counters, setup = observe_run(subject)
+        counters.protocol_errors = 3
+        monkeypatch.setattr(obs_mod, "observe_run",
+                            lambda s: (counters, setup))
+        findings = run_rules({KIND_OBS: [subject]}, only=[RULE])
+        assert any("protocol" in f.message for f in findings)
+
+
+class TestModelAlignment:
+    @pytest.mark.parametrize("sync_rom", (False, True))
+    def test_fsm_model_and_expected_counters_agree(self, sync_rom):
+        """The two independent model sources must declare the same
+        block cost, or the rule would contradict itself."""
+        from repro.obs.hwcounters import expected_counters
+
+        for variant in Variant:
+            model = core_fsm(variant, sync_rom)
+            exp = expected_counters(variant, sync_rom, 1)
+            assert model.expected_block_cycles == exp["block_cycles"]
+            assert model.expected_round_cycles == \
+                exp["events_per_round"]
+            assert model.rounds_per_block * 4 == exp["bytesub_cycles"]

@@ -1,0 +1,221 @@
+"""Metrics registry: semantics plus Prometheus-exposition validity."""
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    global_registry,
+    render_prometheus,
+    reset_global_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        c = registry.counter("ops_total", "ops")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self, registry):
+        c = registry.counter("ops_total", "ops")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self, registry):
+        c = registry.counter("ops_total", "ops", labels=("mode",))
+        c.labels(mode="ecb").inc(3)
+        c.labels(mode="ctr").inc()
+        assert c.labels(mode="ecb").value == 3
+        assert c.labels(mode="ctr").value == 1
+
+    def test_labeled_metric_rejects_bare_inc(self, registry):
+        c = registry.counter("ops_total", "ops", labels=("mode",))
+        with pytest.raises(MetricError):
+            c.inc()
+
+    def test_label_set_must_match_schema(self, registry):
+        c = registry.counter("ops_total", "ops", labels=("mode",))
+        with pytest.raises(MetricError):
+            c.labels(direction="enc")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("workers", "worker count")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_buckets_cumulative(self, registry):
+        h = registry.histogram("lat_seconds", "latency",
+                               buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        child = h.children()[0]
+        assert child.cumulative() == [1, 2, 3]
+        assert child.count == 3
+        assert child.sum == pytest.approx(5.55)
+
+    def test_rejects_unsorted_buckets(self, registry):
+        with pytest.raises(MetricError):
+            registry.histogram("h", "x", buckets=(1.0, 0.1))
+
+    def test_default_buckets_are_sane(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert len(set(DEFAULT_BUCKETS)) == len(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self, registry):
+        a = registry.counter("x_total", "x")
+        b = registry.counter("x_total", "x")
+        assert a is b
+
+    def test_kind_collision_raises(self, registry):
+        registry.counter("x_total", "x")
+        with pytest.raises(MetricError):
+            registry.gauge("x_total", "x")
+
+    def test_label_schema_collision_raises(self, registry):
+        registry.counter("x_total", "x", labels=("a",))
+        with pytest.raises(MetricError):
+            registry.counter("x_total", "x", labels=("b",))
+
+    def test_invalid_name_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("0bad-name", "x")
+
+    def test_reset_zeroes_but_keeps_registration(self, registry):
+        c = registry.counter("x_total", "x")
+        c.inc(7)
+        registry.reset()
+        # The same bound object keeps working from zero.
+        assert c.value == 0
+        c.inc()
+        assert c.value == 1
+
+    def test_global_registry_reset(self):
+        g = global_registry()
+        c = g.counter("test_global_reset_total", "scratch")
+        c.inc(2)
+        reset_global_registry()
+        assert c.value == 0
+
+
+# The exposition lines the 0.0.4 text format allows (plus HELP/TYPE).
+_SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? '
+    r'(?:[0-9.eE+-]+|\+Inf|-Inf|NaN)$'
+)
+
+
+def _parse_prometheus(text):
+    """A strict little parser for the text exposition format.
+
+    Returns {metric_name: {"type": ..., "samples": [(name, labels,
+    value)]}} and raises AssertionError on any malformed line — the
+    validity check the acceptance criteria ask for.
+    """
+    families = {}
+    current = None
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name = line.split()[2]
+            families.setdefault(name, {"type": None, "samples": []})
+            current = name
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split(maxsplit=3)
+            assert kind in ("counter", "gauge", "histogram", "untyped")
+            families.setdefault(name, {"type": None, "samples": []})
+            families[name]["type"] = kind
+            current = name
+        else:
+            assert _SAMPLE_RE.match(line), f"malformed line: {line!r}"
+            name = re.split(r"[{ ]", line, maxsplit=1)[0]
+            value_text = line.rsplit(" ", 1)[1]
+            value = math.inf if value_text == "+Inf" \
+                else float(value_text)
+            labels = {}
+            if "{" in line:
+                inner = line[line.index("{") + 1:line.rindex("}")]
+                for pair in re.findall(
+                        r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"',
+                        inner):
+                    labels[pair[0]] = pair[1]
+            assert current is not None
+            families[current]["samples"].append((name, labels, value))
+    return families
+
+
+class TestPrometheusExposition:
+    def test_render_is_valid_and_complete(self, registry):
+        c = registry.counter("req_total", "requests",
+                             labels=("mode",))
+        c.labels(mode="ecb").inc(2)
+        registry.gauge("temp", "temperature").set(21.5)
+        h = registry.histogram("lat_seconds", "latency",
+                               buckets=(0.1, 1.0))
+        h.observe(0.05)
+        text = registry.render_prometheus()
+        families = _parse_prometheus(text)
+        assert families["req_total"]["type"] == "counter"
+        assert families["temp"]["type"] == "gauge"
+        assert families["lat_seconds"]["type"] == "histogram"
+        samples = families["req_total"]["samples"]
+        assert ("req_total", {"mode": "ecb"}, 2.0) in samples
+        hist = families["lat_seconds"]["samples"]
+        buckets = [s for s in hist if s[0] == "lat_seconds_bucket"]
+        assert [s[2] for s in buckets] == [1.0, 1.0, 1.0]
+        assert buckets[-1][1]["le"] == "+Inf"
+        assert ("lat_seconds_count", {}, 1.0) in hist
+
+    def test_label_values_escaped(self, registry):
+        c = registry.counter("x_total", "x", labels=("path",))
+        c.labels(path='a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        _parse_prometheus(text)  # still parses
+
+    def test_multi_registry_concatenation(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("a_total", "a").inc()
+        b.counter("b_total", "b").inc()
+        families = _parse_prometheus(render_prometheus([a, b]))
+        assert set(families) == {"a_total", "b_total"}
+
+
+class TestJsonSnapshot:
+    def test_round_trips_through_json(self, registry):
+        registry.counter("x_total", "x").inc(3)
+        h = registry.histogram("h_seconds", "h", buckets=(1.0,))
+        h.observe(0.5)
+        doc = json.loads(registry.render_json())
+        assert doc["x_total"]["samples"][0]["value"] == 3
+        assert doc["h_seconds"]["samples"][0]["count"] == 1
+
+    def test_prefix_filter(self, registry):
+        registry.counter("keep_total", "k").inc()
+        registry.counter("drop_total", "d").inc()
+        snap = registry.snapshot(prefix="keep_")
+        assert set(snap) == {"keep_total"}

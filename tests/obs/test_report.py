@@ -1,0 +1,67 @@
+"""StatsReport: collection and the four output formats."""
+
+import json
+
+import pytest
+
+from repro.obs.report import collect_stats
+from tests.obs.test_metrics import _parse_prometheus
+
+
+@pytest.fixture(scope="module")
+def encrypt_report():
+    return collect_stats(variant="encrypt", blocks=2)
+
+
+class TestCollectStats:
+    def test_observed_matches_expected(self, encrypt_report):
+        snap = encrypt_report.hw_snapshot
+        exp = encrypt_report.expected
+        assert snap["run_cycles"] == exp["run_cycles"] == 100
+        assert snap["rounds"] == exp["rounds"] == 20
+
+    def test_decrypt_only_device_decrypts(self):
+        report = collect_stats(variant="decrypt", blocks=1)
+        assert report.hw_snapshot["block_records"][0]["direction"] \
+            == "decrypt"
+        assert report.setup_latency > 1  # setup pass ran
+
+    def test_rejects_bad_blocks(self):
+        with pytest.raises(ValueError):
+            collect_stats(blocks=0)
+
+    def test_rejects_bad_variant(self):
+        with pytest.raises(ValueError):
+            collect_stats(variant="sideways")
+
+
+class TestRenderFormats:
+    def test_text_mentions_invariants(self, encrypt_report):
+        text = encrypt_report.render("text")
+        assert "per-block latency: [50] cycles (model: 50)" in text
+        assert "sub-events per round: [5] (model: 5)" in text
+
+    def test_prom_is_valid_exposition(self, encrypt_report):
+        families = _parse_prometheus(encrypt_report.render("prom"))
+        samples = families["repro_ip_run_cycles_total"]["samples"]
+        assert samples[0][1] == {"variant": "encrypt"}
+        assert samples[0][2] == 100.0
+
+    def test_json_document(self, encrypt_report):
+        doc = json.loads(encrypt_report.render("json"))
+        assert doc["run"]["variant"] == "encrypt"
+        assert doc["hardware"]["run_cycles"] == 100
+        assert doc["expected"]["block_cycles"] == 50
+        assert "repro_ip_cycles_total" in doc["hw_metrics"]
+
+    def test_chrome_trace_loadable(self, encrypt_report):
+        events = json.loads(encrypt_report.render("chrome-trace"))
+        assert isinstance(events, list)
+        assert all("ph" in e for e in events)
+        names = [e["name"] for e in events]
+        assert "ip.load_key" in names
+        assert names.count("ip.encrypt") == 2
+
+    def test_unknown_format_raises(self, encrypt_report):
+        with pytest.raises(ValueError):
+            encrypt_report.render("xml")

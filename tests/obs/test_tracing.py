@@ -1,0 +1,108 @@
+"""Span tracing: Chrome-trace validity and no-op-when-disabled."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    Tracer,
+    _NULL_SPAN,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    trace_instant,
+    trace_span,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_global_tracer():
+    """Each test starts and ends with tracing disabled."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestTracer:
+    def test_span_records_complete_event(self):
+        tracer = Tracer()
+        with tracer.span("work", category="test", items=3):
+            pass
+        (event,) = tracer.events()
+        assert event["name"] == "work"
+        assert event["ph"] == "X"
+        assert event["cat"] == "test"
+        assert event["args"] == {"items": 3}
+        assert event["dur"] >= 0
+        assert event["tid"] == threading.get_ident()
+
+    def test_instant_event(self):
+        tracer = Tracer()
+        tracer.instant("marker")
+        (event,) = tracer.events()
+        assert event["ph"] == "i"
+
+    def test_to_json_is_chrome_trace_loadable(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        events = json.loads(tracer.to_json())
+        assert isinstance(events, list) and len(events) == 2
+        for event in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+        # Inner span closed first, so it is recorded first and its
+        # timestamp is not earlier than the outer span's start.
+        assert events[0]["name"] == "b"
+        assert events[0]["ts"] >= events[1]["ts"]
+
+    def test_write_and_clear(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        out = tmp_path / "trace.json"
+        tracer.write(out)
+        assert json.loads(out.read_text())[0]["name"] == "x"
+        tracer.clear()
+        assert tracer.events() == []
+
+    def test_thread_safety(self):
+        tracer = Tracer()
+
+        def worker():
+            for _ in range(50):
+                with tracer.span("t"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.events()) == 200
+
+
+class TestGlobalTracer:
+    def test_disabled_by_default_returns_null_span(self):
+        assert active_tracer() is None
+        assert trace_span("anything") is _NULL_SPAN
+        with trace_span("anything"):
+            pass  # must be a working no-op context manager
+        trace_instant("nothing")  # no-op, no error
+
+    def test_enable_records_and_disable_keeps_events(self):
+        tracer = enable_tracing()
+        assert active_tracer() is tracer
+        with trace_span("job", blocks=1):
+            pass
+        trace_instant("tick")
+        returned = disable_tracing()
+        assert returned is tracer
+        assert active_tracer() is None
+        names = [e["name"] for e in tracer.events()]
+        assert names == ["job", "tick"]
+
+    def test_enable_is_idempotent(self):
+        first = enable_tracing()
+        assert enable_tracing() is first

@@ -104,3 +104,73 @@ class TestHostFingerprint:
         host = host_fingerprint()
         assert set(host) >= {"platform", "machine", "python",
                              "cpu_count", "numpy"}
+
+
+class TestProvenance:
+    def test_report_carries_git_rev_and_obs(self):
+        report = run_bench(quick=True, sizes=[128], reps=1,
+                           backend_names=["baseline"],
+                           corpus_blocks=4)
+        assert report["schema"] == SCHEMA
+        assert isinstance(report["git_rev"], str)
+        assert report["git_rev"]  # never empty: hash or "unknown"
+        assert isinstance(report["obs"], dict)
+        assert "repro_engine_ops_total" in report["obs"]
+
+    def test_git_revision_in_a_repo_is_a_hash(self):
+        from pathlib import Path
+
+        from repro.perf.bench import git_revision
+
+        rev = git_revision()
+        root = Path(__file__).resolve().parents[2]
+        if (root / ".git").exists():
+            assert len(rev) == 40
+            int(rev, 16)  # hex
+        else:
+            assert rev == "unknown"
+
+    def test_git_revision_outside_a_repo_is_unknown(self, tmp_path):
+        from repro.perf.bench import git_revision
+
+        assert git_revision(root=tmp_path) == "unknown"
+
+
+class TestLoadReport:
+    def test_v2_round_trip(self, tmp_path):
+        from repro.perf.bench import load_report
+
+        report = run_bench(quick=True, sizes=[128], reps=1,
+                           backend_names=["baseline"],
+                           corpus_blocks=4)
+        out = write_report(report, tmp_path / "bench.json")
+        loaded = load_report(out)
+        assert loaded["schema"] == SCHEMA
+        assert loaded["git_rev"] == report["git_rev"]
+
+    def test_v1_reader_path_normalizes(self, tmp_path):
+        from repro.perf.bench import SCHEMA_V1, load_report
+
+        v1 = {
+            "schema": SCHEMA_V1,
+            "created_unix": 1754000000,
+            "quick": True,
+            "workers": 1,
+            "host": {"platform": "x", "python": "3.11"},
+            "equivalence": {"mismatches": 0},
+            "workloads": [],
+        }
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(v1))
+        loaded = load_report(path)
+        assert loaded["git_rev"] == "unknown"
+        assert loaded["obs"] == {}
+        assert loaded["workloads"] == []
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        from repro.perf.bench import load_report
+
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"schema": "other/v9"}))
+        with pytest.raises(ValueError, match="unrecognized"):
+            load_report(path)

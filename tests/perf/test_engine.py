@@ -143,3 +143,64 @@ class TestConstruction:
 
     def test_default_engine_is_singleton(self):
         assert default_engine() is default_engine()
+
+
+class TestEffectiveWorkers:
+    """The worker clamp: the executor is sized to the shard plan,
+    never the configured ceiling, and the engine reports what ran."""
+
+    def test_defaults_to_one(self):
+        assert BatchEngine().effective_workers == 1
+
+    def test_small_buffer_clamps_to_one(self):
+        engine = BatchEngine(workers=8)
+        engine.xcrypt_ecb(KEY, bytes(16 * 4))
+        assert engine.effective_workers == 1
+
+    def test_large_buffer_uses_configured_workers(self):
+        engine = BatchEngine(workers=4)
+        engine.xcrypt_ecb(KEY, bytes(16 * 4 * MIN_SHARD_BLOCKS))
+        assert engine.effective_workers == 4
+
+    def test_never_exceeds_shard_count(self):
+        engine = BatchEngine(workers=64)
+        data = bytes(16 * 4 * MIN_SHARD_BLOCKS)
+        engine.xcrypt_ecb(KEY, data)
+        assert engine.effective_workers == len(engine._shards(data))
+        assert engine.effective_workers < 64
+
+
+class TestEngineMetrics:
+    def test_ops_blocks_and_gauge_recorded(self):
+        from repro.obs.metrics import global_registry
+
+        registry = global_registry()
+        ops = registry.get("repro_engine_ops_total")
+        blocks = registry.get("repro_engine_blocks_total")
+        gauge = registry.get("repro_engine_workers_effective")
+        before_ops = ops.labels(primitive="encrypt_blocks").value
+        before_blocks = blocks.value
+        BatchEngine("baseline").xcrypt_ecb(KEY, bytes(16 * 3))
+        assert ops.labels(primitive="encrypt_blocks").value == \
+            before_ops + 1
+        assert blocks.value == before_blocks + 3
+        assert gauge.value == 1
+
+    def test_shard_latency_observed(self):
+        from repro.obs.metrics import global_registry
+
+        hist = global_registry().get("repro_engine_shard_seconds")
+        child = hist.labels(backend="baseline")
+        before = child.count
+        BatchEngine("baseline").xcrypt_ecb(KEY, bytes(16 * 2))
+        assert child.count == before + 1
+        assert child.sum >= 0
+
+    def test_backend_selection_counted(self):
+        from repro.obs.metrics import global_registry
+
+        counter = global_registry().get(
+            "repro_engine_backend_selected_total")
+        before = counter.labels(backend="ttable").value
+        BatchEngine("ttable")
+        assert counter.labels(backend="ttable").value == before + 1

@@ -102,3 +102,70 @@ class TestCoreWaveform:
         )
         rises = [ln for ln in text.splitlines() if ln == f"1{ok_id}"]
         assert len(rises) == 1
+
+
+class TestRealRunRoundTrip:
+    """Dump a real encrypt run and read the waveform back: the gap
+    between the ``wr_data`` capture edge and the ``data_ok`` strobe
+    must equal the core's declared block latency."""
+
+    def _ids(self, text):
+        ids = {}
+        for line in text.splitlines():
+            if line.startswith("$var"):
+                parts = line.split()
+                ids[parts[4]] = parts[3]
+            elif line.startswith("$enddefinitions"):
+                break
+        return ids
+
+    def _rise_times(self, text, ident):
+        times, now = [], None
+        in_defs = True
+        for line in text.splitlines():
+            line = line.strip()
+            if in_defs:
+                in_defs = not line.startswith("$enddefinitions")
+                continue
+            if line.startswith("#"):
+                now = int(line[1:])
+            elif line == f"1{ident}":
+                times.append(now)
+        return times
+
+    def test_encrypt_latency_visible_in_waveform(self):
+        from repro.ip.control import Variant
+        from repro.ip.testbench import Testbench
+
+        bench = Testbench(Variant.ENCRYPT)
+        core = bench.core
+        trace = Trace(bench.simulator,
+                      [core.wr_data, core.data_ok])
+        bench.load_key(bytes(range(16)))
+        _, latency = bench.process_block(
+            bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert latency == core.latency_cycles == 50
+
+        text = trace_to_vcd(trace, clock_ns=14)
+        timescale, variables = parse_vcd_header(text)
+        assert timescale == "1 ns"
+        assert dict(variables)["aes_data_ok"] == 1
+
+        ids = self._ids(text)
+        (capture,) = self._rise_times(text, ids["aes_wr_data"])
+        (strobe,) = self._rise_times(text, ids["aes_data_ok"])
+        assert strobe - capture == latency * 14
+
+    def test_two_blocks_strobe_twice(self):
+        from repro.ip.control import Variant
+        from repro.ip.testbench import Testbench
+
+        bench = Testbench(Variant.ENCRYPT)
+        trace = Trace(bench.simulator, [bench.core.data_ok])
+        bench.load_key(bytes(range(16)))
+        bench.encrypt(bytes(16))
+        bench.encrypt(bytes(16))
+        text = trace_to_vcd(trace)
+        ids = self._ids(text)
+        assert len(self._rise_times(text, ids["aes_data_ok"])) == 2
+        assert count_vcd_changes(text) >= 4  # two full strobes

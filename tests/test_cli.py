@@ -146,6 +146,31 @@ class TestArtifacts:
         assert "$enddefinitions" in text
         assert "aes_data_ok" in text
 
+    def test_vcd_waveform_spans_the_block_latency(self, capsys,
+                                                  tmp_path):
+        import re
+
+        from repro.rtl.vcd import parse_vcd_header
+
+        out_file = tmp_path / "wave.vcd"
+        code, out = run_cli(capsys, "vcd", "--blocks", "2",
+                            "--out", str(out_file))
+        assert code == 0
+        cycles = int(re.search(r"(\d+) cycles", out).group(1))
+        text = out_file.read_text()
+        timescale, variables = parse_vcd_header(text)
+        assert timescale == "1 ns"
+        names = dict(variables)
+        assert names["aes_data_ok"] == 1
+        assert names["aes_round"] == 4
+        # Timestamps run at the 14 ns Acex1K clock; two 50-cycle
+        # blocks must be visible inside the dumped window.
+        stamps = [int(m) for m in
+                  re.findall(r"^#(\d+)$", text, re.MULTILINE)]
+        assert stamps == sorted(stamps)
+        assert stamps[-1] <= cycles * 14
+        assert stamps[-1] - stamps[0] >= 2 * 50 * 14
+
 
 class TestBench:
     def test_quick_bench_writes_trajectory(self, capsys, tmp_path):
@@ -161,8 +186,10 @@ class TestBench:
         assert "wrote" in out
         report = json.loads(out_file.read_text())
         assert report["schema"] == \
-            "repro-aes/software-throughput/v1"
+            "repro-aes/software-throughput/v2"
         assert report["equivalence"]["mismatches"] == 0
+        assert report["git_rev"]
+        assert "repro_engine_blocks_total" in report["obs"]
         backends = {row["backend"] for row in report["workloads"]}
         assert {"baseline", "sliced"} <= backends
 
@@ -177,3 +204,87 @@ class TestBench:
             main(["bench", "--quick", "--backend", "sliced",
                   "--size", "100",
                   "--out", str(tmp_path / "bench.json")])
+
+
+class TestStats:
+    def test_text_format_shows_invariants(self, capsys):
+        code, out = run_cli(capsys, "stats")
+        assert code == 0
+        assert "per-block latency: [50] cycles (model: 50)" in out
+        assert "sub-events per round: [5] (model: 5)" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        code, out = run_cli(capsys, "stats", "--blocks", "3",
+                            "--format", "json")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["run"]["blocks"] == 3
+        assert doc["hardware"]["run_cycles"] == 150
+        assert doc["expected"]["block_cycles"] == 50
+
+    def test_prom_format(self, capsys):
+        code, out = run_cli(capsys, "stats", "--format", "prom")
+        assert code == 0
+        assert "# TYPE repro_ip_run_cycles_total counter" in out
+        assert 'repro_ip_run_cycles_total{variant="encrypt"} 50' in out
+
+    def test_chrome_trace_format(self, capsys):
+        import json
+
+        code, out = run_cli(capsys, "stats", "--format",
+                            "chrome-trace")
+        assert code == 0
+        events = json.loads(out)
+        assert all("ph" in e for e in events)
+        assert "ip.encrypt" in [e["name"] for e in events]
+
+    def test_sync_rom_decrypt(self, capsys):
+        import json
+
+        code, out = run_cli(capsys, "stats", "--variant", "decrypt",
+                            "--sync-rom", "--format", "json")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["expected"]["block_cycles"] == 60
+        assert doc["run"]["setup_latency"] == 51
+
+    def test_bad_blocks_exits(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--blocks", "0"])
+
+
+class TestTraceFlag:
+    def test_trace_file_is_chrome_loadable(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        code, _ = run_cli(capsys, "--trace", str(out_file),
+                          "stats", "--blocks", "2")
+        assert code == 0
+        events = json.loads(out_file.read_text())
+        assert isinstance(events, list) and events
+        assert all("ph" in e and "ts" in e for e in events)
+        names = [e["name"] for e in events]
+        assert "cli.stats" in names
+        assert "stats.collect" in names
+
+    def test_trace_disabled_after_command(self, capsys, tmp_path):
+        from repro.obs.tracing import active_tracer
+
+        run_cli(capsys, "--trace", str(tmp_path / "t.json"),
+                "stats")
+        assert active_tracer() is None
+
+    def test_trace_wraps_other_commands(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        code, _ = run_cli(capsys, "--trace", str(out_file),
+                          "fit", "--variant", "encrypt",
+                          "--device", "Acex1K")
+        assert code == 0
+        names = [e["name"]
+                 for e in json.loads(out_file.read_text())]
+        assert "cli.fit" in names

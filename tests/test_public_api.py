@@ -36,6 +36,8 @@ PUBLIC_MODULES = [
     "repro.hdl.lint",
     "repro.perf", "repro.perf.backends", "repro.perf.engine",
     "repro.perf.bench",
+    "repro.obs", "repro.obs.metrics", "repro.obs.tracing",
+    "repro.obs.hwcounters", "repro.obs.report",
     "repro.cli",
 ]
 
@@ -74,6 +76,8 @@ class TestPublicDocstrings:
         "repro.hdl.vhdl_gen",
         "repro.perf.backends", "repro.perf.engine",
         "repro.perf.bench",
+        "repro.obs.metrics", "repro.obs.tracing",
+        "repro.obs.hwcounters", "repro.obs.report",
     ]
 
     @pytest.mark.parametrize("name", CHECKED)
