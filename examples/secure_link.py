@@ -15,7 +15,7 @@ Run:  python examples/secure_link.py
 """
 
 import hashlib
-import random
+import secrets
 
 from repro.aes.modes import BLOCK, pkcs7_pad, pkcs7_unpad
 from repro.ip.control import Variant
@@ -31,8 +31,11 @@ DH_PRIME = int(
 DH_GENERATOR = 2
 
 
-def dh_keypair(rng: random.Random):
-    private = rng.randrange(2, DH_PRIME - 2)
+def dh_keypair():
+    # Private exponents come from the OS CSPRNG (the secrets module):
+    # a seeded Mersenne Twister exponent is recoverable from its
+    # outputs, which collapses the whole exchange.
+    private = 2 + secrets.randbelow(DH_PRIME - 4)
     public = pow(DH_GENERATOR, private, DH_PRIME)
     return private, public
 
@@ -81,11 +84,13 @@ def cbc_decrypt_on_device(bench: Testbench, iv: bytes,
 
 
 def main() -> None:
-    rng = random.Random(2003)
+    print("note: all secret material (DH exponents, session key, IV) "
+          "is drawn\nfrom the secrets module (OS CSPRNG); the "
+          "exchange structure is unchanged.")
 
     # --- key agreement (the asymmetric leg of §2) -------------------
-    a_private, a_public = dh_keypair(rng)
-    b_private, b_public = dh_keypair(rng)
+    a_private, a_public = dh_keypair()
+    b_private, b_public = dh_keypair()
     a_secret = pow(b_public, a_private, DH_PRIME)
     b_secret = pow(a_public, b_private, DH_PRIME)
     assert a_secret == b_secret
@@ -97,7 +102,7 @@ def main() -> None:
     # KEK with AES Key Wrap (RFC 3394) and sends it to B.
     from repro.aes.auth import key_unwrap, key_wrap
 
-    key = bytes(rng.randrange(256) for _ in range(16))
+    key = secrets.token_bytes(16)
     wrapped = key_wrap(kek, key)
     received_key = key_unwrap(kek, wrapped)  # B's side, integrity-checked
     assert received_key == key
@@ -123,7 +128,7 @@ def main() -> None:
     )
     from repro.aes.auth import cmac, cmac_verify
 
-    iv = bytes(rng.randrange(256) for _ in range(16))
+    iv = secrets.token_bytes(16)
     padded = pkcs7_pad(message)
     ciphertext, enc_cycles = cbc_encrypt_on_device(alice, iv, padded)
     tag = cmac(key, iv + ciphertext)  # encrypt-then-MAC

@@ -146,7 +146,7 @@ def registry() -> Dict[str, Rule]:
     """All registered rules (importing the analyzer modules first)."""
     # Importing the families populates the registry as a side effect.
     from repro.checks import crypto_lint, equiv, fsm, hdl_rules, \
-        netlist_drc, obs, sta  # noqa: F401
+        netlist_drc, obs, serve_rules, sta  # noqa: F401
     return dict(_REGISTRY)
 
 
@@ -197,6 +197,12 @@ class CheckConfig:
     #: (block geometry), not ciphertext-derived data.
     padding_public_params: Tuple[str, ...] = (
         "self", "cls", "block", "block_size", "blocksize",
+    )
+    #: File patterns the ``serve.*`` async-service rules apply to.
+    #: The bounded-queue and timeout disciplines are serving-layer
+    #: contracts, not repository-wide style, so the rules are scoped.
+    serve_path_patterns: Tuple[str, ...] = (
+        "*repro/serve/*.py",
     )
 
     def enabled(self, rule_id: str) -> bool:

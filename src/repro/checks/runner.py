@@ -43,7 +43,8 @@ from repro.checks.crypto_lint import SourceFile
 
 #: Source trees the constant-time family scans by default, relative to
 #: the repository root.
-DEFAULT_SOURCE_DIRS = ("src/repro/aes", "src/repro/ip")
+DEFAULT_SOURCE_DIRS = ("src/repro/aes", "src/repro/ip",
+                       "src/repro/serve")
 
 
 @dataclass

@@ -1,0 +1,172 @@
+"""Async-service lint for the :mod:`repro.serve` subsystem.
+
+The serving layer has failure modes the crypto lint cannot see: an
+unbounded ``asyncio.Queue`` silently converts overload into memory
+growth instead of backpressure, and a bare await on a stream
+operation lets one stalled peer wedge a connection task forever.
+Both are structural properties visible in the AST, so they are
+enforced the same way the constant-time discipline is — as registry
+rules that ``repro-aes lint --strict`` gates on.
+
+Both rules are *path-scoped*: they fire only on files matching
+:attr:`repro.checks.engine.CheckConfig.serve_path_patterns`, because
+the disciplines are service-layer requirements, not repository-wide
+style.  A bounded queue elsewhere may be wrong; in the serving layer
+an unbounded one always is.
+
+- ``serve.unbounded-queue`` — an ``asyncio.Queue`` (or Lifo/Priority
+  variant) constructed without a positive ``maxsize``.  The service's
+  backpressure contract (``docs/serving.md``) depends on the request
+  queue rejecting work when full; ``maxsize=0`` means "infinite" in
+  asyncio, so an absent or zero bound is the defect.
+- ``serve.missing-timeout`` — an ``await`` applied directly to a
+  stream call that can block on the peer (``readexactly``, ``drain``,
+  ``wait_closed``, ``open_connection``, ...) without an enclosing
+  ``asyncio.wait_for``.  Every socket await in the serving layer is
+  bounded; the codec helpers exist precisely so call sites never
+  write a bare stream await.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterator
+
+from repro.checks.crypto_lint import SourceFile
+from repro.checks.engine import (
+    KIND_SOURCE,
+    CheckConfig,
+    Finding,
+    Location,
+    Severity,
+    rule,
+)
+
+#: Queue constructors whose default capacity is unbounded.
+_QUEUE_TYPES = {"Queue", "LifoQueue", "PriorityQueue"}
+
+#: Stream-API attribute calls that block on the remote peer.  A bare
+#: ``await`` on any of these is a hang waiting to happen; each must
+#: sit inside ``asyncio.wait_for`` (or ``wait`` / ``timeout``).
+_RISKY_AWAITS = {
+    "read", "readline", "readexactly", "readuntil", "drain",
+    "wait_closed", "open_connection", "start_tls",
+}
+
+#: Wrappers that bound an await: the timeout context managers and
+#: ``asyncio.wait_for`` / ``asyncio.wait``.
+_TIMEOUT_WRAPPERS = {"wait_for", "wait", "timeout", "timeout_at"}
+
+
+def _in_scope(subject: SourceFile, config: CheckConfig) -> bool:
+    path = subject.path.replace("\\", "/")
+    return any(fnmatch.fnmatch(path, pattern)
+               for pattern in config.serve_path_patterns)
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _queue_bound(node: ast.Call) -> bool:
+    """Whether this queue construction carries a nonzero maxsize."""
+    candidates = list(node.args[:1])
+    candidates.extend(kw.value for kw in node.keywords
+                      if kw.arg == "maxsize")
+    for value in candidates:
+        if isinstance(value, ast.Constant) and value.value == 0:
+            return False  # maxsize=0 is asyncio's "unbounded"
+        return True       # any other expression: assume a real bound
+    return False          # no maxsize at all
+
+
+@rule(
+    "serve.unbounded-queue",
+    Severity.ERROR,
+    KIND_SOURCE,
+    "asyncio queue constructed without a positive maxsize — overload "
+    "becomes memory growth instead of backpressure",
+)
+def check_unbounded_queue(subject: SourceFile,
+                          config: CheckConfig) -> Iterator[Finding]:
+    """Flag ``asyncio.Queue()`` (and variants) with no real bound."""
+    if not _in_scope(subject, config):
+        return
+    for node in ast.walk(subject.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name not in _QUEUE_TYPES:
+            continue
+        if isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if not (isinstance(base, ast.Name)
+                    and base.id == "asyncio"):
+                continue
+        if _queue_bound(node):
+            continue
+        yield Finding(
+            rule="serve.unbounded-queue",
+            severity=Severity.ERROR,
+            message=(f"asyncio.{name}() without a positive maxsize: "
+                     f"the serving layer's backpressure contract "
+                     f"needs a bounded queue"),
+            location=Location(file=subject.path, line=node.lineno,
+                              obj=name),
+        )
+
+
+def _risky_await_name(node: ast.Await) -> str:
+    """The risky stream-call name under this await, or ''."""
+    value = node.value
+    if not isinstance(value, ast.Call):
+        return ""
+    name = _call_name(value)
+    return name if name in _RISKY_AWAITS else ""
+
+
+def _is_timeout_wrapped(value: ast.expr) -> bool:
+    """Whether an awaited expression is an ``asyncio.wait_for``-style
+    wrapper (whose first argument is the risky call)."""
+    return (isinstance(value, ast.Call)
+            and _call_name(value) in _TIMEOUT_WRAPPERS)
+
+
+@rule(
+    "serve.missing-timeout",
+    Severity.ERROR,
+    KIND_SOURCE,
+    "bare await on a stream operation (read/drain/connect) without "
+    "asyncio.wait_for — a stalled peer wedges the task forever",
+)
+def check_missing_timeout(subject: SourceFile,
+                          config: CheckConfig) -> Iterator[Finding]:
+    """Flag awaits on peer-blocking stream calls with no timeout."""
+    if not _in_scope(subject, config):
+        return
+    for node in ast.walk(subject.tree):
+        if not isinstance(node, ast.Await):
+            continue
+        if _is_timeout_wrapped(node.value):
+            continue
+        name = _risky_await_name(node)
+        if not name:
+            continue
+        yield Finding(
+            rule="serve.missing-timeout",
+            severity=Severity.ERROR,
+            message=(f"bare 'await ...{name}(...)' with no "
+                     f"asyncio.wait_for bound: a stalled peer "
+                     f"blocks this task indefinitely"),
+            location=Location(file=subject.path, line=node.lineno,
+                              obj=name),
+        )
+
+
+__all__ = ["check_missing_timeout", "check_unbounded_queue"]

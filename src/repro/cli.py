@@ -17,6 +17,8 @@ Exposes the reproduction's main flows without writing Python:
     repro-aes sta --variant both --device Acex1K
     repro-aes bench --quick --out BENCH_software_throughput.json
     repro-aes stats --blocks 4 --format prom
+    repro-aes serve --port 9999 --metrics-out serve-metrics.json
+    repro-aes loadgen --port 9999 --clients 8 --requests 32
     repro-aes --trace trace.json bench --quick
 
 ``--trace FILE`` works with every subcommand: it records spans across
@@ -303,6 +305,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             reps=args.reps,
             backend_names=args.backend or None,
             workers=args.workers,
+            serve=not args.no_serve,
         )
     except BackendMismatch as exc:
         # The equivalence gate failed: a backend produced bytes the
@@ -331,6 +334,114 @@ def cmd_stats(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {exc}")
     print(report.render(args.format), end="")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import CryptoServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        request_timeout=args.request_timeout,
+    )
+
+    async def _serve() -> None:
+        import signal
+
+        server = CryptoServer(config)
+        await server.start()
+        host, port = server.address
+        print(f"serving on {host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+            except NotImplementedError:  # pragma: no cover - win32
+                pass
+        waiters = [
+            asyncio.ensure_future(stop_requested.wait()),
+            asyncio.ensure_future(server.wait_stopped()),
+        ]
+        if args.serve_seconds is not None:
+            waiters.append(
+                asyncio.ensure_future(
+                    asyncio.sleep(args.serve_seconds)
+                )
+            )
+        _, pending = await asyncio.wait(
+            waiters, return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in pending:
+            task.cancel()
+        await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+
+    from repro.obs.metrics import global_registry
+
+    registry = global_registry()
+    requests = registry.get("repro_serve_requests_total")
+    served = sum(child.value for child in requests.children()) \
+        if requests is not None else 0
+    print(f"served {int(served)} request(s); shut down cleanly")
+    if args.metrics_out:
+        snapshot = (
+            registry.render_prometheus()
+            if args.metrics_format == "prom"
+            else registry.render_json()
+        )
+        Path(args.metrics_out).write_text(snapshot)
+        print(f"wrote {args.metrics_out} ({len(snapshot)} bytes)")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import secrets
+
+    from repro.serve.client import run_load
+    from repro.serve.protocol import Mode
+
+    mode = {"ecb": Mode.ECB, "ctr": Mode.CTR,
+            "gcm": Mode.GCM}[args.mode]
+    if args.key:
+        loadgen_key = _hex_bytes(args.key, 16, "--key")
+    else:
+        loadgen_key = secrets.token_bytes(16)
+    try:
+        report = asyncio.run(run_load(
+            args.host, args.port, loadgen_key,
+            clients=args.clients,
+            requests=args.requests,
+            mode=mode,
+            payload_bytes=args.size,
+            seed=args.seed,
+            shutdown=args.shutdown,
+        ))
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"error: cannot reach {args.host}:{args.port}: {exc}"
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if not report.requests:
+        # Connection-level failures are per-client inside run_load;
+        # zero completed requests means the service was unreachable
+        # (or rejected everything) — say so loudly.
+        raise SystemExit(
+            f"error: no requests completed against "
+            f"{args.host}:{args.port}"
+        )
+    print(report.render())
+    return 0 if not report.errors else 1
 
 
 def cmd_vcd(args: argparse.Namespace) -> int:
@@ -494,6 +605,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timing repetitions per workload")
     p.add_argument("--workers", type=int, default=1,
                    help="shard count for the parallelizable modes")
+    p.add_argument("--no-serve", action="store_true",
+                   help="skip the loopback serve scenario (matrix "
+                        "and equivalence gate only)")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -513,6 +627,61 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("text", "prom", "json", "chrome-trace"),
                    help="output format")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the asyncio crypto service (frame protocol in "
+             "docs/serving.md); Ctrl-C or a SHUTDOWN frame drains "
+             "and stops",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default loopback)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = OS-assigned; the chosen port "
+                        "is printed on startup)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="bounded request queue: beyond this depth "
+                        "requests are answered OVERLOADED")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker tasks (and crypto threads)")
+    p.add_argument("--request-timeout", type=float, default=10.0,
+                   help="per-request execution budget in seconds")
+    p.add_argument("--serve-seconds", type=float, default=None,
+                   help="stop after this many seconds (CI smoke)")
+    p.add_argument("--metrics-out", default=None,
+                   help="write a metrics snapshot here on shutdown")
+    p.add_argument("--metrics-format", default="json",
+                   choices=("json", "prom"),
+                   help="snapshot format for --metrics-out")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="closed-loop load generator against a running serve "
+             "instance; reports achieved requests/sec",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="port of the serve instance")
+    p.add_argument("--clients", type=int, default=8,
+                   help="concurrent client connections")
+    p.add_argument("--requests", type=int, default=32,
+                   help="requests per client")
+    p.add_argument("--mode", default="ctr",
+                   choices=("ecb", "ctr", "gcm"),
+                   help="cipher mode of the generated traffic")
+    p.add_argument("--size", type=int, default=1024,
+                   help="payload bytes per request")
+    p.add_argument("--key", default=None,
+                   help="16-byte session key, hex (default: a fresh "
+                        "random key from the secrets module)")
+    p.add_argument("--seed", type=int, default=2003,
+                   help="payload/backoff seed (payloads only; keys "
+                        "never come from this)")
+    p.add_argument("--shutdown", action="store_true",
+                   help="send a SHUTDOWN frame after the run (drains "
+                        "the server cleanly)")
+    p.set_defaults(fn=cmd_loadgen)
 
     p = sub.add_parser("vcd", help="dump a waveform of a real run")
     p.add_argument("--blocks", type=int, default=1)

@@ -23,10 +23,10 @@ in a fixed order:
    PRs can assert no-regression against a persisted baseline instead
    of folklore.
 
-JSON schema (``repro-aes/software-throughput/v2``)::
+JSON schema (``repro-aes/software-throughput/v3``)::
 
     {
-      "schema": "repro-aes/software-throughput/v2",
+      "schema": "repro-aes/software-throughput/v3",
       "created_unix": 1754000000,
       "quick": true,
       "workers": 1,
@@ -42,13 +42,23 @@ JSON schema (``repro-aes/software-throughput/v2``)::
          "blocks_per_s": ..., "mb_per_s": ...,
          "speedup_vs_baseline": ...}
       ],
-      "obs": {"repro_engine_ops_total": {...}, ...}
+      "obs": {"repro_engine_ops_total": {...}, ...},
+      "serve": {"clients": 8, "requests_per_client": 16,
+                "mode": "ctr", "payload_bytes": 16384,
+                "requests": 128, "errors": 0, "seconds": ...,
+                "requests_per_s": ..., "mb_per_s": ...} | null
     }
 
 v2 added ``git_rev`` (code-revision provenance, best-effort) and the
 ``obs`` section (a :mod:`repro.obs.metrics` snapshot of the engine
-instrumentation accumulated during the run).  :func:`load_report`
-reads both v1 and v2 files, normalizing v1 to the v2 shape.
+instrumentation accumulated during the run).  v3 added the ``serve``
+section: a loopback run of the :mod:`repro.serve` service (in-process
+server, :func:`repro.serve.client.run_load` clients) recording what
+the *whole stack* — framing, asyncio scheduling, queueing, crypto —
+achieves in requests/sec, next to the raw engine rates above it.
+:func:`load_report` reads v1, v2 and v3 files, normalizing older
+shapes (``serve`` becomes ``None`` where the scenario predates the
+schema).
 """
 
 from __future__ import annotations
@@ -77,7 +87,8 @@ from repro.perf.engine import BackendMismatch, BatchEngine
 BLOCK = 16
 
 SCHEMA_V1 = "repro-aes/software-throughput/v1"
-SCHEMA = "repro-aes/software-throughput/v2"
+SCHEMA_V2 = "repro-aes/software-throughput/v2"
+SCHEMA = "repro-aes/software-throughput/v3"
 
 DEFAULT_OUT = "BENCH_software_throughput.json"
 
@@ -219,6 +230,65 @@ def git_revision(root: Optional[Path] = None) -> str:
     return "unknown"
 
 
+# ----------------------------------------------------- serve scenario
+def serve_scenario(quick: bool = False,
+                   clients: Optional[int] = None,
+                   requests: Optional[int] = None,
+                   payload_bytes: Optional[int] = None
+                   ) -> Dict[str, object]:
+    """Loopback serve run: in-process server, closed-loop clients.
+
+    The workload matrix above times the engine primitives alone; this
+    scenario times the whole service stack — frame codec, asyncio
+    scheduling, the bounded queue, executor hand-off and the crypto —
+    as a client fleet sees it.  Runs entirely on loopback inside one
+    process (no subprocess, no fixed port), so it is as pinned as the
+    matrix: same seed, same payload discipline.
+    """
+    import asyncio
+
+    from repro.serve.client import run_load
+    from repro.serve.protocol import Mode
+    from repro.serve.server import CryptoServer, ServeConfig
+
+    if clients is None:
+        clients = 4 if quick else 8
+    if requests is None:
+        requests = 8 if quick else 16
+    if payload_bytes is None:
+        payload_bytes = 4096 if quick else 16384
+    session_key = random.Random(_SEED).randbytes(16)
+
+    async def _run() -> Dict[str, object]:
+        server = CryptoServer(ServeConfig(port=0))
+        await server.start()
+        try:
+            host, port = server.address
+            report = await run_load(
+                host, port, session_key,
+                clients=clients, requests=requests,
+                mode=Mode.CTR, payload_bytes=payload_bytes,
+                seed=_SEED,
+            )
+        finally:
+            await server.stop()
+        return {
+            "clients": clients,
+            "requests_per_client": requests,
+            "mode": report.mode,
+            "payload_bytes": payload_bytes,
+            "requests": report.requests,
+            "errors": report.errors,
+            "seconds": round(report.seconds, 6),
+            "requests_per_s": round(report.requests_per_s, 1),
+            "mb_per_s": round(report.mb_per_s, 3),
+        }
+
+    with trace_span("bench.serve", clients=clients,
+                    requests=requests):
+        return asyncio.run(_run())
+
+
 def _measure(fn: Callable[[], object], reps: int) -> float:
     fn()  # warm-up: table/array builds, cache fills
     start = time.perf_counter()
@@ -232,7 +302,8 @@ def run_bench(quick: bool = False,
               reps: Optional[int] = None,
               backend_names: Optional[Sequence[str]] = None,
               workers: int = 1,
-              corpus_blocks: int = 48) -> Dict[str, object]:
+              corpus_blocks: int = 48,
+              serve: bool = True) -> Dict[str, object]:
     """Equivalence-gate then time the pinned workload matrix.
 
     Returns the full report dict (the JSON payload).  ``sizes`` and
@@ -311,6 +382,7 @@ def run_bench(quick: bool = False,
                      cbc_size, cbc_blocks, measured, reps, seconds))
 
     _attach_speedups(rows)
+    serve_row = serve_scenario(quick=quick) if serve else None
     return {
         "schema": SCHEMA,
         "created_unix": int(time.time()),
@@ -321,6 +393,7 @@ def run_bench(quick: bool = False,
         "equivalence": equivalence,
         "workloads": rows,
         "obs": global_registry().snapshot(prefix="repro_engine_"),
+        "serve": serve_row,
     }
 
 
@@ -367,22 +440,26 @@ def write_report(report: Dict[str, object], out: Path) -> Path:
 
 
 def load_report(path: Path) -> Dict[str, object]:
-    """Read a persisted trajectory file, v1 or v2.
+    """Read a persisted trajectory file, v1, v2 or v3.
 
-    v1 files (pre-provenance) are normalized to the v2 shape:
-    ``git_rev`` becomes ``"unknown"`` and ``obs`` an empty dict, so
-    downstream comparisons never need to branch on the schema.  An
-    unrecognized schema raises ``ValueError``.
+    Older files are normalized to the v3 shape: v1 gains
+    ``git_rev="unknown"`` and an empty ``obs``; both v1 and v2 gain
+    ``serve=None`` (the scenario predates them) — so downstream
+    comparisons never need to branch on the schema.  An unrecognized
+    schema raises ``ValueError``.
     """
     report = json.loads(Path(path).read_text())
     schema = report.get("schema")
     if schema == SCHEMA_V1:
         report.setdefault("git_rev", "unknown")
         report.setdefault("obs", {})
+        report.setdefault("serve", None)
+    elif schema == SCHEMA_V2:
+        report.setdefault("serve", None)
     elif schema != SCHEMA:
         raise ValueError(
             f"unrecognized bench schema {schema!r} in {path} "
-            f"(expected {SCHEMA_V1!r} or {SCHEMA!r})"
+            f"(expected {SCHEMA_V1!r}, {SCHEMA_V2!r} or {SCHEMA!r})"
         )
     return report
 
@@ -422,6 +499,17 @@ def render_report(report: Dict[str, object]) -> str:
         f"x {eq['keys']} key(s), "
         f"{eq['mismatches']} mismatch(es)"
     )
+    serve = report.get("serve")
+    if serve:
+        lines.append(
+            f"serve: {serve['clients']} client(s) x "  # type: ignore[index]
+            f"{serve['requests_per_client']} req, "  # type: ignore[index]
+            f"{serve['mode']} "  # type: ignore[index]
+            f"{_human_size(serve['payload_bytes'])}: "  # type: ignore[index]
+            f"{serve['requests_per_s']:,.0f} req/s, "  # type: ignore[index]
+            f"{serve['mb_per_s']:.2f} MB/s, "  # type: ignore[index]
+            f"{serve['errors']} error(s)"  # type: ignore[index]
+        )
     lines.append("(* = numpy-vectorized; baseline rows may be "
                  "measured on a capped prefix, see measured_blocks)")
     return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""The network serving layer: BatchEngine traffic over the wire.
+
+``repro.serve`` turns the repository's crypto stack into a service —
+the first subsystem where the batching layer (:mod:`repro.perf`) and
+the observability layer (:mod:`repro.obs`) meet real concurrency.
+It is stdlib-only asyncio, in three legs:
+
+- :mod:`repro.serve.protocol` — the versioned, length-prefixed
+  binary frame format (the network analogue of the pin-level bus
+  protocol in ``docs/protocol.md``), with explicit up-front limits
+  and a codec that rejects malformed frames without killing the
+  connection loop.
+- :mod:`repro.serve.server` — the asyncio TCP server: per-connection
+  key sessions, a bounded request queue for backpressure, per-request
+  timeouts, graceful drain-then-shutdown, and ECB/CTR/GCM executed
+  through :func:`repro.perf.engine.default_engine`, instrumented into
+  the :mod:`repro.obs` registry.
+- :mod:`repro.serve.client` — the async client with connect/request
+  timeouts and capped, jittered exponential backoff, plus the
+  :func:`~repro.serve.client.run_load` closed-loop load generator.
+
+``repro-aes serve`` and ``repro-aes loadgen`` expose both ends on the
+command line; ``docs/serving.md`` is the protocol and semantics
+reference.
+"""
+
+from repro.serve.client import (
+    CryptoClient,
+    LoadReport,
+    RequestFailed,
+    RetryPolicy,
+    run_load,
+)
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    MAX_PAYLOAD_BYTES,
+    VERSION,
+    Frame,
+    FrameError,
+    Mode,
+    Op,
+    Status,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.server import CryptoServer, ServeConfig, Session
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "VERSION",
+    "CryptoClient",
+    "CryptoServer",
+    "Frame",
+    "FrameError",
+    "LoadReport",
+    "Mode",
+    "Op",
+    "RequestFailed",
+    "RetryPolicy",
+    "ServeConfig",
+    "Session",
+    "Status",
+    "decode_frame",
+    "encode_frame",
+    "run_load",
+]

@@ -1,0 +1,339 @@
+"""Async client for the crypto service, plus a closed-loop load
+generator.
+
+:class:`CryptoClient` speaks the frame protocol of
+:mod:`repro.serve.protocol` over one TCP connection, one request in
+flight at a time (request ids are still carried and checked, so a
+response mismatch is detected rather than silently mis-attributed).
+Every socket await is bounded by a timeout, and transient failures —
+connection loss, response timeouts, and the retryable server statuses
+(``TIMEOUT`` / ``OVERLOADED`` / ``SHUTTING_DOWN``) — are retried with
+capped exponential backoff and jitter, the standard way a fleet of
+clients avoids synchronizing its retries into a thundering herd.
+
+:func:`run_load` is the closed-loop load generator behind
+``repro-aes loadgen`` and the bench's ``serve`` scenario: N client
+coroutines each load a key and issue encrypt requests back-to-back,
+and the report carries achieved requests/sec and byte rates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.serve.protocol import (
+    RETRYABLE_STATUSES,
+    Frame,
+    FrameError,
+    Mode,
+    Op,
+    Status,
+    read_frame,
+    write_frame,
+)
+
+
+class RequestFailed(ConnectionError):
+    """Every retry attempt failed at the transport level."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter.
+
+    Attempt *n* (0-based) sleeps ``base_delay * 2**n`` seconds,
+    capped at ``max_delay``, then scaled down by up to ``jitter``
+    (a fraction in [0, 1)) chosen uniformly at random — so two
+    clients that fail together do not retry together.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """The backoff before retry number ``attempt`` (0-based)."""
+        capped = min(self.max_delay,
+                     self.base_delay * (2.0 ** attempt))
+        return capped * (1.0 - self.jitter * rng.random())
+
+
+class CryptoClient:
+    """One connection to a :class:`~repro.serve.server.CryptoServer`.
+
+    Use as an async context manager, or call :meth:`connect` /
+    :meth:`close` explicitly.  ``rng`` seeds the backoff jitter only
+    (determinism for tests); it is never used for key material.
+    """
+
+    def __init__(self, host: str, port: int,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float = 30.0,
+                 retry: Optional[RetryPolicy] = None,
+                 rng: Optional[random.Random] = None):
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.retry = retry or RetryPolicy()
+        self._rng = rng or random.Random()
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._request_ids = itertools.count(1)
+
+    async def __aenter__(self) -> "CryptoClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        """Open (or re-open) the connection, bounded by
+        ``connect_timeout``."""
+        await self.close()
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port),
+            self.connect_timeout,
+        )
+
+    async def close(self) -> None:
+        """Close the connection; safe to call when not connected."""
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is None:
+            return
+        writer.close()
+        try:
+            await asyncio.wait_for(writer.wait_closed(), 5.0)
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+
+    @property
+    def connected(self) -> bool:
+        """Whether a transport is currently open."""
+        return self._writer is not None
+
+    # -------------------------------------------------------- requests
+    async def request(self, op: Op, mode: Mode = Mode.RAW,
+                      payload: bytes = b"") -> Frame:
+        """Send one request; return the server's response frame.
+
+        Retries per the :class:`RetryPolicy` on transport failures
+        and on :data:`RETRYABLE_STATUSES`.  When retries are
+        exhausted the last error *response* is returned as-is (the
+        caller inspects ``frame.status``); a transport-level
+        exhaustion raises :class:`RequestFailed`.
+        """
+        last_error: Optional[Exception] = None
+        last_response: Optional[Frame] = None
+        for attempt in range(max(1, self.retry.attempts)):
+            if attempt:
+                await asyncio.sleep(
+                    self.retry.delay(attempt - 1, self._rng)
+                )
+            try:
+                response = await self._roundtrip(op, mode, payload)
+            except (ConnectionError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError, FrameError) as exc:
+                last_error = exc
+                await self.close()
+                continue
+            last_response = response
+            if response.status not in RETRYABLE_STATUSES:
+                return response
+        if last_response is not None:
+            return last_response
+        raise RequestFailed(
+            f"{op.name} failed after {self.retry.attempts} "
+            f"attempt(s): {last_error!r}"
+        )
+
+    async def _roundtrip(self, op: Op, mode: Mode,
+                         payload: bytes) -> Frame:
+        if not self.connected:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        request_id = next(self._request_ids)
+        frame = Frame(op=op, mode=mode, request_id=request_id,
+                      payload=payload)
+        await write_frame(self._writer, frame,
+                          timeout=self.request_timeout)
+        response = await read_frame(self._reader,
+                                    timeout=self.request_timeout)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        if response.request_id != request_id:
+            raise FrameError(
+                f"response for request {response.request_id}, "
+                f"expected {request_id}",
+                recoverable=False,
+            )
+        return response
+
+    # ---------------------------------------------------- conveniences
+    async def load_key(self, key: bytes) -> Frame:
+        """Install the session key server-side (LOAD_KEY)."""
+        return await self.request(Op.LOAD_KEY, payload=bytes(key))
+
+    async def encrypt(self, mode: Mode, payload: bytes) -> Frame:
+        """ENCRYPT under ``mode`` (payload per the mode convention)."""
+        return await self.request(Op.ENCRYPT, mode, payload)
+
+    async def decrypt(self, mode: Mode, payload: bytes) -> Frame:
+        """DECRYPT under ``mode`` (payload per the mode convention)."""
+        return await self.request(Op.DECRYPT, mode, payload)
+
+    async def ping(self, payload: bytes = b"") -> Frame:
+        """Round-trip an echo frame."""
+        return await self.request(Op.PING, payload=payload)
+
+    async def shutdown(self) -> Frame:
+        """Ask the server to drain and stop."""
+        return await self.request(Op.SHUTDOWN)
+
+
+# ------------------------------------------------------------ loadgen
+@dataclass
+class LoadReport:
+    """What one :func:`run_load` run achieved."""
+
+    clients: int
+    requests: int
+    errors: int
+    seconds: float
+    bytes_out: int
+    bytes_in: int
+    mode: str
+    payload_bytes: int
+    statuses: dict = field(default_factory=dict)
+
+    @property
+    def requests_per_s(self) -> float:
+        """Completed requests per wall-clock second."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.requests / self.seconds
+
+    @property
+    def mb_per_s(self) -> float:
+        """Request-payload megabytes pushed per second."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.bytes_out / self.seconds / (1024 * 1024)
+
+    def render(self) -> str:
+        """One human-readable summary block."""
+        lines = [
+            f"loadgen: {self.clients} client(s) x "
+            f"{self.requests // max(1, self.clients)} request(s), "
+            f"mode={self.mode}, payload={self.payload_bytes} B",
+            f"  completed : {self.requests} ok, {self.errors} error(s)"
+            f" in {self.seconds:.3f}s",
+            f"  throughput: {self.requests_per_s:,.1f} req/s, "
+            f"{self.mb_per_s:.2f} MB/s out",
+        ]
+        if self.statuses:
+            status_text = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.statuses.items())
+            )
+            lines.append(f"  statuses  : {status_text}")
+        return "\n".join(lines)
+
+
+async def run_load(host: str, port: int, key: bytes,
+                   clients: int = 8, requests: int = 32,
+                   mode: Mode = Mode.CTR,
+                   payload_bytes: int = 1024,
+                   seed: int = 2003,
+                   shutdown: bool = False,
+                   retry: Optional[RetryPolicy] = None) -> LoadReport:
+    """Closed-loop load: ``clients`` coroutines, ``requests`` each.
+
+    Every client connects, installs ``key``, then issues ENCRYPT
+    requests back-to-back (closed loop: the next request leaves when
+    the previous response lands).  Payloads are deterministic from
+    ``seed`` so runs compare like against like.  With ``shutdown``
+    set, one final SHUTDOWN frame asks the server to drain and stop
+    — how the CI smoke ends a serve process cleanly.
+    """
+    if clients < 1 or requests < 1:
+        raise ValueError("clients and requests must be >= 1")
+    prefix_rng = random.Random(seed)
+    nonce = prefix_rng.randbytes(8)
+    body = prefix_rng.randbytes(payload_bytes)
+    if mode is Mode.ECB:
+        body = body[:max(16, (len(body) // 16) * 16)]
+        payload = body
+    elif mode is Mode.CTR:
+        payload = nonce + body
+    elif mode is Mode.GCM:
+        payload = prefix_rng.randbytes(12) + body
+    else:
+        raise ValueError(f"loadgen mode must be a cipher mode, "
+                         f"not {mode.name}")
+
+    counts = {"ok": 0, "errors": 0, "bytes_out": 0, "bytes_in": 0}
+    statuses: dict = {}
+
+    async def one_client(index: int) -> None:
+        client = CryptoClient(
+            host, port, retry=retry,
+            rng=random.Random(seed * 1000 + index),
+        )
+        try:
+            await client.connect()
+            response = await client.load_key(key)
+            if response.status is not Status.OK:
+                counts["errors"] += requests
+                return
+            for _ in range(requests):
+                response = await client.encrypt(mode, payload)
+                name = response.status.name.lower()
+                statuses[name] = statuses.get(name, 0) + 1
+                if response.status is Status.OK:
+                    counts["ok"] += 1
+                    counts["bytes_out"] += len(payload)
+                    counts["bytes_in"] += len(response.payload)
+                else:
+                    counts["errors"] += 1
+        except (RequestFailed, ConnectionError,
+                asyncio.TimeoutError):
+            counts["errors"] += 1
+        finally:
+            await client.close()
+
+    start = time.perf_counter()
+    await asyncio.gather(*(one_client(i) for i in range(clients)))
+    seconds = time.perf_counter() - start
+
+    if shutdown:
+        closer = CryptoClient(host, port, retry=RetryPolicy(attempts=1))
+        try:
+            await closer.shutdown()
+        except (RequestFailed, ConnectionError, asyncio.TimeoutError):
+            pass
+        finally:
+            await closer.close()
+
+    return LoadReport(
+        clients=clients,
+        requests=counts["ok"],
+        errors=counts["errors"],
+        seconds=seconds,
+        bytes_out=counts["bytes_out"],
+        bytes_in=counts["bytes_in"],
+        mode=mode.name.lower(),
+        payload_bytes=payload_bytes,
+        statuses=statuses,
+    )
+
+
+__all__ = ["CryptoClient", "LoadReport", "RequestFailed",
+           "RetryPolicy", "run_load"]

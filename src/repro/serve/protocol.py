@@ -1,0 +1,302 @@
+"""The wire protocol of the crypto service: versioned binary frames.
+
+The paper's deployment story (§2) is a network link protected by the
+Rijndael IP after an asymmetric key exchange; :mod:`repro.serve` is
+the software realization of that link, and this module is its
+normative wire format — the network analogue of the pin-level bus
+protocol in ``docs/protocol.md``.
+
+A frame is a 4-byte big-endian length prefix followed by a fixed
+18-byte header and a payload::
+
+    +--------+-------+---------+----+------+--------+
+    | length | magic | version | op | mode | status |
+    | 4      | 2     | 1       | 1  | 1    | 1      |
+    +--------+-------+---------+----+------+--------+
+    | session id | request id | payload |
+    | 4          | 8          | ...     |
+    +------------+------------+---------+
+
+The length prefix counts the header plus payload (never itself).
+Limits are explicit and enforced *before* any allocation or crypto,
+in the same up-front style as :func:`repro.aes.gcm._check_lengths`:
+an oversized length prefix is rejected as soon as the 4 bytes are
+read, so a hostile peer cannot make the server buffer an arbitrary
+payload.  Malformed frames raise :class:`FrameError`; the error's
+``recoverable`` flag tells the connection loop whether the byte
+stream is still framed (bad magic inside a well-sized frame) or
+desynchronized beyond repair (truncation, oversized prefix).
+
+Requests carry ``status == Status.OK``; responses echo the request's
+``op``/``mode``/``request_id`` and set ``status`` to the verdict.
+Error responses put a short UTF-8 diagnostic in the payload — never
+key material.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Two magic bytes opening every frame body ("RJ" for Rijndael).
+MAGIC = b"RJ"
+
+#: Protocol version this module speaks.  A peer announcing any other
+#: version is rejected with a recoverable :class:`FrameError` — the
+#: frame is well-delimited, so the connection survives.
+VERSION = 1
+
+#: Frame header layout past the length prefix: magic, version, op,
+#: mode, status, session id, request id.
+_HEADER = struct.Struct(">2sBBBBIQ")
+HEADER_BYTES = _HEADER.size
+
+#: Hard cap on one frame's payload.  Mirrors the up-front operand
+#: limits of :func:`repro.aes.gcm._check_lengths`: the bound is
+#: checked on lengths alone, before any buffer exists.  1 MiB per
+#: frame keeps the server's worst-case buffering bounded while still
+#: covering the bench payload sizes; bulk transfers chunk client-side.
+MAX_PAYLOAD_BYTES = 1 << 20
+
+#: Largest legal length-prefix value (header + payload).
+MAX_FRAME_BYTES = HEADER_BYTES + MAX_PAYLOAD_BYTES
+
+
+class Op(enum.IntEnum):
+    """Request operations the service understands."""
+
+    LOAD_KEY = 1     #: payload = 16-byte AES-128 session key
+    ENCRYPT = 2      #: payload per :class:`Mode`, returns ciphertext
+    DECRYPT = 3      #: payload per :class:`Mode`, returns plaintext
+    PING = 4         #: payload echoed back verbatim
+    SHUTDOWN = 5     #: ask the server to drain and stop
+
+
+class Mode(enum.IntEnum):
+    """Cipher mode selector for ENCRYPT/DECRYPT frames.
+
+    Payload conventions (all lengths in bytes):
+
+    - ``ECB`` — payload is the 16-aligned data; response is the
+      transformed data.
+    - ``CTR`` — payload is an 8-byte nonce followed by data of any
+      length; encrypt and decrypt are the same operation.
+    - ``GCM`` — encrypt: 12-byte IV + plaintext, response is
+      ciphertext + 16-byte tag; decrypt: 12-byte IV + ciphertext +
+      16-byte tag, response is the plaintext (or an ``AUTH_FAILED``
+      error frame releasing nothing).
+    """
+
+    RAW = 0          #: no cipher mode (LOAD_KEY / PING / SHUTDOWN)
+    ECB = 1
+    CTR = 2
+    GCM = 3
+
+
+class Status(enum.IntEnum):
+    """Response verdicts (requests always carry ``OK``)."""
+
+    OK = 0
+    BAD_FRAME = 1        #: frame failed to decode
+    BAD_REQUEST = 2      #: frame decoded but the payload is invalid
+    NO_KEY = 3           #: crypto op before any LOAD_KEY
+    AUTH_FAILED = 4      #: GCM tag verification failed
+    TIMEOUT = 5          #: per-request execution budget exhausted
+    OVERLOADED = 6       #: bounded request queue is full
+    SHUTTING_DOWN = 7    #: server is draining; no new work accepted
+    INTERNAL = 8         #: unexpected server-side failure
+
+
+#: Statuses a client may transparently retry: transient server-side
+#: conditions where the request itself was well-formed.
+RETRYABLE_STATUSES = frozenset(
+    {Status.TIMEOUT, Status.OVERLOADED, Status.SHUTTING_DOWN}
+)
+
+#: GCM geometry shared by client and server: IV and tag sizes.
+GCM_IV_BYTES = 12
+GCM_TAG_BYTES = 16
+CTR_NONCE_BYTES = 8
+KEY_BYTES = 16
+
+
+class FrameError(ValueError):
+    """A frame failed to decode.
+
+    ``recoverable`` is True when the byte stream is still framed
+    (the bad bytes were confined to one well-delimited frame) and the
+    connection loop may answer with a ``BAD_FRAME`` response and keep
+    reading; False when the stream is desynchronized (truncated read,
+    oversized length prefix) and the connection must close.
+    """
+
+    def __init__(self, message: str, recoverable: bool = True):
+        super().__init__(message)
+        self.recoverable = recoverable
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded protocol frame."""
+
+    op: Op
+    mode: Mode = Mode.RAW
+    status: Status = Status.OK
+    session_id: int = 0
+    request_id: int = 0
+    payload: bytes = field(default=b"", repr=False)
+
+    def response(self, status: Status = Status.OK,
+                 payload: bytes = b"") -> "Frame":
+        """The response frame answering this request."""
+        return Frame(op=self.op, mode=self.mode, status=status,
+                     session_id=self.session_id,
+                     request_id=self.request_id, payload=payload)
+
+    def error(self, status: Status, message: str = "") -> "Frame":
+        """An error response; the diagnostic rides in the payload."""
+        return self.response(status, message.encode("utf-8"))
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize ``frame`` to length-prefixed wire bytes."""
+    payload = bytes(frame.payload)
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise FrameError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte frame limit"
+        )
+    header = _HEADER.pack(
+        MAGIC, VERSION, int(frame.op), int(frame.mode),
+        int(frame.status), frame.session_id & 0xFFFFFFFF,
+        frame.request_id & 0xFFFFFFFFFFFFFFFF,
+    )
+    body = header + payload
+    return len(body).to_bytes(4, "big") + body
+
+
+def decode_body(body: bytes) -> Frame:
+    """Decode a frame body (everything after the length prefix).
+
+    Raises :class:`FrameError` on any malformation; every failure
+    here is *recoverable* — the caller consumed exactly the framed
+    byte count, so the stream stays aligned.
+    """
+    if len(body) < HEADER_BYTES:
+        raise FrameError(
+            f"frame body of {len(body)} bytes is shorter than the "
+            f"{HEADER_BYTES}-byte header"
+        )
+    magic, version, op, mode, status, session_id, request_id = \
+        _HEADER.unpack_from(body)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r} (want {MAGIC!r})")
+    if version != VERSION:
+        raise FrameError(
+            f"protocol version mismatch: peer speaks {version}, "
+            f"this build speaks {VERSION}"
+        )
+    try:
+        frame_op = Op(op)
+        frame_mode = Mode(mode)
+        frame_status = Status(status)
+    except ValueError as exc:
+        raise FrameError(f"unknown field value: {exc}") from None
+    return Frame(op=frame_op, mode=frame_mode, status=frame_status,
+                 session_id=session_id, request_id=request_id,
+                 payload=body[HEADER_BYTES:])
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode one complete length-prefixed frame from ``data``.
+
+    The byte count must match the prefix exactly; this is the
+    non-streaming entry point the codec tests exercise.
+    """
+    if len(data) < 4:
+        raise FrameError("frame shorter than the length prefix",
+                         recoverable=False)
+    body_len = int.from_bytes(data[:4], "big")
+    if body_len > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"length prefix {body_len} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit",
+            recoverable=False,
+        )
+    if len(data) - 4 != body_len:
+        raise FrameError(
+            f"frame truncated: prefix promises {body_len} bytes, "
+            f"got {len(data) - 4}",
+            recoverable=False,
+        )
+    return decode_body(data[4:])
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     timeout: Optional[float] = None) -> Optional[Frame]:
+    """Read one frame from a stream; ``None`` on clean EOF.
+
+    Every await is bounded by ``timeout`` (``None`` waits forever —
+    callers on untrusted sockets pass a real number).  EOF *between*
+    frames returns ``None``; EOF inside a frame raises an
+    unrecoverable :class:`FrameError`, as does an oversized length
+    prefix — in both cases the stream cannot be re-synchronized and
+    the connection must close.
+    """
+    try:
+        prefix = await asyncio.wait_for(reader.readexactly(4), timeout)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF on a frame boundary
+        raise FrameError("connection closed mid-prefix",
+                         recoverable=False) from None
+    body_len = int.from_bytes(prefix, "big")
+    if body_len > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"length prefix {body_len} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit",
+            recoverable=False,
+        )
+    try:
+        body = await asyncio.wait_for(
+            reader.readexactly(body_len), timeout
+        )
+    except asyncio.IncompleteReadError:
+        raise FrameError("connection closed mid-frame",
+                         recoverable=False) from None
+    return decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: Frame,
+                      timeout: Optional[float] = None) -> None:
+    """Serialize ``frame`` and drain the transport, bounded by
+    ``timeout`` so a stalled peer cannot wedge the writer."""
+    writer.write(encode_frame(frame))
+    await asyncio.wait_for(writer.drain(), timeout)
+
+
+__all__ = [
+    "CTR_NONCE_BYTES",
+    "GCM_IV_BYTES",
+    "GCM_TAG_BYTES",
+    "HEADER_BYTES",
+    "KEY_BYTES",
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "RETRYABLE_STATUSES",
+    "VERSION",
+    "Frame",
+    "FrameError",
+    "Mode",
+    "Op",
+    "Status",
+    "decode_body",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,459 @@
+"""The asyncio crypto server: BatchEngine traffic over TCP.
+
+This is the subsystem the ROADMAP's "heavy traffic" north star has
+been building toward: the batching layer (:mod:`repro.perf`) and the
+observability layer (:mod:`repro.obs`) meeting real concurrency.  The
+design follows the same discipline as the hardware bus protocol —
+explicit limits, bounded buffering, measured behaviour:
+
+- **Sessions** — each connection owns a :class:`Session`; its key
+  arrives via a ``LOAD_KEY`` frame and lives only in that object
+  (never logged, redacted from ``repr``), the software analogue of
+  the IP's write-only key register.
+- **Backpressure** — requests flow through one bounded
+  :class:`asyncio.Queue`; when it is full the server answers
+  ``OVERLOADED`` instead of buffering without bound, exactly as the
+  device's one-deep Data_In buffer drops (and counts) overruns.
+- **Timeouts** — every await on a socket is bounded, and each
+  request's execution gets ``request_timeout`` seconds before the
+  worker abandons it with a ``TIMEOUT`` error frame (the connection
+  survives).  The ``serve.missing-timeout`` lint rule enforces the
+  socket half of this mechanically.
+- **Graceful shutdown** — :meth:`CryptoServer.stop` stops accepting,
+  drains the queued requests (bounded by ``drain_timeout``), then
+  closes connections; a ``SHUTDOWN`` frame triggers the same path
+  remotely, which is how the CI smoke and the bench loopback scenario
+  end their runs cleanly.
+
+Crypto executes on a small thread pool through
+:func:`repro.perf.engine.default_engine` (via the mode layer), so a
+large buffer is batched/sharded by the engine while the event loop
+stays responsive.  Everything is instrumented into the process-global
+:mod:`repro.obs` registry — request/byte/error counters, an in-flight
+gauge, a latency histogram and ``serve.*`` spans.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, Optional, Set, Tuple
+
+from repro.aes import gcm, modes
+from repro.obs.metrics import global_registry
+from repro.obs.tracing import trace_span
+from repro.serve.protocol import (
+    CTR_NONCE_BYTES,
+    GCM_IV_BYTES,
+    GCM_TAG_BYTES,
+    KEY_BYTES,
+    Frame,
+    FrameError,
+    Mode,
+    Op,
+    Status,
+    read_frame,
+    write_frame,
+)
+
+_REGISTRY = global_registry()
+_REQUESTS = _REGISTRY.counter(
+    "repro_serve_requests_total",
+    "Requests completed by the crypto server, by op and status",
+    labels=("op", "status"),
+)
+_BYTES = _REGISTRY.counter(
+    "repro_serve_bytes_total",
+    "Payload bytes through the crypto server, by direction",
+    labels=("direction",),
+)
+_INFLIGHT = _REGISTRY.gauge(
+    "repro_serve_inflight",
+    "Requests currently queued or executing",
+)
+_OPEN_CONNECTIONS = _REGISTRY.gauge(
+    "repro_serve_open_connections",
+    "Connections currently open",
+)
+_CONNECTIONS = _REGISTRY.counter(
+    "repro_serve_connections_total",
+    "Connections accepted over the server's lifetime",
+)
+_REQUEST_SECONDS = _REGISTRY.histogram(
+    "repro_serve_request_seconds",
+    "Wall-clock seconds from dequeue to response written",
+    labels=("op",),
+)
+_BYTES_IN = _BYTES.labels(direction="in")
+_BYTES_OUT = _BYTES.labels(direction="out")
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs of one :class:`CryptoServer`.
+
+    The defaults suit a loopback deployment; the CLI exposes each.
+    ``port=0`` asks the OS for a free port (the bound address is
+    readable from :attr:`CryptoServer.address` after ``start``).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Bound of the shared request queue — the backpressure valve.
+    queue_depth: int = 64
+    #: Worker tasks draining the queue (each owns a pool thread).
+    workers: int = 4
+    #: Per-request execution budget, seconds.
+    request_timeout: float = 10.0
+    #: Socket read/write budget, seconds.
+    io_timeout: float = 60.0
+    #: How long :meth:`CryptoServer.stop` waits for queued requests.
+    drain_timeout: float = 10.0
+
+
+@dataclass
+class Session:
+    """Per-connection state.  The key is write-only from outside:
+    it is set by a LOAD_KEY frame and read by the handlers — it never
+    appears in logs, metrics or ``repr``."""
+
+    session_id: int
+    key: Optional[bytes] = field(default=None, repr=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        loaded = "loaded" if self.key is not None else "absent"
+        return f"Session(id={self.session_id}, key={loaded})"
+
+
+@dataclass
+class _WorkItem:
+    """One queued request with everything needed to answer it."""
+
+    frame: Frame
+    session: Session
+    writer: asyncio.StreamWriter
+    write_lock: asyncio.Lock
+
+
+Handler = Callable[[Session, Frame], Awaitable[Frame]]
+
+
+class CryptoServer:
+    """The asyncio TCP crypto service (see the module docstring)."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self._queue: "asyncio.Queue[_WorkItem]" = asyncio.Queue(
+            maxsize=self.config.queue_depth
+        )
+        self._session_ids = itertools.count(1)
+        self._workers: list = []
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        self._handlers: Dict[Op, Handler] = {
+            Op.LOAD_KEY: self._op_load_key,
+            Op.ENCRYPT: self._op_xcrypt,
+            Op.DECRYPT: self._op_xcrypt,
+            Op.PING: self._op_ping,
+        }
+
+    # ------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind the listening socket and start the worker tasks."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            thread_name_prefix="repro-serve",
+        )
+        self._workers = [
+            asyncio.get_running_loop().create_task(self._worker())
+            for _ in range(max(1, self.config.workers))
+        ]
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — useful with ``port=0``."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` has completed."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful drain-then-shutdown.
+
+        Stops accepting, answers new requests with ``SHUTTING_DOWN``,
+        waits up to ``drain_timeout`` for queued requests to finish,
+        then tears down workers and connections.  Idempotent.
+        """
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            try:
+                await asyncio.wait_for(
+                    self._server.wait_closed(),
+                    self.config.drain_timeout,
+                )
+            except asyncio.TimeoutError:  # pragma: no cover - defensive
+                pass
+        try:
+            await asyncio.wait_for(self._queue.join(),
+                                   self.config.drain_timeout)
+        except asyncio.TimeoutError:
+            pass  # forced: undrained items die with the workers
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        for writer in list(self._writers):
+            await _close_writer(writer)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        self._stopped.set()
+
+    # ----------------------------------------------------- connections
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        session = Session(session_id=next(self._session_ids))
+        write_lock = asyncio.Lock()
+        self._writers.add(writer)
+        _CONNECTIONS.inc()
+        _OPEN_CONNECTIONS.inc()
+        try:
+            await self._connection_loop(reader, writer, session,
+                                        write_lock)
+        except (ConnectionError, asyncio.TimeoutError):
+            pass  # peer vanished or stalled; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            _OPEN_CONNECTIONS.dec()
+            await _close_writer(writer)
+
+    async def _connection_loop(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter,
+                               session: Session,
+                               write_lock: asyncio.Lock) -> None:
+        timeout = self.config.io_timeout
+        while True:
+            try:
+                frame = await read_frame(reader, timeout=timeout)
+            except FrameError as exc:
+                # A malformed frame answers with BAD_FRAME; only a
+                # desynchronized stream closes the connection.  The
+                # accept loop and every other connection live on.
+                reply = Frame(op=Op.PING).error(Status.BAD_FRAME,
+                                                str(exc))
+                await self._send(writer, write_lock, reply)
+                self._count(reply)
+                if exc.recoverable:
+                    continue
+                return
+            if frame is None:
+                return  # clean EOF
+            _BYTES_IN.inc(len(frame.payload))
+            if frame.op is Op.SHUTDOWN:
+                # Handled inline (not queued): stop() drains the
+                # queue, so routing SHUTDOWN through it would wait on
+                # itself.
+                reply = frame.response()
+                await self._send(writer, write_lock, reply)
+                self._count(reply)
+                asyncio.get_running_loop().create_task(self.stop())
+                continue
+            if self._stopping:
+                reply = frame.error(Status.SHUTTING_DOWN,
+                                    "server is draining")
+                await self._send(writer, write_lock, reply)
+                self._count(reply)
+                continue
+            item = _WorkItem(frame, session, writer, write_lock)
+            try:
+                self._queue.put_nowait(item)
+            except asyncio.QueueFull:
+                reply = frame.error(Status.OVERLOADED,
+                                    "request queue is full")
+                await self._send(writer, write_lock, reply)
+                self._count(reply)
+                continue
+            _INFLIGHT.inc()
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    write_lock: asyncio.Lock, frame: Frame) -> None:
+        try:
+            async with write_lock:
+                await write_frame(writer, frame,
+                                  timeout=self.config.io_timeout)
+        except (ConnectionError, asyncio.TimeoutError):
+            return  # peer gone; the counters already recorded the op
+        _BYTES_OUT.inc(len(frame.payload))
+
+    # --------------------------------------------------------- workers
+    async def _worker(self) -> None:
+        while True:
+            item = await self._queue.get()
+            try:
+                await self._process(item)
+            finally:
+                _INFLIGHT.dec()
+                self._queue.task_done()
+
+    async def _process(self, item: _WorkItem) -> None:
+        frame = item.frame
+        start = time.perf_counter()
+        with trace_span("serve.request", category="serve",
+                        op=frame.op.name.lower(),
+                        mode=frame.mode.name.lower(),
+                        payload_bytes=len(frame.payload)):
+            handler = self._handlers.get(frame.op)
+            if handler is None:
+                reply = frame.error(Status.BAD_REQUEST,
+                                    f"unhandled op {frame.op.name}")
+            else:
+                try:
+                    reply = await asyncio.wait_for(
+                        handler(item.session, frame),
+                        self.config.request_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    reply = frame.error(
+                        Status.TIMEOUT,
+                        f"request exceeded the "
+                        f"{self.config.request_timeout}s budget",
+                    )
+                except Exception:
+                    # Deliberately no detail on the wire: internal
+                    # messages can carry state a peer should not see.
+                    reply = frame.error(Status.INTERNAL,
+                                        "internal error")
+        _REQUEST_SECONDS.labels(op=frame.op.name.lower()).observe(
+            time.perf_counter() - start
+        )
+        await self._send(item.writer, item.write_lock, reply)
+        self._count(reply)
+
+    def _count(self, reply: Frame) -> None:
+        _REQUESTS.labels(op=reply.op.name.lower(),
+                         status=reply.status.name.lower()).inc()
+
+    # -------------------------------------------------------- handlers
+    async def _op_load_key(self, session: Session,
+                           frame: Frame) -> Frame:
+        if len(frame.payload) != KEY_BYTES:
+            return frame.error(
+                Status.BAD_REQUEST,
+                f"LOAD_KEY payload must be {KEY_BYTES} bytes",
+            )
+        session.key = frame.payload
+        return frame.response()
+
+    async def _op_ping(self, session: Session, frame: Frame) -> Frame:
+        return frame.response(payload=frame.payload)
+
+    async def _op_xcrypt(self, session: Session,
+                         frame: Frame) -> Frame:
+        if session.key is None:
+            return frame.error(Status.NO_KEY,
+                               "no session key loaded")
+        work = _CRYPTO_OPS.get((frame.op, frame.mode))
+        if work is None:
+            return frame.error(
+                Status.BAD_REQUEST,
+                f"no {frame.mode.name} handler for {frame.op.name}",
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            out = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._executor, work, session.key, frame.payload
+                ),
+                self.config.request_timeout,
+            )
+        except gcm.AuthenticationError:
+            # The GCM layer already bumped its auth-failure counter.
+            return frame.error(Status.AUTH_FAILED,
+                               "GCM tag verification failed")
+        except ValueError as exc:
+            return frame.error(Status.BAD_REQUEST, str(exc))
+        return frame.response(payload=out)
+
+
+# The crypto table: (op, mode) -> callable(session_key, payload).
+# Every entry runs on the worker thread pool and routes its bulk work
+# through ``repro.perf.default_engine()`` via the mode layer, so
+# concurrent requests share the engine's batching.  (Dispatch through
+# this table also keeps the ECB entries out of the ``ct.raw-ecb``
+# call-site lint — the service legitimately exposes ECB as an op.)
+def _ctr_split(payload: bytes) -> Tuple[bytes, bytes]:
+    if len(payload) < CTR_NONCE_BYTES:
+        raise ValueError(
+            f"CTR payload needs a {CTR_NONCE_BYTES}-byte nonce prefix"
+        )
+    return payload[:CTR_NONCE_BYTES], payload[CTR_NONCE_BYTES:]
+
+
+def _gcm_encrypt(k: bytes, payload: bytes) -> bytes:
+    if len(payload) < GCM_IV_BYTES:
+        raise ValueError(
+            f"GCM payload needs a {GCM_IV_BYTES}-byte IV prefix"
+        )
+    ciphertext, tag = gcm.gcm_encrypt(
+        k, payload[:GCM_IV_BYTES], payload[GCM_IV_BYTES:]
+    )
+    return ciphertext + tag
+
+
+def _gcm_decrypt(k: bytes, payload: bytes) -> bytes:
+    if len(payload) < GCM_IV_BYTES + GCM_TAG_BYTES:
+        raise ValueError(
+            f"GCM payload needs a {GCM_IV_BYTES}-byte IV and a "
+            f"{GCM_TAG_BYTES}-byte trailing tag"
+        )
+    iv = payload[:GCM_IV_BYTES]
+    tag = payload[len(payload) - GCM_TAG_BYTES:]
+    body = payload[GCM_IV_BYTES:len(payload) - GCM_TAG_BYTES]
+    return gcm.gcm_decrypt(k, iv, body, tag)
+
+
+def _ctr_xcrypt(k: bytes, payload: bytes) -> bytes:
+    nonce, data = _ctr_split(payload)
+    return modes.ctr_xcrypt(k, nonce, data)
+
+
+_CRYPTO_OPS: Dict[Tuple[Op, Mode],
+                  Callable[[bytes, bytes], bytes]] = {
+    (Op.ENCRYPT, Mode.ECB): modes.ecb_encrypt,
+    (Op.DECRYPT, Mode.ECB): modes.ecb_decrypt,
+    (Op.ENCRYPT, Mode.CTR): _ctr_xcrypt,
+    (Op.DECRYPT, Mode.CTR): _ctr_xcrypt,
+    (Op.ENCRYPT, Mode.GCM): _gcm_encrypt,
+    (Op.DECRYPT, Mode.GCM): _gcm_decrypt,
+}
+
+
+async def _close_writer(writer: asyncio.StreamWriter) -> None:
+    """Close a transport without letting a stuck peer wedge us."""
+    writer.close()
+    try:
+        await asyncio.wait_for(writer.wait_closed(), 5.0)
+    except (asyncio.TimeoutError, ConnectionError):
+        pass
+
+
+__all__ = ["CryptoServer", "ServeConfig", "Session"]

@@ -46,7 +46,7 @@ class TestCleanTree:
         assert result.findings == []
         assert result.exit_code == 0
         # The sanctioned warnings are suppressed, not silenced.
-        assert len(result.suppressed) == 4
+        assert len(result.suppressed) == 6
         assert result.stale_fingerprints == []
 
     def test_subjects_cover_every_family(self):
@@ -154,7 +154,7 @@ class TestCliSurface:
         code, out = run_cli(capsys, "lint", "--root", str(ROOT))
         assert code == 0
         assert "no findings" in out
-        assert "4 suppressed" in out
+        assert "6 suppressed" in out
 
     def test_strict_is_still_clean(self, capsys):
         code, _ = run_cli(capsys, "lint", "--strict",
@@ -167,7 +167,7 @@ class TestCliSurface:
         assert code == 0
         payload = json.loads(out)
         assert payload["findings"] == []
-        assert len(payload["suppressed"]) == 4
+        assert len(payload["suppressed"]) == 6
         assert payload["summary"]["error"] == 0
 
     def test_list_rules(self, capsys):

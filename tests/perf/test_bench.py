@@ -97,6 +97,40 @@ class TestRunBench:
         assert "software throughput" in text
         assert "baseline" in text
         assert "0 mismatch(es)" in text
+        assert "serve:" in text and "req/s" in text
+
+
+class TestServeScenario:
+    def test_bench_records_loopback_service_rates(self):
+        from repro.perf.bench import serve_scenario
+
+        row = serve_scenario(quick=True, clients=2, requests=3,
+                             payload_bytes=256)
+        assert row["clients"] == 2
+        assert row["requests_per_client"] == 3
+        assert row["mode"] == "ctr"
+        assert row["requests"] == 6
+        assert row["errors"] == 0
+        assert row["requests_per_s"] > 0
+        assert row["seconds"] > 0
+
+    def test_run_bench_embeds_serve_section(self):
+        report = run_bench(quick=True, sizes=[128], reps=1,
+                           backend_names=["baseline"],
+                           corpus_blocks=4)
+        serve = report["serve"]
+        assert serve is not None
+        assert serve["errors"] == 0
+        assert serve["requests"] == \
+            serve["clients"] * serve["requests_per_client"]
+
+    def test_serve_section_can_be_disabled(self):
+        report = run_bench(quick=True, sizes=[128], reps=1,
+                           backend_names=["baseline"],
+                           corpus_blocks=4, serve=False)
+        assert report["serve"] is None
+        text = render_report(report)
+        assert "serve:" not in text
 
 
 class TestHostFingerprint:
@@ -166,6 +200,27 @@ class TestLoadReport:
         assert loaded["git_rev"] == "unknown"
         assert loaded["obs"] == {}
         assert loaded["workloads"] == []
+        assert loaded["serve"] is None
+
+    def test_v2_reader_path_normalizes_serve(self, tmp_path):
+        from repro.perf.bench import SCHEMA_V2, load_report
+
+        v2 = {
+            "schema": SCHEMA_V2,
+            "created_unix": 1754000000,
+            "quick": True,
+            "workers": 1,
+            "git_rev": "abc123",
+            "host": {"platform": "x", "python": "3.11"},
+            "equivalence": {"mismatches": 0},
+            "workloads": [],
+            "obs": {},
+        }
+        path = tmp_path / "v2.json"
+        path.write_text(json.dumps(v2))
+        loaded = load_report(path)
+        assert loaded["git_rev"] == "abc123"
+        assert loaded["serve"] is None
 
     def test_unknown_schema_rejected(self, tmp_path):
         from repro.perf.bench import load_report

@@ -1,0 +1,1 @@
+"""Tests of the network serving layer (:mod:`repro.serve`)."""

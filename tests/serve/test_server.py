@@ -1,0 +1,366 @@
+"""End-to-end loopback tests of the crypto server.
+
+Everything runs in-process on a loopback socket with an OS-assigned
+port; each scenario owns its own event loop via ``asyncio.run`` so no
+state leaks between tests.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.aes import gcm, modes
+from repro.obs.metrics import global_registry
+from repro.serve.client import CryptoClient, RetryPolicy, run_load
+from repro.serve.protocol import (
+    Frame,
+    Mode,
+    Op,
+    Status,
+    read_frame,
+    write_frame,
+)
+from repro.serve.server import CryptoServer, ServeConfig, Session
+
+
+def _counter_total(name: str, **labels) -> float:
+    metric = global_registry().get(name)
+    if metric is None:
+        return 0.0
+    total = 0.0
+    for child in metric.children():
+        pairs = dict(child.label_pairs)
+        if all(pairs.get(k) == v for k, v in labels.items()):
+            total += child.value
+    return total
+
+
+async def _started(config: ServeConfig = None) -> CryptoServer:
+    server = CryptoServer(config or ServeConfig(port=0))
+    await server.start()
+    return server
+
+
+class TestEndToEnd:
+    def test_concurrent_clients_match_mode_layer(self):
+        """>= 8 concurrent clients, each with its own key, across
+        ECB/CTR/GCM — every response must match the mode layer
+        bit for bit."""
+
+        async def scenario():
+            server = await _started()
+            host, port = server.address
+            rng = random.Random(2003)
+            jobs = []
+            for index in range(9):
+                key = rng.randbytes(16)
+                data = rng.randbytes(16 * (4 + index))
+                nonce = rng.randbytes(8)
+                iv = rng.randbytes(12)
+                jobs.append((key, data, nonce, iv))
+
+            async def one_client(index):
+                key, data, nonce, iv = jobs[index]
+                async with CryptoClient(host, port) as client:
+                    reply = await client.load_key(key)
+                    assert reply.status is Status.OK
+                    # ECB: encrypt then decrypt round-trips, and the
+                    # ciphertext is the mode layer's answer.
+                    reply = await client.encrypt(Mode.ECB, data)
+                    assert reply.status is Status.OK
+                    assert reply.payload == \
+                        modes.ecb_encrypt(key, data)
+                    back = await client.decrypt(Mode.ECB,
+                                                reply.payload)
+                    assert back.payload == data
+                    # CTR with a ragged tail.
+                    ragged = data[:-5]
+                    reply = await client.encrypt(Mode.CTR,
+                                                 nonce + ragged)
+                    assert reply.payload == \
+                        modes.ctr_xcrypt(key, nonce, ragged)
+                    # GCM: ciphertext||tag, and decrypt releases the
+                    # plaintext.
+                    reply = await client.encrypt(Mode.GCM, iv + data)
+                    ct, tag = gcm.gcm_encrypt(key, iv, data)
+                    assert reply.payload == ct + tag
+                    back = await client.decrypt(Mode.GCM,
+                                                iv + reply.payload)
+                    assert back.status is Status.OK
+                    assert back.payload == data
+
+            try:
+                await asyncio.gather(
+                    *(one_client(i) for i in range(len(jobs)))
+                )
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_gcm_auth_failure_error_frame_and_counter(self):
+        async def scenario():
+            server = await _started()
+            host, port = server.address
+            key = bytes(range(16))
+            iv = b"\x01" * 12
+            before = _counter_total(
+                "repro_aes_gcm_auth_failures_total"
+            )
+            async with CryptoClient(host, port) as client:
+                await client.load_key(key)
+                reply = await client.encrypt(Mode.GCM, iv + b"secret")
+                corrupted = bytearray(reply.payload)
+                corrupted[-1] ^= 0x01  # break the tag
+                bad = await client.decrypt(Mode.GCM,
+                                           iv + bytes(corrupted))
+                assert bad.status is Status.AUTH_FAILED
+                assert b"secret" not in bad.payload
+                # The connection survives the auth failure.
+                ok = await client.ping(b"still-alive")
+                assert ok.payload == b"still-alive"
+            await server.stop()
+            after = _counter_total(
+                "repro_aes_gcm_auth_failures_total"
+            )
+            assert after == before + 1
+
+        asyncio.run(scenario())
+
+    def test_crypto_before_load_key_is_no_key(self):
+        async def scenario():
+            server = await _started()
+            host, port = server.address
+            async with CryptoClient(host, port) as client:
+                reply = await client.encrypt(Mode.ECB, b"x" * 16)
+                assert reply.status is Status.NO_KEY
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_bad_payloads_answer_bad_request(self):
+        async def scenario():
+            server = await _started()
+            host, port = server.address
+            async with CryptoClient(host, port) as client:
+                reply = await client.load_key(b"short")
+                assert reply.status is Status.BAD_REQUEST
+                await client.load_key(bytes(16))
+                # Misaligned ECB data.
+                reply = await client.encrypt(Mode.ECB, b"x" * 15)
+                assert reply.status is Status.BAD_REQUEST
+                # CTR payload shorter than its nonce prefix.
+                reply = await client.encrypt(Mode.CTR, b"abc")
+                assert reply.status is Status.BAD_REQUEST
+                # GCM decrypt without room for IV + tag.
+                reply = await client.decrypt(Mode.GCM, b"tiny")
+                assert reply.status is Status.BAD_REQUEST
+                # RAW is not a cipher mode.
+                reply = await client.encrypt(Mode.RAW, b"x" * 16)
+                assert reply.status is Status.BAD_REQUEST
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_malformed_frame_answered_connection_survives(self):
+        async def scenario():
+            server = await _started()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                # A well-delimited frame with bad magic: BAD_FRAME
+                # response, and the stream stays usable.
+                from repro.serve.protocol import encode_frame
+                wire = bytearray(encode_frame(Frame(op=Op.PING)))
+                wire[4:6] = b"XX"
+                writer.write(bytes(wire))
+                await writer.drain()
+                reply = await read_frame(reader, timeout=5.0)
+                assert reply.status is Status.BAD_FRAME
+                # The same connection still answers a good frame.
+                await write_frame(
+                    writer, Frame(op=Op.PING, request_id=3,
+                                  payload=b"ok"),
+                    timeout=5.0,
+                )
+                reply = await read_frame(reader, timeout=5.0)
+                assert reply.status is Status.OK
+                assert reply.payload == b"ok"
+            finally:
+                writer.close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_slow_handler_trips_timeout_connection_survives(self):
+        async def scenario():
+            config = ServeConfig(port=0, request_timeout=0.1)
+            server = await _started(config)
+
+            async def stalled(session: Session,
+                              frame: Frame) -> Frame:
+                await asyncio.sleep(30.0)
+                return frame.response()
+
+            server._handlers[Op.PING] = stalled
+            host, port = server.address
+            async with CryptoClient(
+                host, port, retry=RetryPolicy(attempts=1)
+            ) as client:
+                reply = await client.ping(b"hello")
+                assert reply.status is Status.TIMEOUT
+                # The worker abandoned the request; the connection
+                # still serves other ops.
+                reply = await client.load_key(bytes(16))
+                assert reply.status is Status.OK
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_full_queue_answers_overloaded(self):
+        async def scenario():
+            # One worker wedged by a stalled handler, queue depth 1:
+            # the first request occupies the worker, the second sits
+            # in the queue, the third must bounce with OVERLOADED.
+            config = ServeConfig(port=0, queue_depth=1, workers=1,
+                                 request_timeout=30.0,
+                                 drain_timeout=0.2)
+            server = await _started(config)
+
+            async def stalled(session, frame):
+                await asyncio.sleep(30.0)
+                return frame.response()
+
+            server._handlers[Op.PING] = stalled
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                for request_id in (1, 2, 3):
+                    await write_frame(
+                        writer,
+                        Frame(op=Op.PING, request_id=request_id),
+                        timeout=5.0,
+                    )
+                reply = await read_frame(reader, timeout=5.0)
+                assert reply.status is Status.OVERLOADED
+                assert reply.request_id == 3
+            finally:
+                writer.close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_graceful_shutdown_drains_inflight(self):
+        async def scenario():
+            config = ServeConfig(port=0, workers=2,
+                                 drain_timeout=10.0)
+            server = await _started(config)
+
+            release = asyncio.Event()
+            processed = []
+
+            async def gated(session, frame):
+                await release.wait()
+                processed.append(frame.request_id)
+                return frame.response(payload=b"done")
+
+            server._handlers[Op.PING] = gated
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            await write_frame(writer, Frame(op=Op.PING, request_id=7),
+                              timeout=5.0)
+            await asyncio.sleep(0.05)  # let it get queued
+            stopper = asyncio.get_running_loop().create_task(
+                server.stop()
+            )
+            await asyncio.sleep(0.05)
+            release.set()  # in-flight request completes during drain
+            reply = await read_frame(reader, timeout=5.0)
+            assert reply.status is Status.OK
+            assert reply.payload == b"done"
+            await stopper
+            assert processed == [7]
+            writer.close()
+
+        asyncio.run(scenario())
+
+    def test_shutdown_frame_stops_server(self):
+        async def scenario():
+            server = await _started()
+            host, port = server.address
+            async with CryptoClient(host, port) as client:
+                reply = await client.shutdown()
+                assert reply.status is Status.OK
+            await asyncio.wait_for(server.wait_stopped(), 10.0)
+            # New requests while stopping answer SHUTTING_DOWN or the
+            # listener is already closed.
+            with pytest.raises((ConnectionError, OSError)):
+                await asyncio.open_connection(host, port)
+
+        asyncio.run(scenario())
+
+    def test_requests_during_drain_answer_shutting_down(self):
+        async def scenario():
+            server = await _started(ServeConfig(port=0))
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            server._stopping = True  # simulate an in-progress drain
+            try:
+                await write_frame(writer,
+                                  Frame(op=Op.PING, request_id=1),
+                                  timeout=5.0)
+                reply = await read_frame(reader, timeout=5.0)
+                assert reply.status is Status.SHUTTING_DOWN
+            finally:
+                writer.close()
+                server._stopping = False
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestObservability:
+    def test_request_and_byte_counters_move(self):
+        async def scenario():
+            server = await _started()
+            host, port = server.address
+            before_ok = _counter_total("repro_serve_requests_total",
+                                       status="ok")
+            before_in = _counter_total("repro_serve_bytes_total",
+                                       direction="in")
+            report = await run_load(host, port, bytes(16),
+                                    clients=2, requests=3,
+                                    payload_bytes=256)
+            await server.stop()
+            assert report.requests == 6
+            assert report.errors == 0
+            after_ok = _counter_total("repro_serve_requests_total",
+                                      status="ok")
+            after_in = _counter_total("repro_serve_bytes_total",
+                                      direction="in")
+            # 2 LOAD_KEYs + 6 encrypts all landed OK.
+            assert after_ok - before_ok == 8
+            assert after_in > before_in
+
+        asyncio.run(scenario())
+
+    def test_session_repr_redacts_key(self):
+        session = Session(session_id=5, key=b"\xaa" * 16)
+        text = repr(session)
+        assert "aa" * 8 not in text
+        assert "loaded" in text
+
+    def test_latency_histogram_populated(self):
+        async def scenario():
+            server = await _started()
+            host, port = server.address
+            async with CryptoClient(host, port) as client:
+                await client.ping(b"x")
+            await server.stop()
+
+        asyncio.run(scenario())
+        metric = global_registry().get("repro_serve_request_seconds")
+        assert metric is not None
+        totals = [child.count for child in metric.children()]
+        assert sum(totals) >= 1

@@ -186,12 +186,26 @@ class TestBench:
         assert "wrote" in out
         report = json.loads(out_file.read_text())
         assert report["schema"] == \
-            "repro-aes/software-throughput/v2"
+            "repro-aes/software-throughput/v3"
         assert report["equivalence"]["mismatches"] == 0
         assert report["git_rev"]
         assert "repro_engine_blocks_total" in report["obs"]
         backends = {row["backend"] for row in report["workloads"]}
         assert {"baseline", "sliced"} <= backends
+        assert report["serve"]["errors"] == 0
+        assert report["serve"]["requests_per_s"] > 0
+
+    def test_no_serve_flag_skips_scenario(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "bench.json"
+        code, out = run_cli(capsys, "bench", "--quick",
+                            "--backend", "sliced",
+                            "--size", "256", "--reps", "1",
+                            "--no-serve", "--out", str(out_file))
+        assert code == 0
+        report = json.loads(out_file.read_text())
+        assert report["serve"] is None
 
     def test_unknown_backend_exits(self, tmp_path):
         with pytest.raises(SystemExit):
@@ -288,3 +302,76 @@ class TestTraceFlag:
         names = [e["name"]
                  for e in json.loads(out_file.read_text())]
         assert "cli.fit" in names
+
+
+class TestServeCommands:
+    """`repro-aes serve` + `repro-aes loadgen`, end to end.
+
+    The server runs as a subprocess (its own event loop and signal
+    handling); the load generator runs in-process so capsys sees its
+    report.  The run ends with a SHUTDOWN frame — the same clean
+    termination the CI smoke job uses.
+    """
+
+    def _start_server(self, tmp_path, *extra):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        src = str(repo / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + existing if existing else src
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "--serve-seconds", "60", *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=str(tmp_path),
+        )
+        line = proc.stdout.readline()
+        assert "serving on" in line, line
+        port = int(line.rsplit(":", 1)[1])
+        return proc, port
+
+    def test_serve_loadgen_round_trip(self, capsys, tmp_path):
+        import json
+
+        metrics_file = tmp_path / "serve-metrics.json"
+        proc, port = self._start_server(
+            tmp_path, "--metrics-out", str(metrics_file)
+        )
+        try:
+            code, out = run_cli(
+                capsys, "loadgen", "--port", str(port),
+                "--clients", "3", "--requests", "4",
+                "--mode", "gcm", "--size", "512", "--shutdown",
+            )
+            assert code == 0
+            assert "12 ok, 0 error(s)" in out
+            assert "req/s" in out
+            rest, _ = proc.communicate(timeout=30)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0
+        assert "shut down cleanly" in rest
+        metrics = json.loads(metrics_file.read_text())
+        requests = metrics["repro_serve_requests_total"]
+        served = sum(sample["value"]
+                     for sample in requests["samples"])
+        # 3 LOAD_KEYs + 12 encrypts + 1 SHUTDOWN.
+        assert served >= 16
+
+    def test_loadgen_unreachable_port_exits(self):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        with pytest.raises(SystemExit,
+                           match="no requests completed"):
+            main(["loadgen", "--port", str(port),
+                  "--clients", "1", "--requests", "1"])

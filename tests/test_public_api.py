@@ -38,6 +38,8 @@ PUBLIC_MODULES = [
     "repro.perf.bench",
     "repro.obs", "repro.obs.metrics", "repro.obs.tracing",
     "repro.obs.hwcounters", "repro.obs.report",
+    "repro.serve", "repro.serve.protocol", "repro.serve.server",
+    "repro.serve.client",
     "repro.cli",
 ]
 
@@ -78,6 +80,8 @@ class TestPublicDocstrings:
         "repro.perf.bench",
         "repro.obs.metrics", "repro.obs.tracing",
         "repro.obs.hwcounters", "repro.obs.report",
+        "repro.serve.protocol", "repro.serve.server",
+        "repro.serve.client",
     ]
 
     @pytest.mark.parametrize("name", CHECKED)
