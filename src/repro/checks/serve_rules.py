@@ -17,8 +17,9 @@ an unbounded one always is.
 - ``serve.unbounded-queue`` — an ``asyncio.Queue`` (or Lifo/Priority
   variant) constructed without a positive ``maxsize``.  The service's
   backpressure contract (``docs/serving.md``) depends on the request
-  queue rejecting work when full; ``maxsize=0`` means "infinite" in
-  asyncio, so an absent or zero bound is the defect.
+  queue rejecting work when full; asyncio treats *every*
+  ``maxsize <= 0`` as "infinite", so an absent, zero or negative
+  bound is the defect.
 - ``serve.missing-timeout`` — an ``await`` applied directly to a
   stream call that can block on the peer (``readexactly``, ``drain``,
   ``wait_closed``, ``open_connection``, ...) without an enclosing
@@ -74,15 +75,31 @@ def _call_name(node: ast.Call) -> str:
     return ""
 
 
+def _maxsize_const(value: ast.expr):
+    """The numeric constant a maxsize expression evaluates to, or
+    ``None`` for anything non-constant.  ``-1`` parses as a unary
+    minus over a constant, so that shape is folded here too."""
+    if (isinstance(value, ast.UnaryOp)
+            and isinstance(value.op, ast.USub)):
+        inner = _maxsize_const(value.operand)
+        return -inner if isinstance(inner, (int, float)) else None
+    if (isinstance(value, ast.Constant)
+            and isinstance(value.value, (int, float))
+            and not isinstance(value.value, bool)):
+        return value.value
+    return None
+
+
 def _queue_bound(node: ast.Call) -> bool:
-    """Whether this queue construction carries a nonzero maxsize."""
+    """Whether this queue construction carries a positive maxsize."""
     candidates = list(node.args[:1])
     candidates.extend(kw.value for kw in node.keywords
                       if kw.arg == "maxsize")
     for value in candidates:
-        if isinstance(value, ast.Constant) and value.value == 0:
-            return False  # maxsize=0 is asyncio's "unbounded"
-        return True       # any other expression: assume a real bound
+        const = _maxsize_const(value)
+        if const is not None and const <= 0:
+            return False  # asyncio treats maxsize <= 0 as unbounded
+        return True       # positive or non-constant: assume a bound
     return False          # no maxsize at all
 
 

@@ -265,11 +265,16 @@ async def run_load(host: str, port: int, key: bytes,
     """
     if clients < 1 or requests < 1:
         raise ValueError("clients and requests must be >= 1")
+    if mode is Mode.ECB and payload_bytes < 16:
+        raise ValueError(
+            "ECB needs payload_bytes >= 16 (one full block)"
+        )
     prefix_rng = random.Random(seed)
     nonce = prefix_rng.randbytes(8)
     body = prefix_rng.randbytes(payload_bytes)
     if mode is Mode.ECB:
-        body = body[:max(16, (len(body) // 16) * 16)]
+        # Truncate to whole blocks so every request is well-formed.
+        body = body[:(len(body) // 16) * 16]
         payload = body
     elif mode is Mode.CTR:
         payload = nonce + body

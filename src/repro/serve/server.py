@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import logging
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -50,6 +51,7 @@ from repro.serve.protocol import (
     GCM_IV_BYTES,
     GCM_TAG_BYTES,
     KEY_BYTES,
+    MAX_PAYLOAD_BYTES,
     Frame,
     FrameError,
     Mode,
@@ -58,6 +60,8 @@ from repro.serve.protocol import (
     read_frame,
     write_frame,
 )
+
+_LOG = logging.getLogger(__name__)
 
 _REGISTRY = global_registry()
 _REQUESTS = _REGISTRY.counter(
@@ -154,6 +158,9 @@ class CryptoServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._writers: Set[asyncio.StreamWriter] = set()
+        # The event loop keeps only weak references to tasks, so the
+        # remotely-triggered stop() task is pinned here until done.
+        self._stop_task: Optional["asyncio.Task[None]"] = None
         self._stopping = False
         self._stopped = asyncio.Event()
         self._handlers: Dict[Op, Handler] = {
@@ -168,8 +175,14 @@ class CryptoServer:
         """Bind the listening socket and start the worker tasks."""
         if self._server is not None:
             raise RuntimeError("server already started")
+        # Twice the worker count: a timed-out job's thread cannot be
+        # cancelled and runs to completion, so with a pool exactly the
+        # worker count a burst of slow requests would leave abandoned
+        # jobs holding every thread and cascade fresh requests into
+        # further TIMEOUTs.  The headroom lets capacity recover while
+        # stragglers finish (see docs/serving.md, "Timeouts").
         self._executor = ThreadPoolExecutor(
-            max_workers=max(1, self.config.workers),
+            max_workers=2 * max(1, self.config.workers),
             thread_name_prefix="repro-serve",
         )
         self._workers = [
@@ -275,7 +288,11 @@ class CryptoServer:
                 reply = frame.response()
                 await self._send(writer, write_lock, reply)
                 self._count(reply)
-                asyncio.get_running_loop().create_task(self.stop())
+                if self._stop_task is None:
+                    self._stop_task = (
+                        asyncio.get_running_loop()
+                        .create_task(self.stop())
+                    )
                 continue
             if self._stopping:
                 reply = frame.error(Status.SHUTTING_DOWN,
@@ -302,6 +319,21 @@ class CryptoServer:
                                   timeout=self.config.io_timeout)
         except (ConnectionError, asyncio.TimeoutError):
             return  # peer gone; the counters already recorded the op
+        except FrameError as exc:
+            # A response too large to frame (the handlers validate
+            # request sizes up front, so this is defensive) must not
+            # escape into the worker loop: answer with a small error
+            # frame so the connection learns the request failed.
+            _LOG.warning("unframeable %s response dropped: %s",
+                         frame.op.name, exc)
+            frame = frame.error(Status.INTERNAL,
+                                "response exceeded the frame limit")
+            try:
+                async with write_lock:
+                    await write_frame(writer, frame,
+                                      timeout=self.config.io_timeout)
+            except (ConnectionError, asyncio.TimeoutError):
+                return
         _BYTES_OUT.inc(len(frame.payload))
 
     # --------------------------------------------------------- workers
@@ -310,6 +342,14 @@ class CryptoServer:
             item = await self._queue.get()
             try:
                 await self._process(item)
+            except Exception:
+                # No single request may kill a worker: _process
+                # already shields the handler and the send path, so
+                # anything landing here is a server bug — log it and
+                # keep draining the queue.  (CancelledError is a
+                # BaseException and still ends the task on stop().)
+                _LOG.exception("worker failed processing a %s frame",
+                               item.frame.op.name)
             finally:
                 _INFLIGHT.dec()
                 self._queue.task_done()
@@ -408,13 +448,29 @@ def _ctr_split(payload: bytes) -> Tuple[bytes, bytes]:
     return payload[:CTR_NONCE_BYTES], payload[CTR_NONCE_BYTES:]
 
 
+#: Largest plaintext a GCM ENCRYPT frame may carry: the response is
+#: ciphertext + tag and must itself fit in one frame.  GCM ENCRYPT is
+#: the only op whose response outgrows its request, so it is the only
+#: one needing a bound tighter than the frame limit.
+GCM_MAX_PLAINTEXT_BYTES = MAX_PAYLOAD_BYTES - GCM_TAG_BYTES
+
+
 def _gcm_encrypt(k: bytes, payload: bytes) -> bytes:
     if len(payload) < GCM_IV_BYTES:
         raise ValueError(
             f"GCM payload needs a {GCM_IV_BYTES}-byte IV prefix"
         )
+    plaintext = payload[GCM_IV_BYTES:]
+    if len(plaintext) > GCM_MAX_PLAINTEXT_BYTES:
+        # Checked before any crypto so the ciphertext+tag response is
+        # always frameable (same up-front style as _check_lengths).
+        raise ValueError(
+            f"GCM plaintext of {len(plaintext)} bytes exceeds "
+            f"{GCM_MAX_PLAINTEXT_BYTES}: the ciphertext plus "
+            f"{GCM_TAG_BYTES}-byte tag must fit one frame"
+        )
     ciphertext, tag = gcm.gcm_encrypt(
-        k, payload[:GCM_IV_BYTES], payload[GCM_IV_BYTES:]
+        k, payload[:GCM_IV_BYTES], plaintext
     )
     return ciphertext + tag
 
@@ -456,4 +512,5 @@ async def _close_writer(writer: asyncio.StreamWriter) -> None:
         pass
 
 
-__all__ = ["CryptoServer", "ServeConfig", "Session"]
+__all__ = ["GCM_MAX_PLAINTEXT_BYTES", "CryptoServer", "ServeConfig",
+           "Session"]

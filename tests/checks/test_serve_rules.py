@@ -32,6 +32,17 @@ class TestUnboundedQueue:
             """, "serve.unbounded-queue")
         assert len(findings) == 1
 
+    def test_negative_maxsize_triggers(self):
+        """asyncio treats every maxsize <= 0 as unbounded, and -1
+        parses as a unary minus, not a negative constant."""
+        findings = lint(
+            """
+            import asyncio
+            a = asyncio.Queue(maxsize=-1)
+            b = asyncio.Queue(-4)
+            """, "serve.unbounded-queue")
+        assert len(findings) == 2
+
     def test_priority_and_lifo_variants_covered(self):
         findings = lint(
             """

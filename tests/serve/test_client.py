@@ -169,6 +169,18 @@ class TestRunLoad:
 
         asyncio.run(scenario())
 
+    def test_ecb_payload_below_one_block_rejected(self):
+        """A sub-block ECB payload cannot be 16-aligned; it must be
+        rejected up front instead of every request failing
+        BAD_REQUEST on the wire."""
+
+        async def scenario():
+            with pytest.raises(ValueError, match="payload_bytes"):
+                await run_load("127.0.0.1", 1, bytes(16),
+                               mode=Mode.ECB, payload_bytes=8)
+
+        asyncio.run(scenario())
+
     def test_gcm_and_ecb_loads_succeed(self):
         async def scenario():
             server = CryptoServer(ServeConfig(port=0))

@@ -14,6 +14,7 @@ from repro.aes import gcm, modes
 from repro.obs.metrics import global_registry
 from repro.serve.client import CryptoClient, RetryPolicy, run_load
 from repro.serve.protocol import (
+    MAX_PAYLOAD_BYTES,
     Frame,
     Mode,
     Op,
@@ -21,7 +22,12 @@ from repro.serve.protocol import (
     read_frame,
     write_frame,
 )
-from repro.serve.server import CryptoServer, ServeConfig, Session
+from repro.serve.server import (
+    GCM_MAX_PLAINTEXT_BYTES,
+    CryptoServer,
+    ServeConfig,
+    Session,
+)
 
 
 def _counter_total(name: str, **labels) -> float:
@@ -163,6 +169,56 @@ class TestEndToEnd:
 
         asyncio.run(scenario())
 
+    def test_oversized_gcm_encrypt_rejected_before_crypto(self):
+        """A GCM ENCRYPT whose ciphertext+tag response would not fit
+        one frame must bounce with BAD_REQUEST — not raise while
+        framing the response and kill the worker task."""
+
+        async def scenario():
+            server = await _started()
+            host, port = server.address
+            async with CryptoClient(host, port) as client:
+                await client.load_key(bytes(16))
+                too_big = (bytes(12)
+                           + bytes(GCM_MAX_PLAINTEXT_BYTES + 1))
+                assert len(too_big) <= MAX_PAYLOAD_BYTES
+                reply = await client.encrypt(Mode.GCM, too_big)
+                assert reply.status is Status.BAD_REQUEST
+                # The worker survived and still drains the queue.
+                ok = await client.ping(b"alive")
+                assert ok.payload == b"alive"
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_unframeable_response_answers_internal(self):
+        """Defense in depth behind the up-front size checks: if a
+        handler ever produces a response too large to frame, the
+        connection gets a small INTERNAL error and the worker
+        lives on."""
+
+        async def scenario():
+            server = await _started()
+
+            async def huge(session: Session, frame: Frame) -> Frame:
+                return frame.response(
+                    payload=b"\x00" * (MAX_PAYLOAD_BYTES + 1)
+                )
+
+            server._handlers[Op.PING] = huge
+            host, port = server.address
+            async with CryptoClient(
+                host, port, retry=RetryPolicy(attempts=1)
+            ) as client:
+                reply = await client.ping(b"x")
+                assert reply.status is Status.INTERNAL
+                # The same connection (and worker) still serves.
+                reply = await client.load_key(bytes(16))
+                assert reply.status is Status.OK
+            await server.stop()
+
+        asyncio.run(scenario())
+
     def test_malformed_frame_answered_connection_survives(self):
         async def scenario():
             server = await _started()
@@ -293,6 +349,11 @@ class TestEndToEnd:
                 reply = await client.shutdown()
                 assert reply.status is Status.OK
             await asyncio.wait_for(server.wait_stopped(), 10.0)
+            # The remotely-triggered stop task is strongly referenced
+            # (the loop keeps only weak refs to tasks, so an
+            # anonymous one could be collected mid-shutdown).
+            assert server._stop_task is not None
+            assert server._stop_task.done()
             # New requests while stopping answer SHUTTING_DOWN or the
             # listener is already closed.
             with pytest.raises((ConnectionError, OSError)):
