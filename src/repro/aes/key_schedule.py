@@ -163,5 +163,10 @@ def _check_round_key(words: Sequence[int]) -> Tuple[int, int, int, int]:
 
 
 def _check_word(word: int) -> None:
-    if not isinstance(word, int) or not 0 <= word <= 0xFFFFFFFF:
-        raise ValueError(f"word out of range: {word!r}")
+    # Deliberately do not echo the offending value: these words are
+    # round-key material and exception text ends up in tracebacks.
+    if not isinstance(word, int):
+        raise ValueError(
+            f"word must be an int, got {type(word).__name__}")
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise ValueError("word out of 32-bit range")

@@ -9,7 +9,11 @@ AES deployments as they grow (the Paul et al. RTOS integration story):
   ``*_key``, ...) plus locals assigned from tainted expressions.
   Length/type checks (``len``, ``isinstance``, ``type``) and
   ``hmac.compare_digest`` are sanitizers: branching on a length or a
-  constant-time comparison verdict is fine.  Taint additionally
+  constant-time comparison verdict is fine — as is branching on a
+  *public attribute* of a tainted object (``response.status``: frame
+  status/header bytes are protocol state, not key-derived; see
+  :attr:`repro.checks.engine.CheckConfig.public_attributes`) or on
+  an is-None presence check.  Taint additionally
   crosses **one level** of same-module helper calls: a parameter of a
   module-local function receiving a lexically tainted argument at any
   call site is seeded tainted in that callee.  The propagation is not
@@ -37,7 +41,6 @@ from __future__ import annotations
 
 import ast
 import fnmatch
-import re
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, \
     Sequence, Set
@@ -50,14 +53,10 @@ from repro.checks.engine import (
     Severity,
     rule,
 )
-
-#: Calls whose result is public even when fed secrets.
-_SANITIZERS = {"len", "isinstance", "type", "compare_digest"}
-
-#: Module-level names that look like embedded key/IV material.
-_KEY_GLOBAL_RE = re.compile(
-    r"(?:^|_)(?:key|keys|kek|secret|secrets|iv|nonce|password)(?:_|$)",
-    re.IGNORECASE,
+from repro.checks.secrets import (
+    KEY_GLOBAL_RE as _KEY_GLOBAL_RE,
+    SANITIZERS as _SANITIZERS,
+    is_secret_name,
 )
 
 #: Mode-call names whose second positional argument is an IV/nonce.
@@ -85,10 +84,8 @@ class SourceFile:
 
 # ------------------------------------------------------------ taint engine
 def _is_secret_name(name: str, config: CheckConfig) -> bool:
-    if name in config.secret_name_exceptions:
-        return False
-    return any(fnmatch.fnmatch(name, pat)
-               for pat in config.secret_name_patterns)
+    return is_secret_name(name, config.secret_name_patterns,
+                          config.secret_name_exceptions)
 
 
 def _call_name(node: ast.Call) -> str:
@@ -100,13 +97,34 @@ def _call_name(node: ast.Call) -> str:
     return ""
 
 
-def _names_referenced(node: ast.AST) -> Set[str]:
-    """Names read in an expression, skipping sanitizer-call interiors."""
+def _is_none_check(node: ast.Compare) -> bool:
+    """``x is None`` / ``x is not None`` reveals presence, not bits."""
+    return (
+        all(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops)
+        and all(isinstance(c, ast.Constant) and c.value is None
+                for c in node.comparators)
+    )
+
+
+def _names_referenced(node: ast.AST, config: CheckConfig) -> Set[str]:
+    """Names read in an expression, skipping sanitized interiors.
+
+    Three shapes launder: a sanitizer call (``len(key)``), a *public
+    attribute* projection (``response.status`` — frame status/header
+    fields carry protocol state, not key bits; see
+    :attr:`CheckConfig.public_attributes`), and an is-None identity
+    check (``last_response is not None`` reveals only presence).
+    """
     names: Set[str] = set()
+    public = set(config.public_attributes)
 
     def walk(n: ast.AST) -> None:
         if isinstance(n, ast.Call) and _call_name(n) in _SANITIZERS:
             return  # len(key) etc. launders the secret
+        if isinstance(n, ast.Compare) and _is_none_check(n):
+            return
+        if isinstance(n, ast.Attribute) and n.attr in public:
+            return
         if isinstance(n, ast.Name):
             names.add(n.id)
         for child in ast.iter_child_nodes(n):
@@ -116,9 +134,10 @@ def _names_referenced(node: ast.AST) -> Set[str]:
     return names
 
 
-def _taints(node: ast.AST, tainted: Set[str]) -> Set[str]:
+def _taints(node: ast.AST, tainted: Set[str],
+            config: CheckConfig) -> Set[str]:
     """Tainted names an expression actually reads."""
-    return _names_referenced(node) & tainted
+    return _names_referenced(node, config) & tainted
 
 
 def _assign_targets(node: ast.AST) -> List[str]:
@@ -175,7 +194,7 @@ def _function_taint(func: ast.AST, config: CheckConfig,
                 continue
             if isinstance(node, (ast.For, ast.AsyncFor)):
                 value = node.iter
-            if _taints(value, tainted):
+            if _taints(value, tainted, config):
                 for name in _assign_targets(node):
                     if name not in tainted:
                         tainted.add(name)
@@ -232,11 +251,11 @@ def _call_site_seeds(tree: ast.Module,
                 if isinstance(arg, ast.Starred):
                     break  # positions unknowable past a splat
                 if index + offset < len(params) and \
-                        _taints(arg, tainted):
+                        _taints(arg, tainted, config):
                     hit.add(params[index + offset])
             for keyword in node.keywords:
                 if keyword.arg in params and \
-                        _taints(keyword.value, tainted):
+                        _taints(keyword.value, tainted, config):
                     hit.add(keyword.arg)
             if hit:
                 seeds.setdefault(callee.name, set()).update(hit)
@@ -273,7 +292,7 @@ def secret_branch(source: SourceFile,
                 test = node.test
             if test is None:
                 continue
-            hits = _taints(test, tainted)
+            hits = _taints(test, tainted, config)
             if hits:
                 names = ", ".join(sorted(hits))
                 yield Finding(
@@ -312,9 +331,9 @@ def secret_index(source: SourceFile,
                 # Slicing the secret itself by a public index is how
                 # word extraction works; the channel is the *address*,
                 # which here is the public index.
-                if not _taints(node.slice, tainted):
+                if not _taints(node.slice, tainted, config):
                     continue
-            hits = _taints(node.slice, tainted)
+            hits = _taints(node.slice, tainted, config)
             if hits:
                 names = ", ".join(sorted(hits))
                 yield Finding(
@@ -366,7 +385,7 @@ def padding_oracle(source: SourceFile,
         compare_lines: Set[int] = set()
         for node in _own_nodes(func):
             if isinstance(node, ast.Compare):
-                hits = _taints(node, tainted)
+                hits = _taints(node, tainted, config)
                 if hits:
                     compare_lines.add(node.lineno)
                     names = ", ".join(sorted(hits))
@@ -389,7 +408,7 @@ def padding_oracle(source: SourceFile,
                    and sub.lineno in compare_lines
                    for sub in ast.walk(test)):
                 continue  # already reported as a leaky comparison
-            hits = _taints(test, tainted)
+            hits = _taints(test, tainted, config)
             if hits:
                 names = ", ".join(sorted(hits))
                 yield Finding(

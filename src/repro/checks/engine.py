@@ -26,6 +26,8 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, \
     Sequence, Tuple
 
+from repro.checks import secrets as _secrets
+
 
 class Severity(enum.IntEnum):
     """How bad a finding is; ordering matters (ERROR > WARNING > NOTE)."""
@@ -55,6 +57,7 @@ KIND_VHDL = "vhdl"          # (filename, text) pair
 KIND_STA = "sta"            # repro.checks.sta.StaSubject
 KIND_EQUIV = "equiv"        # repro.checks.equiv.EquivSubject
 KIND_OBS = "obs"            # repro.checks.obs.ObsSubject
+KIND_FLOW = "flow"          # repro.checks.flow.FlowSubject
 
 
 @dataclass(frozen=True)
@@ -145,8 +148,9 @@ def rule(rule_id: str, severity: Severity, requires: str,
 def registry() -> Dict[str, Rule]:
     """All registered rules (importing the analyzer modules first)."""
     # Importing the families populates the registry as a side effect.
-    from repro.checks import crypto_lint, equiv, fsm, hdl_rules, \
-        netlist_drc, obs, serve_rules, sta  # noqa: F401
+    from repro.checks import aio_rules, crypto_lint, equiv, fsm, \
+        hdl_rules, netlist_drc, obs, serve_rules, sta, \
+        taint_rules  # noqa: F401
     return dict(_REGISTRY)
 
 
@@ -178,16 +182,56 @@ class CheckConfig:
         "SBOX", "INV_SBOX", "RCON", "T0", "T1", "T2", "T3",
         "_ALOG", "_LOG", "_table",
     )
-    #: Identifier patterns treated as key material by the taint rules.
-    secret_name_patterns: Tuple[str, ...] = (
-        "key", "*_key", "key_*material", "kek", "secret", "*_secret",
-        "subkey", "round_keys",
-    )
+    #: Identifier patterns treated as key material by the taint rules
+    #: (defaults shared with every pack via repro.checks.secrets).
+    secret_name_patterns: Tuple[str, ...] = _secrets.SECRET_NAME_PATTERNS
     #: Names that look key-like but are control/protocol signals or
     #: boolean flags, not key material.
-    secret_name_exceptions: Tuple[str, ...] = (
-        "wr_key", "load_key", "key_index", "key_ready", "is_key",
-        "has_key",
+    secret_name_exceptions: Tuple[str, ...] = \
+        _secrets.SECRET_NAME_EXCEPTIONS
+    #: Attribute names the taint rules treat as *public* projections
+    #: of an otherwise secret-carrying object: frame status/header
+    #: fields and session identity.  Reading ``response.status`` off a
+    #: frame that travelled next to key material reveals protocol
+    #: state, not key bits, so it does not propagate taint.
+    public_attributes: Tuple[str, ...] = (
+        "status", "op", "mode", "request_id", "session_id",
+        # Cipher geometry (FIPS-197 Nb/Nk/Nr): block/key dimensions
+        # are spec constants, not key bits.
+        "nb", "nk", "nr",
+    )
+    #: Class names whose *instances* carry key material even when the
+    #: variable holding them is innocently named (``session``).  A
+    #: parameter annotated with one of these, or a local assigned from
+    #: its constructor, is tainted; public_attributes still launder.
+    secret_carrier_types: Tuple[str, ...] = ("Session",)
+    #: Interprocedural propagation bound: how many call-graph hops a
+    #: taint seed may travel (and how deep the blocking-call closure
+    #: goes) before the fixpoint stops.  Keeps the analysis
+    #: predictable on pathological call chains.
+    flow_max_depth: int = 8
+    #: Function-name patterns whose *return value* is data-plane
+    #: output rather than key material: ciphertext and recovered
+    #: plaintext are derived from the key but are precisely what the
+    #: system exists to hand out.  Calls matching these launder taint
+    #: in the flow engine — otherwise every bench report and response
+    #: frame downstream of an encrypt call lights up as a "leak".
+    declassified_call_names: Tuple[str, ...] = (
+        "*crypt*", "*gctr*",
+    )
+    #: Call shapes the ``aio.blocking-in-coroutine`` rule treats as
+    #: blocking the event loop when invoked directly inside an
+    #: ``async def``: dotted prefixes (``time.sleep``, ``socket.*``)
+    #: and bare names of the synchronous crypto entry points that
+    #: must go through ``run_in_executor``.
+    blocking_call_prefixes: Tuple[str, ...] = (
+        "time.sleep", "socket.", "subprocess.", "requests.",
+    )
+    blocking_call_names: Tuple[str, ...] = (
+        "encrypt_blocks", "xcrypt_ecb", "xcrypt_ctr", "keystream",
+        "gctr", "ecb_encrypt", "ecb_decrypt", "cbc_encrypt",
+        "cbc_decrypt", "ctr_xcrypt", "ctr_stream", "gcm_encrypt",
+        "gcm_decrypt",
     )
     #: Function-name patterns the padding-oracle rule treats as
     #: padding validators: their inputs are decrypted plaintext,

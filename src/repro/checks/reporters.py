@@ -21,13 +21,15 @@ def render_text(
         lines.append(f"suppressed by baseline ({len(suppressed)}):")
         lines.extend(f"  {f.render()}" for f in suppressed)
     if stale_fingerprints:
-        # Stale entries warn but never fail a run: a fixed finding
-        # should not punish the fixer.  --write-baseline prunes them.
+        # Stale entries warn on a default run (a fixed finding should
+        # not punish the fixer) but fail under --strict, where a
+        # suppression that matches nothing means the sanction has
+        # drifted from the tree.  --write-baseline prunes them.
         lines.append(
             f"warning: {len(stale_fingerprints)} baseline entr"
             f"{'y is' if len(stale_fingerprints) == 1 else 'ies are'} "
-            "stale (no longer reported); re-run with --write-baseline "
-            "to prune"
+            "stale (no longer reported); fails --strict; re-run with "
+            "--write-baseline to prune"
         )
     counts = _severity_counts(findings)
     summary = ", ".join(

@@ -6,8 +6,11 @@ the whole shipped artifact:
 - connectivity designs of the three paper devices (DRC family);
 - structural netlists of the paper design points (inventory family);
 - control-FSM models of every device flavour (FSM family);
-- the Python cipher/IP source under ``src/repro/aes`` and
-  ``src/repro/ip`` (constant-time family);
+- the Python cipher/IP/serving source (constant-time and serve
+  families, per file);
+- that source set *plus* the perf/obs trees as ONE whole-program
+  subject for the interprocedural flow packs (``taint.*`` /
+  ``aio.*`` — see :mod:`repro.checks.flow`);
 - the generated VHDL deliverable (HDL family);
 - graph STA subjects — every paper variant on both Table 2 devices
   (``sta.*`` family);
@@ -27,6 +30,7 @@ from repro.checks.baseline import DEFAULT_BASELINE, Baseline
 from repro.checks.engine import (
     KIND_DESIGN,
     KIND_EQUIV,
+    KIND_FLOW,
     KIND_FSM,
     KIND_NETLIST,
     KIND_OBS,
@@ -41,10 +45,18 @@ from repro.checks.engine import (
 )
 from repro.checks.crypto_lint import SourceFile
 
-#: Source trees the constant-time family scans by default, relative to
-#: the repository root.
+#: Source trees the per-file source families (``ct.*``, ``serve.*``)
+#: scan by default, relative to the repository root.
 DEFAULT_SOURCE_DIRS = ("src/repro/aes", "src/repro/ip",
                        "src/repro/serve")
+
+#: Extra trees that join the whole-program flow subject only.  The
+#: taint/aio hazards live exactly where engine, metrics and serving
+#: code meet — but the per-file constant-time gate stays scoped to
+#: the cipher/IP/serving trees it has always guarded (the T-table
+#: bench backend is non-constant-time by design and sanctioned
+#: there).
+FLOW_EXTRA_SOURCE_DIRS = ("src/repro/perf", "src/repro/obs")
 
 
 @dataclass
@@ -91,12 +103,20 @@ def build_subjects(
     from repro.hdl.vhdl_gen import generate_core_vhdl
     from repro.ip.control import Variant
 
+    from repro.checks.flow import FlowSubject
+
     designs = [paper_connectivity(variant) for variant in Variant]
     by_variant = {design.name: design for design in designs}
     netlists = [NetlistSubject(spec, build_netlist(spec))
                 for spec in PAPER_SPECS.values()]
     fsms = paper_fsms()
     sources = _load_sources(root, source_paths)
+    flow_sources = list(sources)
+    if source_paths is None:
+        flow_sources.extend(_load_sources(
+            root, [root / d for d in FLOW_EXTRA_SOURCE_DIRS]))
+    parsed = tuple(s for s in flow_sources
+                   if isinstance(s, SourceFile))
     vhdl: List[Tuple[str, str]] = []
     for variant in Variant:
         for name, text in sorted(
@@ -121,6 +141,9 @@ def build_subjects(
         KIND_STA: sta_subjects,
         KIND_EQUIV: equiv_subjects,
         KIND_OBS: paper_obs_subjects(),
+        # The whole parsed source set as one program: the flow packs
+        # need cross-file call edges, not per-file views.
+        KIND_FLOW: [FlowSubject(parsed)] if parsed else [],
     }
 
 

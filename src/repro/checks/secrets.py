@@ -1,0 +1,76 @@
+"""Shared key-material name heuristics for every source rule pack.
+
+Three rule families decide "does this identifier look like key
+material?": the constant-time lint (:mod:`repro.checks.crypto_lint`),
+the serving-layer rules (:mod:`repro.checks.serve_rules`) and the
+interprocedural taint pack (:mod:`repro.checks.taint_rules`).  Each
+used to carry its own copy of the patterns; this module is the single
+source of truth they all consume, so a new spelling (``kek``,
+``session_key``) is added exactly once.
+
+Two kinds of matcher live here:
+
+- :func:`is_secret_name` — fnmatch over identifier-shaped names
+  (function parameters, locals), driven by
+  :attr:`repro.checks.engine.CheckConfig.secret_name_patterns` with
+  the config's exception list;
+- :data:`KEY_GLOBAL_RE` — a looser word-boundary regex for
+  module-level globals, where ``SP800_38A_CBC128_IV`` must still
+  match.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from typing import Iterable
+
+#: Identifier patterns treated as key material by the taint rules.
+#: These are the *defaults* behind
+#: :attr:`repro.checks.engine.CheckConfig.secret_name_patterns`.
+SECRET_NAME_PATTERNS = (
+    "key", "*_key", "key_*material", "kek", "secret", "*_secret",
+    "subkey", "round_keys",
+)
+
+#: Names that look key-like but are control/protocol signals or
+#: boolean flags, not key material (defaults behind
+#: :attr:`repro.checks.engine.CheckConfig.secret_name_exceptions`).
+SECRET_NAME_EXCEPTIONS = (
+    "wr_key", "load_key", "key_index", "key_ready", "is_key",
+    "has_key",
+)
+
+#: Module-level names that look like embedded key/IV material.
+KEY_GLOBAL_RE = re.compile(
+    r"(?:^|_)(?:key|keys|kek|secret|secrets|iv|nonce|password)(?:_|$)",
+    re.IGNORECASE,
+)
+
+#: Calls whose result is public even when fed secrets: lengths, type
+#: verdicts, and constant-time comparison outcomes.
+SANITIZERS = frozenset({"len", "isinstance", "type", "compare_digest"})
+
+
+def is_secret_name(name: str,
+                   patterns: Iterable[str] = SECRET_NAME_PATTERNS,
+                   exceptions: Iterable[str] = SECRET_NAME_EXCEPTIONS,
+                   ) -> bool:
+    """Whether an identifier looks like key material.
+
+    ``patterns`` / ``exceptions`` normally come from the active
+    :class:`~repro.checks.engine.CheckConfig`; the defaults make the
+    helper usable standalone (fixtures, doctests).
+    """
+    if name in exceptions:
+        return False
+    return any(fnmatch.fnmatch(name, pat) for pat in patterns)
+
+
+__all__ = [
+    "KEY_GLOBAL_RE",
+    "SANITIZERS",
+    "SECRET_NAME_EXCEPTIONS",
+    "SECRET_NAME_PATTERNS",
+    "is_secret_name",
+]

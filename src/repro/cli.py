@@ -261,7 +261,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(render_text(result.findings, result.suppressed,
                           result.stale_fingerprints,
                           verbose=args.verbose))
-    if args.strict and result.findings:
+    if args.strict and (result.findings or result.stale_fingerprints):
+        # Stale suppressions are a strict-mode failure, not a warning:
+        # a baseline entry that no longer matches anything means the
+        # tree moved and the sanction with it.  CI fails; a local run
+        # prunes with --write-baseline.
+        if not result.findings and result.stale_fingerprints:
+            print("error: stale baseline entries under --strict; "
+                  "prune with --write-baseline", file=sys.stderr)
         return 1
     worst = result.worst
     return 1 if worst is Severity.ERROR else 0

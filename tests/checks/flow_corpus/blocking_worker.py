@@ -1,0 +1,17 @@
+"""A coroutine that reaches a blocking crypto entry point through a
+sync helper: only the transitive closure sees it."""
+
+import time
+
+
+def _grind(engine, data):
+    return engine.encrypt_blocks(b"\x00" * 16, data)
+
+
+def _relay(engine, data):
+    return _grind(engine, data)
+
+
+async def handle(engine, data):
+    time.sleep(0.01)  # expect: aio.blocking-in-coroutine
+    return _relay(engine, data)  # expect: aio.blocking-in-coroutine

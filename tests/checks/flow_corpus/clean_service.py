@@ -1,0 +1,43 @@
+"""Negative control: a service slice doing everything right — pinned
+tasks, executor-routed crypto, locked shared state, and logs that
+render only lengths, public frame fields and ciphertext.  Every flow
+rule must stay silent on this file."""
+
+import asyncio
+import logging
+
+_LOG = logging.getLogger(__name__)
+
+
+def gcm_encrypt(key, data):
+    return data
+
+
+class Session:
+    def __init__(self, session_id):
+        self.session_id = session_id
+        self.key = None
+
+
+class Service:
+    async def start(self):
+        self._stop_task = asyncio.create_task(self.stop())
+        await self._stop_task
+
+    async def stop(self):
+        async with self._lock:
+            self.jobs.clear()
+
+    async def handle(self, loop, session: Session, key, frame, data):
+        _LOG.info("op=%s sid=%s key_bytes=%d", frame.op,
+                  session.session_id, len(key))
+        ciphertext = await loop.run_in_executor(
+            None, gcm_encrypt, key, data)
+        async with self._lock:
+            self.jobs.append(frame.request_id)
+        await loop.run_in_executor(None, self._note_done)
+        return f"ct={ciphertext.hex()}"
+
+    def _note_done(self):
+        with self._lock:
+            self.jobs.pop()

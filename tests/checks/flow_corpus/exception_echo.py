@@ -1,0 +1,14 @@
+"""A validator that echoes its argument: harmless in isolation, a
+key-material leak once a call site feeds it schedule words (the
+key_schedule._check_word defect fixed alongside this corpus)."""
+
+
+def check_word(word):
+    if word > 0xFFFFFFFF:
+        msg = f"word out of range: {word!r}"  # expect: taint.secret-in-format
+        raise ValueError(msg)  # expect: taint.secret-in-exception
+
+
+def expand(key):
+    for word in key:
+        check_word(word)

@@ -1,0 +1,13 @@
+"""Read-modify-write on self.* state from both sides of the
+loop/executor boundary with no lock: the GIL keeps bytecodes atomic,
+not sequences."""
+
+
+class Engine:
+    async def submit(self, loop, job):
+        self.pending.append(job)  # expect: aio.unlocked-shared-mutation
+        await loop.run_in_executor(None, self._drain)
+
+    def _drain(self):
+        while self.pending:
+            self.pending.pop()  # expect: aio.unlocked-shared-mutation

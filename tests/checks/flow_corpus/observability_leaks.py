@@ -1,0 +1,25 @@
+"""Key material escaping through observability channels: metrics
+labels are exported on every scrape, span attributes end up in
+shareable trace files, and a bare-statement coroutine call silently
+does nothing."""
+
+
+def trace_span(name, **attrs):
+    pass
+
+
+def count_request(counter, session_key):
+    counter.labels(peer=session_key).inc()  # expect: taint.secret-in-metric
+
+
+def trace_request(session_key, frame):
+    with trace_span("enc", mat=session_key):  # expect: taint.secret-in-span
+        pass
+
+
+class Flusher:
+    async def run(self):
+        self.flush()  # expect: aio.unawaited-coroutine
+
+    async def flush(self):
+        pass

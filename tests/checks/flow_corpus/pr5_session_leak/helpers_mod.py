@@ -1,0 +1,10 @@
+"""Seed bug #2 (post-PR-5 review): the helper half — an innocently
+named parameter that only the call graph proves is a Session."""
+
+import logging
+
+_LOG = logging.getLogger(__name__)
+
+
+def log_state(state):
+    _LOG.info("connection state: %r", state)  # expect: taint.secret-in-log

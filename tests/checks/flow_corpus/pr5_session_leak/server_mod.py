@@ -1,0 +1,15 @@
+"""Seed bug #2, server half: a Session (whose field *is* the session
+key) handed across a file boundary to a helper that logs it.  The
+shallow per-file lint sees nothing wrong in either file."""
+
+from helpers_mod import log_state
+
+
+class Session:
+    def __init__(self, session_id):
+        self.session_id = session_id
+        self.key = None
+
+
+def on_error(session: Session) -> None:
+    log_state(session)

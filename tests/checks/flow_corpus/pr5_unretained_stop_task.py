@@ -1,0 +1,14 @@
+"""Seed bug #1 (PR 5): a remotely-triggered stop() task spawned with
+create_task and never bound — the loop holds only a weak reference,
+so the GC can collect the shutdown mid-flight."""
+
+import asyncio
+
+
+class Server:
+    async def _worker(self, frame):
+        if frame.op == "SHUTDOWN":
+            asyncio.create_task(self.stop())  # expect: aio.task-not-retained
+
+    async def stop(self):
+        pass

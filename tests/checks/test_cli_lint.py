@@ -9,6 +9,7 @@ import json
 from repro.checks.engine import (
     KIND_DESIGN,
     KIND_EQUIV,
+    KIND_FLOW,
     KIND_FSM,
     KIND_NETLIST,
     KIND_SOURCE,
@@ -37,7 +38,7 @@ def run_cli(capsys, *argv):
 def empty_subjects():
     return {KIND_DESIGN: [], KIND_NETLIST: [], KIND_FSM: [],
             KIND_SOURCE: [], KIND_VHDL: [], KIND_STA: [],
-            KIND_EQUIV: []}
+            KIND_EQUIV: [], KIND_FLOW: []}
 
 
 class TestCleanTree:
@@ -46,13 +47,14 @@ class TestCleanTree:
         assert result.findings == []
         assert result.exit_code == 0
         # The sanctioned warnings are suppressed, not silenced.
-        assert len(result.suppressed) == 6
+        assert len(result.suppressed) == 4
         assert result.stale_fingerprints == []
 
     def test_subjects_cover_every_family(self):
         subjects = build_subjects(ROOT)
         for kind in (KIND_DESIGN, KIND_NETLIST, KIND_FSM,
-                     KIND_SOURCE, KIND_VHDL, KIND_STA, KIND_EQUIV):
+                     KIND_SOURCE, KIND_VHDL, KIND_STA, KIND_EQUIV,
+                     KIND_FLOW):
             assert subjects[kind], kind
 
     def test_sta_subjects_cover_both_table2_devices(self):
@@ -106,6 +108,18 @@ class TestSeededViolationsFailPerFamily:
         )
         assert self._exit_code(KIND_SOURCE, source) == 1
 
+    def test_flow_family(self):
+        from repro.checks.crypto_lint import SourceFile
+        from repro.checks.flow import FlowSubject
+
+        source = SourceFile.parse(
+            "seeded.py",
+            "import time\n\n"
+            "async def f():\n    time.sleep(1)\n",
+        )
+        assert self._exit_code(
+            KIND_FLOW, FlowSubject((source,))) == 1
+
     def test_vhdl_family(self):
         bad = ("entity a is\nend entity b;\n"
                "architecture r of a is\nbegin\n"
@@ -154,7 +168,7 @@ class TestCliSurface:
         code, out = run_cli(capsys, "lint", "--root", str(ROOT))
         assert code == 0
         assert "no findings" in out
-        assert "6 suppressed" in out
+        assert "4 suppressed" in out
 
     def test_strict_is_still_clean(self, capsys):
         code, _ = run_cli(capsys, "lint", "--strict",
@@ -167,7 +181,7 @@ class TestCliSurface:
         assert code == 0
         payload = json.loads(out)
         assert payload["findings"] == []
-        assert len(payload["suppressed"]) == 6
+        assert len(payload["suppressed"]) == 4
         assert payload["summary"]["error"] == 0
 
     def test_list_rules(self, capsys):
@@ -253,7 +267,7 @@ class TestCliSurface:
         bad.write_text("def f(key, t):\n    return t[0]\n")
         code, out = run_cli(capsys, "lint", "--root", str(ROOT),
                             str(bad), "--baseline", str(baseline))
-        assert code == 0  # stale entries warn, never fail
+        assert code == 0  # stale entries warn on default runs
         assert "stale" in out
         code, out = run_cli(
             capsys, "lint", "--root", str(ROOT), str(bad),
@@ -266,6 +280,31 @@ class TestCliSurface:
                             str(bad), "--baseline", str(baseline))
         assert code == 0
         assert "stale" not in out
+
+    def test_stale_baseline_fails_under_strict(self, capsys,
+                                               tmp_path):
+        bad = tmp_path / "leaky.py"
+        bad.write_text("def f(key, t):\n    return t[key[0]]\n")
+        baseline = tmp_path / "baseline.json"
+        run_cli(capsys, "lint", "--root", str(ROOT), str(bad),
+                "--baseline", str(baseline), "--write-baseline")
+        # Fix the finding: CI (--strict) must now fail on the stale
+        # suppression instead of letting the baseline drift.
+        bad.write_text("def f(key, t):\n    return t[0]\n")
+        code = main(["lint", "--strict", "--root", str(ROOT),
+                     str(bad), "--baseline", str(baseline)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "stale" in captured.out + captured.err
+        # --write-baseline stays the local escape hatch.
+        code, _ = run_cli(capsys, "lint", "--root", str(ROOT),
+                          str(bad), "--baseline", str(baseline),
+                          "--write-baseline")
+        assert code == 0
+        code = main(["lint", "--strict", "--root", str(ROOT),
+                     str(bad), "--baseline", str(baseline)])
+        capsys.readouterr()
+        assert code == 0
 
     def test_sta_command_reports_all_six_rows(self, capsys):
         code, out = run_cli(capsys, "sta")

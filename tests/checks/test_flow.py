@@ -1,0 +1,322 @@
+"""FlowProgram engine: call-graph resolution, interprocedural taint,
+sanitizers/declassifiers and the blocking-call closure."""
+
+import textwrap
+
+from repro.checks.crypto_lint import SourceFile
+from repro.checks.engine import CheckConfig
+from repro.checks.flow import FlowProgram, FlowSubject
+
+
+def program(config=None, /, **modules):
+    sources = tuple(
+        SourceFile.parse(f"{name}.py", textwrap.dedent(code))
+        for name, code in modules.items()
+    )
+    return FlowProgram(sources, config or CheckConfig())
+
+
+def fn(prog, qualname):
+    return prog.functions[qualname]
+
+
+class TestCallGraph:
+    def test_same_module_bare_call_resolves(self):
+        prog = program(mod="""
+            def helper(x):
+                return x
+
+            def caller():
+                helper(1)
+            """)
+        edges = prog.edges(fn(prog, "mod.py::caller"))
+        assert [e.callee.qualname for e in edges] == \
+            ["mod.py::helper"]
+
+    def test_cross_module_unique_name_resolves(self):
+        prog = program(
+            a="""
+            def unique_helper(x):
+                return x
+            """,
+            b="""
+            def caller():
+                unique_helper(1)
+            """)
+        edges = prog.edges(fn(prog, "b.py::caller"))
+        assert [e.callee.qualname for e in edges] == \
+            ["a.py::unique_helper"]
+
+    def test_ambiguous_name_resolves_to_nothing(self):
+        prog = program(
+            a="def helper():\n    pass\n",
+            b="def helper():\n    pass\n",
+            c="def caller():\n    helper()\n")
+        assert prog.edges(fn(prog, "c.py::caller")) == []
+
+    def test_self_call_prefers_own_class(self):
+        prog = program(mod="""
+            class A:
+                def step(self):
+                    pass
+
+                def run(self):
+                    self.step()
+
+            class B:
+                def step(self):
+                    pass
+            """)
+        edges = prog.edges(fn(prog, "mod.py::A.run"))
+        assert [e.callee.qualname for e in edges] == \
+            ["mod.py::A.step"]
+        assert edges[0].offset == 1
+
+    def test_self_call_never_resolves_to_foreign_class(self):
+        prog = program(mod="""
+            class A:
+                def run(self):
+                    self.step()
+
+            class B:
+                def step(self):
+                    pass
+            """)
+        assert prog.edges(fn(prog, "mod.py::A.run")) == []
+
+    def test_foreign_receiver_never_resolves_to_method(self):
+        # The production false positive: writer.close() must not
+        # resolve to some unrelated class's async close().
+        prog = program(mod="""
+            class Client:
+                async def close(self):
+                    pass
+
+            def shutdown(writer):
+                writer.close()
+            """)
+        assert prog.edges(fn(prog, "mod.py::shutdown")) == []
+
+    def test_attribute_call_resolves_to_plain_function(self):
+        prog = program(
+            modes="""
+            def ecb_helper(data):
+                return data
+            """,
+            caller="""
+            import modes
+
+            def run(data):
+                return modes.ecb_helper(data)
+            """)
+        edges = prog.edges(fn(prog, "caller.py::run"))
+        assert [e.callee.qualname for e in edges] == \
+            ["modes.py::ecb_helper"]
+
+
+class TestTaint:
+    def test_secret_named_param_is_seeded(self):
+        prog = program(mod="""
+            def f(key):
+                pass
+            """)
+        assert "key" in prog.taint(fn(prog, "mod.py::f"))
+
+    def test_carrier_annotation_is_seeded(self):
+        prog = program(mod="""
+            def f(sess: Session):
+                pass
+
+            def g(sess: "Optional[Session]"):
+                pass
+            """)
+        assert "sess" in prog.taint(fn(prog, "mod.py::f"))
+        assert "sess" in prog.taint(fn(prog, "mod.py::g"))
+
+    def test_carrier_constructor_taints_local(self):
+        prog = program(mod="""
+            def f(material):
+                sess = Session(material)
+                return None
+            """)
+        assert "sess" in prog.taint(fn(prog, "mod.py::f"))
+
+    def test_assignment_propagates(self):
+        prog = program(mod="""
+            def f(key):
+                alias = key
+                derived = alias + b"x"
+            """)
+        taint = prog.taint(fn(prog, "mod.py::f"))
+        assert {"alias", "derived"} <= taint
+
+    def test_call_site_seeds_callee_param(self):
+        prog = program(mod="""
+            def sink(material):
+                pass
+
+            def f(key):
+                sink(key)
+            """)
+        assert "material" in prog.taint(fn(prog, "mod.py::sink"))
+
+    def test_keyword_call_site_seeds(self):
+        prog = program(mod="""
+            def sink(material=None):
+                pass
+
+            def f(key):
+                sink(material=key)
+            """)
+        assert "material" in prog.taint(fn(prog, "mod.py::sink"))
+
+    def test_two_hop_transitive_seeding(self):
+        prog = program(mod="""
+            def inner(deep):
+                pass
+
+            def middle(mid):
+                inner(mid)
+
+            def f(key):
+                middle(key)
+            """)
+        assert "deep" in prog.taint(fn(prog, "mod.py::inner"))
+
+    def test_returns_secret_flows_back_to_caller(self):
+        prog = program(mod="""
+            def expand(key):
+                return key * 2
+
+            def f(key):
+                schedule = expand(key)
+            """)
+        assert "mod.py::expand" in prog.returns_secret
+        assert "schedule" in prog.taint(fn(prog, "mod.py::f"))
+
+    def test_depth_bound_stops_propagation(self):
+        chain = ["def f0(key):\n    f1(key)\n"]
+        for i in range(1, 6):
+            chain.append(
+                f"def f{i}(arg{i}):\n    f{i + 1}(arg{i})\n")
+        chain.append("def f6(arg6):\n    pass\n")
+        code = "\n".join(chain)
+        shallow = FlowProgram(
+            (SourceFile.parse("mod.py", code),),
+            CheckConfig(flow_max_depth=2))
+        deep = FlowProgram(
+            (SourceFile.parse("mod.py", code),),
+            CheckConfig(flow_max_depth=16))
+        assert "arg6" in deep.taint(fn(deep, "mod.py::f6"))
+        assert "arg6" not in shallow.taint(fn(shallow, "mod.py::f6"))
+
+    def test_sanitizer_calls_launder(self):
+        prog = program(mod="""
+            def f(key):
+                size = len(key)
+                kind = isinstance(key, bytes)
+            """)
+        taint = prog.taint(fn(prog, "mod.py::f"))
+        assert "size" not in taint and "kind" not in taint
+
+    def test_public_attribute_projection_launders(self):
+        prog = program(mod="""
+            def f(session: Session):
+                ident = session.session_id
+                bits = session.material
+            """)
+        taint = prog.taint(fn(prog, "mod.py::f"))
+        assert "ident" not in taint
+        assert "bits" in taint
+
+    def test_is_none_check_launders(self):
+        prog = program(mod="""
+            def f(key):
+                present = key is not None
+            """)
+        assert "present" not in prog.taint(fn(prog, "mod.py::f"))
+
+    def test_declassified_entry_point_never_returns_secret(self):
+        prog = program(mod="""
+            def ecb_encrypt(key, data):
+                return bytes(b ^ key[0] for b in data)
+
+            def f(key, data):
+                ct = ecb_encrypt(key, data)
+            """)
+        assert "mod.py::ecb_encrypt" not in prog.returns_secret
+        assert "ct" not in prog.taint(fn(prog, "mod.py::f"))
+
+    def test_lambda_capture_does_not_read_taint(self):
+        # A timing closure must not taint the measurement pipeline.
+        prog = program(mod="""
+            def f(key):
+                thunk = lambda: transform(key)
+            """)
+        assert "thunk" not in prog.taint(fn(prog, "mod.py::f"))
+
+
+class TestBlocking:
+    def test_direct_sleep_detected(self):
+        prog = program(mod="""
+            import ast, time
+
+            def f():
+                time.sleep(1)
+            """)
+        info = fn(prog, "mod.py::f")
+        assert prog.blocking_chain(info) == ("time.sleep",)
+
+    def test_socket_prefix_detected(self):
+        prog = program(mod="""
+            import socket
+
+            def f(host):
+                socket.create_connection((host, 80))
+            """)
+        assert prog.blocking_chain(fn(prog, "mod.py::f")) is not None
+
+    def test_sync_crypto_entry_point_detected(self):
+        prog = program(mod="""
+            def f(engine, key, data):
+                return engine.encrypt_blocks(key, data)
+            """)
+        assert prog.blocking_chain(fn(prog, "mod.py::f")) == \
+            ("engine.encrypt_blocks",)
+
+    def test_transitive_chain_is_spelled_out(self):
+        prog = program(mod="""
+            import time
+
+            def leaf():
+                time.sleep(1)
+
+            def middle():
+                leaf()
+            """)
+        assert prog.blocking_chain(fn(prog, "mod.py::middle")) == \
+            ("leaf", "time.sleep")
+
+    def test_async_functions_are_not_marked(self):
+        prog = program(mod="""
+            import time
+
+            async def f():
+                time.sleep(1)
+            """)
+        assert prog.blocking_chain(fn(prog, "mod.py::f")) is None
+
+
+class TestSubjectCache:
+    def test_program_is_cached_per_config(self):
+        subject = FlowSubject(
+            (SourceFile.parse("m.py", "def f():\n    pass\n"),))
+        config = CheckConfig()
+        assert subject.program(config) is subject.program(config)
+
+    def test_new_config_rebuilds(self):
+        subject = FlowSubject(
+            (SourceFile.parse("m.py", "def f():\n    pass\n"),))
+        first = subject.program(CheckConfig())
+        second = subject.program(CheckConfig(flow_max_depth=2))
+        assert first is not second

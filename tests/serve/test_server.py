@@ -361,6 +361,61 @@ class TestEndToEnd:
 
         asyncio.run(scenario())
 
+    def test_worker_task_exception_storm_server_survives(self):
+        """Seed-bug regression (PR 5): a burst of handler exceptions
+        must not thin out the worker pool.  Every request in the
+        storm gets an INTERNAL error frame, every worker task is
+        still alive afterwards, and the next honest request is
+        served normally."""
+
+        async def scenario():
+            config = ServeConfig(port=0, workers=2)
+            server = await _started(config)
+
+            async def exploding(session: Session,
+                                frame: Frame) -> Frame:
+                raise RuntimeError("handler bug")
+
+            honest_ping = server._handlers[Op.PING]
+            server._handlers[Op.PING] = exploding
+            host, port = server.address
+
+            async def one_client() -> list:
+                async with CryptoClient(
+                    host, port, retry=RetryPolicy(attempts=1)
+                ) as client:
+                    return [await client.ping(b"boom")
+                            for _ in range(3)]
+
+            # Far more failures than workers, across 8 concurrent
+            # connections.
+            replies = [
+                reply
+                for batch in await asyncio.gather(
+                    *(one_client() for _ in range(8)))
+                for reply in batch
+            ]
+            assert len(replies) == 24
+            assert all(r.status is Status.INTERNAL for r in replies)
+            # No worker died: the tasks the storm would have killed
+            # before the _worker hardening are all alive.
+            assert len(server._workers) == 2
+            assert not any(t.done() for t in server._workers)
+            # And the pool still serves honest traffic.
+            server._handlers[Op.PING] = honest_ping
+            async with CryptoClient(
+                host, port, retry=RetryPolicy(attempts=1)
+            ) as client:
+                reply = await client.ping(b"hello")
+                assert reply.status is Status.OK
+                reply = await client.load_key(bytes(16))
+                assert reply.status is Status.OK
+                ct = await client.encrypt(Mode.ECB, bytes(32))
+                assert ct.status is Status.OK
+            await server.stop()
+
+        asyncio.run(scenario())
+
     def test_requests_during_drain_answer_shutting_down(self):
         async def scenario():
             server = await _started(ServeConfig(port=0))
