@@ -58,6 +58,7 @@ KIND_STA = "sta"            # repro.checks.sta.StaSubject
 KIND_EQUIV = "equiv"        # repro.checks.equiv.EquivSubject
 KIND_OBS = "obs"            # repro.checks.obs.ObsSubject
 KIND_FLOW = "flow"          # repro.checks.flow.FlowSubject
+KIND_PROTO = "proto"        # repro.checks.proto.ProtoSubject
 
 
 @dataclass(frozen=True)
@@ -149,7 +150,7 @@ def registry() -> Dict[str, Rule]:
     """All registered rules (importing the analyzer modules first)."""
     # Importing the families populates the registry as a side effect.
     from repro.checks import aio_rules, crypto_lint, equiv, fsm, \
-        hdl_rules, netlist_drc, obs, serve_rules, sta, \
+        hdl_rules, netlist_drc, obs, proto, serve_rules, sta, \
         taint_rules  # noqa: F401
     return dict(_REGISTRY)
 

@@ -212,7 +212,7 @@ class FlowProgram:
     """
 
     def __init__(self, sources: Sequence[SourceFile],
-                 config: CheckConfig):
+                 config: CheckConfig) -> None:
         self.config = config
         self.functions: Dict[str, FunctionInfo] = {}
         self._by_name: Dict[str, List[FunctionInfo]] = {}
@@ -416,8 +416,11 @@ class FlowProgram:
 
         walk(node)
         seen: Set[str] = set()
-        unique = [d for d in found
-                  if not (d in seen or seen.add(d))]  # type: ignore
+        unique: List[str] = []
+        for name in found:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
         return unique
 
     def secret_reads(self, info: FunctionInfo,

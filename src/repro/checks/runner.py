@@ -11,6 +11,9 @@ the whole shipped artifact:
 - that source set *plus* the perf/obs trees as ONE whole-program
   subject for the interprocedural flow packs (``taint.*`` /
   ``aio.*`` — see :mod:`repro.checks.flow`);
+- the serving sources as ONE protocol subject for the explicit-state
+  wire-protocol model checker (``proto.*`` — see
+  :mod:`repro.checks.proto`);
 - the generated VHDL deliverable (HDL family);
 - graph STA subjects — every paper variant on both Table 2 devices
   (``sta.*`` family);
@@ -34,6 +37,7 @@ from repro.checks.engine import (
     KIND_FSM,
     KIND_NETLIST,
     KIND_OBS,
+    KIND_PROTO,
     KIND_SOURCE,
     KIND_STA,
     KIND_VHDL,
@@ -89,8 +93,15 @@ def find_repo_root(start: Optional[Path] = None) -> Path:
 def build_subjects(
     root: Path,
     source_paths: Optional[Sequence[Path]] = None,
+    full_flow: bool = False,
 ) -> Dict[str, Sequence[object]]:
-    """Assemble the default subject set for one lint run."""
+    """Assemble the default subject set for one lint run.
+
+    ``full_flow`` keeps the whole-program flow and proto subjects on
+    their full default source set even when ``source_paths`` restricts
+    the per-file families — the ``--changed`` mode: interprocedural
+    and protocol analyses are only sound over the whole package.
+    """
     from repro.arch.spec import PAPER_SPECS
     from repro.checks.equiv import EquivSubject
     from repro.checks.netlist_drc import NetlistSubject
@@ -104,6 +115,7 @@ def build_subjects(
     from repro.ip.control import Variant
 
     from repro.checks.flow import FlowSubject
+    from repro.checks.proto import ProtoSubject
 
     designs = [paper_connectivity(variant) for variant in Variant]
     by_variant = {design.name: design for design in designs}
@@ -111,8 +123,11 @@ def build_subjects(
                 for spec in PAPER_SPECS.values()]
     fsms = paper_fsms()
     sources = _load_sources(root, source_paths)
-    flow_sources = list(sources)
-    if source_paths is None:
+    if full_flow and source_paths is not None:
+        flow_sources = _load_sources(root, None)
+    else:
+        flow_sources = list(sources)
+    if source_paths is None or full_flow:
         flow_sources.extend(_load_sources(
             root, [root / d for d in FLOW_EXTRA_SOURCE_DIRS]))
     parsed = tuple(s for s in flow_sources
@@ -144,7 +159,25 @@ def build_subjects(
         # The whole parsed source set as one program: the flow packs
         # need cross-file call edges, not per-file views.
         KIND_FLOW: [FlowSubject(parsed)] if parsed else [],
+        # The serve sources as one protocol subject: the proto pack
+        # model-checks the wire protocol across all three modules.
+        KIND_PROTO: _proto_subjects(parsed, ProtoSubject),
     }
+
+
+def _proto_subjects(parsed: Sequence[SourceFile],
+                    subject_cls: type) -> List[object]:
+    """One ProtoSubject over the serve sources, if they are in scope.
+
+    The extractor needs protocol.py + server.py + client.py together;
+    a path-restricted run that covers none of them simply fields no
+    proto subject.
+    """
+    serve = tuple(
+        s for s in parsed
+        if "repro/serve/" in s.path.replace("\\", "/")
+    )
+    return [subject_cls(serve)] if serve else []
 
 
 def _load_sources(
@@ -188,12 +221,14 @@ def run_lint(
     baseline_path: Optional[Path] = None,
     source_paths: Optional[Sequence[Path]] = None,
     subjects: Optional[Dict[str, Sequence[object]]] = None,
+    full_flow: bool = False,
 ) -> LintResult:
     """One full lint pass; the API the CLI and CI wrap."""
     root = root or find_repo_root()
     config = config or CheckConfig()
     if subjects is None:
-        subjects = build_subjects(root, source_paths)
+        subjects = build_subjects(root, source_paths,
+                                  full_flow=full_flow)
 
     parse_failures = [
         s for s in subjects.get(KIND_SOURCE, ())
@@ -222,8 +257,59 @@ def run_lint(
         baseline = Baseline.load(baseline_path)
 
     active, suppressed = baseline.split(findings)
+    stale = _scoped_stale(
+        baseline.stale_entries(findings), baseline, config,
+        subjects, path_restricted=source_paths is not None,
+    )
     return LintResult(
         findings=active,
         suppressed=suppressed,
-        stale_fingerprints=baseline.stale_entries(findings),
+        stale_fingerprints=stale,
     )
+
+
+def _scoped_stale(
+    stale: Sequence[str],
+    baseline: "Baseline",
+    config: CheckConfig,
+    subjects: Dict[str, Sequence[object]],
+    path_restricted: bool,
+) -> List[str]:
+    """Keep only the stale entries this run could have re-produced.
+
+    A run filtered by ``--enable``/``--disable`` never produces
+    findings for the other rule packs, and a path-restricted run never
+    scans the other files — their baseline entries are *out of scope*
+    for this run, not stale.  Entries whose recorded context is
+    missing stay stale (conservative: a full run decides).
+    """
+    from repro.checks.engine import registry
+
+    scanned_by_kind: Dict[str, set] = {}
+    for kind in (KIND_SOURCE, KIND_FLOW, KIND_PROTO):
+        scanned = scanned_by_kind.setdefault(kind, set())
+        for subject in subjects.get(kind, ()):
+            path = getattr(subject, "path", None)
+            if isinstance(path, str):
+                scanned.add(path)
+            for src in getattr(subject, "sources", ()):
+                scanned.add(src.path)
+    rules = registry()
+    kept: List[str] = []
+    for fingerprint in stale:
+        ctx = baseline.entries.get(fingerprint) or {}
+        rule_id = ctx.get("rule", "")
+        if rule_id and not config.enabled(rule_id):
+            continue
+        file = ctx.get("file", "")
+        # Model pseudo-paths (netlist:..., fsm:...) come from subjects
+        # that every run builds; only real files can fall out of a
+        # path-restricted scan — and only out of the subject kind the
+        # recorded rule actually reads.
+        if path_restricted and file.endswith(".py") \
+                and rule_id in rules:
+            scanned = scanned_by_kind.get(rules[rule_id].requires)
+            if scanned is not None and file not in scanned:
+                continue
+        kept.append(fingerprint)
+    return kept

@@ -201,6 +201,44 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_sources(root: Path, base: str) -> Optional[List[Path]]:
+    """Lintable .py files changed vs ``base``, plus untracked ones.
+
+    Returns None when git fails (not a repo, unknown ref) — the
+    caller reports and exits non-zero.  Only files under the default
+    per-file lint trees count: ``--changed`` narrows the usual scan,
+    it never widens it.
+    """
+    import subprocess
+
+    from repro.checks.runner import DEFAULT_SOURCE_DIRS
+
+    names: List[str] = []
+    for argv in (
+        ["git", "diff", "--name-only", base, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            argv, cwd=root, capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            print(f"error: {' '.join(argv)} failed: "
+                  f"{proc.stderr.strip()}", file=sys.stderr)
+            return None
+        names.extend(proc.stdout.splitlines())
+    scoped: List[Path] = []
+    for name in sorted(set(names)):
+        if not name.endswith(".py"):
+            continue
+        if not any(name.startswith(d + "/")
+                   for d in DEFAULT_SOURCE_DIRS):
+            continue
+        path = root / name
+        if path.is_file():
+            scoped.append(path)
+    return scoped
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.checks.baseline import Baseline, BaselineError
     from repro.checks.engine import CheckConfig, Severity
@@ -229,10 +267,28 @@ def cmd_lint(args: argparse.Namespace) -> int:
     source_paths = (
         [Path(p) for p in args.paths] if args.paths else None
     )
+    full_flow = False
+    if args.changed is not None:
+        if source_paths:
+            print("error: --changed and explicit paths are "
+                  "mutually exclusive", file=sys.stderr)
+            return 2
+        changed = _changed_sources(root, args.changed)
+        if changed is None:
+            return 2
+        if not changed:
+            print("no changed lintable sources "
+                  f"vs {args.changed}; nothing to do")
+            return 0
+        source_paths = changed
+        # The whole-program packs stay whole-program: a call chain or
+        # a protocol invariant does not stop at the diff boundary.
+        full_flow = True
     try:
         result = run_lint(root=root, config=config,
                           baseline_path=baseline_path,
-                          source_paths=source_paths)
+                          source_paths=source_paths,
+                          full_flow=full_flow)
     except BaselineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -298,6 +354,16 @@ def cmd_sta(args: argparse.Namespace) -> int:
         if report.cycles or report.slack_ns < 0:
             failed = True
     return 1 if failed else 0
+
+
+def cmd_proto(args: argparse.Namespace) -> int:
+    from repro.checks.proto import run_proto
+    from repro.checks.runner import find_repo_root
+
+    root = find_repo_root(Path(args.root) if args.root else None)
+    report = run_proto(str(root))
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -572,6 +638,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record current findings as the new baseline")
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on warnings too")
+    p.add_argument("--changed", nargs="?", const="HEAD",
+                   default=None, metavar="BASE",
+                   help="lint only files changed vs BASE (default "
+                        "HEAD) plus untracked ones; the "
+                        "whole-program flow/proto packs still "
+                        "analyze the full package")
     p.add_argument("--root", default=None,
                    help="repository root (default: auto-detected)")
     p.add_argument("paths", nargs="*",
@@ -588,6 +660,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default=None,
                    help="restrict to one device family or part number")
     p.set_defaults(fn=cmd_sta)
+
+    p = sub.add_parser(
+        "proto",
+        help="wire-protocol model check: extract the serve-layer "
+             "protocol and exhaustively explore the client x server "
+             "product state space",
+    )
+    p.add_argument("--root", default=None,
+                   help="repository root (default: auto-detected)")
+    p.set_defaults(fn=cmd_proto)
 
     p = sub.add_parser(
         "bench",

@@ -24,7 +24,7 @@ import itertools
 import random
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.serve.protocol import (
     RETRYABLE_STATUSES,
@@ -76,7 +76,7 @@ class CryptoClient:
                  connect_timeout: float = 5.0,
                  request_timeout: float = 30.0,
                  retry: Optional[RetryPolicy] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None) -> None:
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
@@ -211,7 +211,7 @@ class LoadReport:
     bytes_in: int
     mode: str
     payload_bytes: int
-    statuses: dict = field(default_factory=dict)
+    statuses: Dict[str, int] = field(default_factory=dict)
 
     @property
     def requests_per_s(self) -> float:
@@ -284,8 +284,9 @@ async def run_load(host: str, port: int, key: bytes,
         raise ValueError(f"loadgen mode must be a cipher mode, "
                          f"not {mode.name}")
 
-    counts = {"ok": 0, "errors": 0, "bytes_out": 0, "bytes_in": 0}
-    statuses: dict = {}
+    counts: Dict[str, int] = {"ok": 0, "errors": 0,
+                              "bytes_out": 0, "bytes_in": 0}
+    statuses: Dict[str, int] = {}
 
     async def one_client(index: int) -> None:
         client = CryptoClient(

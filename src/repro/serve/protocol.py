@@ -133,7 +133,8 @@ class FrameError(ValueError):
     oversized length prefix) and the connection must close.
     """
 
-    def __init__(self, message: str, recoverable: bool = True):
+    def __init__(self, message: str,
+                 recoverable: bool = True) -> None:
         super().__init__(message)
         self.recoverable = recoverable
 
@@ -193,7 +194,10 @@ def decode_body(body: bytes) -> Frame:
     magic, version, op, mode, status, session_id, request_id = \
         _HEADER.unpack_from(body)
     if magic != MAGIC:
-        raise FrameError(f"bad magic {magic!r} (want {MAGIC!r})")
+        # Diagnostics carry lengths and enum values only — echoing
+        # the received bytes would reflect attacker-controlled data
+        # back onto the wire in the BAD_FRAME response.
+        raise FrameError(f"bad magic (want {MAGIC!r})")
     if version != VERSION:
         raise FrameError(
             f"protocol version mismatch: peer speaks {version}, "

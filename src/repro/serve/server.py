@@ -41,7 +41,8 @@ import logging
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Awaitable, Callable, Dict, Optional, Set, Tuple
+from typing import Awaitable, Callable, Dict, List, Optional, Set, \
+    Tuple
 
 from repro.aes import gcm, modes
 from repro.obs.metrics import global_registry
@@ -148,13 +149,14 @@ Handler = Callable[[Session, Frame], Awaitable[Frame]]
 class CryptoServer:
     """The asyncio TCP crypto service (see the module docstring)."""
 
-    def __init__(self, config: Optional[ServeConfig] = None):
+    def __init__(self,
+                 config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
         self._queue: "asyncio.Queue[_WorkItem]" = asyncio.Queue(
             maxsize=self.config.queue_depth
         )
         self._session_ids = itertools.count(1)
-        self._workers: list = []
+        self._workers: List["asyncio.Task[None]"] = []
         self._server: Optional[asyncio.base_events.Server] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._writers: Set[asyncio.StreamWriter] = set()

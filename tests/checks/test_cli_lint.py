@@ -12,6 +12,7 @@ from repro.checks.engine import (
     KIND_FLOW,
     KIND_FSM,
     KIND_NETLIST,
+    KIND_PROTO,
     KIND_SOURCE,
     KIND_STA,
     KIND_VHDL,
@@ -54,7 +55,7 @@ class TestCleanTree:
         subjects = build_subjects(ROOT)
         for kind in (KIND_DESIGN, KIND_NETLIST, KIND_FSM,
                      KIND_SOURCE, KIND_VHDL, KIND_STA, KIND_EQUIV,
-                     KIND_FLOW):
+                     KIND_FLOW, KIND_PROTO):
             assert subjects[kind], kind
 
     def test_sta_subjects_cover_both_table2_devices(self):
@@ -335,3 +336,124 @@ class TestCliSurface:
         assert code == 0
         assert "suppressed by baseline" in out
         assert "ct.key-global" in out
+
+
+class TestChangedMode:
+    """`lint --changed [BASE]`: git-diff-scoped per-file runs."""
+
+    @staticmethod
+    def _git_repo(tmp_path):
+        import subprocess
+
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=tmp_path, check=True,
+                capture_output=True,
+                env={"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                     "GIT_COMMITTER_NAME": "t",
+                     "GIT_COMMITTER_EMAIL": "t@t",
+                     "PATH": "/usr/bin:/bin",
+                     "HOME": str(tmp_path)},
+            )
+
+        (tmp_path / "src/repro/aes").mkdir(parents=True)
+        (tmp_path / "src/repro/serve").mkdir(parents=True)
+        (tmp_path / "src/repro/aes/x.py").write_text("A = 1\n")
+        (tmp_path / "unscoped.py").write_text("B = 1\n")
+        git("init", "-q")
+        git("add", "-A")
+        git("commit", "-q", "-m", "seed")
+        return git
+
+    def test_changed_sources_scope(self, tmp_path):
+        from repro.cli import _changed_sources
+
+        self._git_repo(tmp_path)
+        # One tracked file modified, one untracked in scope, one
+        # modification outside the default source trees.
+        (tmp_path / "src/repro/aes/x.py").write_text("A = 2\n")
+        (tmp_path / "src/repro/serve/new.py").write_text("C = 3\n")
+        (tmp_path / "unscoped.py").write_text("B = 2\n")
+        changed = _changed_sources(tmp_path, "HEAD")
+        names = [str(p.relative_to(tmp_path)) for p in changed]
+        assert names == ["src/repro/aes/x.py",
+                         "src/repro/serve/new.py"]
+
+    def test_changed_sources_bad_ref_is_none(self, tmp_path):
+        from repro.cli import _changed_sources
+
+        self._git_repo(tmp_path)
+        assert _changed_sources(tmp_path, "no-such-ref") is None
+
+    def test_changed_and_paths_are_exclusive(self, capsys):
+        code, _ = run_cli(capsys, "lint", "--changed",
+                          "src/repro/aes")
+        captured = capsys.readouterr()
+        assert code == 2
+
+    def test_changed_keeps_whole_program_packs(self, tmp_path):
+        """--changed restricts KIND_SOURCE but flow/proto subjects
+        stay on the full package (full_flow mode)."""
+        one_file = [ROOT / "src/repro/aes/constants.py"]
+        restricted = build_subjects(ROOT, one_file)
+        assert restricted[KIND_PROTO] == []
+        full = build_subjects(ROOT, one_file, full_flow=True)
+        assert len(full[KIND_PROTO]) == 1
+        # The per-file scope is still just the requested file.
+        assert len(full[KIND_SOURCE]) == 1
+
+
+class TestScopedStaleness:
+    """Stale baseline entries only count against runs that could
+    have re-produced them (rule enabled AND file scanned)."""
+
+    def _stale_fixture(self, capsys, tmp_path):
+        bad = tmp_path / "leaky.py"
+        bad.write_text("def f(key, t):\n    return t[key[0]]\n")
+        baseline = tmp_path / "baseline.json"
+        run_cli(capsys, "lint", "--root", str(ROOT), str(bad),
+                "--baseline", str(baseline), "--write-baseline")
+        bad.write_text("def f(key, t):\n    return t[0]\n")
+        return bad, baseline
+
+    def test_disabled_rule_entries_are_out_of_scope(self, capsys,
+                                                    tmp_path):
+        bad, baseline = self._stale_fixture(capsys, tmp_path)
+        # The recorded entry is a ct.* finding; a serve.*-only run
+        # could never re-produce it, so it is not stale there.
+        code = main(["lint", "--strict", "--enable", "serve.*",
+                     "--root", str(ROOT), str(bad),
+                     "--baseline", str(baseline)])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_unscanned_file_entries_are_out_of_scope(self, capsys,
+                                                     tmp_path):
+        bad, baseline = self._stale_fixture(capsys, tmp_path)
+        other = tmp_path / "clean.py"
+        other.write_text("X = 1\n")
+        # Same rules enabled, but the recorded file is not scanned.
+        code = main(["lint", "--strict", "--root", str(ROOT),
+                     str(other), "--baseline", str(baseline)])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_full_run_still_fails_on_stale(self, capsys, tmp_path):
+        bad, baseline = self._stale_fixture(capsys, tmp_path)
+        code = main(["lint", "--strict", "--root", str(ROOT),
+                     str(bad), "--baseline", str(baseline)])
+        capsys.readouterr()
+        assert code == 1
+
+
+class TestProtoGate:
+    def test_proto_pack_strict_gate_is_clean(self, capsys):
+        code, _ = run_cli(capsys, "lint", "--strict",
+                          "--enable", "proto.*",
+                          "--root", str(ROOT))
+        assert code == 0
+
+    def test_proto_command_reports_clean(self, capsys):
+        code, out = run_cli(capsys, "proto")
+        assert code == 0
+        assert "violations: none" in out

@@ -104,3 +104,50 @@ class TestBenchCoverage:
             assert any(f"table{table}" in b for b in benches), table
         for figure in range(1, 10):
             assert any(f"fig{figure}" in b for b in benches), figure
+
+
+class TestServingDocsPinProtocol:
+    """docs/serving.md documents the wire constants; they must match
+    protocol.py, and the model checker's extraction must agree —
+    three-way consistency (docs = source = extracted model)."""
+
+    SERVING = (REPO / "docs" / "serving.md").read_text()
+
+    def test_magic_documented(self):
+        from repro.serve.protocol import MAGIC
+        assert MAGIC == b"RJ"
+        assert '"RJ"' in self.SERVING
+
+    def test_version_documented(self):
+        from repro.serve.protocol import VERSION
+        assert f"currently {VERSION}" in self.SERVING
+
+    def test_max_payload_documented(self):
+        from repro.serve.protocol import MAX_PAYLOAD_BYTES
+        assert MAX_PAYLOAD_BYTES == 1 << 20
+        assert "1 MiB" in self.SERVING
+
+    def test_header_size_documented(self):
+        from repro.serve.protocol import HEADER_BYTES
+        assert f"{HEADER_BYTES}-byte header" in self.SERVING
+
+    def test_gcm_cap_documented(self):
+        from repro.serve.protocol import GCM_TAG_BYTES
+        assert (f"MAX_PAYLOAD_BYTES − {GCM_TAG_BYTES}"
+                in self.SERVING)
+
+    def test_extracted_model_agrees_with_source(self):
+        from repro.checks.proto import run_proto
+        from repro.serve import protocol
+
+        model = run_proto(str(REPO)).analysis.model
+        assert model is not None
+        assert model.magic == protocol.MAGIC
+        assert model.version == protocol.VERSION
+        assert model.header_bytes == protocol.HEADER_BYTES
+        assert model.max_payload == protocol.MAX_PAYLOAD_BYTES
+        assert model.max_frame == protocol.MAX_FRAME_BYTES
+
+    def test_proven_invariants_section_present(self):
+        assert "Proven protocol invariants" in self.SERVING
+        assert "desync-deadlock" in self.SERVING
