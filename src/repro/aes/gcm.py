@@ -20,6 +20,7 @@ import hmac as _hmac
 from typing import Tuple
 
 from repro.aes.cipher import AES128
+from repro.aes.ghash import default_provider as _ghash_provider
 from repro.obs.metrics import global_registry
 
 BLOCK = 16
@@ -37,10 +38,10 @@ _GCM_AUTH_FAILURES = global_registry().counter(
     "GCM tag verification failures",
 )
 
-#: GHASH reduction polynomial x^128 + x^7 + x^2 + x + 1, reflected:
-#: the GCM spec treats bit 0 as the x^0 coefficient of the *leftmost*
-#: bit, so reduction works on the low end of the reversed integer.
-_R = 0xE1000000000000000000000000000000
+#: GHASH reduction polynomial and the golden bitwise multiply now
+#: live in :mod:`repro.aes.ghash` next to the fast providers; the
+#: re-exports keep this module the public home of the primitive.
+from repro.aes.ghash import _R, gf128_mul  # noqa: E402,F401
 
 
 #: SP 800-38D §5.2.1.1 operand bounds.  len(P) <= 2^39 - 256 bits:
@@ -88,23 +89,9 @@ def _check_lengths(plaintext_len: int, aad_len: int,
         )
 
 
-def gf128_mul(x: int, y: int) -> int:
-    """Multiply in GF(2^128) with GCM's bit order (SP 800-38D §6.3)."""
-    if not (0 <= x < (1 << 128) and 0 <= y < (1 << 128)):
-        raise ValueError("GF(2^128) elements are 128-bit")
-    z = 0
-    v = x
-    for bit in range(128):
-        if (y >> (127 - bit)) & 1:
-            z ^= v
-        if v & 1:
-            v = (v >> 1) ^ _R
-        else:
-            v >>= 1
-    return z
-
-
 def _ghash(h: int, data: bytes) -> int:
+    """Golden table-free GHASH; the providers in
+    :mod:`repro.aes.ghash` are cross-checked against it."""
     y = 0
     for index in range(0, len(data), BLOCK):
         chunk = data[index:index + BLOCK]
@@ -151,9 +138,9 @@ def _derive(aes: AES128, iv: bytes, h: int) -> bytes:
     """J0, the pre-counter block (SP 800-38D §7.1)."""
     if len(iv) == 12:
         return iv + b"\x00\x00\x00\x01"
-    padded = iv + bytes((-len(iv)) % BLOCK)
-    padded += bytes(8) + (8 * len(iv)).to_bytes(8, "big")
-    return _ghash(h, padded).to_bytes(16, "big")
+    lengths = bytes(8) + (8 * len(iv)).to_bytes(8, "big")
+    s = _ghash_provider().digest(h, (iv, lengths))
+    return s.to_bytes(16, "big")
 
 
 def _lengths_block(aad: bytes, ciphertext: bytes) -> bytes:
@@ -163,12 +150,10 @@ def _lengths_block(aad: bytes, ciphertext: bytes) -> bytes:
 
 def _tag(aes: AES128, h: int, j0: bytes, aad: bytes,
          ciphertext: bytes) -> bytes:
-    material = (
-        aad + bytes((-len(aad)) % BLOCK)
-        + ciphertext + bytes((-len(ciphertext)) % BLOCK)
-        + _lengths_block(aad, ciphertext)
-    )
-    s = _ghash(h, material)
+    # Each part is padded to the block boundary by the provider
+    # (tail block only) — no fully padded concatenation is built.
+    s = _ghash_provider().digest(
+        h, (aad, ciphertext, _lengths_block(aad, ciphertext)))
     return _gctr(aes, j0, s.to_bytes(16, "big"))
 
 

@@ -79,11 +79,14 @@ WIRE_BYTE_NAMES = frozenset({
 })
 
 #: ``FrameError.recoverable`` ground truth by raising function: a
-#: ``decode_body`` failure consumed exactly one well-delimited frame
-#: (stream still aligned); everything raised by the framing readers
-#: and the client round-trip means the stream cannot be trusted.
+#: ``decode_body`` / ``decode_payload`` failure consumed exactly one
+#: well-delimited frame (stream still aligned); everything raised by
+#: the framing readers and the client round-trip means the stream
+#: cannot be trusted.  ``decode_payload`` is the zero-copy split
+#: entry point the streaming reader parses through.
 EXPECTED_RECOVERABLE: Dict[str, bool] = {
     "decode_body": True,
+    "decode_payload": True,
     "decode_frame": False,
     "read_frame": False,
     "_roundtrip": False,
@@ -1054,9 +1057,9 @@ class ModelResult:
 #: (class name, raising function, stream desyncs, peer closes,
 #:  substring identifying the matching raise site's message).
 _MALFORMED_CLASSES: Tuple[Tuple[str, str, bool, bool, str], ...] = (
-    ("bad_magic", "decode_body", False, False, "magic"),
-    ("bad_version", "decode_body", False, False, "version"),
-    ("unknown_enum", "decode_body", False, False, "unknown"),
+    ("bad_magic", "decode_payload", False, False, "magic"),
+    ("bad_version", "decode_payload", False, False, "version"),
+    ("unknown_enum", "decode_payload", False, False, "unknown"),
     ("short_body", "decode_body", False, False, "shorter"),
     ("oversized_prefix", "read_frame", True, False, "length prefix"),
     ("eof_mid_prefix", "read_frame", False, True, "mid-prefix"),

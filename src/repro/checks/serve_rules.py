@@ -186,4 +186,94 @@ def check_missing_timeout(subject: SourceFile,
         )
 
 
-__all__ = ["check_missing_timeout", "check_unbounded_queue"]
+#: Functions that put frame bytes on the wire.  The zero-copy codec
+#: contract says these write head and payload as separate parts;
+#: any buffer concatenation or join here rebuilds the copy tax the
+#: split codec exists to remove.
+_SEND_PATH_NAMES = {"write_frame"}
+_SEND_PATH_PREFIXES = ("_send",)
+
+
+def _is_send_path(name: str) -> bool:
+    return (name in _SEND_PATH_NAMES
+            or name.startswith(_SEND_PATH_PREFIXES))
+
+
+def _function_nodes(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@rule(
+    "serve.codec-copy",
+    Severity.ERROR,
+    KIND_SOURCE,
+    "frame bytes copied on the wire path — a defensive bytes() of a "
+    "payload, or buffer concatenation inside a send function",
+)
+def check_codec_copy(subject: SourceFile,
+                     config: CheckConfig) -> Iterator[Finding]:
+    """Enforce the zero-copy codec invariants of ``docs/serving.md``.
+
+    Two shapes, both structural:
+
+    - ``bytes(<anything>.payload)`` anywhere in the serving layer: a
+      frame payload is immutable ``bytes`` by contract, so wrapping
+      it in ``bytes()`` re-copies up to ``MAX_PAYLOAD_BYTES`` per
+      frame for nothing.
+    - ``+`` concatenation or ``join`` inside a send-path function
+      (``write_frame`` / ``_send*``): the send path writes head and
+      payload as two parts; building a joined buffer reintroduces a
+      full-frame copy per response.
+    """
+    if not _in_scope(subject, config):
+        return
+    for node in ast.walk(subject.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if (isinstance(node.func, ast.Name)
+                and node.func.id == "bytes"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Attribute)
+                and node.args[0].attr == "payload"):
+            yield Finding(
+                rule="serve.codec-copy",
+                severity=Severity.ERROR,
+                message=("bytes(...payload) re-copies an immutable "
+                         "frame payload; pass the payload object "
+                         "through"),
+                location=Location(file=subject.path,
+                                  line=node.lineno, obj="bytes"),
+            )
+    for func in _function_nodes(subject.tree):
+        name = getattr(func, "name", "")
+        if not _is_send_path(name):
+            continue
+        for node in ast.walk(func):
+            offence = ""
+            if (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Add)):
+                offence = "'+' concatenation"
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"):
+                offence = "a join()"
+            if not offence:
+                continue
+            yield Finding(
+                rule="serve.codec-copy",
+                severity=Severity.ERROR,
+                message=(f"send path {name}() builds wire bytes via "
+                         f"{offence}: write head and payload as "
+                         f"separate parts instead"),
+                location=Location(file=subject.path,
+                                  line=node.lineno, obj=name),
+            )
+
+
+__all__ = [
+    "check_codec_copy",
+    "check_missing_timeout",
+    "check_unbounded_queue",
+]

@@ -379,6 +379,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             backend_names=args.backend or None,
             workers=args.workers,
             serve=not args.no_serve,
+            ghash=not args.no_ghash,
+            ghash_names=args.ghash or None,
         )
     except BackendMismatch as exc:
         # The equivalence gate failed: a backend produced bytes the
@@ -697,6 +699,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-serve", action="store_true",
                    help="skip the loopback serve scenario (matrix "
                         "and equivalence gate only)")
+    p.add_argument("--ghash", action="append", metavar="NAME",
+                   help="restrict the GHASH section to these "
+                        "providers (repeatable; bitwise always "
+                        "runs — it defines the speedup denominator)")
+    p.add_argument("--no-ghash", action="store_true",
+                   help="skip the GHASH provider section")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(

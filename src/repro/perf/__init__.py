@@ -41,19 +41,25 @@ from repro.perf.engine import (
     BackendMismatch,
     BatchEngine,
     default_engine,
+    forget_key,
 )
+from repro.perf.evp import EvpBackend, have_evp, openssl_version
 
 __all__ = [
     "Backend",
     "BackendMismatch",
     "BaselineBackend",
     "BatchEngine",
+    "EvpBackend",
     "RoundKeyCache",
     "SlicedBackend",
     "TTableBackend",
     "available_backends",
     "default_engine",
+    "forget_key",
     "get_backend",
+    "have_evp",
     "have_numpy",
     "numpy_version",
+    "openssl_version",
 ]

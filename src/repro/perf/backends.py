@@ -34,6 +34,7 @@ CTR links.
 
 from __future__ import annotations
 
+import struct as _struct
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -63,6 +64,10 @@ def numpy_version() -> Optional[str]:
     return None if _np is None else str(_np.__version__)
 
 
+#: Packed layout of one cached schedule: 44 big-endian 32-bit words.
+_SCHEDULE = _struct.Struct(f">{4 * (_ROUNDS + 1)}I")
+
+
 class RoundKeyCache:
     """LRU cache of expanded AES-128 schedules, keyed by the raw key.
 
@@ -71,14 +76,20 @@ class RoundKeyCache:
     the cost of one T-table block, so a streaming channel that
     re-keys rarely should pay it once.  Capacity is bounded so a
     multi-tenant server cannot grow the cache without limit.
+
+    Hygiene: each schedule lives in a private ``bytearray`` that is
+    **overwritten with zeros** when its entry is evicted, discarded
+    or cleared — derived key material never waits in freed memory
+    for the allocator to hand it to someone else.  ``words`` unpacks
+    a fresh tuple per call, so callers never hold a reference into
+    the wipeable buffer.
     """
 
     def __init__(self, capacity: int = 64):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self._capacity = capacity
-        self._entries: "OrderedDict[bytes, Tuple[int, ...]]" = \
-            OrderedDict()
+        self._entries: "OrderedDict[bytes, bytearray]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -87,6 +98,10 @@ class RoundKeyCache:
     def capacity(self) -> int:
         """Maximum number of cached schedules."""
         return self._capacity
+
+    @staticmethod
+    def _wipe(packed: bytearray) -> None:
+        packed[:] = bytes(len(packed))
 
     def words(self, key: bytes) -> Tuple[int, ...]:
         """The 44-word schedule for ``key``, expanding on first use."""
@@ -98,15 +113,31 @@ class RoundKeyCache:
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
-            return entry
-        entry = tuple(expand_key(key, _ROUNDS))
-        self._entries[key] = entry
+            return _SCHEDULE.unpack(entry)
+        schedule = tuple(expand_key(key, _ROUNDS))
+        packed = bytearray(_SCHEDULE.size)
+        _SCHEDULE.pack_into(packed, 0, *schedule)
+        self._entries[key] = packed
         if len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-        return entry
+            _, evicted = self._entries.popitem(last=False)
+            self._wipe(evicted)
+        return schedule
+
+    def discard(self, key: bytes) -> None:
+        """Zeroize and drop one key's schedule, if cached.
+
+        The serve layer calls this (via ``engine.forget_key``) on
+        session teardown so a closed session's schedule does not
+        outlive it in the process-wide cache.
+        """
+        entry = self._entries.pop(bytes(key), None)
+        if entry is not None:
+            self._wipe(entry)
 
     def clear(self) -> None:
-        """Drop every cached schedule (key-material hygiene hook)."""
+        """Zeroize and drop every cached schedule (hygiene hook)."""
+        for entry in self._entries.values():
+            self._wipe(entry)
         self._entries.clear()
 
 
@@ -306,11 +337,18 @@ def _encrypt_numpy(rk: Tuple[int, ...], data: bytes) -> bytes:
 
 def available_backends() -> Dict[str, Backend]:
     """Fresh instances of every backend, keyed by registry name."""
-    return {
+    backends: Dict[str, Backend] = {
         BaselineBackend.name: BaselineBackend(),
         TTableBackend.name: TTableBackend(),
         SlicedBackend.name: SlicedBackend(),
     }
+    # The OpenSSL-EVP ceiling registers only where a libcrypto passes
+    # its load-time FIPS-197 self-test; ``auto`` still means sliced —
+    # the ceiling is opt-in, not a silent default.
+    from repro.perf.evp import EvpBackend, have_evp
+    if have_evp():
+        backends[EvpBackend.name] = EvpBackend()
+    return backends
 
 
 def get_backend(name: str) -> Backend:
@@ -319,6 +357,10 @@ def get_backend(name: str) -> Backend:
         return SlicedBackend()
     backends = available_backends()
     if name not in backends:
+        if name == "evp":
+            raise ValueError(
+                "backend 'evp' needs a loadable OpenSSL libcrypto, "
+                "which is unavailable here (try 'sliced')")
         known = ", ".join(sorted(backends))
         raise ValueError(f"unknown backend {name!r}; "
                          f"choose from {known} (or 'auto')")

@@ -23,18 +23,21 @@ in a fixed order:
    PRs can assert no-regression against a persisted baseline instead
    of folklore.
 
-JSON schema (``repro-aes/software-throughput/v3``)::
+JSON schema (``repro-aes/software-throughput/v4``)::
 
     {
-      "schema": "repro-aes/software-throughput/v3",
+      "schema": "repro-aes/software-throughput/v4",
       "created_unix": 1754000000,
       "quick": true,
       "workers": 1,
       "git_rev": "f5387c8..." | "unknown",
       "host": {"platform": ..., "python": ..., "machine": ...,
-               "cpu_count": ..., "numpy": "2.4.6" | null},
+               "cpu_count": ..., "numpy": "2.4.6" | null,
+               "openssl": "OpenSSL 3.x ..." | null},
       "equivalence": {"backends": [...], "primitives": [...],
-                      "corpus_blocks": ..., "mismatches": 0},
+                      "corpus_blocks": ..., "mismatches": 0,
+                      "ghash_providers": [...],
+                      "ghash_cases": ..., "ghash_mismatches": 0},
       "workloads": [
         {"backend": "sliced", "vectorized": true, "mode": "ctr",
          "chained": false, "size_bytes": 1048576, "blocks": 65536,
@@ -42,6 +45,16 @@ JSON schema (``repro-aes/software-throughput/v3``)::
          "blocks_per_s": ..., "mb_per_s": ...,
          "speedup_vs_baseline": ...}
       ],
+      "ghash": {
+        "providers": ["bitwise", "table", "vector"],
+        "workloads": [
+          {"provider": "table", "vectorized": false,
+           "kind": "digest" | "gcm", "size_bytes": ...,
+           "blocks": ..., "measured_blocks": ..., "reps": ...,
+           "seconds": ..., "blocks_per_s": ..., "mb_per_s": ...,
+           "speedup_vs_bitwise": ...}
+        ]
+      } | null,
       "obs": {"repro_engine_ops_total": {...}, ...},
       "serve": {"clients": 8, "requests_per_client": 16,
                 "mode": "ctr", "payload_bytes": 16384,
@@ -55,10 +68,14 @@ instrumentation accumulated during the run).  v3 added the ``serve``
 section: a loopback run of the :mod:`repro.serve` service (in-process
 server, :func:`repro.serve.client.run_load` clients) recording what
 the *whole stack* — framing, asyncio scheduling, queueing, crypto —
-achieves in requests/sec, next to the raw engine rates above it.
-:func:`load_report` reads v1, v2 and v3 files, normalizing older
-shapes (``serve`` becomes ``None`` where the scenario predates the
-schema).
+achieves in requests/sec, next to the raw engine rates above it.  v4
+added the ``ghash`` section (provider-by-provider GHASH digest and
+end-to-end GCM rates, with ``bitwise`` as the denominator), the
+GHASH rows of the equivalence gate, and the ``openssl`` host field
+recording whether the EVP ceiling backend was available.
+:func:`load_report` reads v1 through v4, normalizing older shapes
+(``serve`` / ``ghash`` become ``None`` where a section predates the
+schema) — so downstream comparisons never branch on the version.
 """
 
 from __future__ import annotations
@@ -88,7 +105,8 @@ BLOCK = 16
 
 SCHEMA_V1 = "repro-aes/software-throughput/v1"
 SCHEMA_V2 = "repro-aes/software-throughput/v2"
-SCHEMA = "repro-aes/software-throughput/v3"
+SCHEMA_V3 = "repro-aes/software-throughput/v3"
+SCHEMA = "repro-aes/software-throughput/v4"
 
 DEFAULT_OUT = "BENCH_software_throughput.json"
 
@@ -105,6 +123,11 @@ BATCH_MODES = ("ecb", "ctr")
 #: cost.  ``measured_blocks`` records what actually ran.
 _MEASURE_CAPS = {"baseline": 2048}
 _MEASURE_CAPS_QUICK = {"baseline": 512}
+
+#: Same discipline for the GHASH section: the bitwise provider runs
+#: ~50k blocks/s, so it is timed on a capped prefix and scaled.
+_GHASH_CAPS = {"bitwise": 4096}
+_GHASH_CAPS_QUICK = {"bitwise": 1024}
 
 #: Seed for every corpus/payload this harness generates — pinned so
 #: the trajectory compares like against like across PRs.
@@ -193,10 +216,63 @@ def cross_check(backends: Optional[Dict[str, Backend]] = None,
     }
 
 
+def cross_check_ghash(providers: Optional[Dict[str, object]] = None,
+                      seed: int = _SEED) -> Dict[str, object]:
+    """Verify every GHASH provider against the golden ``_ghash``.
+
+    The corpus sweeps message lengths 0..3 blocks ± 1 byte, a
+    multi-part split (GCM's AAD/ciphertext/lengths layout), and a
+    buffer long enough to cross the vector provider's lane
+    threshold.  Raises :class:`BackendMismatch` on the first
+    divergence; returns the summary merged into the bench JSON's
+    ``equivalence`` section.
+    """
+    from repro.aes import ghash as ghash_mod
+    from repro.aes.gcm import _ghash as golden
+
+    if providers is None:
+        providers = dict(ghash_mod.available_providers())
+    rng = random.Random(seed)
+    subkeys = [rng.getrandbits(128) for _ in range(2)]
+    lengths = sorted({
+        max(0, n * BLOCK + d)
+        for n in range(4) for d in (-1, 0, 1)
+    } | {2 * ghash_mod.VECTOR_LANES * BLOCK + 5})
+    cases = 0
+    for subkey in subkeys:
+        for length in lengths:
+            data = rng.randbytes(length)
+            want = golden(
+                data=data + bytes((-length) % BLOCK), h=subkey)
+            split = rng.randrange(length + 1)
+            layouts = [(data,), (data[:split], data[split:])]
+            for parts in layouts:
+                padded = b"".join(
+                    p + bytes((-len(p)) % BLOCK) for p in parts)
+                expect = golden(subkey, padded) \
+                    if len(parts) > 1 else want
+                for name, provider in sorted(providers.items()):
+                    cases += 1
+                    got = provider.digest(subkey, parts)
+                    if got != expect:
+                        raise BackendMismatch(
+                            f"ghash provider {name!r} diverges from "
+                            f"the golden _ghash on a {length}-byte "
+                            f"message split {tuple(len(p) for p in parts)} "
+                            f"(seed {seed})"
+                        )
+    return {
+        "ghash_providers": sorted(providers),
+        "ghash_cases": cases,
+        "ghash_mismatches": 0,
+    }
+
+
 # ------------------------------------------------------------- timing
 def host_fingerprint() -> Dict[str, object]:
     """Where these numbers were measured (trajectories only compare
     within a fingerprint; CI hosts vary run to run)."""
+    from repro.perf.evp import openssl_version
     return {
         "platform": platform.platform(),
         "machine": platform.machine(),
@@ -204,6 +280,7 @@ def host_fingerprint() -> Dict[str, object]:
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),
         "numpy": numpy_version(),
+        "openssl": openssl_version(),
     }
 
 
@@ -289,6 +366,105 @@ def serve_scenario(quick: bool = False,
         return asyncio.run(_run())
 
 
+def ghash_section(quick: bool = False,
+                  sizes: Optional[Sequence[int]] = None,
+                  reps: Optional[int] = None,
+                  provider_names: Optional[Sequence[str]] = None
+                  ) -> Dict[str, object]:
+    """Time every GHASH provider: raw digests and end-to-end GCM.
+
+    Two row kinds per (provider, size): ``digest`` isolates the
+    GF(2^128) fold itself; ``gcm`` runs :func:`repro.aes.gcm.
+    gcm_encrypt` with the process default provider pinned to the row's
+    provider, so the row shows what the mode users actually feel.
+    ``bitwise`` — the golden model's cost — is the denominator of
+    ``speedup_vs_bitwise`` and is measured on a capped prefix like
+    the baseline cipher backend.
+    """
+    from repro.aes import ghash as ghash_mod
+    from repro.aes.gcm import gcm_encrypt
+
+    providers = dict(ghash_mod.available_providers())
+    if provider_names:
+        unknown = sorted(set(provider_names) - set(providers))
+        if unknown:
+            raise ValueError(
+                f"unknown ghash providers: {', '.join(unknown)}")
+        providers = {name: providers[name]
+                     for name in provider_names}
+    if "bitwise" not in providers:
+        providers["bitwise"] = \
+            ghash_mod.available_providers()["bitwise"]
+
+    if sizes is None:
+        sizes = QUICK_SIZES if quick else FULL_SIZES
+    sizes = sorted(set(int(s) for s in sizes))
+    if reps is None:
+        reps = 1 if quick else 3
+    caps = _GHASH_CAPS_QUICK if quick else _GHASH_CAPS
+
+    rng = random.Random(_SEED)
+    subkey = rng.getrandbits(128)
+    key = SP800_38A_ECB128_KEY
+    iv = rng.randbytes(12)
+    payload = rng.randbytes(max(sizes))
+
+    rows: List[Dict[str, object]] = []
+    previous = ghash_mod.default_provider()
+    try:
+        for name in sorted(providers):
+            provider = providers[name]
+            cap = caps.get(name)
+            for size in sizes:
+                blocks = size // BLOCK
+                measured = blocks if cap is None \
+                    else min(blocks, cap)
+                piece = payload[:measured * BLOCK]
+                for kind in ("digest", "gcm"):
+                    if kind == "digest":
+                        fn: Callable[[], object] = (
+                            lambda p=piece, prov=provider:
+                            prov.digest(subkey, (p,)))
+                    else:
+                        ghash_mod.set_default_provider(name)
+                        fn = (lambda p=piece:
+                              gcm_encrypt(key, iv, p))
+                    with trace_span("bench.ghash", provider=name,
+                                    kind=kind, size_bytes=size):
+                        seconds = _measure(fn, reps)
+                    per_rep = seconds / reps if reps else 0.0
+                    rate = (measured / per_rep) if per_rep > 0 \
+                        else 0.0
+                    rows.append({
+                        "provider": name,
+                        "vectorized": provider.vectorized,
+                        "kind": kind,
+                        "size_bytes": size,
+                        "blocks": blocks,
+                        "measured_blocks": measured,
+                        "reps": reps,
+                        "seconds": round(seconds, 6),
+                        "blocks_per_s": round(rate, 1),
+                        "mb_per_s": round(
+                            rate * BLOCK / (1024 * 1024), 3),
+                    })
+    finally:
+        ghash_mod.set_default_provider(previous.name)
+
+    base: Dict[object, float] = {}
+    for row in rows:
+        if row["provider"] == "bitwise":
+            base[(row["kind"], row["size_bytes"])] = \
+                float(row["blocks_per_s"])  # type: ignore[arg-type]
+    for row in rows:
+        denom = base.get((row["kind"], row["size_bytes"]))
+        rate = float(row["blocks_per_s"])  # type: ignore[arg-type]
+        row["speedup_vs_bitwise"] = (
+            round(rate / denom, 2) if denom else None
+        )
+    return {"providers": sorted(providers), "workloads": rows}
+
+
 def _measure(fn: Callable[[], object], reps: int) -> float:
     fn()  # warm-up: table/array builds, cache fills
     start = time.perf_counter()
@@ -303,12 +479,18 @@ def run_bench(quick: bool = False,
               backend_names: Optional[Sequence[str]] = None,
               workers: int = 1,
               corpus_blocks: int = 48,
-              serve: bool = True) -> Dict[str, object]:
+              serve: bool = True,
+              ghash: bool = True,
+              ghash_names: Optional[Sequence[str]] = None
+              ) -> Dict[str, object]:
     """Equivalence-gate then time the pinned workload matrix.
 
     Returns the full report dict (the JSON payload).  ``sizes`` and
     ``reps`` override the pinned matrix for smoke tests; the defaults
-    are the persisted-trajectory configuration.
+    are the persisted-trajectory configuration.  ``ghash=False``
+    skips the GHASH section (``"ghash": null``); ``ghash_names``
+    restricts it to specific providers (``bitwise`` always rides
+    along as the denominator).
     """
     all_backends = available_backends()
     if backend_names:
@@ -328,6 +510,7 @@ def run_bench(quick: bool = False,
                     backends=",".join(sorted(backends))):
         equivalence = cross_check(backends,
                                   corpus_blocks=corpus_blocks)
+        equivalence.update(cross_check_ghash())
 
     if sizes is None:
         sizes = QUICK_SIZES if quick else FULL_SIZES
@@ -382,6 +565,10 @@ def run_bench(quick: bool = False,
                      cbc_size, cbc_blocks, measured, reps, seconds))
 
     _attach_speedups(rows)
+    ghash_rows = ghash_section(
+        quick=quick, sizes=sizes, reps=reps,
+        provider_names=ghash_names,
+    ) if ghash else None
     serve_row = serve_scenario(quick=quick) if serve else None
     return {
         "schema": SCHEMA,
@@ -392,6 +579,7 @@ def run_bench(quick: bool = False,
         "host": host_fingerprint(),
         "equivalence": equivalence,
         "workloads": rows,
+        "ghash": ghash_rows,
         "obs": global_registry().snapshot(prefix="repro_engine_"),
         "serve": serve_row,
     }
@@ -440,13 +628,14 @@ def write_report(report: Dict[str, object], out: Path) -> Path:
 
 
 def load_report(path: Path) -> Dict[str, object]:
-    """Read a persisted trajectory file, v1, v2 or v3.
+    """Read a persisted trajectory file, v1 through v4.
 
-    Older files are normalized to the v3 shape: v1 gains
-    ``git_rev="unknown"`` and an empty ``obs``; both v1 and v2 gain
-    ``serve=None`` (the scenario predates them) — so downstream
-    comparisons never need to branch on the schema.  An unrecognized
-    schema raises ``ValueError``.
+    Older files are normalized to the v4 shape: v1 gains
+    ``git_rev="unknown"`` and an empty ``obs``; v1 and v2 gain
+    ``serve=None``; v1 through v3 gain ``ghash=None`` (each section
+    predates those schemas) — so downstream comparisons never need
+    to branch on the schema.  An unrecognized schema raises
+    ``ValueError``.
     """
     report = json.loads(Path(path).read_text())
     schema = report.get("schema")
@@ -454,12 +643,17 @@ def load_report(path: Path) -> Dict[str, object]:
         report.setdefault("git_rev", "unknown")
         report.setdefault("obs", {})
         report.setdefault("serve", None)
+        report.setdefault("ghash", None)
     elif schema == SCHEMA_V2:
         report.setdefault("serve", None)
+        report.setdefault("ghash", None)
+    elif schema == SCHEMA_V3:
+        report.setdefault("ghash", None)
     elif schema != SCHEMA:
         raise ValueError(
             f"unrecognized bench schema {schema!r} in {path} "
-            f"(expected {SCHEMA_V1!r}, {SCHEMA_V2!r} or {SCHEMA!r})"
+            f"(expected {SCHEMA_V1!r}, {SCHEMA_V2!r}, {SCHEMA_V3!r} "
+            f"or {SCHEMA!r})"
         )
     return report
 
@@ -490,6 +684,33 @@ def render_report(report: Dict[str, object]) -> str:
             f"{row['blocks_per_s']:>12,.0f} "
             f"{row['mb_per_s']:>9.2f} {speedup_text:>12}"
         )
+    ghash = report.get("ghash")
+    if ghash:
+        lines.append("ghash (provider, digest | end-to-end gcm):")
+        by_key: Dict[object, Dict[str, object]] = {
+            (row["provider"], row["kind"], row["size_bytes"]): row
+            for row in ghash["workloads"]  # type: ignore[index]
+        }
+        providers = ghash["providers"]  # type: ignore[index]
+        ghash_rows = ghash["workloads"]  # type: ignore[index]
+        sizes_seen = sorted({row["size_bytes"]
+                             for row in ghash_rows})
+        for provider in providers:  # type: ignore[union-attr]
+            for size in sizes_seen:
+                digest = by_key.get((provider, "digest", size))
+                gcm = by_key.get((provider, "gcm", size))
+                if digest is None or gcm is None:
+                    continue
+                speedup = gcm["speedup_vs_bitwise"]
+                speedup_text = (f"{speedup:.2f}x"
+                                if speedup else "-")
+                tag = "*" if digest["vectorized"] else " "
+                lines.append(
+                    f"  {provider:<8}{tag}{_human_size(size):>9} "
+                    f"{digest['mb_per_s']:>9.2f} MB/s | "
+                    f"gcm {gcm['mb_per_s']:>9.2f} MB/s "
+                    f"{speedup_text:>9} vs bitwise"
+                )
     eq: Dict[str, object] = report["equivalence"]  # type: ignore[assignment]
     backends_n = len(eq["backends"])  # type: ignore[arg-type]
     primitives_n = len(eq["primitives"])  # type: ignore[arg-type]
@@ -499,6 +720,15 @@ def render_report(report: Dict[str, object]) -> str:
         f"x {eq['keys']} key(s), "
         f"{eq['mismatches']} mismatch(es)"
     )
+    if "ghash_providers" in eq:
+        ghash_providers = eq["ghash_providers"]
+        assert isinstance(ghash_providers, list)
+        lines.append(
+            f"ghash equivalence: "
+            f"{len(ghash_providers)} provider(s), "
+            f"{eq['ghash_cases']} case(s), "
+            f"{eq['ghash_mismatches']} mismatch(es)"
+        )
     serve = report.get("serve")
     if serve:
         lines.append(

@@ -265,3 +265,30 @@ def default_engine() -> BatchEngine:
     if _DEFAULT is None:
         _DEFAULT = BatchEngine()
     return _DEFAULT
+
+
+def forget_key(key: bytes) -> None:
+    """Key-material hygiene: zeroize per-key caches for ``key``.
+
+    Drops the expanded schedule from the default engine's
+    :class:`~repro.perf.backends.RoundKeyCache` and the GHASH byte
+    tables derived from the key's hash subkey — both are overwritten
+    with zeros, not merely dropped.  The serve layer calls this on
+    session teardown; callers with private engines wipe their own
+    backend's cache.
+
+    Best-effort by design: a malformed key has nothing cached, and
+    hygiene on teardown must never raise into connection cleanup.
+    """
+    if _DEFAULT is not None:
+        cache = getattr(_DEFAULT.backend, "cache", None)
+        if cache is not None:
+            cache.discard(key)
+    try:
+        from repro.aes import ghash as _ghash
+        from repro.aes.cipher import AES128
+        subkey = int.from_bytes(
+            AES128(key).encrypt_block(bytes(BLOCK)), "big")
+    except (TypeError, ValueError):
+        return
+    _ghash.forget(subkey)

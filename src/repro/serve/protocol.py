@@ -39,7 +39,7 @@ import asyncio
 import enum
 import struct
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 #: Two magic bytes opening every frame body ("RJ" for Rijndael).
 MAGIC = b"RJ"
@@ -162,37 +162,65 @@ class Frame:
         return self.response(status, message.encode("utf-8"))
 
 
-def encode_frame(frame: Frame) -> bytes:
-    """Serialize ``frame`` to length-prefixed wire bytes."""
-    payload = bytes(frame.payload)
+#: Length prefix and header packed as one struct, so the send path
+#: materializes the fixed-size head in a single allocation and never
+#: concatenates it with the payload.
+_WIRE_HEAD = struct.Struct(">I2sBBBBIQ")
+
+
+def encode_frame_views(frame: Frame) -> Tuple[bytes, bytes]:
+    """Serialize ``frame`` as ``(head, payload)`` — the zero-copy form.
+
+    ``head`` is the 4-byte length prefix and 18-byte header in one
+    22-byte buffer; ``payload`` is the frame's own payload object,
+    untouched, when it is already immutable ``bytes`` (the codec's
+    one defensive copy happens only for mutable payload types).
+    Writing both parts back to back puts exactly ``encode_frame``'s
+    bytes on the wire without ever building the concatenation.
+    """
+    payload = frame.payload
+    if not isinstance(payload, bytes):
+        payload = bytes(payload)
     if len(payload) > MAX_PAYLOAD_BYTES:
         raise FrameError(
             f"payload of {len(payload)} bytes exceeds the "
             f"{MAX_PAYLOAD_BYTES}-byte frame limit"
         )
-    header = _HEADER.pack(
+    head = _WIRE_HEAD.pack(
+        HEADER_BYTES + len(payload),
         MAGIC, VERSION, int(frame.op), int(frame.mode),
         int(frame.status), frame.session_id & 0xFFFFFFFF,
         frame.request_id & 0xFFFFFFFFFFFFFFFF,
     )
-    body = header + payload
-    return len(body).to_bytes(4, "big") + body
+    return head, payload
 
 
-def decode_body(body: bytes) -> Frame:
-    """Decode a frame body (everything after the length prefix).
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize ``frame`` to one length-prefixed wire buffer.
+
+    Compatibility entry point for callers that want a single
+    ``bytes``; the streaming send path uses
+    :func:`encode_frame_views` and never joins the parts.
+    """
+    return b"".join(encode_frame_views(frame))
+
+
+def decode_payload(header: bytes, payload: bytes) -> Frame:
+    """Decode a frame from its 18-byte header and payload, already
+    split by the transport — the length was parsed exactly once by
+    the caller and the payload buffer is adopted as-is (no copy).
 
     Raises :class:`FrameError` on any malformation; every failure
     here is *recoverable* — the caller consumed exactly the framed
     byte count, so the stream stays aligned.
     """
-    if len(body) < HEADER_BYTES:
+    if len(header) != HEADER_BYTES:
         raise FrameError(
-            f"frame body of {len(body)} bytes is shorter than the "
-            f"{HEADER_BYTES}-byte header"
+            f"header split must be exactly {HEADER_BYTES} bytes, "
+            f"got {len(header)}"
         )
     magic, version, op, mode, status, session_id, request_id = \
-        _HEADER.unpack_from(body)
+        _HEADER.unpack(header)
     if magic != MAGIC:
         # Diagnostics carry lengths and enum values only — echoing
         # the received bytes would reflect attacker-controlled data
@@ -211,7 +239,22 @@ def decode_body(body: bytes) -> Frame:
         raise FrameError(f"unknown field value: {exc}") from None
     return Frame(op=frame_op, mode=frame_mode, status=frame_status,
                  session_id=session_id, request_id=request_id,
-                 payload=body[HEADER_BYTES:])
+                 payload=payload)
+
+
+def decode_body(body: bytes) -> Frame:
+    """Decode a frame body (everything after the length prefix).
+
+    Raises :class:`FrameError` on any malformation; every failure
+    here is *recoverable* — the caller consumed exactly the framed
+    byte count, so the stream stays aligned.
+    """
+    if len(body) < HEADER_BYTES:
+        raise FrameError(
+            f"frame body of {len(body)} bytes is shorter than the "
+            f"{HEADER_BYTES}-byte header"
+        )
+    return decode_payload(body[:HEADER_BYTES], body[HEADER_BYTES:])
 
 
 def decode_frame(data: bytes) -> Frame:
@@ -265,20 +308,41 @@ async def read_frame(reader: asyncio.StreamReader,
             recoverable=False,
         )
     try:
-        body = await asyncio.wait_for(
-            reader.readexactly(body_len), timeout
+        if body_len < HEADER_BYTES:
+            # Undersized frames go through decode_body so the
+            # failure classifies exactly as before (recoverable:
+            # the promised byte count was fully consumed).
+            body = await asyncio.wait_for(
+                reader.readexactly(body_len), timeout
+            )
+            return decode_body(body)
+        header = await asyncio.wait_for(
+            reader.readexactly(HEADER_BYTES), timeout
+        )
+        payload = await asyncio.wait_for(
+            reader.readexactly(body_len - HEADER_BYTES), timeout
         )
     except asyncio.IncompleteReadError:
         raise FrameError("connection closed mid-frame",
                          recoverable=False) from None
-    return decode_body(body)
+    # The length was parsed exactly once (above); the payload bytes
+    # land in the frame as the very object readexactly produced.
+    return decode_payload(header, payload)
 
 
 async def write_frame(writer: asyncio.StreamWriter, frame: Frame,
                       timeout: Optional[float] = None) -> None:
     """Serialize ``frame`` and drain the transport, bounded by
-    ``timeout`` so a stalled peer cannot wedge the writer."""
-    writer.write(encode_frame(frame))
+    ``timeout`` so a stalled peer cannot wedge the writer.
+
+    Head and payload are written as two parts — the transport
+    buffers them back to back, so no joined copy of the frame is
+    ever built (see :func:`encode_frame_views`).
+    """
+    head, payload = encode_frame_views(frame)
+    writer.write(head)
+    if payload:
+        writer.write(payload)
     await asyncio.wait_for(writer.drain(), timeout)
 
 
@@ -300,7 +364,9 @@ __all__ = [
     "Status",
     "decode_body",
     "decode_frame",
+    "decode_payload",
     "encode_frame",
+    "encode_frame_views",
     "read_frame",
     "write_frame",
 ]

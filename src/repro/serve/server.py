@@ -46,6 +46,7 @@ from typing import Awaitable, Callable, Dict, List, Optional, Set, \
 
 from repro.aes import gcm, modes
 from repro.obs.metrics import global_registry
+from repro.perf.engine import forget_key
 from repro.obs.tracing import trace_span
 from repro.serve.protocol import (
     CTR_NONCE_BYTES,
@@ -127,6 +128,18 @@ class Session:
 
     session_id: int
     key: Optional[bytes] = field(default=None, repr=False)
+
+    def close(self) -> None:
+        """Session teardown hygiene: forget the key's derived state.
+
+        Drops the session's expanded schedule from the process-wide
+        round-key cache and its GHASH tables (both zeroized there),
+        so a closed session's key material does not linger in caches
+        shared with other tenants.
+        """
+        key, self.key = self.key, None
+        if key is not None:
+            forget_key(key)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         loaded = "loaded" if self.key is not None else "absent"
@@ -257,6 +270,7 @@ class CryptoServer:
         except (ConnectionError, asyncio.TimeoutError):
             pass  # peer vanished or stalled; nothing to answer
         finally:
+            session.close()
             self._writers.discard(writer)
             _OPEN_CONNECTIONS.dec()
             await _close_writer(writer)

@@ -45,7 +45,9 @@ STOP_TASK_UNPINNED = """                asyncio.get_running_loop() \\
 # Synthetic bug C: a Status member nobody emits or dispatches.
 STATUS_TAIL = "    INTERNAL = 8"
 
-# Synthetic bug D: decode_body's bad-magic raise with the wrong flag.
+# Synthetic bug D: decode_payload's bad-magic raise with the wrong
+# flag (the zero-copy split decoder the streaming reader parses
+# through).
 BAD_MAGIC_RAISE = \
     'raise FrameError(f"bad magic (want {MAGIC!r})")'
 
@@ -145,7 +147,7 @@ class TestSyntheticBugs:
         assert "PAUSED" in finding.message
         assert finding.location.file.endswith("protocol.py")
 
-    def test_decode_body_raise_with_wrong_recoverable_flag(self):
+    def test_decode_payload_raise_with_wrong_recoverable_flag(self):
         findings = _findings(_mutate_file(
             "protocol.py", BAD_MAGIC_RAISE,
             'raise FrameError(f"bad magic (want {MAGIC!r})",\n'
@@ -153,7 +155,7 @@ class TestSyntheticBugs:
         assert _rules(findings) == {
             "proto.unclassified-frame-error"}
         [finding] = findings
-        assert "decode_body" in finding.message
+        assert "decode_payload" in finding.message
         assert "recoverable=False" in finding.message
 
     def test_loop_continues_past_desync(self):

@@ -119,10 +119,90 @@ class TestRoundKeyCache:
             RoundKeyCache(capacity=0)
 
 
+class TestRoundKeyCacheHygiene:
+    """Evicted / discarded / cleared schedules must be zeroized, and
+    handed-out schedules must never alias the wipeable buffer."""
+
+    @staticmethod
+    def _buffer(cache, key):
+        return cache._entries[bytes(key)]
+
+    def test_eviction_zeroizes_schedule(self):
+        cache = RoundKeyCache(capacity=2)
+        k1, k2, k3 = (bytes([i]) + bytes(15) for i in range(3))
+        cache.words(k1)
+        evicted = self._buffer(cache, k1)
+        assert any(evicted)
+        cache.words(k2)
+        cache.words(k3)  # evicts k1
+        assert len(cache) == 2
+        assert not any(evicted), \
+            "evicted schedule still reachable through the old buffer"
+
+    def test_discard_zeroizes_schedule(self):
+        cache = RoundKeyCache()
+        key = bytes(range(16))
+        cache.words(key)
+        buffer = self._buffer(cache, key)
+        cache.discard(key)
+        assert len(cache) == 0
+        assert not any(buffer)
+
+    def test_discard_unknown_key_is_noop(self):
+        cache = RoundKeyCache()
+        cache.discard(bytes(16))  # nothing cached: must not raise
+        assert len(cache) == 0
+
+    def test_clear_zeroizes_every_schedule(self):
+        cache = RoundKeyCache()
+        keys = [bytes([i]) + bytes(15) for i in range(4)]
+        buffers = []
+        for key in keys:
+            cache.words(key)
+            buffers.append(self._buffer(cache, key))
+        cache.clear()
+        assert len(cache) == 0
+        assert all(not any(buffer) for buffer in buffers)
+
+    def test_words_tuple_survives_wipe(self):
+        """Callers hold an unpacked tuple, never the buffer — a
+        concurrent wipe must not corrupt in-flight schedules."""
+        cache = RoundKeyCache()
+        key = bytes(range(16))
+        schedule = cache.words(key)
+        cache.discard(key)
+        assert schedule == tuple(expand_key(key, 10))
+
+    def test_forget_key_drops_engine_and_ghash_state(self):
+        from repro.aes import ghash as ghash_mod
+        from repro.aes.cipher import AES128
+        from repro.perf.engine import default_engine, forget_key
+
+        key = bytes(range(16))
+        engine = default_engine()
+        cache = getattr(engine.backend, "cache", None)
+        engine.xcrypt_ecb(key, bytes(32))  # populate schedule cache
+        subkey = int.from_bytes(
+            AES128(key).encrypt_block(bytes(16)), "big")
+        ghash_mod.get_provider("table").digest(subkey, (b"x" * 16,))
+        assert subkey in ghash_mod._TABLES
+        forget_key(key)
+        if cache is not None:
+            assert key not in cache._entries
+        assert subkey not in ghash_mod._TABLES
+
+    def test_forget_key_tolerates_garbage(self):
+        from repro.perf.engine import forget_key
+        forget_key(b"short")  # malformed keys have nothing cached
+
+
 class TestRegistry:
     def test_registry_names(self):
-        assert set(available_backends()) == \
-            {"baseline", "ttable", "sliced"}
+        from repro.perf.evp import have_evp
+        expected = {"baseline", "ttable", "sliced"}
+        if have_evp():
+            expected.add("evp")
+        assert set(available_backends()) == expected
 
     def test_get_backend_auto(self):
         assert get_backend("auto").name == "sliced"

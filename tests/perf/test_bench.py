@@ -229,3 +229,72 @@ class TestLoadReport:
         path.write_text(json.dumps({"schema": "other/v9"}))
         with pytest.raises(ValueError, match="unrecognized"):
             load_report(path)
+
+    def test_v3_reader_path_normalizes_ghash(self, tmp_path):
+        from repro.perf.bench import SCHEMA_V3, load_report
+
+        v3 = {
+            "schema": SCHEMA_V3,
+            "created_unix": 1754000000,
+            "quick": True,
+            "workers": 1,
+            "git_rev": "abc123",
+            "host": {"platform": "x", "python": "3.11"},
+            "equivalence": {"mismatches": 0},
+            "workloads": [],
+            "obs": {},
+            "serve": None,
+        }
+        path = tmp_path / "v3.json"
+        path.write_text(json.dumps(v3))
+        loaded = load_report(path)
+        assert loaded["ghash"] is None
+
+
+class TestGhashSection:
+    def test_cross_check_ghash_gate(self):
+        from repro.perf.bench import cross_check_ghash
+
+        summary = cross_check_ghash()
+        assert summary["ghash_mismatches"] == 0
+        assert summary["ghash_cases"] > 0
+        assert "bitwise" in summary["ghash_providers"]
+        assert "table" in summary["ghash_providers"]
+
+    def test_run_bench_embeds_ghash_section(self):
+        report = run_bench(quick=True, sizes=[128], reps=1,
+                           backend_names=["baseline"],
+                           corpus_blocks=4,
+                           ghash_names=["bitwise", "table"])
+        section = report["ghash"]
+        assert section is not None
+        assert "bitwise" in section["providers"]
+        for row in section["workloads"]:
+            assert row["kind"] in {"digest", "gcm"}
+            assert row["blocks_per_s"] >= 0
+            assert row["measured_blocks"] <= row["blocks"]
+        eq = report["equivalence"]
+        assert eq["ghash_mismatches"] == 0
+        assert eq["ghash_cases"] > 0
+        # Bitwise is the denominator: its own speedup is exactly 1.
+        bitwise = [r for r in section["workloads"]
+                   if r["provider"] == "bitwise"]
+        assert all(r["speedup_vs_bitwise"] == pytest.approx(1.0)
+                   for r in bitwise)
+        text = render_report(report)
+        assert "ghash" in text
+        assert "ghash equivalence" in text
+
+    def test_ghash_section_can_be_disabled(self):
+        report = run_bench(quick=True, sizes=[128], reps=1,
+                           backend_names=["baseline"],
+                           corpus_blocks=4, ghash=False)
+        assert report["ghash"] is None
+        # The equivalence gate still runs even without timings.
+        assert report["equivalence"]["ghash_mismatches"] == 0
+
+    def test_rejects_unknown_ghash_provider(self):
+        with pytest.raises(ValueError, match="unknown ghash"):
+            run_bench(quick=True, sizes=[128], reps=1,
+                      backend_names=["baseline"], corpus_blocks=4,
+                      ghash_names=["quantum"])

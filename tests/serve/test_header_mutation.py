@@ -27,7 +27,9 @@ from repro.serve.protocol import (
     Op,
     Status,
     decode_frame,
+    decode_payload,
     encode_frame,
+    encode_frame_views,
 )
 
 PREFIX_BYTES = 4
@@ -71,6 +73,53 @@ def test_every_single_byte_mutation_is_classified(payload_bytes):
                     f"{where}: prefix mutation decoded")
                 assert decoded != frame, (
                     f"{where}: mutation decoded to the same frame")
+
+
+@pytest.mark.parametrize("payload_bytes", [0, 1, 64])
+def test_every_header_mutation_agrees_with_decode_payload(
+        payload_bytes):
+    """The zero-copy entry point classifies exactly like decode_frame.
+
+    For every single-byte mutation of the 18-byte header,
+    ``decode_payload(header, payload)`` must either decode to a
+    different frame or raise ``FrameError`` with ``recoverable=True``
+    — and its outcome must agree with ``decode_frame`` on the
+    reassembled wire image.
+    """
+    frame = _reference_frame(payload_bytes)
+    head, payload = encode_frame_views(frame)
+    header = head[PREFIX_BYTES:]
+    assert decode_payload(header, payload) == frame
+
+    for position in range(HEADER_BYTES):
+        for flip in range(1, 256):
+            mutated = bytearray(header)
+            mutated[position] = (mutated[position] + flip) % 256
+            mutated_header = bytes(mutated)
+            where = f"header byte {position} -> +{flip}"
+
+            try:
+                reference = decode_frame(
+                    head[:PREFIX_BYTES] + mutated_header + payload)
+                ref_outcome = ("ok", reference)
+            except FrameError as exc:
+                ref_outcome = ("err", exc.recoverable)
+
+            try:
+                decoded = decode_payload(mutated_header, payload)
+            except FrameError as exc:
+                assert exc.recoverable is True, (
+                    f"{where}: header mutation must stay "
+                    f"recoverable: {exc}")
+                assert ref_outcome == ("err", True), (
+                    f"{where}: decode_payload raised but "
+                    f"decode_frame gave {ref_outcome}")
+            else:
+                assert decoded != frame, (
+                    f"{where}: mutation decoded to the same frame")
+                assert ref_outcome == ("ok", decoded), (
+                    f"{where}: decode_payload and decode_frame "
+                    f"disagree")
 
 
 def test_mutation_outcome_is_deterministic():

@@ -186,8 +186,10 @@ class TestBench:
         assert "wrote" in out
         report = json.loads(out_file.read_text())
         assert report["schema"] == \
-            "repro-aes/software-throughput/v3"
+            "repro-aes/software-throughput/v4"
         assert report["equivalence"]["mismatches"] == 0
+        assert report["equivalence"]["ghash_mismatches"] == 0
+        assert report["ghash"]["workloads"]
         assert report["git_rev"]
         assert "repro_engine_blocks_total" in report["obs"]
         backends = {row["backend"] for row in report["workloads"]}
@@ -202,10 +204,12 @@ class TestBench:
         code, out = run_cli(capsys, "bench", "--quick",
                             "--backend", "sliced",
                             "--size", "256", "--reps", "1",
-                            "--no-serve", "--out", str(out_file))
+                            "--no-serve", "--no-ghash",
+                            "--out", str(out_file))
         assert code == 0
         report = json.loads(out_file.read_text())
         assert report["serve"] is None
+        assert report["ghash"] is None
 
     def test_unknown_backend_exits(self, tmp_path):
         with pytest.raises(SystemExit):

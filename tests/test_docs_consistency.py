@@ -151,3 +151,36 @@ class TestServingDocsPinProtocol:
     def test_proven_invariants_section_present(self):
         assert "Proven protocol invariants" in self.SERVING
         assert "desync-deadlock" in self.SERVING
+
+    def test_zero_copy_codec_documented(self):
+        assert "Zero-copy codec" in self.SERVING
+        for name in ("encode_frame_views", "decode_payload",
+                     "write_frame", "serve.codec-copy"):
+            assert name in self.SERVING, name
+
+
+class TestUsageDocsPinBackends:
+    """docs/usage.md's backend/provider matrix and bench schema must
+    track the registries and the persisted schema string."""
+
+    USAGE = (REPO / "docs" / "usage.md").read_text()
+
+    def test_backend_matrix_names_registry(self):
+        # Every selectable backend name appears in the docs, whether
+        # or not it registers on this host (evp is host-dependent).
+        for name in ("baseline", "ttable", "sliced", "evp"):
+            assert f"`{name}`" in self.USAGE, name
+
+    def test_ghash_providers_documented(self):
+        from repro.aes.ghash import available_providers
+        for name in available_providers():
+            assert f"`{name}`" in self.USAGE, name
+        assert "`auto`" in self.USAGE
+
+    def test_bench_schema_documented(self):
+        from repro.perf.bench import SCHEMA
+        assert SCHEMA in self.USAGE
+
+    def test_ghash_flags_documented(self):
+        assert "--no-ghash" in self.USAGE
+        assert "--ghash" in self.USAGE
