@@ -246,8 +246,12 @@ class CheckConfig:
     #: File patterns the ``serve.*`` async-service rules apply to.
     #: The bounded-queue and timeout disciplines are serving-layer
     #: contracts, not repository-wide style, so the rules are scoped.
+    #: The admin/scrape plane is named explicitly (redundant with the
+    #: package glob today): the HTTP sidecar must keep the timeout
+    #: discipline even if it ever moves out of the serve package.
     serve_path_patterns: Tuple[str, ...] = (
         "*repro/serve/*.py",
+        "*repro/serve/admin.py",
     )
 
     def enabled(self, rule_id: str) -> bool:

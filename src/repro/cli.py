@@ -422,6 +422,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         workers=args.workers,
         request_timeout=args.request_timeout,
+        admin_port=args.admin_port,
+        slo_threshold_s=args.slo_threshold,
     )
 
     async def _serve() -> None:
@@ -431,6 +433,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         await server.start()
         host, port = server.address
         print(f"serving on {host}:{port}", flush=True)
+        if config.admin_port is not None:
+            admin_host, admin_port = server.admin_address
+            print(f"admin on {admin_host}:{admin_port}", flush=True)
         loop = asyncio.get_running_loop()
         stop_requested = asyncio.Event()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -492,6 +497,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     else:
         loadgen_key = secrets.token_bytes(16)
     try:
+        # The shutdown frame is sent only after the admin scrape: the
+        # admin plane (and its quantile windows) dies with the server.
         report = asyncio.run(run_load(
             args.host, args.port, loadgen_key,
             clients=args.clients,
@@ -499,7 +506,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             mode=mode,
             payload_bytes=args.size,
             seed=args.seed,
-            shutdown=args.shutdown,
+            shutdown=False,
         ))
     except (ConnectionError, OSError) as exc:
         raise SystemExit(
@@ -507,16 +514,91 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+    print(report.render())
+    if args.admin_port is not None:
+        _loadgen_admin_scrape(args.host, args.admin_port)
+    if args.shutdown:
+        asyncio.run(_send_shutdown_frame(args.host, args.port))
     if not report.requests:
         # Connection-level failures are per-client inside run_load;
-        # zero completed requests means the service was unreachable
-        # (or rejected everything) — say so loudly.
+        # zero OK responses means the service was unreachable or
+        # rejected every request — say so loudly.
         raise SystemExit(
-            f"error: no requests completed against "
+            f"error: no requests succeeded against "
             f"{args.host}:{args.port}"
         )
-    print(report.render())
     return 0 if not report.errors else 1
+
+
+async def _send_shutdown_frame(host: str, port: int) -> None:
+    """One best-effort SHUTDOWN frame (drains the server cleanly)."""
+    import asyncio
+
+    from repro.serve.client import CryptoClient, RequestFailed, \
+        RetryPolicy
+
+    closer = CryptoClient(host, port, retry=RetryPolicy(attempts=1))
+    try:
+        await closer.shutdown()
+    except (RequestFailed, ConnectionError, asyncio.TimeoutError):
+        pass
+    finally:
+        await closer.close()
+
+
+def _loadgen_admin_scrape(host: str, admin_port: int) -> None:
+    """Print the server-observed latency view next to the client's,
+    and merge the server's trace events when tracing is on."""
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    base = f"http://{host}:{admin_port}"
+    try:
+        with urlopen(f"{base}/quantiles", timeout=5.0) as response:
+            quantiles = json.loads(response.read())
+    except (URLError, OSError, ValueError) as exc:
+        print(f"  admin     : scrape of {base}/quantiles failed: "
+              f"{exc}")
+        return
+    requests_window = quantiles.get("request_seconds", {})
+    samples = requests_window.get("samples", [])
+    # The busiest (op, mode) series is the loadgen's own traffic.
+    busiest = max(samples, key=lambda s: s.get("count", 0),
+                  default=None)
+    if busiest and busiest.get("count"):
+        labels = ",".join(
+            f"{k}={v}" for k, v in sorted(
+                busiest.get("labels", {}).items())
+        )
+        parts = []
+        for key in ("p50_s", "p95_s", "p99_s", "max_s"):
+            value = busiest.get(key)
+            if value is not None:
+                parts.append(f"{key[:-2]}={value * 1000:.2f}ms")
+        print(f"  server    : {', '.join(parts)} "
+              f"({labels}, server-observed, "
+              f"{busiest['count']} in window)")
+    waits = quantiles.get("queue_wait_seconds", {}).get("samples", [])
+    if waits and waits[0].get("max_s") is not None:
+        print(f"  queue wait: max={waits[0]['max_s'] * 1000:.2f}ms "
+              f"(server-observed)")
+    from repro.obs.tracing import active_tracer
+
+    tracer = active_tracer()
+    if tracer is None:
+        return
+    try:
+        with urlopen(f"{base}/trace", timeout=5.0) as response:
+            body = json.loads(response.read())
+    except (URLError, OSError, ValueError) as exc:
+        print(f"  admin     : scrape of {base}/trace failed: {exc}")
+        return
+    if body.get("enabled") and body.get("events"):
+        tracer.add_events(body["events"],
+                          epoch_unix=body.get("epoch_unix"))
+        print(f"  trace     : merged {len(body['events'])} server "
+              f"event(s) onto the client timeline")
 
 
 def cmd_vcd(args: argparse.Namespace) -> int:
@@ -743,6 +825,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker tasks (and crypto threads)")
     p.add_argument("--request-timeout", type=float, default=10.0,
                    help="per-request execution budget in seconds")
+    p.add_argument("--admin-port", type=int, default=None,
+                   help="also bind the admin/scrape plane (/metrics, "
+                        "/healthz, /readyz, /quantiles) on this port "
+                        "(0 = OS-assigned, printed on startup)")
+    p.add_argument("--slo-threshold", type=float, default=0.25,
+                   help="request-seconds SLO for the windowed "
+                        "burn-rate counters (default 0.25)")
     p.add_argument("--serve-seconds", type=float, default=None,
                    help="stop after this many seconds (CI smoke)")
     p.add_argument("--metrics-out", default=None,
@@ -775,6 +864,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2003,
                    help="payload/backoff seed (payloads only; keys "
                         "never come from this)")
+    p.add_argument("--admin-port", type=int, default=None,
+                   help="admin-plane port of the serve instance: "
+                        "scrape /quantiles after the run to print "
+                        "server-observed latency (and merge /trace "
+                        "events when --trace is active)")
     p.add_argument("--shutdown", action="store_true",
                    help="send a SHUTDOWN frame after the run (drains "
                         "the server cleanly)")

@@ -31,9 +31,28 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
+
+#: Span/trace ids are opaque nonzero 64-bit values; a dedicated
+#: generator keeps them independent of any seeded RNG in the caller
+#: (they are correlation handles, never key material).
+_ID_RNG = random.SystemRandom()
+
+
+def new_span_id() -> int:
+    """A fresh nonzero 64-bit id for a span or a whole trace."""
+    while True:
+        value = _ID_RNG.getrandbits(64)
+        if value:
+            return value
+
+
+def format_span_id(value: int) -> str:
+    """The canonical 16-hex-digit rendering of a span/trace id."""
+    return f"{value & 0xFFFFFFFFFFFFFFFF:016x}"
 
 
 class _NullSpan:
@@ -81,6 +100,10 @@ class Tracer:
         self._events: List[Dict[str, object]] = []
         self._lock = threading.Lock()
         self._epoch = time.perf_counter()
+        #: Wall-clock time of the epoch — lets traces recorded by
+        #: *different processes* (each with its own perf_counter
+        #: origin) be merged onto one timeline.
+        self.epoch_unix = time.time()
         self._pid = os.getpid()
 
     def _us(self, moment: float) -> float:
@@ -106,6 +129,40 @@ class Tracer:
              **args: object) -> _Span:
         """A context manager timing one named span."""
         return _Span(self, name, category, args or None)
+
+    def record_span(self, name: str, start: float, end: float,
+                    category: str = "repro", **args: object) -> None:
+        """Record a complete span from explicit ``perf_counter``
+        moments — for retroactive measurements (queue wait observed
+        at dequeue time) where a context manager cannot wrap the
+        interval."""
+        self._record(name, category, start, end, args or None)
+
+    def add_events(self, events: Iterable[Dict[str, object]],
+                   epoch_unix: Optional[float] = None) -> None:
+        """Merge foreign trace events (e.g. scraped from a server's
+        admin plane) into this tracer's timeline.
+
+        ``epoch_unix`` is the foreign tracer's wall-clock epoch; when
+        given, every foreign timestamp is shifted so both processes
+        share this tracer's timeline (wall clocks agree to far better
+        than the millisecond spans being aligned here).
+        """
+        shift_us = 0.0
+        if epoch_unix is not None:
+            shift_us = (epoch_unix - self.epoch_unix) * 1e6
+        merged: List[Dict[str, object]] = []
+        for event in events:
+            if not isinstance(event, dict) or "ts" not in event:
+                continue
+            moved = dict(event)
+            try:
+                moved["ts"] = round(float(moved["ts"]) + shift_us, 3)
+            except (TypeError, ValueError):
+                continue
+            merged.append(moved)
+        with self._lock:
+            self._events.extend(merged)
 
     def instant(self, name: str, category: str = "repro",
                 **args: object) -> None:
@@ -187,3 +244,11 @@ def trace_instant(name: str, category: str = "repro",
     tracer = _GLOBAL
     if tracer is not None:
         tracer.instant(name, category, **args)
+
+
+def trace_record(name: str, start: float, end: float,
+                 category: str = "repro", **args: object) -> None:
+    """A retroactive span on the global tracer; no-op when disabled."""
+    tracer = _GLOBAL
+    if tracer is not None:
+        tracer.record_span(name, start, end, category, **args)

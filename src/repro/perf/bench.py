@@ -59,7 +59,10 @@ JSON schema (``repro-aes/software-throughput/v4``)::
       "serve": {"clients": 8, "requests_per_client": 16,
                 "mode": "ctr", "payload_bytes": 16384,
                 "requests": 128, "errors": 0, "seconds": ...,
-                "requests_per_s": ..., "mb_per_s": ...} | null
+                "requests_per_s": ..., "mb_per_s": ...,
+                "latency": {"p50_s": ..., "p95_s": ...,
+                            "p99_s": ..., "max_s": ...} | null
+               } | null
     }
 
 v2 added ``git_rev`` (code-revision provenance, best-effort) and the
@@ -72,10 +75,13 @@ achieves in requests/sec, next to the raw engine rates above it.  v4
 added the ``ghash`` section (provider-by-provider GHASH digest and
 end-to-end GCM rates, with ``bitwise`` as the denominator), the
 GHASH rows of the equivalence gate, and the ``openssl`` host field
-recording whether the EVP ceiling backend was available.
-:func:`load_report` reads v1 through v4, normalizing older shapes
-(``serve`` / ``ghash`` become ``None`` where a section predates the
-schema) — so downstream comparisons never branch on the version.
+recording whether the EVP ceiling backend was available.  v5 added
+the serve row's ``latency`` section: client-observed nearest-rank
+p50/p95/p99/max request seconds, so a trajectory of bench files
+tracks tail latency next to throughput.  :func:`load_report` reads
+v1 through v5, normalizing older shapes (``serve`` / ``ghash`` /
+``latency`` become ``None`` where a section predates the schema) —
+so downstream comparisons never branch on the version.
 """
 
 from __future__ import annotations
@@ -106,7 +112,8 @@ BLOCK = 16
 SCHEMA_V1 = "repro-aes/software-throughput/v1"
 SCHEMA_V2 = "repro-aes/software-throughput/v2"
 SCHEMA_V3 = "repro-aes/software-throughput/v3"
-SCHEMA = "repro-aes/software-throughput/v4"
+SCHEMA_V4 = "repro-aes/software-throughput/v4"
+SCHEMA = "repro-aes/software-throughput/v5"
 
 DEFAULT_OUT = "BENCH_software_throughput.json"
 
@@ -359,6 +366,12 @@ def serve_scenario(quick: bool = False,
             "seconds": round(report.seconds, 6),
             "requests_per_s": round(report.requests_per_s, 1),
             "mb_per_s": round(report.mb_per_s, 3),
+            # v5: client-observed latency percentiles next to the
+            # rates (None when no request completed a round-trip).
+            "latency": {
+                key: round(value, 6)
+                for key, value in report.latency.items()
+            } or None,
         }
 
     with trace_span("bench.serve", clients=clients,
@@ -628,14 +641,14 @@ def write_report(report: Dict[str, object], out: Path) -> Path:
 
 
 def load_report(path: Path) -> Dict[str, object]:
-    """Read a persisted trajectory file, v1 through v4.
+    """Read a persisted trajectory file, v1 through v5.
 
-    Older files are normalized to the v4 shape: v1 gains
+    Older files are normalized to the v5 shape: v1 gains
     ``git_rev="unknown"`` and an empty ``obs``; v1 and v2 gain
-    ``serve=None``; v1 through v3 gain ``ghash=None`` (each section
-    predates those schemas) — so downstream comparisons never need
-    to branch on the schema.  An unrecognized schema raises
-    ``ValueError``.
+    ``serve=None``; v1 through v3 gain ``ghash=None``; v1 through v4
+    serve sections gain ``latency=None`` (each section predates
+    those schemas) — so downstream comparisons never need to branch
+    on the schema.  An unrecognized schema raises ``ValueError``.
     """
     report = json.loads(Path(path).read_text())
     schema = report.get("schema")
@@ -649,12 +662,16 @@ def load_report(path: Path) -> Dict[str, object]:
         report.setdefault("ghash", None)
     elif schema == SCHEMA_V3:
         report.setdefault("ghash", None)
-    elif schema != SCHEMA:
+    elif schema not in (SCHEMA_V4, SCHEMA):
         raise ValueError(
             f"unrecognized bench schema {schema!r} in {path} "
-            f"(expected {SCHEMA_V1!r}, {SCHEMA_V2!r}, {SCHEMA_V3!r} "
-            f"or {SCHEMA!r})"
+            f"(expected {SCHEMA_V1!r}, {SCHEMA_V2!r}, {SCHEMA_V3!r}, "
+            f"{SCHEMA_V4!r} or {SCHEMA!r})"
         )
+    serve = report.get("serve")
+    if isinstance(serve, dict):
+        # v1–v4 serve rows predate the latency-percentile section.
+        serve.setdefault("latency", None)
     return report
 
 
@@ -740,6 +757,16 @@ def render_report(report: Dict[str, object]) -> str:
             f"{serve['mb_per_s']:.2f} MB/s, "  # type: ignore[index]
             f"{serve['errors']} error(s)"  # type: ignore[index]
         )
+        latency = serve.get("latency")  # type: ignore[union-attr]
+        if latency:
+            lines.append(
+                "serve latency: "
+                + ", ".join(
+                    f"{key[:-2]}={latency[key] * 1000:.2f}ms"
+                    for key in ("p50_s", "p95_s", "p99_s", "max_s")
+                    if latency.get(key) is not None
+                )
+            )
     lines.append("(* = numpy-vectorized; baseline rows may be "
                  "measured on a capped prefix, see measured_blocks)")
     return "\n".join(lines)

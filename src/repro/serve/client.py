@@ -21,11 +21,18 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import math
 import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.tracing import (
+    active_tracer,
+    format_span_id,
+    new_span_id,
+    trace_record,
+)
 from repro.serve.protocol import (
     RETRYABLE_STATUSES,
     Frame,
@@ -86,6 +93,11 @@ class CryptoClient:
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._request_ids = itertools.count(1)
+        # Whether to carry trace context on the wire (only attempted
+        # while tracing is enabled).  Flipped off for the connection's
+        # lifetime the first time a peer rejects the extension, so a
+        # v2 client keeps working against a v1 server.
+        self._trace_wire = True
 
     async def __aenter__(self) -> "CryptoClient":
         await self.connect()
@@ -160,14 +172,39 @@ class CryptoClient:
             await self.connect()
         assert self._reader is not None and self._writer is not None
         request_id = next(self._request_ids)
+        trace_id = span_id = 0
+        if self._trace_wire and active_tracer() is not None:
+            trace_id = new_span_id()
+            span_id = new_span_id()
         frame = Frame(op=op, mode=mode, request_id=request_id,
-                      payload=payload)
+                      payload=payload, trace_id=trace_id,
+                      parent_span_id=span_id)
+        start = time.perf_counter()
         await write_frame(self._writer, frame,
                           timeout=self.request_timeout)
         response = await read_frame(self._reader,
                                     timeout=self.request_timeout)
+        if trace_id:
+            # The client half of the cross-process pair: the server's
+            # serve.request span carries the same trace_id.
+            trace_record("request", start, time.perf_counter(),
+                         category="client", op=op.name.lower(),
+                         trace_id=format_span_id(trace_id),
+                         span_id=format_span_id(span_id))
         if response is None:
             raise ConnectionError("server closed the connection")
+        if (trace_id and response.status is Status.BAD_FRAME
+                and response.request_id == 0):
+            # A v1 peer rejects the traced frame before decoding the
+            # header, so its BAD_FRAME reply carries request id 0.
+            # Downgrade for this connection and let the retry loop
+            # resend the request untraced.
+            self._trace_wire = False
+            raise FrameError(
+                "peer declined the trace extension; "
+                "retrying without it",
+                recoverable=False,
+            )
         if response.request_id != request_id:
             raise FrameError(
                 f"response for request {response.request_id}, "
@@ -212,6 +249,10 @@ class LoadReport:
     mode: str
     payload_bytes: int
     statuses: Dict[str, int] = field(default_factory=dict)
+    #: Client-observed per-request latency percentiles in seconds
+    #: (keys ``p50_s``/``p95_s``/``p99_s``/``max_s``); empty when no
+    #: request completed a round-trip.
+    latency: Dict[str, float] = field(default_factory=dict)
 
     @property
     def requests_per_s(self) -> float:
@@ -244,7 +285,41 @@ class LoadReport:
                 for name, count in sorted(self.statuses.items())
             )
             lines.append(f"  statuses  : {status_text}")
+        if self.latency:
+            lines.append(
+                "  latency   : "
+                + ", ".join(
+                    f"{key[:-2]}={self.latency[key] * 1000:.2f}ms"
+                    for key in ("p50_s", "p95_s", "p99_s", "max_s")
+                    if key in self.latency
+                )
+                + " (client-observed)"
+            )
         return "\n".join(lines)
+
+
+def latency_percentiles(samples: List[float]) -> Dict[str, float]:
+    """Nearest-rank p50/p95/p99 plus max of a latency sample list.
+
+    Exact (not estimated — the loadgen holds every sample), so the
+    client side of the loadgen report is ground truth against which
+    the server's windowed estimates can be judged.
+    """
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    count = len(ordered)
+
+    def rank(q: float) -> float:
+        return ordered[min(count - 1,
+                           max(0, math.ceil(q * count) - 1))]
+
+    return {
+        "p50_s": rank(0.50),
+        "p95_s": rank(0.95),
+        "p99_s": rank(0.99),
+        "max_s": ordered[-1],
+    }
 
 
 async def run_load(host: str, port: int, key: bytes,
@@ -287,12 +362,14 @@ async def run_load(host: str, port: int, key: bytes,
     counts: Dict[str, int] = {"ok": 0, "errors": 0,
                               "bytes_out": 0, "bytes_in": 0}
     statuses: Dict[str, int] = {}
+    latencies: List[float] = []
 
     async def one_client(index: int) -> None:
         client = CryptoClient(
             host, port, retry=retry,
             rng=random.Random(seed * 1000 + index),
         )
+        answered = 0
         try:
             await client.connect()
             response = await client.load_key(key)
@@ -300,7 +377,10 @@ async def run_load(host: str, port: int, key: bytes,
                 counts["errors"] += requests
                 return
             for _ in range(requests):
+                sent = time.perf_counter()
                 response = await client.encrypt(mode, payload)
+                latencies.append(time.perf_counter() - sent)
+                answered += 1
                 name = response.status.name.lower()
                 statuses[name] = statuses.get(name, 0) + 1
                 if response.status is Status.OK:
@@ -311,7 +391,10 @@ async def run_load(host: str, port: int, key: bytes,
                     counts["errors"] += 1
         except (RequestFailed, ConnectionError,
                 asyncio.TimeoutError):
-            counts["errors"] += 1
+            # A dead client answers nothing more: every request it
+            # still owed the run failed, and the report must say so
+            # (an all-errors run has to exit nonzero in CI).
+            counts["errors"] += requests - answered
         finally:
             await client.close()
 
@@ -338,8 +421,9 @@ async def run_load(host: str, port: int, key: bytes,
         mode=mode.name.lower(),
         payload_bytes=payload_bytes,
         statuses=statuses,
+        latency=latency_percentiles(latencies),
     )
 
 
 __all__ = ["CryptoClient", "LoadReport", "RequestFailed",
-           "RetryPolicy", "run_load"]
+           "RetryPolicy", "latency_percentiles", "run_load"]

@@ -31,6 +31,14 @@ Requests carry ``status == Status.OK``; responses echo the request's
 ``op``/``mode``/``request_id`` and set ``status`` to the verdict.
 Error responses put a short UTF-8 diagnostic in the payload — never
 key material.
+
+Version :data:`TRACE_VERSION` frames additionally carry a 16-byte
+trace context (trace id + parent span id) between the header and the
+payload, letting a client stitch its ``request`` span to the
+server's ``serve.request`` span in one merged Chrome trace.  The
+extension is negotiated downward: a version-1 peer answers a traced
+frame with a well-delimited ``BAD_FRAME``, and the client falls back
+to plain frames for the rest of the connection.
 """
 
 from __future__ import annotations
@@ -49,10 +57,24 @@ MAGIC = b"RJ"
 #: frame is well-delimited, so the connection survives.
 VERSION = 1
 
+#: Negotiated extension version: identical to :data:`VERSION` frames
+#: except that a 16-byte trace context (trace id + parent span id,
+#: two big-endian u64s) sits between the header and the payload.  A
+#: peer that only speaks version 1 rejects such a frame with a
+#: well-delimited BAD_FRAME response, which the client takes as the
+#: signal to fall back to plain version-1 frames — so tracing is
+#: strictly opt-in on the wire and v1 deployments interoperate.
+TRACE_VERSION = 2
+
 #: Frame header layout past the length prefix: magic, version, op,
 #: mode, status, session id, request id.
 _HEADER = struct.Struct(">2sBBBBIQ")
 HEADER_BYTES = _HEADER.size
+
+#: The optional trace-context extension of :data:`TRACE_VERSION`
+#: frames: trace id, then parent span id.
+_TRACE_EXT = struct.Struct(">QQ")
+TRACE_EXT_BYTES = _TRACE_EXT.size
 
 #: Hard cap on one frame's payload.  Mirrors the up-front operand
 #: limits of :func:`repro.aes.gcm._check_lengths`: the bound is
@@ -61,8 +83,9 @@ HEADER_BYTES = _HEADER.size
 #: covering the bench payload sizes; bulk transfers chunk client-side.
 MAX_PAYLOAD_BYTES = 1 << 20
 
-#: Largest legal length-prefix value (header + payload).
-MAX_FRAME_BYTES = HEADER_BYTES + MAX_PAYLOAD_BYTES
+#: Largest legal length-prefix value (header + trace extension +
+#: payload) — sized so a traced frame still carries a full payload.
+MAX_FRAME_BYTES = HEADER_BYTES + TRACE_EXT_BYTES + MAX_PAYLOAD_BYTES
 
 
 class Op(enum.IntEnum):
@@ -141,7 +164,14 @@ class FrameError(ValueError):
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded protocol frame."""
+    """One decoded protocol frame.
+
+    ``trace_id`` / ``parent_span_id`` are the optional trace context:
+    both zero on plain version-1 frames; either nonzero makes the
+    frame encode as a :data:`TRACE_VERSION` frame carrying the
+    16-byte extension.  Responses echo the request's context so the
+    client can stitch its span to the server's.
+    """
 
     op: Op
     mode: Mode = Mode.RAW
@@ -149,13 +179,17 @@ class Frame:
     session_id: int = 0
     request_id: int = 0
     payload: bytes = field(default=b"", repr=False)
+    trace_id: int = 0
+    parent_span_id: int = 0
 
     def response(self, status: Status = Status.OK,
                  payload: bytes = b"") -> "Frame":
         """The response frame answering this request."""
         return Frame(op=self.op, mode=self.mode, status=status,
                      session_id=self.session_id,
-                     request_id=self.request_id, payload=payload)
+                     request_id=self.request_id, payload=payload,
+                     trace_id=self.trace_id,
+                     parent_span_id=self.parent_span_id)
 
     def error(self, status: Status, message: str = "") -> "Frame":
         """An error response; the diagnostic rides in the payload."""
@@ -167,16 +201,21 @@ class Frame:
 #: concatenates it with the payload.
 _WIRE_HEAD = struct.Struct(">I2sBBBBIQ")
 
+#: The traced variant: prefix, header and the 16-byte trace context
+#: in one 38-byte pack — still a single allocation for the head.
+_WIRE_HEAD_TRACE = struct.Struct(">I2sBBBBIQQQ")
+
 
 def encode_frame_views(frame: Frame) -> Tuple[bytes, bytes]:
     """Serialize ``frame`` as ``(head, payload)`` — the zero-copy form.
 
     ``head`` is the 4-byte length prefix and 18-byte header in one
-    22-byte buffer; ``payload`` is the frame's own payload object,
-    untouched, when it is already immutable ``bytes`` (the codec's
-    one defensive copy happens only for mutable payload types).
-    Writing both parts back to back puts exactly ``encode_frame``'s
-    bytes on the wire without ever building the concatenation.
+    22-byte buffer (38 bytes when the frame carries a trace context);
+    ``payload`` is the frame's own payload object, untouched, when it
+    is already immutable ``bytes`` (the codec's one defensive copy
+    happens only for mutable payload types).  Writing both parts back
+    to back puts exactly ``encode_frame``'s bytes on the wire without
+    ever building the concatenation.
     """
     payload = frame.payload
     if not isinstance(payload, bytes):
@@ -186,6 +225,16 @@ def encode_frame_views(frame: Frame) -> Tuple[bytes, bytes]:
             f"payload of {len(payload)} bytes exceeds the "
             f"{MAX_PAYLOAD_BYTES}-byte frame limit"
         )
+    if frame.trace_id or frame.parent_span_id:
+        head = _WIRE_HEAD_TRACE.pack(
+            HEADER_BYTES + TRACE_EXT_BYTES + len(payload),
+            MAGIC, TRACE_VERSION, int(frame.op), int(frame.mode),
+            int(frame.status), frame.session_id & 0xFFFFFFFF,
+            frame.request_id & 0xFFFFFFFFFFFFFFFF,
+            frame.trace_id & 0xFFFFFFFFFFFFFFFF,
+            frame.parent_span_id & 0xFFFFFFFFFFFFFFFF,
+        )
+        return head, payload
     head = _WIRE_HEAD.pack(
         HEADER_BYTES + len(payload),
         MAGIC, VERSION, int(frame.op), int(frame.mode),
@@ -205,10 +254,16 @@ def encode_frame(frame: Frame) -> bytes:
     return b"".join(encode_frame_views(frame))
 
 
-def decode_payload(header: bytes, payload: bytes) -> Frame:
+def decode_payload(header: bytes, payload: bytes,
+                   trace: Optional[Tuple[int, int]] = None) -> Frame:
     """Decode a frame from its 18-byte header and payload, already
     split by the transport — the length was parsed exactly once by
     the caller and the payload buffer is adopted as-is (no copy).
+
+    ``trace`` is the already-split 16-byte trace context of a
+    :data:`TRACE_VERSION` frame as ``(trace_id, parent_span_id)``;
+    when the transport did not split it (``None``), the extension is
+    taken from the front of ``payload`` instead.
 
     Raises :class:`FrameError` on any malformation; every failure
     here is *recoverable* — the caller consumed exactly the framed
@@ -226,11 +281,24 @@ def decode_payload(header: bytes, payload: bytes) -> Frame:
         # the received bytes would reflect attacker-controlled data
         # back onto the wire in the BAD_FRAME response.
         raise FrameError(f"bad magic (want {MAGIC!r})")
-    if version != VERSION:
+    if version != VERSION and version != TRACE_VERSION:
         raise FrameError(
             f"protocol version mismatch: peer speaks {version}, "
-            f"this build speaks {VERSION}"
+            f"this build speaks {VERSION} "
+            f"(or {TRACE_VERSION} with the trace extension)"
         )
+    trace_id = parent_span_id = 0
+    if version == TRACE_VERSION:
+        if trace is None:
+            if len(payload) < TRACE_EXT_BYTES:
+                raise FrameError(
+                    f"traced frame carries {len(payload)} body "
+                    f"bytes past the header, too few for the "
+                    f"{TRACE_EXT_BYTES}-byte trace context"
+                )
+            trace = _TRACE_EXT.unpack_from(payload)
+            payload = payload[TRACE_EXT_BYTES:]
+        trace_id, parent_span_id = trace
     try:
         frame_op = Op(op)
         frame_mode = Mode(mode)
@@ -239,7 +307,8 @@ def decode_payload(header: bytes, payload: bytes) -> Frame:
         raise FrameError(f"unknown field value: {exc}") from None
     return Frame(op=frame_op, mode=frame_mode, status=frame_status,
                  session_id=session_id, request_id=request_id,
-                 payload=payload)
+                 payload=payload, trace_id=trace_id,
+                 parent_span_id=parent_span_id)
 
 
 def decode_body(body: bytes) -> Frame:
@@ -319,15 +388,27 @@ async def read_frame(reader: asyncio.StreamReader,
         header = await asyncio.wait_for(
             reader.readexactly(HEADER_BYTES), timeout
         )
+        remaining = body_len - HEADER_BYTES
+        trace: Optional[Tuple[int, int]] = None
+        if header[2] == TRACE_VERSION and remaining >= TRACE_EXT_BYTES:
+            # The trace context is read as its own 16-byte chunk so
+            # the payload buffer below is still adopted unsliced; an
+            # undersized traced frame skips this read and classifies
+            # in decode_payload (recoverable — fully consumed).
+            ext = await asyncio.wait_for(
+                reader.readexactly(TRACE_EXT_BYTES), timeout
+            )
+            trace = _TRACE_EXT.unpack(ext)
+            remaining -= TRACE_EXT_BYTES
         payload = await asyncio.wait_for(
-            reader.readexactly(body_len - HEADER_BYTES), timeout
+            reader.readexactly(remaining), timeout
         )
     except asyncio.IncompleteReadError:
         raise FrameError("connection closed mid-frame",
                          recoverable=False) from None
     # The length was parsed exactly once (above); the payload bytes
     # land in the frame as the very object readexactly produced.
-    return decode_payload(header, payload)
+    return decode_payload(header, payload, trace)
 
 
 async def write_frame(writer: asyncio.StreamWriter, frame: Frame,
@@ -356,6 +437,8 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "MAX_PAYLOAD_BYTES",
     "RETRYABLE_STATUSES",
+    "TRACE_EXT_BYTES",
+    "TRACE_VERSION",
     "VERSION",
     "Frame",
     "FrameError",

@@ -45,9 +45,11 @@ from typing import Awaitable, Callable, Dict, List, Optional, Set, \
     Tuple
 
 from repro.aes import gcm, modes
-from repro.obs.metrics import global_registry
+from repro.obs.metrics import WindowedQuantileSet, global_registry
+from repro.obs.metrics import render_prometheus as _render_registries
 from repro.perf.engine import forget_key
-from repro.obs.tracing import trace_span
+from repro.obs.tracing import format_span_id, trace_record, trace_span
+from repro.serve.admin import AdminServer
 from repro.serve.protocol import (
     CTR_NONCE_BYTES,
     GCM_IV_BYTES,
@@ -118,6 +120,14 @@ class ServeConfig:
     io_timeout: float = 60.0
     #: How long :meth:`CryptoServer.stop` waits for queued requests.
     drain_timeout: float = 10.0
+    #: Port of the admin/scrape plane (``/metrics``, ``/healthz``,
+    #: ``/readyz``, ``/quantiles``); ``None`` leaves it off, ``0``
+    #: binds a free port (readable from ``admin_address``).
+    admin_port: Optional[int] = None
+    #: Width of the sliding latency-quantile window, seconds.
+    window_s: float = 60.0
+    #: Request-latency SLO threshold feeding the burn-rate counters.
+    slo_threshold_s: float = 0.25
 
 
 @dataclass
@@ -154,6 +164,10 @@ class _WorkItem:
     session: Session
     writer: asyncio.StreamWriter
     write_lock: asyncio.Lock
+    #: When the item entered the queue — queue wait is dequeue minus
+    #: this, surfaced as a ``serve.queue_wait`` span and a windowed
+    #: quantile (the loadgen report prints its max).
+    enqueued_at: float = field(default_factory=time.perf_counter)
 
 
 Handler = Callable[[Session, Frame], Awaitable[Frame]]
@@ -184,6 +198,22 @@ class CryptoServer:
             Op.DECRYPT: self._op_xcrypt,
             Op.PING: self._op_ping,
         }
+        # Per-server sliding windows (not the global registry: each
+        # server's admin plane scrapes its own traffic, and windows
+        # age out by wall clock rather than by registry reset).
+        self.request_window = WindowedQuantileSet(
+            "repro_serve_request_window_seconds",
+            "Windowed request latency quantiles, by op and mode",
+            label_names=("op", "mode"),
+            window_s=self.config.window_s,
+            slo_threshold_s=self.config.slo_threshold_s,
+        )
+        self.queue_wait_window = WindowedQuantileSet(
+            "repro_serve_queue_wait_window_seconds",
+            "Windowed queue-wait quantiles (enqueue to dequeue)",
+            window_s=self.config.window_s,
+        )
+        self._admin: Optional[AdminServer] = None
 
     # ------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -207,6 +237,15 @@ class CryptoServer:
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
+        if self.config.admin_port is not None:
+            self._admin = AdminServer(
+                self.config.host,
+                self.config.admin_port,
+                metrics_text=self.metrics_text,
+                quantiles=self.quantiles_snapshot,
+                ready=self._ready,
+            )
+            await self._admin.start()
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -216,6 +255,32 @@ class CryptoServer:
         sock = self._server.sockets[0]
         host, port = sock.getsockname()[:2]
         return host, port
+
+    @property
+    def admin_address(self) -> Tuple[str, int]:
+        """The bound admin-plane (host, port)."""
+        if self._admin is None:
+            raise RuntimeError("admin plane not enabled")
+        return self._admin.address
+
+    def _ready(self) -> bool:
+        """Drain-aware readiness: serving and not shutting down."""
+        return self._server is not None and not self._stopping
+
+    # ------------------------------------------------------- exposition
+    def metrics_text(self) -> str:
+        """One ``/metrics`` scrape body: the process-global registry
+        plus this server's windowed quantile families."""
+        return (_render_registries([_REGISTRY])
+                + self.request_window.render_prometheus()
+                + self.queue_wait_window.render_prometheus())
+
+    def quantiles_snapshot(self) -> Dict[str, object]:
+        """The ``/quantiles`` JSON body."""
+        return {
+            "request_seconds": self.request_window.snapshot(),
+            "queue_wait_seconds": self.queue_wait_window.snapshot(),
+        }
 
     async def wait_stopped(self) -> None:
         """Block until :meth:`stop` has completed."""
@@ -254,6 +319,10 @@ class CryptoServer:
             await _close_writer(writer)
         if self._executor is not None:
             self._executor.shutdown(wait=False)
+        if self._admin is not None:
+            # Last: /readyz has been answering 503 since _stopping
+            # flipped, and a scraper may want the final drain metrics.
+            await self._admin.stop()
         self._stopped.set()
 
     # ----------------------------------------------------- connections
@@ -373,15 +442,29 @@ class CryptoServer:
     async def _process(self, item: _WorkItem) -> None:
         frame = item.frame
         start = time.perf_counter()
+        span_args: Dict[str, object] = {
+            "op": frame.op.name.lower(),
+            "mode": frame.mode.name.lower(),
+            "payload_bytes": len(frame.payload),
+        }
+        if frame.trace_id:
+            # The client's trace context, carried by the wire frame:
+            # tagging the server span with the same ids lets one
+            # merged Chrome trace join both sides of the request.
+            span_args["trace_id"] = format_span_id(frame.trace_id)
+            span_args["parent_span_id"] = format_span_id(
+                frame.parent_span_id
+            )
+        trace_record("serve.queue_wait", item.enqueued_at, start,
+                     category="serve", **span_args)
         with trace_span("serve.request", category="serve",
-                        op=frame.op.name.lower(),
-                        mode=frame.mode.name.lower(),
-                        payload_bytes=len(frame.payload)):
+                        **span_args):
             handler = self._handlers.get(frame.op)
             if handler is None:
                 reply = frame.error(Status.BAD_REQUEST,
                                     f"unhandled op {frame.op.name}")
             else:
+                exec_start = time.perf_counter()
                 try:
                     reply = await asyncio.wait_for(
                         handler(item.session, frame),
@@ -398,10 +481,23 @@ class CryptoServer:
                     # messages can carry state a peer should not see.
                     reply = frame.error(Status.INTERNAL,
                                         "internal error")
+                trace_record("serve.execute", exec_start,
+                             time.perf_counter(), category="serve",
+                             **span_args)
+        elapsed = time.perf_counter() - start
         _REQUEST_SECONDS.labels(op=frame.op.name.lower()).observe(
-            time.perf_counter() - start
+            elapsed
         )
+        self.request_window.labels(
+            op=frame.op.name.lower(), mode=frame.mode.name.lower()
+        ).observe(elapsed)
+        self.queue_wait_window.labels().observe(
+            start - item.enqueued_at
+        )
+        send_start = time.perf_counter()
         await self._send(item.writer, item.write_lock, reply)
+        trace_record("serve.write", send_start, time.perf_counter(),
+                     category="serve", **span_args)
         self._count(reply)
 
     def _count(self, reply: Frame) -> None:

@@ -147,3 +147,25 @@ class TestHistoricalBugInjection:
         assert len(flagged) == 1
         assert flagged[0].location.file.endswith("serve/server.py")
         assert "state" in flagged[0].message
+
+    def test_session_in_admin_response_reinjected_is_flagged(self):
+        # The admin plane's design contract: no Session ever reaches
+        # a response body.  Re-inject exactly that bug — a debug
+        # endpoint rendering the session — and the taint pack must
+        # fire (the carrier annotation is the only secret marker).
+        injected = (
+            "\n\n"
+            "def _session_debug_body(session: Session) -> str:\n"
+            "    return f'active session: {session!r}\\n'\n"
+        )
+
+        def mutate(path, text):
+            if path.endswith("serve/admin.py"):
+                return text + injected
+            return text
+
+        flagged = [f for f in _run(_serve_sources(mutate))
+                   if f.rule.startswith("taint.secret-in-")]
+        assert len(flagged) == 1
+        assert flagged[0].rule == "taint.secret-in-format"
+        assert flagged[0].location.file.endswith("serve/admin.py")

@@ -75,7 +75,9 @@ class TestExtraction:
         assert model.header_format == ">2sBBBBIQ"
         assert model.header_bytes == 18
         assert model.max_payload == 1 << 20
-        assert model.max_frame == (1 << 20) + 18
+        # Header plus the 16-byte optional trace extension plus the
+        # payload cap: a traced frame at max payload still frames.
+        assert model.max_frame == (1 << 20) + 18 + 16
 
     def test_enums(self, model):
         assert model.ops.names == (

@@ -8,8 +8,11 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    QUANTILE_BUCKETS,
     MetricError,
     MetricsRegistry,
+    WindowedQuantiles,
+    WindowedQuantileSet,
     global_registry,
     render_prometheus,
     reset_global_registry,
@@ -204,6 +207,59 @@ class TestPrometheusExposition:
         families = _parse_prometheus(render_prometheus([a, b]))
         assert set(families) == {"a_total", "b_total"}
 
+    def test_each_escape_class_round_trips(self, registry):
+        # One label value per escape class, asserted individually:
+        # the combined test above can hide a class regression.
+        cases = {"back": "a\\b", "quote": 'a"b', "newline": "a\nb"}
+        c = registry.counter("esc_total", "e", labels=("which",))
+        for value in cases.values():
+            c.labels(which=value).inc()
+        text = registry.render_prometheus()
+        assert 'which="a\\\\b"' in text
+        assert 'which="a\\"b"' in text
+        assert 'which="a\\nb"' in text
+        assert "\na" not in text.split("# TYPE")[1]  # no raw newline
+        families = _parse_prometheus(text)
+        assert len(families["esc_total"]["samples"]) == 3
+
+    def test_nonfinite_gauge_values_format(self, registry):
+        g = registry.gauge("edge", "edge values", labels=("case",))
+        g.labels(case="pinf").set(math.inf)
+        g.labels(case="ninf").set(-math.inf)
+        g.labels(case="nan").set(math.nan)
+        text = registry.render_prometheus()
+        assert 'edge{case="pinf"} +Inf' in text
+        assert 'edge{case="ninf"} -Inf' in text
+        assert 'edge{case="nan"} NaN' in text
+        _parse_prometheus(text)  # every line stays 0.0.4-legal
+
+    def test_empty_registry_renders_empty(self):
+        registry = MetricsRegistry()
+        assert registry.render_prometheus() == ""
+        assert _parse_prometheus(registry.render_prometheus()) == {}
+        assert json.loads(registry.render_json()) == {}
+
+    def test_registered_but_unobserved_still_renders_header(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet_total", "never incremented",
+                         labels=("op",))
+        text = registry.render_prometheus()
+        # HELP/TYPE appear; no samples until a child exists.
+        assert "# TYPE quiet_total counter" in text
+        assert "quiet_total{" not in text
+
+    def test_render_deterministic_across_insertion_order(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, order in ((a, ("x", "y", "z")),
+                           (b, ("z", "x", "y"))):
+            c = reg.counter("det_total", "d", labels=("op",))
+            g = reg.gauge("det_gauge", "d", labels=("op",))
+            for op in order:
+                c.labels(op=op).inc(len(op))
+                g.labels(op=op).set(1.5)
+        assert a.render_prometheus() == b.render_prometheus()
+        assert a.render_json() == b.render_json()
+
 
 class TestJsonSnapshot:
     def test_round_trips_through_json(self, registry):
@@ -219,3 +275,134 @@ class TestJsonSnapshot:
         registry.counter("drop_total", "d").inc()
         snap = registry.snapshot(prefix="keep_")
         assert set(snap) == {"keep_total"}
+
+
+class TestWindowedQuantiles:
+    def test_quantiles_within_one_bucket_of_truth(self):
+        w = WindowedQuantiles(window_s=60.0, slots=6)
+        now = 10_000.0
+        for i in range(1, 1001):  # 1ms .. 1s uniform
+            w.observe(i / 1000.0, now=now)
+        # The estimator's documented bound: one geometric step
+        # (ratio 2**0.25, ~19%) of relative error.
+        for q, truth in ((0.50, 0.500), (0.95, 0.950),
+                         (0.99, 0.990)):
+            estimate = w.quantile(q, now=now)
+            assert truth / 1.2 <= estimate <= truth * 1.2, \
+                (q, estimate)
+
+    def test_empty_window_is_nan_and_none(self):
+        w = WindowedQuantiles()
+        assert math.isnan(w.quantile(0.5, now=123.0))
+        snap = w.snapshot(now=123.0)
+        assert snap["count"] == 0
+        assert snap["p50_s"] is None
+        assert snap["max_s"] is None
+
+    def test_observations_age_out_of_the_window(self):
+        w = WindowedQuantiles(window_s=60.0, slots=6)
+        now = 5_000.0
+        w.observe(0.5, now=now)
+        assert w.snapshot(now=now)["count"] == 1
+        # Still visible inside the window, gone past it.
+        assert w.snapshot(now=now + 50.0)["count"] == 1
+        assert w.snapshot(now=now + 61.0)["count"] == 0
+        assert math.isnan(w.quantile(0.5, now=now + 61.0))
+
+    def test_sliding_not_resetting(self):
+        # A ring of sub-histograms slides: old slots drop one at a
+        # time, they do not vanish all at once.
+        w = WindowedQuantiles(window_s=60.0, slots=6)
+        base = 60_000.0
+        for slot in range(6):
+            w.observe(0.01, now=base + slot * 10.0)
+        assert w.snapshot(now=base + 59.0)["count"] == 6
+        # 15s later the two oldest 10s slots have aged out.
+        assert w.snapshot(now=base + 75.0)["count"] == 4
+
+    def test_overflow_bucket_reports_observed_max(self):
+        w = WindowedQuantiles(bounds=(0.001, 0.01))
+        now = 777.0
+        w.observe(5.0, now=now)  # beyond every bound
+        assert w.quantile(0.99, now=now) == 5.0
+        assert w.snapshot(now=now)["max_s"] == 5.0
+
+    def test_slo_burn_rate(self):
+        w = WindowedQuantiles(slo_threshold_s=0.1)
+        now = 900.0
+        for value in (0.05, 0.05, 0.2, 0.3):
+            w.observe(value, now=now)
+        snap = w.snapshot(now=now)
+        assert snap["slo_breaches"] == 2
+        assert snap["burn_rate"] == pytest.approx(0.5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(MetricError):
+            WindowedQuantiles(window_s=0.0)
+        with pytest.raises(MetricError):
+            WindowedQuantiles(bounds=(2.0, 1.0))
+        with pytest.raises(MetricError):
+            WindowedQuantiles().quantile(1.5)
+
+    def test_default_bounds_are_sane(self):
+        assert list(QUANTILE_BUCKETS) == sorted(QUANTILE_BUCKETS)
+        assert len(set(QUANTILE_BUCKETS)) == len(QUANTILE_BUCKETS)
+        assert QUANTILE_BUCKETS[0] <= 1e-4   # resolves loopback
+        assert QUANTILE_BUCKETS[-1] >= 60.0  # covers slow requests
+
+
+class TestWindowedQuantileSet:
+    def test_renders_parseable_gauge_families(self):
+        s = WindowedQuantileSet("req_window_seconds", "windowed",
+                                label_names=("op",),
+                                slo_threshold_s=0.1)
+        now = 4_000.0
+        s.labels(op="encrypt").observe(0.002, now=now)
+        s.labels(op="encrypt").observe(0.3, now=now)
+        families = _parse_prometheus(s.render_prometheus(now=now))
+        assert families["req_window_seconds"]["type"] == "gauge"
+        quantiles = {
+            sample[1]["quantile"]
+            for sample in families["req_window_seconds"]["samples"]
+        }
+        assert quantiles == {"0.5", "0.95", "0.99"}
+        counts = families["req_window_seconds_count"]["samples"]
+        assert counts == [("req_window_seconds_count",
+                           {"op": "encrypt"}, 2.0)]
+        burn = families["req_window_seconds_burn_rate"]["samples"]
+        assert burn[0][2] == pytest.approx(0.5)
+
+    def test_empty_window_renders_no_quantile_samples(self):
+        s = WindowedQuantileSet("idle_window_seconds", "windowed")
+        s.labels()  # child exists, nothing observed
+        families = _parse_prometheus(
+            s.render_prometheus(now=1_000_000.0))
+        assert families["idle_window_seconds"]["samples"] == []
+        counts = families["idle_window_seconds_count"]["samples"]
+        assert counts[0][2] == 0.0
+
+    def test_render_deterministic_across_insertion_order(self):
+        now = 8_000.0
+        a = WindowedQuantileSet("w_seconds", "w", label_names=("op",))
+        b = WindowedQuantileSet("w_seconds", "w", label_names=("op",))
+        for s, order in ((a, ("x", "y")), (b, ("y", "x"))):
+            for op in order:
+                s.labels(op=op).observe(0.01, now=now)
+        assert a.render_prometheus(now=now) == \
+            b.render_prometheus(now=now)
+        assert a.snapshot(now=now) == b.snapshot(now=now)
+
+    def test_snapshot_is_json_able(self):
+        s = WindowedQuantileSet("j_seconds", "j", label_names=("op",),
+                                slo_threshold_s=1.0)
+        s.labels(op="ping").observe(0.5, now=2_000.0)
+        doc = json.loads(json.dumps(s.snapshot(now=2_000.0)))
+        sample = doc["samples"][0]
+        assert sample["labels"] == {"op": "ping"}
+        assert sample["count"] == 1
+        assert sample["burn_rate"] == 0.0
+
+    def test_label_schema_enforced(self):
+        s = WindowedQuantileSet("s_seconds", "s", label_names=("op",))
+        with pytest.raises(MetricError):
+            s.labels(wrong="x")

@@ -113,6 +113,12 @@ class TestServeScenario:
         assert row["errors"] == 0
         assert row["requests_per_s"] > 0
         assert row["seconds"] > 0
+        # v5: the latency-percentile section rides along.
+        latency = row["latency"]
+        assert latency is not None
+        assert set(latency) == {"p50_s", "p95_s", "p99_s", "max_s"}
+        assert 0 < latency["p50_s"] <= latency["p95_s"] \
+            <= latency["p99_s"] <= latency["max_s"]
 
     def test_run_bench_embeds_serve_section(self):
         report = run_bench(quick=True, sizes=[128], reps=1,
@@ -249,6 +255,55 @@ class TestLoadReport:
         path.write_text(json.dumps(v3))
         loaded = load_report(path)
         assert loaded["ghash"] is None
+        assert loaded["serve"] is None
+
+    def test_v4_reader_path_normalizes_serve_latency(self, tmp_path):
+        from repro.perf.bench import SCHEMA_V4, load_report
+
+        v4 = {
+            "schema": SCHEMA_V4,
+            "created_unix": 1754000000,
+            "quick": True,
+            "workers": 1,
+            "git_rev": "abc123",
+            "host": {"platform": "x", "python": "3.11"},
+            "equivalence": {"mismatches": 0,
+                            "ghash_mismatches": 0},
+            "workloads": [],
+            "obs": {},
+            "ghash": None,
+            "serve": {
+                "clients": 4, "requests_per_client": 8,
+                "mode": "ctr", "payload_bytes": 4096,
+                "requests": 32, "errors": 0, "seconds": 0.1,
+                "requests_per_s": 320.0, "mb_per_s": 12.5,
+            },
+        }
+        path = tmp_path / "v4.json"
+        path.write_text(json.dumps(v4))
+        loaded = load_report(path)
+        # v4 serve rows predate the latency section: normalized in.
+        assert loaded["serve"]["latency"] is None
+        assert loaded["serve"]["requests_per_s"] == 320.0
+
+    def test_older_readers_leave_absent_serve_alone(self, tmp_path):
+        from repro.perf.bench import SCHEMA_V2, load_report
+
+        v2 = {
+            "schema": SCHEMA_V2,
+            "created_unix": 1754000000,
+            "quick": True,
+            "workers": 1,
+            "git_rev": "abc123",
+            "host": {"platform": "x", "python": "3.11"},
+            "equivalence": {"mismatches": 0},
+            "workloads": [],
+            "obs": {},
+        }
+        path = tmp_path / "v2-noserve.json"
+        path.write_text(json.dumps(v2))
+        loaded = load_report(path)
+        assert loaded["serve"] is None  # not a dict with latency
 
 
 class TestGhashSection:

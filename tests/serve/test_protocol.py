@@ -9,6 +9,8 @@ from repro.serve.protocol import (
     MAGIC,
     MAX_FRAME_BYTES,
     MAX_PAYLOAD_BYTES,
+    TRACE_EXT_BYTES,
+    TRACE_VERSION,
     VERSION,
     Frame,
     FrameError,
@@ -61,6 +63,27 @@ class TestRoundTrip:
         frame = Frame(op=Op.LOAD_KEY, payload=b"\x13" * 16)
         assert "13" * 8 not in repr(frame)
 
+    def test_trace_context_survives_the_wire(self):
+        frame = Frame(op=Op.ENCRYPT, mode=Mode.CTR, request_id=7,
+                      payload=b"data", trace_id=0x1122334455667788,
+                      parent_span_id=0x99AABBCCDDEEFF00)
+        wire = encode_frame(frame)
+        # Trace context widens the head by TRACE_EXT_BYTES and bumps
+        # the version byte to TRACE_VERSION.
+        assert len(wire) == 4 + HEADER_BYTES + TRACE_EXT_BYTES + 4
+        assert wire[6] == TRACE_VERSION
+        assert decode_frame(wire) == frame
+
+    def test_untraced_frame_stays_version_1(self):
+        wire = encode_frame(Frame(op=Op.PING, payload=b"x"))
+        assert wire[6] == VERSION
+        assert len(wire) == 4 + HEADER_BYTES + 1
+
+    def test_traced_max_payload_round_trips(self):
+        frame = Frame(op=Op.PING, payload=b"a" * MAX_PAYLOAD_BYTES,
+                      trace_id=1)
+        assert decode_frame(encode_frame(frame)) == frame
+
     def test_response_echoes_identity(self):
         request = Frame(op=Op.ENCRYPT, mode=Mode.CTR, session_id=7,
                         request_id=42, payload=b"data")
@@ -108,11 +131,22 @@ class TestRejection:
     def test_version_mismatch_recoverable(self):
         wire = bytearray(encode_frame(Frame(op=Op.PING)))
         assert wire[6] == VERSION
-        wire[6] = VERSION + 1
+        wire[6] = TRACE_VERSION + 1  # no such version
         with pytest.raises(FrameError) as exc_info:
             decode_frame(bytes(wire))
         assert exc_info.value.recoverable
         assert "version" in str(exc_info.value)
+
+    def test_traced_frame_too_short_for_context_recoverable(self):
+        # A version-2 frame whose body cannot hold the 16-byte trace
+        # context: well-delimited, so the stream stays aligned.
+        wire = bytearray(encode_frame(Frame(op=Op.PING,
+                                            payload=b"short")))
+        wire[6] = TRACE_VERSION
+        with pytest.raises(FrameError) as exc_info:
+            decode_frame(bytes(wire))
+        assert exc_info.value.recoverable
+        assert "trace context" in str(exc_info.value)
 
     def test_unknown_op_recoverable(self):
         wire = bytearray(encode_frame(Frame(op=Op.PING)))
@@ -161,6 +195,20 @@ class TestStreamIO:
             assert await read_frame(reader, timeout=1.0) == frame
             # Clean EOF on the boundary reads as None.
             assert await read_frame(reader, timeout=1.0) is None
+
+        asyncio.run(scenario())
+
+    def test_traced_write_then_read_round_trips(self):
+        async def scenario():
+            writer = _OneShotStream()
+            frame = Frame(op=Op.PING, request_id=3, payload=b"hello",
+                          trace_id=0xABCD, parent_span_id=0x1234)
+            await write_frame(writer, frame, timeout=1.0)
+            reader = self._reader_for(bytes(writer.buffer))
+            decoded = await read_frame(reader, timeout=1.0)
+            assert decoded == frame
+            assert decoded.trace_id == 0xABCD
+            assert decoded.parent_span_id == 0x1234
 
         asyncio.run(scenario())
 

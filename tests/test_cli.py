@@ -186,7 +186,7 @@ class TestBench:
         assert "wrote" in out
         report = json.loads(out_file.read_text())
         assert report["schema"] == \
-            "repro-aes/software-throughput/v4"
+            "repro-aes/software-throughput/v5"
         assert report["equivalence"]["mismatches"] == 0
         assert report["equivalence"]["ghash_mismatches"] == 0
         assert report["ghash"]["workloads"]
@@ -376,6 +376,107 @@ class TestServeCommands:
             probe.bind(("127.0.0.1", 0))
             port = probe.getsockname()[1]
         with pytest.raises(SystemExit,
-                           match="no requests completed"):
+                           match="no requests succeeded"):
             main(["loadgen", "--port", str(port),
                   "--clients", "1", "--requests", "1"])
+
+    def test_loadgen_dead_listener_exits_nonzero(self):
+        # The listener accepts and immediately hangs up: every client
+        # connects, then every owed request fails.  The run must not
+        # report success.
+        import socket
+        import threading
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+        done = threading.Event()
+
+        def slam_the_door():
+            listener.settimeout(0.2)
+            while not done.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                conn.close()
+
+        thread = threading.Thread(target=slam_the_door, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(SystemExit,
+                               match="no requests succeeded"):
+                main(["loadgen", "--port", str(port),
+                      "--clients", "2", "--requests", "3"])
+        finally:
+            done.set()
+            thread.join(timeout=5)
+            listener.close()
+
+    def test_loadgen_error_statuses_exit_nonzero(self, capsys):
+        # A peer that answers every second ENCRYPT with INTERNAL:
+        # the run completes, some requests fail — exit must be
+        # nonzero and the tally must show the failures.
+        import itertools
+        import threading
+
+        import repro.serve.protocol as proto
+
+        started = threading.Event()
+        state = {}
+        flaky = itertools.count()
+
+        def serve_errors():
+            import asyncio
+
+            async def on_connection(reader, writer):
+                try:
+                    while True:
+                        frame = await proto.read_frame(
+                            reader, timeout=10.0)
+                        if frame.op is proto.Op.LOAD_KEY:
+                            reply = frame.response()
+                        elif next(flaky) % 2:
+                            reply = frame.error(
+                                proto.Status.INTERNAL,
+                                "induced failure")
+                        else:
+                            reply = frame.response(
+                                payload=frame.payload)
+                        await proto.write_frame(
+                            writer, reply, timeout=10.0)
+                except (proto.FrameError, ConnectionError,
+                        asyncio.IncompleteReadError,
+                        asyncio.TimeoutError):
+                    pass
+                finally:
+                    writer.close()
+
+            async def main_loop():
+                server = await asyncio.start_server(
+                    on_connection, "127.0.0.1", 0)
+                state["port"] = server.sockets[0].getsockname()[1]
+                state["stop"] = asyncio.Event()
+                state["loop"] = asyncio.get_running_loop()
+                started.set()
+                await state["stop"].wait()
+                server.close()
+                await server.wait_closed()
+
+            asyncio.run(main_loop())
+
+        thread = threading.Thread(target=serve_errors, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+        try:
+            code, out = run_cli(
+                capsys, "loadgen", "--port", str(state["port"]),
+                "--clients", "2", "--requests", "3",
+            )
+        finally:
+            state["loop"].call_soon_threadsafe(state["stop"].set)
+            thread.join(timeout=10)
+        assert code == 1
+        assert "3 ok, 3 error(s)" in out
+        assert "internal" in out
