@@ -246,12 +246,15 @@ class CheckConfig:
     #: File patterns the ``serve.*`` async-service rules apply to.
     #: The bounded-queue and timeout disciplines are serving-layer
     #: contracts, not repository-wide style, so the rules are scoped.
-    #: The admin/scrape plane is named explicitly (redundant with the
-    #: package glob today): the HTTP sidecar must keep the timeout
+    #: The admin/scrape plane and the cluster modules (gateway,
+    #: supervisor) are named explicitly (redundant with the package
+    #: glob today): each must keep the timeout/backpressure
     #: discipline even if it ever moves out of the serve package.
     serve_path_patterns: Tuple[str, ...] = (
         "*repro/serve/*.py",
         "*repro/serve/admin.py",
+        "*repro/serve/gateway.py",
+        "*repro/serve/cluster.py",
     )
 
     def enabled(self, rule_id: str) -> bool:

@@ -381,6 +381,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             serve=not args.no_serve,
             ghash=not args.no_ghash,
             ghash_names=args.ghash or None,
+            cluster=not args.no_cluster,
         )
     except BackendMismatch as exc:
         # The equivalence gate failed: a backend produced bytes the
@@ -483,11 +484,97 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.cluster import Cluster, ClusterConfig
+
+    config = ClusterConfig(
+        host=args.host,
+        workers=args.workers,
+        gateway_port=args.gateway_port,
+        admin_port=args.admin_port,
+        shared_port=args.shared_port,
+        queue_depth=args.queue_depth,
+        worker_tasks=args.worker_tasks,
+        request_timeout=args.request_timeout,
+        shed_inflight=args.shed_inflight,
+        slo_threshold_s=args.slo_threshold,
+    )
+
+    async def _cluster() -> None:
+        import signal
+
+        cluster = Cluster(config)
+        await cluster.start()
+        host, port = cluster.address
+        if cluster.gateway is not None:
+            print(f"gateway on {host}:{port}", flush=True)
+            if config.admin_port is not None:
+                admin_host, admin_port = \
+                    cluster.gateway.admin_address
+                print(f"admin on {admin_host}:{admin_port}",
+                      flush=True)
+        else:
+            print(f"cluster on {host}:{port} (shared socket)",
+                  flush=True)
+        for handle in cluster.supervisor.handles():
+            print(f"worker {handle.index} on "
+                  f"{handle.host}:{handle.port} "
+                  f"(admin {handle.host}:{handle.admin_port})",
+                  flush=True)
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+            except NotImplementedError:  # pragma: no cover - win32
+                pass
+        waiters = [
+            asyncio.ensure_future(stop_requested.wait()),
+            asyncio.ensure_future(cluster.wait_stopped()),
+        ]
+        if args.serve_seconds is not None:
+            waiters.append(
+                asyncio.ensure_future(
+                    asyncio.sleep(args.serve_seconds)
+                )
+            )
+        _, pending = await asyncio.wait(
+            waiters, return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in pending:
+            task.cancel()
+        await cluster.stop()
+
+    try:
+        asyncio.run(_cluster())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+
+    from repro.obs.metrics import global_registry
+
+    registry = global_registry()
+    routed = registry.get("repro_gateway_requests_total")
+    total = sum(child.value for child in routed.children()) \
+        if routed is not None else 0
+    print(f"routed {int(total)} frame(s); cluster shut down cleanly")
+    if args.metrics_out:
+        snapshot = (
+            registry.render_prometheus()
+            if args.metrics_format == "prom"
+            else registry.render_json()
+        )
+        Path(args.metrics_out).write_text(snapshot)
+        print(f"wrote {args.metrics_out} ({len(snapshot)} bytes)")
+    return 0
+
+
 def cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
     import secrets
 
-    from repro.serve.client import run_load
+    from repro.serve.client import run_load, run_session_load
     from repro.serve.protocol import Mode
 
     mode = {"ecb": Mode.ECB, "ctr": Mode.CTR,
@@ -499,15 +586,27 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     try:
         # The shutdown frame is sent only after the admin scrape: the
         # admin plane (and its quantile windows) dies with the server.
-        report = asyncio.run(run_load(
-            args.host, args.port, loadgen_key,
-            clients=args.clients,
-            requests=args.requests,
-            mode=mode,
-            payload_bytes=args.size,
-            seed=args.seed,
-            shutdown=False,
-        ))
+        if args.sessions is not None:
+            # Cluster closed loop: M keyed sessions, each pinning a
+            # session id so the gateway shards them across workers.
+            report = asyncio.run(run_session_load(
+                args.host, args.port, loadgen_key,
+                sessions=args.sessions,
+                requests=args.requests,
+                mode=mode,
+                payload_bytes=args.size,
+                seed=args.seed,
+            ))
+        else:
+            report = asyncio.run(run_load(
+                args.host, args.port, loadgen_key,
+                clients=args.clients,
+                requests=args.requests,
+                mode=mode,
+                payload_bytes=args.size,
+                seed=args.seed,
+                shutdown=False,
+            ))
     except (ConnectionError, OSError) as exc:
         raise SystemExit(
             f"error: cannot reach {args.host}:{args.port}: {exc}"
@@ -787,6 +886,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "runs — it defines the speedup denominator)")
     p.add_argument("--no-ghash", action="store_true",
                    help="skip the GHASH provider section")
+    p.add_argument("--no-cluster", action="store_true",
+                   help="skip the multi-process cluster scaling "
+                        "scenario (no worker processes spawned)")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -842,6 +944,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
+        "cluster",
+        help="run N crypto-server worker processes behind a "
+             "session-sharded gateway (or on one shared port); "
+             "Ctrl-C or a SHUTDOWN frame drains and stops",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default loopback)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes in the pool")
+    p.add_argument("--gateway-port", type=int, default=0,
+                   help="gateway TCP port (0 = OS-assigned, printed "
+                        "on startup)")
+    p.add_argument("--admin-port", type=int, default=None,
+                   help="gateway admin/scrape plane (/metrics, "
+                        "/readyz, /quantiles); 0 = OS-assigned")
+    p.add_argument("--shared-port", type=int, default=None,
+                   help="direct mode: all workers share this port "
+                        "(SO_REUSEPORT or a pre-fork listener) and "
+                        "no gateway runs (0 = OS-assigned)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="per-worker bounded request queue depth")
+    p.add_argument("--worker-tasks", type=int, default=4,
+                   help="asyncio worker tasks per worker process")
+    p.add_argument("--request-timeout", type=float, default=10.0,
+                   help="per-request execution budget in seconds")
+    p.add_argument("--shed-inflight", type=int, default=128,
+                   help="gateway per-shard in-flight cap: beyond it "
+                        "frames are answered OVERLOADED")
+    p.add_argument("--slo-threshold", type=float, default=0.25,
+                   help="routed-request SLO for the gateway's "
+                        "windowed burn-rate counters")
+    p.add_argument("--serve-seconds", type=float, default=None,
+                   help="stop after this many seconds (CI smoke)")
+    p.add_argument("--metrics-out", default=None,
+                   help="write a gateway metrics snapshot here on "
+                        "shutdown")
+    p.add_argument("--metrics-format", default="json",
+                   choices=("json", "prom"),
+                   help="snapshot format for --metrics-out")
+    p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser(
         "loadgen",
         help="closed-loop load generator against a running serve "
              "instance; reports achieved requests/sec",
@@ -851,6 +995,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="port of the serve instance")
     p.add_argument("--clients", type=int, default=8,
                    help="concurrent client connections")
+    p.add_argument("--sessions", type=int, default=None,
+                   help="cluster closed loop: this many concurrent "
+                        "keyed sessions, each pinning a session id "
+                        "so a gateway shards them across workers "
+                        "(replaces --clients; NO_KEY after a worker "
+                        "restart is absorbed by re-loading the key)")
     p.add_argument("--requests", type=int, default=32,
                    help="requests per client")
     p.add_argument("--mode", default="ctr",

@@ -23,10 +23,10 @@ in a fixed order:
    PRs can assert no-regression against a persisted baseline instead
    of folklore.
 
-JSON schema (``repro-aes/software-throughput/v4``)::
+JSON schema (``repro-aes/software-throughput/v6``)::
 
     {
-      "schema": "repro-aes/software-throughput/v4",
+      "schema": "repro-aes/software-throughput/v6",
       "created_unix": 1754000000,
       "quick": true,
       "workers": 1,
@@ -62,7 +62,14 @@ JSON schema (``repro-aes/software-throughput/v4``)::
                 "requests_per_s": ..., "mb_per_s": ...,
                 "latency": {"p50_s": ..., "p95_s": ...,
                             "p99_s": ..., "max_s": ...} | null
-               } | null
+               } | null,
+      "cluster": {"mode": "ctr", "payload_bytes": 16384,
+                  "sessions": 8, "requests_per_session": 16,
+                  "rows": [
+                    {"workers": 1, "requests": ..., "errors": 0,
+                     "seconds": ..., "requests_per_s": ...,
+                     "mb_per_s": ..., "speedup_vs_single": 1.0}
+                  ]} | null
     }
 
 v2 added ``git_rev`` (code-revision provenance, best-effort) and the
@@ -78,10 +85,16 @@ GHASH rows of the equivalence gate, and the ``openssl`` host field
 recording whether the EVP ceiling backend was available.  v5 added
 the serve row's ``latency`` section: client-observed nearest-rank
 p50/p95/p99/max request seconds, so a trajectory of bench files
-tracks tail latency next to throughput.  :func:`load_report` reads
-v1 through v5, normalizing older shapes (``serve`` / ``ghash`` /
-``latency`` become ``None`` where a section predates the schema) —
-so downstream comparisons never branch on the version.
+tracks tail latency next to throughput.  v6 added the ``cluster``
+section: the same closed-loop load driven through the
+:mod:`repro.serve.cluster` gateway against a multi-process worker
+pool, one row per worker count, with ``speedup_vs_single`` recording
+how requests/s scales as workers are added (on a single-CPU host the
+honest answer is "barely" — the row exists to record that, not to
+flatter it).  :func:`load_report` reads v1 through v6, normalizing
+older shapes (``serve`` / ``ghash`` / ``latency`` / ``cluster``
+become ``None`` where a section predates the schema) — so downstream
+comparisons never branch on the version.
 """
 
 from __future__ import annotations
@@ -113,7 +126,8 @@ SCHEMA_V1 = "repro-aes/software-throughput/v1"
 SCHEMA_V2 = "repro-aes/software-throughput/v2"
 SCHEMA_V3 = "repro-aes/software-throughput/v3"
 SCHEMA_V4 = "repro-aes/software-throughput/v4"
-SCHEMA = "repro-aes/software-throughput/v5"
+SCHEMA_V5 = "repro-aes/software-throughput/v5"
+SCHEMA = "repro-aes/software-throughput/v6"
 
 DEFAULT_OUT = "BENCH_software_throughput.json"
 
@@ -379,6 +393,90 @@ def serve_scenario(quick: bool = False,
         return asyncio.run(_run())
 
 
+# --------------------------------------------------- cluster scenario
+def cluster_scenario(quick: bool = False,
+                     worker_counts: Optional[Sequence[int]] = None,
+                     sessions: Optional[int] = None,
+                     requests: Optional[int] = None,
+                     payload_bytes: Optional[int] = None
+                     ) -> Dict[str, object]:
+    """Gateway-routed cluster run: requests/s versus worker count.
+
+    The serve scenario above times one server process; this one
+    stands up the whole :mod:`repro.serve.cluster` topology — a
+    supervisor spawning N worker processes plus the session-sharded
+    gateway — and drives :func:`repro.serve.client.run_session_load`
+    through the gateway, once per worker count.  Each row records the
+    closed-loop rate and ``speedup_vs_single`` against the 1-worker
+    row, which is the scaling claim the topology exists to make.  On
+    a single-CPU host the speedup saturates near 1.0x; the row
+    records whatever the host actually delivers (``host.cpu_count``
+    above says why).
+    """
+    import asyncio
+
+    from repro.serve.client import run_session_load
+    from repro.serve.cluster import Cluster, ClusterConfig
+    from repro.serve.protocol import Mode
+
+    if worker_counts is None:
+        worker_counts = (1, 2) if quick else (1, 2, 4)
+    counts = tuple(sorted(set(int(w) for w in worker_counts)))
+    if not counts or any(w < 1 for w in counts):
+        raise ValueError("worker counts must be positive integers")
+    if sessions is None:
+        sessions = 4 if quick else 8
+    if requests is None:
+        requests = 8 if quick else 16
+    if payload_bytes is None:
+        payload_bytes = 4096 if quick else 16384
+    base_key = random.Random(_SEED).randbytes(16)
+
+    async def _run(workers: int) -> Dict[str, object]:
+        cluster = Cluster(ClusterConfig(workers=workers,
+                                        gateway_port=0))
+        await cluster.start()
+        try:
+            host, port = cluster.address
+            report = await run_session_load(
+                host, port, base_key,
+                sessions=sessions, requests=requests,
+                mode=Mode.CTR, payload_bytes=payload_bytes,
+                seed=_SEED,
+            )
+        finally:
+            await cluster.stop()
+        return {
+            "workers": workers,
+            "requests": report.requests,
+            "errors": report.errors,
+            "seconds": round(report.seconds, 6),
+            "requests_per_s": round(report.requests_per_s, 1),
+            "mb_per_s": round(report.mb_per_s, 3),
+        }
+
+    rows: List[Dict[str, object]] = []
+    for workers in counts:
+        with trace_span("bench.cluster", workers=workers,
+                        sessions=sessions):
+            rows.append(asyncio.run(_run(workers)))
+
+    single = (float(rows[0]["requests_per_s"])  # type: ignore[arg-type]
+              if rows[0]["workers"] == 1 else None)
+    for row in rows:
+        rate = float(row["requests_per_s"])  # type: ignore[arg-type]
+        row["speedup_vs_single"] = (
+            round(rate / single, 2) if single else None
+        )
+    return {
+        "mode": "ctr",
+        "payload_bytes": payload_bytes,
+        "sessions": sessions,
+        "requests_per_session": requests,
+        "rows": rows,
+    }
+
+
 def ghash_section(quick: bool = False,
                   sizes: Optional[Sequence[int]] = None,
                   reps: Optional[int] = None,
@@ -494,7 +592,8 @@ def run_bench(quick: bool = False,
               corpus_blocks: int = 48,
               serve: bool = True,
               ghash: bool = True,
-              ghash_names: Optional[Sequence[str]] = None
+              ghash_names: Optional[Sequence[str]] = None,
+              cluster: bool = True
               ) -> Dict[str, object]:
     """Equivalence-gate then time the pinned workload matrix.
 
@@ -503,7 +602,10 @@ def run_bench(quick: bool = False,
     are the persisted-trajectory configuration.  ``ghash=False``
     skips the GHASH section (``"ghash": null``); ``ghash_names``
     restricts it to specific providers (``bitwise`` always rides
-    along as the denominator).
+    along as the denominator).  ``cluster=False`` skips the
+    multi-process cluster scaling section (``"cluster": null``) —
+    useful where spawning worker processes is unwelcome (sandboxes,
+    coverage runs).
     """
     all_backends = available_backends()
     if backend_names:
@@ -583,6 +685,8 @@ def run_bench(quick: bool = False,
         provider_names=ghash_names,
     ) if ghash else None
     serve_row = serve_scenario(quick=quick) if serve else None
+    cluster_section = cluster_scenario(quick=quick) if cluster \
+        else None
     return {
         "schema": SCHEMA,
         "created_unix": int(time.time()),
@@ -595,6 +699,7 @@ def run_bench(quick: bool = False,
         "ghash": ghash_rows,
         "obs": global_registry().snapshot(prefix="repro_engine_"),
         "serve": serve_row,
+        "cluster": cluster_section,
     }
 
 
@@ -641,14 +746,15 @@ def write_report(report: Dict[str, object], out: Path) -> Path:
 
 
 def load_report(path: Path) -> Dict[str, object]:
-    """Read a persisted trajectory file, v1 through v5.
+    """Read a persisted trajectory file, v1 through v6.
 
-    Older files are normalized to the v5 shape: v1 gains
+    Older files are normalized to the v6 shape: v1 gains
     ``git_rev="unknown"`` and an empty ``obs``; v1 and v2 gain
     ``serve=None``; v1 through v3 gain ``ghash=None``; v1 through v4
-    serve sections gain ``latency=None`` (each section predates
-    those schemas) — so downstream comparisons never need to branch
-    on the schema.  An unrecognized schema raises ``ValueError``.
+    serve sections gain ``latency=None``; v1 through v5 gain
+    ``cluster=None`` (each section predates those schemas) — so
+    downstream comparisons never need to branch on the schema.  An
+    unrecognized schema raises ``ValueError``.
     """
     report = json.loads(Path(path).read_text())
     schema = report.get("schema")
@@ -662,16 +768,18 @@ def load_report(path: Path) -> Dict[str, object]:
         report.setdefault("ghash", None)
     elif schema == SCHEMA_V3:
         report.setdefault("ghash", None)
-    elif schema not in (SCHEMA_V4, SCHEMA):
+    elif schema not in (SCHEMA_V4, SCHEMA_V5, SCHEMA):
         raise ValueError(
             f"unrecognized bench schema {schema!r} in {path} "
             f"(expected {SCHEMA_V1!r}, {SCHEMA_V2!r}, {SCHEMA_V3!r}, "
-            f"{SCHEMA_V4!r} or {SCHEMA!r})"
+            f"{SCHEMA_V4!r}, {SCHEMA_V5!r} or {SCHEMA!r})"
         )
     serve = report.get("serve")
     if isinstance(serve, dict):
         # v1–v4 serve rows predate the latency-percentile section.
         serve.setdefault("latency", None)
+    # v1–v5 predate the cluster scaling section.
+    report.setdefault("cluster", None)
     return report
 
 
@@ -766,6 +874,26 @@ def render_report(report: Dict[str, object]) -> str:
                     for key in ("p50_s", "p95_s", "p99_s", "max_s")
                     if latency.get(key) is not None
                 )
+            )
+    cluster = report.get("cluster")
+    if cluster:
+        sessions = cluster["sessions"]  # type: ignore[index]
+        per_sess = cluster["requests_per_session"]  # type: ignore[index]
+        mode_name = cluster["mode"]  # type: ignore[index]
+        payload = cluster["payload_bytes"]  # type: ignore[index]
+        lines.append(
+            f"cluster: {sessions} session(s) x {per_sess} req, "
+            f"{mode_name} {_human_size(payload)}:"
+        )
+        for row in cluster["rows"]:  # type: ignore[index]
+            speedup = row["speedup_vs_single"]
+            speedup_text = f"{speedup:.2f}x" if speedup else "-"
+            lines.append(
+                f"  {row['workers']} worker(s): "
+                f"{row['requests_per_s']:>8,.0f} req/s, "
+                f"{row['mb_per_s']:.2f} MB/s, "
+                f"{row['errors']} error(s), "
+                f"{speedup_text} vs single"
             )
     lines.append("(* = numpy-vectorized; baseline rows may be "
                  "measured on a capped prefix, see measured_blocks)")

@@ -17,11 +17,19 @@ It is stdlib-only asyncio, in three legs:
   the :mod:`repro.obs` registry.
 - :mod:`repro.serve.client` — the async client with connect/request
   timeouts and capped, jittered exponential backoff, plus the
-  :func:`~repro.serve.client.run_load` closed-loop load generator.
+  :func:`~repro.serve.client.run_load` and
+  :func:`~repro.serve.client.run_session_load` closed-loop load
+  generators.
+- :mod:`repro.serve.gateway` — the session-sharded cluster gateway:
+  consistent-hash routing of session ids over worker backends, with
+  health probes, shedding and connection draining.
+- :mod:`repro.serve.cluster` — multi-process workers under a
+  supervisor (spawn, monitor, restart-on-crash, drain-then-stop),
+  composed with the gateway as one service.
 
-``repro-aes serve`` and ``repro-aes loadgen`` expose both ends on the
-command line; ``docs/serving.md`` is the protocol and semantics
-reference.
+``repro-aes serve``, ``repro-aes cluster`` and ``repro-aes loadgen``
+expose the pieces on the command line; ``docs/serving.md`` is the
+protocol and semantics reference.
 """
 
 from repro.serve.client import (
@@ -29,7 +37,21 @@ from repro.serve.client import (
     LoadReport,
     RequestFailed,
     RetryPolicy,
+    derive_session_key,
     run_load,
+    run_session_load,
+)
+from repro.serve.cluster import (
+    Cluster,
+    ClusterConfig,
+    Supervisor,
+    WorkerHandle,
+)
+from repro.serve.gateway import (
+    BackendSpec,
+    Gateway,
+    GatewayConfig,
+    HashRing,
 )
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
@@ -49,10 +71,16 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "MAX_PAYLOAD_BYTES",
     "VERSION",
+    "BackendSpec",
+    "Cluster",
+    "ClusterConfig",
     "CryptoClient",
     "CryptoServer",
     "Frame",
     "FrameError",
+    "Gateway",
+    "GatewayConfig",
+    "HashRing",
     "LoadReport",
     "Mode",
     "Op",
@@ -61,7 +89,11 @@ __all__ = [
     "ServeConfig",
     "Session",
     "Status",
+    "Supervisor",
+    "WorkerHandle",
     "decode_frame",
     "encode_frame",
+    "derive_session_key",
     "run_load",
+    "run_session_load",
 ]

@@ -15,11 +15,16 @@ clients avoids synchronizing its retries into a thundering herd.
 ``repro-aes loadgen`` and the bench's ``serve`` scenario: N client
 coroutines each load a key and issue encrypt requests back-to-back,
 and the report carries achieved requests/sec and byte rates.
+:func:`run_session_load` is its cluster-aware sibling: M concurrent
+*keyed sessions*, each pinning a distinct session id so the gateway
+shards them across workers, with ``NO_KEY`` responses (a restarted
+worker lost the session's key) absorbed by re-sending ``LOAD_KEY``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import itertools
 import math
 import random
@@ -34,6 +39,7 @@ from repro.obs.tracing import (
     trace_record,
 )
 from repro.serve.protocol import (
+    KEY_BYTES,
     RETRYABLE_STATUSES,
     Frame,
     FrameError,
@@ -83,11 +89,16 @@ class CryptoClient:
                  connect_timeout: float = 5.0,
                  request_timeout: float = 30.0,
                  retry: Optional[RetryPolicy] = None,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 session_id: int = 0) -> None:
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
         self.request_timeout = request_timeout
+        #: Carried in every frame's header.  Zero (the default) means
+        #: anonymous; against a cluster gateway a nonzero id is what
+        #: pins this client's requests to one worker shard.
+        self.session_id = session_id
         self.retry = retry or RetryPolicy()
         self._rng = rng or random.Random()
         self._reader: Optional[asyncio.StreamReader] = None
@@ -176,9 +187,10 @@ class CryptoClient:
         if self._trace_wire and active_tracer() is not None:
             trace_id = new_span_id()
             span_id = new_span_id()
-        frame = Frame(op=op, mode=mode, request_id=request_id,
-                      payload=payload, trace_id=trace_id,
-                      parent_span_id=span_id)
+        frame = Frame(op=op, mode=mode,
+                      session_id=self.session_id,
+                      request_id=request_id, payload=payload,
+                      trace_id=trace_id, parent_span_id=span_id)
         start = time.perf_counter()
         await write_frame(self._writer, frame,
                           timeout=self.request_timeout)
@@ -322,6 +334,27 @@ def latency_percentiles(samples: List[float]) -> Dict[str, float]:
     }
 
 
+def _build_payload(mode: Mode, payload_bytes: int,
+                   seed: int) -> bytes:
+    """The deterministic request payload both loadgens share."""
+    if mode is Mode.ECB and payload_bytes < 16:
+        raise ValueError(
+            "ECB needs payload_bytes >= 16 (one full block)"
+        )
+    prefix_rng = random.Random(seed)
+    nonce = prefix_rng.randbytes(8)
+    body = prefix_rng.randbytes(payload_bytes)
+    if mode is Mode.ECB:
+        # Truncate to whole blocks so every request is well-formed.
+        return body[:(len(body) // 16) * 16]
+    if mode is Mode.CTR:
+        return nonce + body
+    if mode is Mode.GCM:
+        return prefix_rng.randbytes(12) + body
+    raise ValueError(f"loadgen mode must be a cipher mode, "
+                     f"not {mode.name}")
+
+
 async def run_load(host: str, port: int, key: bytes,
                    clients: int = 8, requests: int = 32,
                    mode: Mode = Mode.CTR,
@@ -340,24 +373,7 @@ async def run_load(host: str, port: int, key: bytes,
     """
     if clients < 1 or requests < 1:
         raise ValueError("clients and requests must be >= 1")
-    if mode is Mode.ECB and payload_bytes < 16:
-        raise ValueError(
-            "ECB needs payload_bytes >= 16 (one full block)"
-        )
-    prefix_rng = random.Random(seed)
-    nonce = prefix_rng.randbytes(8)
-    body = prefix_rng.randbytes(payload_bytes)
-    if mode is Mode.ECB:
-        # Truncate to whole blocks so every request is well-formed.
-        body = body[:(len(body) // 16) * 16]
-        payload = body
-    elif mode is Mode.CTR:
-        payload = nonce + body
-    elif mode is Mode.GCM:
-        payload = prefix_rng.randbytes(12) + body
-    else:
-        raise ValueError(f"loadgen mode must be a cipher mode, "
-                         f"not {mode.name}")
+    payload = _build_payload(mode, payload_bytes, seed)
 
     counts: Dict[str, int] = {"ok": 0, "errors": 0,
                               "bytes_out": 0, "bytes_in": 0}
@@ -425,5 +441,114 @@ async def run_load(host: str, port: int, key: bytes,
     )
 
 
+def derive_session_key(base_key: bytes, session_id: int) -> bytes:
+    """A per-session AES key from one base key and a session id.
+
+    ``blake2b`` keyed-derivation (not a seeded RNG — key material
+    never comes from ``random``): deterministic given the base key,
+    so a session that must re-install its key after a worker restart
+    derives the same bytes, and distinct session ids give
+    independent keys.
+    """
+    return hashlib.blake2b(
+        base_key,
+        digest_size=KEY_BYTES,
+        salt=session_id.to_bytes(8, "big"),
+        person=b"repro-session",
+    ).digest()
+
+
+async def run_session_load(host: str, port: int, base_key: bytes,
+                           sessions: int = 8, requests: int = 32,
+                           mode: Mode = Mode.CTR,
+                           payload_bytes: int = 1024,
+                           seed: int = 2003,
+                           retry: Optional[RetryPolicy] = None,
+                           ) -> LoadReport:
+    """Cluster closed loop: ``sessions`` concurrent keyed sessions.
+
+    Each session is one client pinning a distinct nonzero session id
+    — against a cluster gateway that is what consistent-hash-routes
+    it to one worker shard — under its own derived key.  Two failure
+    modes beyond :func:`run_load` are absorbed here, because they are
+    normal cluster weather rather than errors: transport drops and
+    retryable statuses go through the client's backoff as usual, and
+    a ``NO_KEY`` response (the shard restarted and lost the session's
+    key) re-sends ``LOAD_KEY`` and retries the request.
+    """
+    if sessions < 1 or requests < 1:
+        raise ValueError("sessions and requests must be >= 1")
+    payload = _build_payload(mode, payload_bytes, seed)
+
+    counts: Dict[str, int] = {"ok": 0, "errors": 0,
+                              "bytes_out": 0, "bytes_in": 0}
+    statuses: Dict[str, int] = {}
+    latencies: List[float] = []
+
+    async def one_session(index: int) -> None:
+        session_id = index + 1
+        session_key = derive_session_key(base_key, session_id)
+        client = CryptoClient(
+            host, port, retry=retry, session_id=session_id,
+            rng=random.Random(seed * 1000 + index),
+        )
+        answered = 0
+        reloads = 0
+        try:
+            await client.connect()
+            response = await client.load_key(session_key)
+            if response.status is not Status.OK:
+                counts["errors"] += requests
+                return
+            done = 0
+            while done < requests:
+                sent = time.perf_counter()
+                response = await client.encrypt(mode, payload)
+                if (response.status is Status.NO_KEY
+                        and reloads < 2 * sessions + 4):
+                    # The shard lost this session's key (worker
+                    # restart): re-install and retry the request
+                    # without counting it — bounded, so a server
+                    # that *never* keeps keys still terminates.
+                    reloads += 1
+                    reload = await client.load_key(session_key)
+                    if reload.status is Status.OK:
+                        continue
+                latencies.append(time.perf_counter() - sent)
+                done += 1
+                answered += 1
+                name = response.status.name.lower()
+                statuses[name] = statuses.get(name, 0) + 1
+                if response.status is Status.OK:
+                    counts["ok"] += 1
+                    counts["bytes_out"] += len(payload)
+                    counts["bytes_in"] += len(response.payload)
+                else:
+                    counts["errors"] += 1
+        except (RequestFailed, ConnectionError,
+                asyncio.TimeoutError):
+            counts["errors"] += requests - answered
+        finally:
+            await client.close()
+
+    start = time.perf_counter()
+    await asyncio.gather(*(one_session(i) for i in range(sessions)))
+    seconds = time.perf_counter() - start
+
+    return LoadReport(
+        clients=sessions,
+        requests=counts["ok"],
+        errors=counts["errors"],
+        seconds=seconds,
+        bytes_out=counts["bytes_out"],
+        bytes_in=counts["bytes_in"],
+        mode=mode.name.lower(),
+        payload_bytes=payload_bytes,
+        statuses=statuses,
+        latency=latency_percentiles(latencies),
+    )
+
+
 __all__ = ["CryptoClient", "LoadReport", "RequestFailed",
-           "RetryPolicy", "latency_percentiles", "run_load"]
+           "RetryPolicy", "derive_session_key",
+           "latency_percentiles", "run_load", "run_session_load"]

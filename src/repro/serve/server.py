@@ -38,6 +38,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import logging
+import socket
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -110,6 +111,10 @@ class ServeConfig:
 
     host: str = "127.0.0.1"
     port: int = 0
+    #: Bind with ``SO_REUSEPORT`` so several worker processes can
+    #: share one port (the cluster's direct topology).  Ignored when
+    #: :meth:`CryptoServer.start` is handed a pre-bound socket.
+    reuse_port: bool = False
     #: Bound of the shared request queue — the backpressure valve.
     queue_depth: int = 64
     #: Worker tasks draining the queue (each owns a pool thread).
@@ -216,8 +221,15 @@ class CryptoServer:
         self._admin: Optional[AdminServer] = None
 
     # ------------------------------------------------------- lifecycle
-    async def start(self) -> None:
-        """Bind the listening socket and start the worker tasks."""
+    async def start(self,
+                    sock: Optional[socket.socket] = None) -> None:
+        """Bind the listening socket and start the worker tasks.
+
+        ``sock`` serves on an already-bound listening socket instead
+        of binding ``host:port`` — the cluster's pre-fork shared
+        listener, created in the parent and passed across the
+        process boundary.
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
         # Twice the worker count: a timed-out job's thread cannot be
@@ -234,9 +246,20 @@ class CryptoServer:
             asyncio.get_running_loop().create_task(self._worker())
             for _ in range(max(1, self.config.workers))
         ]
-        self._server = await asyncio.start_server(
-            self._on_connection, self.config.host, self.config.port
-        )
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=sock
+            )
+        elif self.config.reuse_port:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.config.host,
+                self.config.port, reuse_port=True,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.config.host,
+                self.config.port
+            )
         if self.config.admin_port is not None:
             self._admin = AdminServer(
                 self.config.host,

@@ -1,0 +1,11 @@
+"""PR-10 re-injection, diagnostics half: an innocently named
+parameter that only interprocedural propagation proves is a routed
+Session (and therefore key material)."""
+
+import logging
+
+_LOG = logging.getLogger(__name__)
+
+
+def report_unroutable(entry):
+    _LOG.warning("no backend for %r", entry)  # expect: taint.secret-in-log

@@ -1,0 +1,21 @@
+"""PR-10 re-injection, gateway half: the cluster gateway routes a
+keyed Session to a shard, and the no-backend failure path hands the
+whole Session to a cross-file diagnostics helper.  The routing
+metadata (``session_id``, the shard name) is public; the Session
+object carrying the key is not — only the call graph proves the
+helper's parameter is one."""
+
+from diag_mod import report_unroutable
+
+
+class Session:
+    def __init__(self, session_id):
+        self.session_id = session_id
+        self.key = None
+
+
+def route(ring, session: Session):
+    shard = ring.lookup(session.session_id)
+    if shard is None:
+        report_unroutable(session)
+    return shard

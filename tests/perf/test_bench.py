@@ -49,7 +49,7 @@ class TestRunBench:
     def test_report_schema_and_speedups(self, tmp_path):
         report = run_bench(quick=True, sizes=[256], reps=1,
                            backend_names=["baseline", "sliced"],
-                           corpus_blocks=4)
+                           corpus_blocks=4, cluster=False)
         assert report["schema"] == SCHEMA
         assert report["quick"] is True
         assert report["equivalence"]["mismatches"] == 0
@@ -76,7 +76,7 @@ class TestRunBench:
     def test_baseline_always_included(self):
         report = run_bench(quick=True, sizes=[128], reps=1,
                            backend_names=["ttable"],
-                           corpus_blocks=4)
+                           corpus_blocks=4, cluster=False)
         backends = {row["backend"] for row in report["workloads"]}
         assert {"baseline", "ttable"} <= backends
 
@@ -87,12 +87,13 @@ class TestRunBench:
     def test_rejects_unaligned_size(self):
         with pytest.raises(ValueError, match="multiples"):
             run_bench(quick=True, sizes=[100],
-                      backend_names=["sliced"], corpus_blocks=4)
+                      backend_names=["sliced"], corpus_blocks=4,
+                      cluster=False)
 
     def test_render_is_textual(self):
         report = run_bench(quick=True, sizes=[128], reps=1,
                            backend_names=["baseline"],
-                           corpus_blocks=4)
+                           corpus_blocks=4, cluster=False)
         text = render_report(report)
         assert "software throughput" in text
         assert "baseline" in text
@@ -123,7 +124,7 @@ class TestServeScenario:
     def test_run_bench_embeds_serve_section(self):
         report = run_bench(quick=True, sizes=[128], reps=1,
                            backend_names=["baseline"],
-                           corpus_blocks=4)
+                           corpus_blocks=4, cluster=False)
         serve = report["serve"]
         assert serve is not None
         assert serve["errors"] == 0
@@ -133,7 +134,7 @@ class TestServeScenario:
     def test_serve_section_can_be_disabled(self):
         report = run_bench(quick=True, sizes=[128], reps=1,
                            backend_names=["baseline"],
-                           corpus_blocks=4, serve=False)
+                           corpus_blocks=4, serve=False, cluster=False)
         assert report["serve"] is None
         text = render_report(report)
         assert "serve:" not in text
@@ -150,7 +151,7 @@ class TestProvenance:
     def test_report_carries_git_rev_and_obs(self):
         report = run_bench(quick=True, sizes=[128], reps=1,
                            backend_names=["baseline"],
-                           corpus_blocks=4)
+                           corpus_blocks=4, cluster=False)
         assert report["schema"] == SCHEMA
         assert isinstance(report["git_rev"], str)
         assert report["git_rev"]  # never empty: hash or "unknown"
@@ -182,7 +183,7 @@ class TestLoadReport:
 
         report = run_bench(quick=True, sizes=[128], reps=1,
                            backend_names=["baseline"],
-                           corpus_blocks=4)
+                           corpus_blocks=4, cluster=False)
         out = write_report(report, tmp_path / "bench.json")
         loaded = load_report(out)
         assert loaded["schema"] == SCHEMA
@@ -319,7 +320,7 @@ class TestGhashSection:
     def test_run_bench_embeds_ghash_section(self):
         report = run_bench(quick=True, sizes=[128], reps=1,
                            backend_names=["baseline"],
-                           corpus_blocks=4,
+                           corpus_blocks=4, cluster=False,
                            ghash_names=["bitwise", "table"])
         section = report["ghash"]
         assert section is not None
@@ -343,7 +344,7 @@ class TestGhashSection:
     def test_ghash_section_can_be_disabled(self):
         report = run_bench(quick=True, sizes=[128], reps=1,
                            backend_names=["baseline"],
-                           corpus_blocks=4, ghash=False)
+                           corpus_blocks=4, ghash=False, cluster=False)
         assert report["ghash"] is None
         # The equivalence gate still runs even without timings.
         assert report["equivalence"]["ghash_mismatches"] == 0
@@ -353,3 +354,110 @@ class TestGhashSection:
             run_bench(quick=True, sizes=[128], reps=1,
                       backend_names=["baseline"], corpus_blocks=4,
                       ghash_names=["quantum"])
+
+
+class TestClusterScenario:
+    def test_rows_and_speedup_vs_single(self):
+        from repro.perf.bench import cluster_scenario
+
+        section = cluster_scenario(quick=True, worker_counts=(1, 2),
+                                   sessions=2, requests=3,
+                                   payload_bytes=256)
+        assert section["mode"] == "ctr"
+        assert section["sessions"] == 2
+        assert section["requests_per_session"] == 3
+        rows = section["rows"]
+        assert [row["workers"] for row in rows] == [1, 2]
+        for row in rows:
+            assert row["errors"] == 0
+            assert row["requests"] == 6
+            assert row["requests_per_s"] > 0
+        assert rows[0]["speedup_vs_single"] == pytest.approx(1.0)
+        assert rows[1]["speedup_vs_single"] is not None
+
+    def test_rejects_bad_worker_counts(self):
+        from repro.perf.bench import cluster_scenario
+
+        with pytest.raises(ValueError, match="worker counts"):
+            cluster_scenario(quick=True, worker_counts=(0,))
+
+    def test_run_bench_embeds_and_renders_cluster_section(self):
+        report = run_bench(quick=True, sizes=[128], reps=1,
+                           backend_names=["baseline"],
+                           corpus_blocks=4, serve=False,
+                           ghash=False)
+        section = report["cluster"]
+        assert section is not None
+        assert [row["workers"] for row in section["rows"]] == [1, 2]
+        assert all(row["errors"] == 0 for row in section["rows"])
+        text = render_report(report)
+        assert "cluster:" in text
+        assert "worker(s):" in text
+        assert "vs single" in text
+
+    def test_cluster_section_can_be_disabled(self):
+        report = run_bench(quick=True, sizes=[128], reps=1,
+                           backend_names=["baseline"],
+                           corpus_blocks=4, serve=False,
+                           ghash=False, cluster=False)
+        assert report["cluster"] is None
+        assert "cluster:" not in render_report(report)
+
+
+class TestLoadReportV6:
+    def test_v5_reader_path_normalizes_cluster(self, tmp_path):
+        from repro.perf.bench import SCHEMA_V5, load_report
+
+        v5 = {
+            "schema": SCHEMA_V5,
+            "created_unix": 1754000000,
+            "quick": True,
+            "workers": 1,
+            "git_rev": "abc123",
+            "host": {"platform": "x", "python": "3.11"},
+            "equivalence": {"mismatches": 0,
+                            "ghash_mismatches": 0},
+            "workloads": [],
+            "obs": {},
+            "ghash": None,
+            "serve": {
+                "clients": 4, "requests_per_client": 8,
+                "mode": "ctr", "payload_bytes": 4096,
+                "requests": 32, "errors": 0, "seconds": 0.1,
+                "requests_per_s": 320.0, "mb_per_s": 12.5,
+                "latency": {"p50_s": 0.01, "p95_s": 0.02,
+                            "p99_s": 0.03, "max_s": 0.04},
+            },
+        }
+        path = tmp_path / "v5.json"
+        path.write_text(json.dumps(v5))
+        loaded = load_report(path)
+        # v5 predates the cluster section: normalized to None, and
+        # the sections it did carry pass through untouched.
+        assert loaded["cluster"] is None
+        assert loaded["serve"]["latency"]["p50_s"] == 0.01
+
+    def test_every_older_schema_normalizes_cluster(self, tmp_path):
+        from repro.perf.bench import (
+            SCHEMA_V1,
+            SCHEMA_V2,
+            SCHEMA_V3,
+            SCHEMA_V4,
+            load_report,
+        )
+
+        base = {
+            "created_unix": 1754000000,
+            "quick": True,
+            "workers": 1,
+            "git_rev": "abc123",
+            "host": {"platform": "x", "python": "3.11"},
+            "equivalence": {"mismatches": 0},
+            "workloads": [],
+            "obs": {},
+        }
+        for schema in (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4):
+            path = tmp_path / f"{schema.rsplit('/', 1)[1]}.json"
+            path.write_text(json.dumps({**base, "schema": schema}))
+            loaded = load_report(path)
+            assert loaded["cluster"] is None, schema

@@ -180,13 +180,14 @@ class TestBench:
         code, out = run_cli(capsys, "bench", "--quick",
                             "--backend", "sliced",
                             "--size", "256", "--reps", "1",
+                            "--no-cluster",
                             "--out", str(out_file))
         assert code == 0
         assert "software throughput" in out
         assert "wrote" in out
         report = json.loads(out_file.read_text())
         assert report["schema"] == \
-            "repro-aes/software-throughput/v5"
+            "repro-aes/software-throughput/v6"
         assert report["equivalence"]["mismatches"] == 0
         assert report["equivalence"]["ghash_mismatches"] == 0
         assert report["ghash"]["workloads"]
@@ -205,11 +206,13 @@ class TestBench:
                             "--backend", "sliced",
                             "--size", "256", "--reps", "1",
                             "--no-serve", "--no-ghash",
+                            "--no-cluster",
                             "--out", str(out_file))
         assert code == 0
         report = json.loads(out_file.read_text())
         assert report["serve"] is None
         assert report["ghash"] is None
+        assert report["cluster"] is None
 
     def test_unknown_backend_exits(self, tmp_path):
         with pytest.raises(SystemExit):
@@ -480,3 +483,63 @@ class TestServeCommands:
         assert code == 1
         assert "3 ok, 3 error(s)" in out
         assert "internal" in out
+
+
+class TestClusterCommand:
+    """`repro-aes cluster` + `repro-aes loadgen --sessions`: the
+    multi-process topology end to end, as operators run it.  The
+    cluster is a subprocess (its own event loop, signal handling and
+    spawned workers); the session loadgen runs in-process and ends
+    the run with a SHUTDOWN frame through the gateway."""
+
+    def test_cluster_loadgen_round_trip(self, capsys, tmp_path):
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        src = str(repo / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + existing if existing else src
+        )
+        metrics_file = tmp_path / "cluster-metrics.json"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "cluster",
+             "--workers", "2", "--gateway-port", "0",
+             "--serve-seconds", "120",
+             "--metrics-out", str(metrics_file)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=str(tmp_path),
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "gateway on" in line, line
+            port = int(line.rsplit(":", 1)[1])
+            workers = [proc.stdout.readline() for _ in range(2)]
+            assert all(w.startswith("worker ") for w in workers), \
+                workers
+            code, out = run_cli(
+                capsys, "loadgen", "--port", str(port),
+                "--sessions", "4", "--requests", "3",
+                "--mode", "gcm", "--size", "512", "--shutdown",
+            )
+            assert code == 0
+            assert "12 ok, 0 error(s)" in out
+            rest, _ = proc.communicate(timeout=60)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0
+        assert "cluster shut down cleanly" in rest
+        metrics = json.loads(metrics_file.read_text())
+        routed = metrics["repro_gateway_requests_total"]
+        forwarded = sum(
+            sample["value"] for sample in routed["samples"]
+            if sample["labels"].get("outcome") == "forwarded"
+        )
+        # 4 LOAD_KEYs + 12 encrypts forwarded; the SHUTDOWN frame is
+        # answered at the gateway itself, not forwarded.
+        assert forwarded >= 16
